@@ -1,0 +1,37 @@
+// Command gapminer reproduces the research-gap analysis (§1, Fig. 1):
+// it mines the bundled synthetic SIGCOMM/HotNets proceedings for
+// industrial-networking terminology and prints the occurrence counts,
+// plus §2's requirement checks that motivate the gap.
+//
+// Usage:
+//
+//	gapminer [-seed N] [-requirements]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"steelnet/internal/core"
+	"steelnet/internal/corpus"
+	"steelnet/internal/host"
+	"steelnet/internal/trafficgen"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "corpus shuffle seed (counts are seed-invariant)")
+	requirements := flag.Bool("requirements", false, "also print the §2.1-§2.3 requirement checks")
+	flag.Parse()
+
+	table, counts := core.Figure1(*seed)
+	fmt.Print(table)
+	fmt.Printf("research gap: smallest IT-side bar is %.0fx the largest OT-side bar\n\n", corpus.GapRatio(counts))
+
+	if *requirements {
+		fmt.Print(core.RenderTimingCheck(core.Section21TimingCheck(host.PreemptRT, *seed, 20000)))
+		fmt.Println()
+		fmt.Print(core.RenderAvailability(core.RunAvailabilityComparison(core.DefaultAvailabilityConfig())))
+		fmt.Println()
+		fmt.Print(core.RenderTrafficMix(core.Section23TrafficMix(*seed, trafficgen.DefaultMix)))
+	}
+}

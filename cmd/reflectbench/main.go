@@ -1,0 +1,74 @@
+// Command reflectbench runs the Traffic Reflection experiment (§3) and
+// prints Fig. 4: the delay CDF of the six eBPF/XDP program variants and
+// the jitter CDF for increasing numbers of concurrent real-time flows.
+//
+// Usage:
+//
+//	reflectbench [-seed N] [-cycles N] [-cycle D] [-flows list] [-jitter-only] [-delay-only]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"steelnet/internal/core"
+	"steelnet/internal/reflection"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	cycles := flag.Int("cycles", 2000, "probe cycles per flow")
+	cycle := flag.Duration("cycle", 2*time.Millisecond, "probe cycle time")
+	flows := flag.String("flows", "1,25", "comma-separated flow counts for the jitter sweep")
+	delayOnly := flag.Bool("delay-only", false, "run only the Fig. 4 (left) delay experiment")
+	jitterOnly := flag.Bool("jitter-only", false, "run only the Fig. 4 (right) jitter sweep")
+	flag.Parse()
+
+	cfg := reflection.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Cycles = *cycles
+	cfg.Cycle = *cycle
+
+	if !*jitterOnly {
+		table, results := core.Figure4Delay(cfg)
+		fmt.Print(table)
+		for _, r := range results {
+			if r.RingRecords > 0 {
+				fmt.Printf("  %s emitted %d ring-buffer records\n", r.Variant, r.RingRecords)
+			}
+		}
+		fmt.Println()
+	}
+	if !*delayOnly {
+		counts, err := parseInts(*flows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reflectbench: bad -flows: %v\n", err)
+			os.Exit(2)
+		}
+		results := reflection.RunFlowSweep(cfg, counts)
+		fmt.Print(reflection.JitterTable(results))
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("%q is not a positive integer", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+// Command topobench runs the ML-aware topology study (§5) and prints
+// Fig. 6: mean inference latency versus client count for the industrial
+// ring, a leaf-spine, and the traffic-aware topology, for both the
+// object-identification and defect-detection workloads.
+//
+// Usage:
+//
+//	topobench [-seed N] [-clients list] [-horizon D]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"steelnet/internal/core"
+	"steelnet/internal/mltopo"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	clients := flag.String("clients", "32,64,128,256", "comma-separated client counts")
+	horizon := flag.Duration("horizon", 2*time.Second, "simulated time per cell")
+	flag.Parse()
+
+	counts, err := parseInts(*clients)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topobench: bad -clients: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := mltopo.Figure6Config{Seed: *seed, ClientCounts: counts, Horizon: *horizon}
+	table, results := core.Figure6(cfg)
+	fmt.Print(table)
+	var worst float64
+	for _, r := range results {
+		if r.LossRate > worst {
+			worst = r.LossRate
+		}
+	}
+	fmt.Printf("worst-case request loss across cells: %.3f\n", worst)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("%q is not a positive integer", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

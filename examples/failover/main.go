@@ -1,0 +1,43 @@
+// Failover: the Fig. 5 scenario as an application. Two virtual PLCs —
+// a primary and a hot standby — control one I/O device through an
+// InstaPLC programmable switch. The primary is killed mid-run; the
+// data-plane watchdog detects the silence within two IO cycles and
+// switches the standby in without the device ever noticing. The same
+// scenario is then repeated through a plain switch (no InstaPLC) and
+// with the classic hardware redundant pair, to reproduce the paper's
+// comparison: only the in-network approach stays inside the device's
+// watchdog budget.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"steelnet/internal/core"
+	"steelnet/internal/instaplc"
+)
+
+func main() {
+	cfg := instaplc.DefaultExperimentConfig()
+
+	fmt.Println("=== with InstaPLC (in-network failover) ===")
+	table, res := core.Figure5(cfg)
+	fmt.Print(table)
+	fmt.Printf("switchover %v after failure; device failsafes: %d\n\n",
+		res.SwitchoverAt.Sub(res.FailAt), res.FailsafeEvents)
+
+	fmt.Println("=== without InstaPLC (plain switch, no standby path) ===")
+	base := cfg
+	base.DisableInstaPLC = true
+	_, bres := core.Figure5(base)
+	fmt.Printf("device failsafes: %d (production halted for safety)\n\n", bres.FailsafeEvents)
+
+	fmt.Println("=== availability over a simulated year (§2.2) ===")
+	fmt.Print(core.RenderAvailability(core.RunAvailabilityComparison(core.DefaultAvailabilityConfig())))
+
+	fmt.Println()
+	fmt.Println("InstaPLC needs no dedicated sync links between the vPLCs,")
+	fmt.Println("and its switchover is bounded by IO cycles, not by " +
+		(150 * time.Millisecond).String() + "-class")
+	fmt.Println("hardware takeover times.")
+}

@@ -1,0 +1,3 @@
+module steelnet
+
+go 1.24

@@ -1,0 +1,142 @@
+// Package clock models the timestamping hardware the Traffic Reflection
+// method reasons about (§3): free-running device clocks with frequency
+// drift, PTP-synchronized clocks whose residual offset error stems from
+// path asymmetry, and quantized capture timestamps such as the network
+// tap's 8 ns resolution. The method's core point — both tap timestamps
+// come from a single clock, so drift between clocks cancels out of the
+// delay measurement — is directly expressible (and testable) with these
+// types.
+package clock
+
+import (
+	"time"
+
+	"steelnet/internal/sim"
+)
+
+// Clock converts virtual simulation time into the time a device would
+// report. Implementations must be deterministic given their construction
+// parameters.
+type Clock interface {
+	// Read returns the device's view of the instant now.
+	Read(now sim.Time) int64
+}
+
+// Perfect is an ideal clock: reads equal true time plus a fixed offset.
+type Perfect struct {
+	Offset time.Duration
+}
+
+// Read implements Clock.
+func (p Perfect) Read(now sim.Time) int64 { return int64(now) + int64(p.Offset) }
+
+// Drifting is a free-running oscillator with a constant frequency error.
+// DriftPPM is parts-per-million: +50 means the clock gains 50 µs per
+// second of true time. Commodity crystals are ±20..100 ppm; this is why
+// two-clock measurements accumulate error and the tap's one-clock design
+// matters.
+type Drifting struct {
+	Offset   time.Duration
+	DriftPPM float64
+}
+
+// Read implements Clock.
+func (d Drifting) Read(now sim.Time) int64 {
+	drift := float64(now) * d.DriftPPM / 1e6
+	return int64(now) + int64(d.Offset) + int64(drift)
+}
+
+// PTPSynced models a clock disciplined by IEEE 1588: drift is servo-ed
+// out, but a residual offset remains, dominated by path asymmetry
+// (§3 cites sub-µs accuracy that still suffers asymmetric delays). The
+// residual wanders as a bounded random walk, re-drawn every SyncInterval.
+type PTPSynced struct {
+	// AsymmetryError is the standing offset from asymmetric network paths.
+	AsymmetryError time.Duration
+	// WanderBound caps the magnitude of the servo's residual wander.
+	WanderBound time.Duration
+	// SyncInterval is how often the servo corrects (typically 1 s).
+	SyncInterval time.Duration
+	rng          *sim.RNG
+	lastEpoch    int64
+	wander       int64
+}
+
+// NewPTPSynced builds a PTP-disciplined clock drawing wander from rng.
+func NewPTPSynced(asym, wanderBound, syncInterval time.Duration, rng *sim.RNG) *PTPSynced {
+	if syncInterval <= 0 {
+		syncInterval = time.Second
+	}
+	return &PTPSynced{
+		AsymmetryError: asym,
+		WanderBound:    wanderBound,
+		SyncInterval:   syncInterval,
+		rng:            rng,
+		lastEpoch:      -1,
+	}
+}
+
+// Read implements Clock.
+func (p *PTPSynced) Read(now sim.Time) int64 {
+	epoch := int64(now) / int64(p.SyncInterval)
+	if epoch != p.lastEpoch {
+		p.lastEpoch = epoch
+		if p.WanderBound > 0 && p.rng != nil {
+			step := p.rng.Norm(0, float64(p.WanderBound)/3)
+			p.wander += int64(step)
+			if p.wander > int64(p.WanderBound) {
+				p.wander = int64(p.WanderBound)
+			}
+			if p.wander < -int64(p.WanderBound) {
+				p.wander = -int64(p.WanderBound)
+			}
+		}
+	}
+	return int64(now) + int64(p.AsymmetryError) + p.wander
+}
+
+// Quantized wraps a clock with capture-hardware granularity: reads are
+// floored to a multiple of Step. The paper's tap timestamps at 8 ns.
+type Quantized struct {
+	Base Clock
+	Step time.Duration
+}
+
+// Read implements Clock.
+func (q Quantized) Read(now sim.Time) int64 {
+	v := q.Base.Read(now)
+	step := int64(q.Step)
+	if step <= 1 {
+		return v
+	}
+	if v >= 0 {
+		return v - v%step
+	}
+	return v - (step + v%step) // floor for negative values
+}
+
+// MeasurementError returns the worst-case error of a two-clock delay
+// measurement between a and b over an interval of length d: the
+// difference of their readings' deviation from true time, at interval
+// start and end. It quantifies why Fig. 3's single-clock design wins.
+func MeasurementError(a, b Clock, start sim.Time, d time.Duration) time.Duration {
+	end := start.Add(d)
+	errStart := (a.Read(start) - int64(start)) - (b.Read(start) - int64(start))
+	errEnd := (a.Read(end) - int64(end)) - (b.Read(end) - int64(end))
+	diff := errEnd - errStart
+	worst := errStart
+	if abs(errEnd) > abs(worst) {
+		worst = errEnd
+	}
+	if abs(diff) > abs(worst) {
+		worst = diff
+	}
+	return time.Duration(worst)
+}
+
+func abs(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

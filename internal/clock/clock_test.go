@@ -1,0 +1,117 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"steelnet/internal/sim"
+)
+
+func TestPerfectClock(t *testing.T) {
+	c := Perfect{Offset: 100 * time.Nanosecond}
+	if got := c.Read(1000); got != 1100 {
+		t.Fatalf("Read = %d", got)
+	}
+}
+
+func TestDriftingClockGainsPPM(t *testing.T) {
+	c := Drifting{DriftPPM: 50}
+	// After 1 s of true time, a +50 ppm clock has gained 50 µs.
+	got := c.Read(sim.Time(time.Second))
+	want := int64(time.Second) + int64(50*time.Microsecond)
+	if got != want {
+		t.Fatalf("Read = %d, want %d", got, want)
+	}
+}
+
+func TestDriftingClockNegativeDrift(t *testing.T) {
+	c := Drifting{DriftPPM: -20}
+	got := c.Read(sim.Time(time.Second))
+	want := int64(time.Second) - int64(20*time.Microsecond)
+	if got != want {
+		t.Fatalf("Read = %d, want %d", got, want)
+	}
+}
+
+func TestQuantizedFloors(t *testing.T) {
+	c := Quantized{Base: Perfect{}, Step: 8 * time.Nanosecond}
+	if got := c.Read(15); got != 8 {
+		t.Fatalf("Read(15) = %d", got)
+	}
+	if got := c.Read(16); got != 16 {
+		t.Fatalf("Read(16) = %d", got)
+	}
+	if got := c.Read(7); got != 0 {
+		t.Fatalf("Read(7) = %d", got)
+	}
+}
+
+func TestQuantizedStepOneIsIdentity(t *testing.T) {
+	c := Quantized{Base: Perfect{}, Step: 1}
+	if got := c.Read(12345); got != 12345 {
+		t.Fatalf("Read = %d", got)
+	}
+}
+
+func TestQuantizedPropertyMultipleOfStep(t *testing.T) {
+	c := Quantized{Base: Perfect{}, Step: 8 * time.Nanosecond}
+	f := func(v uint32) bool {
+		r := c.Read(sim.Time(v))
+		return r%8 == 0 && r <= int64(v) && int64(v)-r < 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPTPSyncedBounded(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := NewPTPSynced(200*time.Nanosecond, 100*time.Nanosecond, time.Second, e.RNG("ptp"))
+	for s := 0; s < 1000; s++ {
+		now := sim.Time(s) * sim.Time(time.Second)
+		off := c.Read(now) - int64(now)
+		lo := int64(100 * time.Nanosecond) // 200ns asym − 100ns wander bound
+		hi := int64(300 * time.Nanosecond)
+		if off < lo || off > hi {
+			t.Fatalf("offset %d outside [%d,%d] at %v", off, lo, hi, now)
+		}
+	}
+}
+
+func TestPTPSyncedDeterministic(t *testing.T) {
+	mk := func() *PTPSynced {
+		e := sim.NewEngine(9)
+		return NewPTPSynced(0, 50*time.Nanosecond, time.Second, e.RNG("ptp"))
+	}
+	a, b := mk(), mk()
+	for s := 0; s < 100; s++ {
+		now := sim.Time(s) * sim.Time(time.Second)
+		if a.Read(now) != b.Read(now) {
+			t.Fatal("PTP clock not deterministic")
+		}
+	}
+}
+
+func TestSingleClockMeasurementHasNoCrossClockError(t *testing.T) {
+	// The Fig. 3 argument: measuring with one clock (a vs a) has zero
+	// cross-clock error regardless of drift; two drifting clocks do not.
+	a := Drifting{DriftPPM: 50}
+	b := Drifting{DriftPPM: -50}
+	if err := MeasurementError(a, a, 0, time.Second); err != 0 {
+		t.Fatalf("single-clock error = %v", err)
+	}
+	if err := MeasurementError(a, b, 0, time.Second); err == 0 {
+		t.Fatal("two drifting clocks report zero error")
+	}
+}
+
+func TestMeasurementErrorMagnitude(t *testing.T) {
+	// ±50 ppm apart for 1 s -> 100 µs divergence.
+	a := Drifting{DriftPPM: 50}
+	b := Drifting{DriftPPM: -50}
+	err := MeasurementError(a, b, 0, time.Second)
+	if err < 99*time.Microsecond || err > 101*time.Microsecond {
+		t.Fatalf("error = %v, want ≈100µs", err)
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"time"
+
+	"steelnet/internal/metrics"
+	"steelnet/internal/sim"
+)
+
+// HAStrategy selects the §2.2 availability design under comparison.
+type HAStrategy int
+
+// Strategies.
+const (
+	// NoRedundancy: a single vPLC; every failure costs a full restart
+	// and reconnection.
+	NoRedundancy HAStrategy = iota
+	// HardwarePair: the classic redundant pair with dedicated sync
+	// links (50-300 ms switchover [98]).
+	HardwarePair
+	// InstaPLCPair: data-plane failover within the I/O watchdog budget.
+	InstaPLCPair
+)
+
+// String names the strategy.
+func (s HAStrategy) String() string {
+	switch s {
+	case NoRedundancy:
+		return "no-redundancy"
+	case HardwarePair:
+		return "hardware-pair"
+	case InstaPLCPair:
+		return "instaplc"
+	}
+	return "unknown"
+}
+
+// HAStrategies lists all strategies in comparison order.
+var HAStrategies = []HAStrategy{NoRedundancy, HardwarePair, InstaPLCPair}
+
+// AvailabilityConfig parameterizes the year-long simulation.
+type AvailabilityConfig struct {
+	Seed uint64
+	// Span is the simulated calendar time (default one year).
+	Span time.Duration
+	// MTBF is the mean time between vPLC/host failures (exponential).
+	// Cloud-hosted vPLCs fail more often than hardened hardware: VM
+	// migrations, host reboots, fabric incidents (§2.2, [46,66,72]).
+	MTBF time.Duration
+	// RestartTime is how long a failed vPLC takes to come back and be
+	// eligible as a standby again.
+	RestartTime time.Duration
+	// HardwareSwitchover is the hardware pair's takeover time.
+	HardwareSwitchover time.Duration
+	// InstaPLCSwitchover is the data-plane takeover time.
+	InstaPLCSwitchover time.Duration
+}
+
+// DefaultAvailabilityConfig matches the paper's framing: failures every
+// ~10 days per instance, 2-minute restarts, 180 ms hardware takeover,
+// 3.2 ms InstaPLC takeover (2 cycles at 1.6 ms).
+func DefaultAvailabilityConfig() AvailabilityConfig {
+	return AvailabilityConfig{
+		Seed:               1,
+		Span:               365 * 24 * time.Hour,
+		MTBF:               10 * 24 * time.Hour,
+		RestartTime:        2 * time.Minute,
+		HardwareSwitchover: 180 * time.Millisecond,
+		InstaPLCSwitchover: 3200 * time.Microsecond,
+	}
+}
+
+// AvailabilityResult is one strategy's simulated year.
+type AvailabilityResult struct {
+	Strategy HAStrategy
+	Report   metrics.AvailabilityReport
+	Failures int
+	// DoubleFailures counts failures that struck while the standby was
+	// still restarting — the case redundancy cannot hide.
+	DoubleFailures int
+}
+
+// RunAvailability simulates a year of failures for one strategy. The
+// service is "down" whenever the I/O device is without fresh control
+// data: for NoRedundancy that is the whole restart; for the pairs it is
+// the switchover gap, plus the full restart when the second instance
+// fails before the first is back.
+func RunAvailability(cfg AvailabilityConfig, strategy HAStrategy) AvailabilityResult {
+	if cfg.Span <= 0 {
+		cfg.Span = DefaultAvailabilityConfig().Span
+	}
+	e := sim.NewEngine(cfg.Seed ^ uint64(strategy+1)<<32)
+	rng := e.RNG("failures")
+	tracker := metrics.NewAvailabilityTracker(0)
+	res := AvailabilityResult{Strategy: strategy}
+
+	instances := 1
+	if strategy != NoRedundancy {
+		instances = 2
+	}
+	healthy := instances
+
+	gap := func() time.Duration {
+		switch strategy {
+		case HardwarePair:
+			return cfg.HardwareSwitchover
+		case InstaPLCPair:
+			return cfg.InstaPLCSwitchover
+		default:
+			return cfg.RestartTime
+		}
+	}
+
+	var scheduleFailure func()
+	scheduleFailure = func() {
+		hazard := healthy
+		if hazard < 1 {
+			hazard = 1 // instances mid-restart cannot fail again
+		}
+		draw := rng.Exp(float64(cfg.MTBF) / float64(hazard))
+		if draw > float64(cfg.Span) {
+			draw = float64(cfg.Span) // clamp: beyond the horizon is beyond
+		}
+		d := time.Duration(draw)
+		e.After(d, func() {
+			if e.Now() > sim.Time(cfg.Span) {
+				return
+			}
+			res.Failures++
+			healthy--
+			now := int64(e.Now())
+			if healthy >= 1 {
+				// A standby takes over after the switchover gap.
+				tracker.Observe(now, false)
+				tracker.Observe(now+int64(gap()), true)
+			} else {
+				// Nothing left: down until a restart completes.
+				res.DoubleFailures++
+				tracker.Observe(now, false)
+				tracker.Observe(now+int64(cfg.RestartTime), true)
+			}
+			// The failed instance restarts and rejoins.
+			e.After(cfg.RestartTime, func() {
+				if healthy < instances {
+					healthy++
+				}
+			})
+			scheduleFailure()
+		})
+	}
+	scheduleFailure()
+	e.RunUntil(sim.Time(cfg.Span))
+	res.Report = tracker.Close(int64(cfg.Span))
+	return res
+}
+
+// RunAvailabilityComparison runs all strategies under one config.
+func RunAvailabilityComparison(cfg AvailabilityConfig) []AvailabilityResult {
+	out := make([]AvailabilityResult, 0, len(HAStrategies))
+	for _, s := range HAStrategies {
+		out = append(out, RunAvailability(cfg, s))
+	}
+	return out
+}
+
+// RenderAvailability renders the comparison as a table.
+func RenderAvailability(results []AvailabilityResult) string {
+	t := metrics.NewTable("Section 2.2: service availability over one simulated year",
+		"strategy", "availability", "nines", "downtime/yr", "failures", "meets 99.9999%")
+	for _, r := range results {
+		t.AddRow(
+			r.Strategy.String(),
+			formatPct(r.Report.Availability),
+			formatNines(r.Report.Nines()),
+			r.Report.DowntimePerYear().Round(time.Millisecond).String(),
+			formatInt(r.Failures),
+			formatBool(r.Report.MeetsSixNines()),
+		)
+	}
+	return t.String()
+}

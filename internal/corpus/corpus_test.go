@@ -1,0 +1,202 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeFlattensSeparators(t *testing.T) {
+	got := normalize("IT/OT Convergence, in Industry-4.0!")
+	want := []string{"it", "ot", "convergence", "in", "industry", "4.0"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNormalizeTrimsEdgeDots(t *testing.T) {
+	got := normalize("end. Start")
+	if got[0] != "end" || got[1] != "start" {
+		t.Fatalf("tokens = %v", got)
+	}
+	// Dots inside version-like tokens survive.
+	got = normalize("industry 4.0")
+	if got[1] != "4.0" {
+		t.Fatalf("tokens = %v", got)
+	}
+}
+
+func TestCountPhraseNonOverlapping(t *testing.T) {
+	tokens := []string{"a", "a", "a"}
+	if n := countPhrase(tokens, []string{"a", "a"}); n != 1 {
+		t.Fatalf("count = %d, want 1 (non-overlapping)", n)
+	}
+	if n := countPhrase(tokens, []string{"a"}); n != 3 {
+		t.Fatalf("count = %d", n)
+	}
+	if n := countPhrase(tokens, []string{"b"}); n != 0 {
+		t.Fatalf("count = %d", n)
+	}
+	if n := countPhrase([]string{"a"}, []string{"a", "b"}); n != 0 {
+		t.Fatal("phrase longer than text matched")
+	}
+}
+
+func TestMinerCountsPermutations(t *testing.T) {
+	m := NewMiner(Fig1Groups())
+	d := Document{Text: "IT/OT convergence meets OT/IT integration and it-ot convergence."}
+	counts := ByLabel(m.Mine([]Document{d}))
+	// "it/ot", "ot/it" and "it-ot convergence" are all permutations;
+	// the third normalizes to "it ot convergence" whose "it ot" prefix
+	// also matches — the variant and the shorter form both count, as
+	// the paper's "with permutations" counting does.
+	if counts["IT/OT"] < 3 {
+		t.Fatalf("IT/OT count = %d, want >= 3", counts["IT/OT"])
+	}
+}
+
+func TestMinerPhraseAcrossPunctuation(t *testing.T) {
+	m := NewMiner(Fig1Groups())
+	d := Document{Text: "We study data-center networks and the data center of tomorrow."}
+	counts := ByLabel(m.Mine([]Document{d}))
+	if counts["Datacenter"] != 2 {
+		t.Fatalf("Datacenter count = %d, want 2", counts["Datacenter"])
+	}
+}
+
+func TestMinerTitleCounted(t *testing.T) {
+	m := NewMiner(Fig1Groups())
+	d := Document{Title: "TCP Over Lossy Links", Text: "Nothing relevant here."}
+	counts := ByLabel(m.Mine([]Document{d}))
+	if counts["TCP/UDP/IPv4/IPv6"] != 1 {
+		t.Fatalf("count = %d", counts["TCP/UDP/IPv4/IPv6"])
+	}
+}
+
+func TestMinerCaseInsensitive(t *testing.T) {
+	m := NewMiner(Fig1Groups())
+	d := Document{Text: "PROFINET profinet ProFiNet"}
+	counts := ByLabel(m.Mine([]Document{d}))
+	if counts["PROFINET/EtherCAT/TSN"] != 3 {
+		t.Fatalf("count = %d", counts["PROFINET/EtherCAT/TSN"])
+	}
+}
+
+func TestGeneratedCorpusMatchesFig1Exactly(t *testing.T) {
+	counts, docs := MineFigure1(1)
+	if docs == 0 {
+		t.Fatal("no documents")
+	}
+	by := ByLabel(counts)
+	for label, want := range Fig1Targets {
+		if by[label] != want {
+			t.Fatalf("%s = %d, want %d", label, by[label], want)
+		}
+	}
+}
+
+func TestCorpusCountsInvariantAcrossSeeds(t *testing.T) {
+	f := func(seed uint64) bool {
+		counts, _ := MineFigure1(seed)
+		by := ByLabel(counts)
+		for label, want := range Fig1Targets {
+			if by[label] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResearchGapRatio(t *testing.T) {
+	counts, _ := MineFigure1(1)
+	// Smallest IT-side bar (1943) vs largest OT-side bar (21): ~92x.
+	if r := GapRatio(counts); r < 50 {
+		t.Fatalf("gap ratio = %.1f, want the chasm the paper shows", r)
+	}
+}
+
+func TestFillerSentencesCarryNoTerms(t *testing.T) {
+	m := NewMiner(Fig1Groups())
+	for _, s := range fillerSentences {
+		counts := m.Mine([]Document{{Text: s}})
+		for _, c := range counts {
+			if c.Occurrences != 0 {
+				t.Fatalf("filler %q contains %s", s, c.Label)
+			}
+		}
+	}
+}
+
+func TestTermSentencesCarryExactlyOneMention(t *testing.T) {
+	m := NewMiner(Fig1Groups())
+	for _, g := range Fig1Groups() {
+		for _, v := range g.Variants {
+			for _, tpl := range termSentences {
+				d := Document{Text: strings.ReplaceAll(tpl, "%s", v)}
+				counts := ByLabel(m.Mine([]Document{d}))
+				if counts[g.Label] < 1 {
+					t.Fatalf("sentence %q lost its %s mention", d.Text, g.Label)
+				}
+			}
+		}
+	}
+}
+
+func TestNoCrossSentenceFalsePositives(t *testing.T) {
+	// Every ordered pair of filler sentences joined together must still
+	// count zero: sentence boundaries disappear in normalization, so
+	// edge words must not combine into terms.
+	m := NewMiner(Fig1Groups())
+	for _, a := range fillerSentences {
+		for _, b := range fillerSentences {
+			counts := m.Mine([]Document{{Text: a + " " + b}})
+			for _, c := range counts {
+				if c.Occurrences != 0 {
+					t.Fatalf("%q + %q produced %s", a, b, c.Label)
+				}
+			}
+		}
+	}
+}
+
+func TestRenderFigure1SortedAscending(t *testing.T) {
+	counts, docs := MineFigure1(1)
+	out := RenderFigure1(counts, docs)
+	if !strings.Contains(out, "Figure 1") {
+		t.Fatalf("render = %q", out)
+	}
+	// vPLC (0) renders before TCP/UDP/IPv4/IPv6 (3005).
+	if strings.Index(out, "vPLC") > strings.Index(out, "TCP/UDP/IPv4/IPv6") {
+		t.Fatal("bars not ascending")
+	}
+}
+
+func TestVenueYearSpread(t *testing.T) {
+	docs := GenerateProceedings(1)
+	seen := map[string]bool{}
+	for _, d := range docs {
+		seen[d.Venue] = true
+	}
+	if !seen["SIGCOMM"] || !seen["HotNets"] {
+		t.Fatalf("venues = %v", seen)
+	}
+}
+
+func BenchmarkMineFigure1(b *testing.B) {
+	docs := GenerateProceedings(1)
+	m := NewMiner(Fig1Groups())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Mine(docs)
+	}
+}

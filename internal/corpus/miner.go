@@ -1,0 +1,153 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"steelnet/internal/metrics"
+)
+
+// Document is one paper (title + abstract + body text) of a proceedings.
+type Document struct {
+	Venue string
+	Year  int
+	Title string
+	Text  string
+}
+
+// Count is one group's mined occurrence count.
+type Count struct {
+	Label       string
+	Occurrences int
+}
+
+// Miner counts term-group occurrences over tokenized documents.
+type Miner struct {
+	groups []TermGroup
+	// variant phrases pre-tokenized, per group.
+	phrases [][][]string
+}
+
+// NewMiner compiles the term groups. Variants that normalize to the
+// same token sequence ("data center" / "data-center") collapse into
+// one phrase so a single mention is never counted twice.
+func NewMiner(groups []TermGroup) *Miner {
+	m := &Miner{groups: groups}
+	for _, g := range groups {
+		var ps [][]string
+		seen := map[string]bool{}
+		for _, v := range g.Variants {
+			toks := normalize(v)
+			if len(toks) == 0 {
+				continue
+			}
+			key := strings.Join(toks, " ")
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			ps = append(ps, toks)
+		}
+		m.phrases = append(m.phrases, ps)
+	}
+	return m
+}
+
+// CountDocument returns per-group occurrence counts within one document.
+// Matches of one variant do not overlap with themselves; distinct
+// variants are counted independently (as "with permutations" implies).
+func (m *Miner) CountDocument(d Document) []int {
+	tokens := normalize(d.Title + " " + d.Text)
+	out := make([]int, len(m.groups))
+	for gi, ps := range m.phrases {
+		for _, phrase := range ps {
+			out[gi] += countPhrase(tokens, phrase)
+		}
+	}
+	return out
+}
+
+// countPhrase counts non-overlapping occurrences of phrase in tokens.
+func countPhrase(tokens, phrase []string) int {
+	if len(phrase) == 0 || len(tokens) < len(phrase) {
+		return 0
+	}
+	count := 0
+	for i := 0; i+len(phrase) <= len(tokens); {
+		match := true
+		for j, p := range phrase {
+			if tokens[i+j] != p {
+				match = false
+				break
+			}
+		}
+		if match {
+			count++
+			i += len(phrase)
+		} else {
+			i++
+		}
+	}
+	return count
+}
+
+// Mine counts across all documents and returns totals in group order.
+func (m *Miner) Mine(docs []Document) []Count {
+	totals := make([]int, len(m.groups))
+	for _, d := range docs {
+		for gi, c := range m.CountDocument(d) {
+			totals[gi] += c
+		}
+	}
+	out := make([]Count, len(m.groups))
+	for i, g := range m.groups {
+		out[i] = Count{Label: g.Label, Occurrences: totals[i]}
+	}
+	return out
+}
+
+// ByLabel indexes counts by label.
+func ByLabel(counts []Count) map[string]int {
+	out := make(map[string]int, len(counts))
+	for _, c := range counts {
+		out[c.Label] = c.Occurrences
+	}
+	return out
+}
+
+// GapRatio returns the ratio between the smallest IT-side count and the
+// largest OT-side count — Fig. 1's "research gap" in one number.
+func GapRatio(counts []Count) float64 {
+	by := ByLabel(counts)
+	minIT := -1
+	for _, l := range ITLabels {
+		if v := by[l]; minIT == -1 || v < minIT {
+			minIT = v
+		}
+	}
+	maxOT := 0
+	for _, l := range OTLabels {
+		if v := by[l]; v > maxOT {
+			maxOT = v
+		}
+	}
+	if maxOT == 0 {
+		maxOT = 1 // avoid division by zero; the gap is then trivially huge
+	}
+	return float64(minIT) / float64(maxOT)
+}
+
+// RenderFigure1 renders the counts as the paper's bar list, sorted
+// ascending like the figure.
+func RenderFigure1(counts []Count, docs int) string {
+	sorted := append([]Count(nil), counts...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Occurrences < sorted[j].Occurrences })
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 1: term occurrences (with permutations) over %d documents", docs),
+		"term", "occurrences")
+	for _, c := range sorted {
+		t.AddRow(c.Label, fmt.Sprintf("%d", c.Occurrences))
+	}
+	return t.String()
+}

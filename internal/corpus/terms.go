@@ -1,0 +1,105 @@
+// Package corpus reproduces the paper's research-gap analysis (§1,
+// Fig. 1): a permutation-aware term miner run over recent SIGCOMM and
+// HotNets proceedings, showing that industrial-networking terminology
+// is nearly absent while data-center terminology is everywhere. The
+// miner — tokenization, phrase matching, permutation expansion — is the
+// real artifact; the proceedings themselves are substituted with a
+// deterministic synthetic corpus of abstracts statistically shaped to
+// the published occurrence counts (we cannot redistribute the original
+// texts).
+package corpus
+
+import "strings"
+
+// TermGroup is one bar of Fig. 1: a label plus every accepted surface
+// form ("permutation") of the term.
+type TermGroup struct {
+	Label    string
+	Variants []string
+}
+
+// Fig1Groups returns the thirteen term groups of Fig. 1, bottom to top
+// (research-gap side first), with the permutations the counter accepts.
+func Fig1Groups() []TermGroup {
+	return []TermGroup{
+		{Label: "vPLC", Variants: []string{
+			"vplc", "virtual plc", "virtualized plc", "virtual programmable logic controller",
+		}},
+		{Label: "Industry 4.0/5.0", Variants: []string{
+			"industry 4.0", "industry 5.0", "industrie 4.0",
+		}},
+		{Label: "IIoT", Variants: []string{
+			"iiot", "industrial internet of things",
+		}},
+		{Label: "PLC", Variants: []string{
+			"plc", "programmable logic controller", "programmable logic controllers",
+		}},
+		{Label: "Industrial Informatic", Variants: []string{
+			"industrial informatic", "industrial informatics",
+		}},
+		{Label: "Cyber Physical System", Variants: []string{
+			"cyber physical system", "cyber physical systems", "cyber-physical system", "cyber-physical systems",
+		}},
+		{Label: "IT/OT", Variants: []string{
+			"it/ot", "ot/it",
+		}},
+		{Label: "Industrial Network", Variants: []string{
+			"industrial network", "industrial networks", "industrial control network",
+		}},
+		{Label: "PROFINET/EtherCAT/TSN", Variants: []string{
+			"profinet", "ethercat", "tsn", "time sensitive networking", "time-sensitive networking",
+		}},
+		{Label: "MQTT/OPC UA/VXLAN", Variants: []string{
+			"mqtt", "opc ua", "opc-ua", "vxlan",
+		}},
+		{Label: "Datacenter", Variants: []string{
+			"datacenter", "datacenters", "data center", "data centers", "data-center",
+		}},
+		{Label: "Internet", Variants: []string{
+			"internet",
+		}},
+		{Label: "TCP/UDP/IPv4/IPv6", Variants: []string{
+			"tcp", "udp", "ipv4", "ipv6",
+		}},
+	}
+}
+
+// OTLabels lists the groups on the research-gap (OT) side of Fig. 1.
+var OTLabels = []string{
+	"vPLC", "Industry 4.0/5.0", "IIoT", "PLC", "Industrial Informatic",
+	"Cyber Physical System", "IT/OT", "Industrial Network",
+	"PROFINET/EtherCAT/TSN", "MQTT/OPC UA/VXLAN",
+}
+
+// ITLabels lists the groups on the IT side.
+var ITLabels = []string{"Datacenter", "Internet", "TCP/UDP/IPv4/IPv6"}
+
+// normalize lowercases text and flattens the separators permutations
+// differ by (slash, hyphen, underscore) into spaces, so "IT/OT",
+// "it-ot" and "IT OT" all tokenize identically. Dots survive inside
+// number-ish tokens ("4.0") but are stripped at token edges.
+func normalize(text string) []string {
+	var b strings.Builder
+	b.Grow(len(text))
+	for _, r := range text {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '.':
+			b.WriteRune(r)
+		case r == '/', r == '-', r == '_':
+			b.WriteByte(' ')
+		default:
+			b.WriteByte(' ')
+		}
+	}
+	fields := strings.Fields(b.String())
+	out := fields[:0]
+	for _, f := range fields {
+		f = strings.Trim(f, ".")
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,389 @@
+// Package dataplane implements the programmable match-action switch
+// InstaPLC (§4) runs on — the simulated counterpart of the paper's DPDK
+// SWX + P4 pipeline. A Pipeline is a multi-port forwarding element whose
+// behaviour is entirely table-driven: a parser extracts protocol fields
+// (including PROFINET frame ids and AR ids), ordered tables match on
+// them with priorities and wildcards, and actions drop, output (with
+// per-port header rewrites — the egress modification InstaPLC needs to
+// retarget cyclic frames between redundant controllers), or punt to the
+// control plane as packet-ins. Entries support idle timeouts, the
+// data-plane watchdog primitive that lets InstaPLC detect a dead primary
+// without any control-plane polling.
+package dataplane
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"steelnet/internal/frame"
+	"steelnet/internal/profinet"
+	"steelnet/internal/sim"
+	"steelnet/internal/simnet"
+)
+
+// Fields is the parsed header view the pipeline matches on.
+type Fields struct {
+	InPort    int
+	Src, Dst  frame.MAC
+	EtherType frame.EtherType
+	// PNValid is true for parseable PROFINET payloads; FrameID and ARID
+	// are then populated (ARID only for message types that carry one).
+	PNValid bool
+	FrameID profinet.FrameID
+	ARID    uint32
+}
+
+// Parse extracts Fields from a frame arriving on port inPort.
+func Parse(inPort int, f *frame.Frame) Fields {
+	fl := Fields{InPort: inPort, Src: f.Src, Dst: f.Dst, EtherType: f.Type}
+	if f.Type != frame.TypeProfinet || len(f.Payload) < 2 {
+		return fl
+	}
+	id, err := profinet.PeekFrameID(f.Payload)
+	if err != nil {
+		return fl
+	}
+	fl.PNValid = true
+	fl.FrameID = id
+	switch id {
+	case profinet.FrameIDCyclic, profinet.FrameIDConnectReq,
+		profinet.FrameIDConnectResp, profinet.FrameIDAlarm, profinet.FrameIDRelease:
+		if len(f.Payload) >= 6 {
+			fl.ARID = binary.BigEndian.Uint32(f.Payload[2:])
+		}
+	}
+	return fl
+}
+
+// Match is a ternary match: nil fields are wildcards.
+type Match struct {
+	InPort    *int
+	Src       *frame.MAC
+	Dst       *frame.MAC
+	EtherType *frame.EtherType
+	FrameID   *profinet.FrameID
+	ARID      *uint32
+}
+
+// Matches reports whether fl satisfies every non-nil constraint.
+func (m Match) Matches(fl Fields) bool {
+	if m.InPort != nil && *m.InPort != fl.InPort {
+		return false
+	}
+	if m.Src != nil && *m.Src != fl.Src {
+		return false
+	}
+	if m.Dst != nil && *m.Dst != fl.Dst {
+		return false
+	}
+	if m.EtherType != nil && *m.EtherType != fl.EtherType {
+		return false
+	}
+	if m.FrameID != nil && (!fl.PNValid || *m.FrameID != fl.FrameID) {
+		return false
+	}
+	if m.ARID != nil && (!fl.PNValid || *m.ARID != fl.ARID) {
+		return false
+	}
+	return true
+}
+
+// Ptr is a small helper for building Match literals.
+func Ptr[T any](v T) *T { return &v }
+
+// ActionKind selects what an entry does.
+type ActionKind int
+
+// Action kinds.
+const (
+	// ActDrop discards the frame.
+	ActDrop ActionKind = iota
+	// ActOutput emits the frame on one or more ports, each with
+	// optional header rewrites.
+	ActOutput
+	// ActPacketIn punts the frame to the control plane.
+	ActPacketIn
+	// ActContinue falls through to the next table.
+	ActContinue
+)
+
+// PortAction is one output leg with optional egress rewrites.
+type PortAction struct {
+	Port    int
+	SetDst  *frame.MAC
+	SetSrc  *frame.MAC
+	SetARID *uint32
+}
+
+// Action is what a matching entry performs.
+type Action struct {
+	Kind    ActionKind
+	Outputs []PortAction
+	Reason  string // packet-in annotation
+}
+
+// Drop is the drop action.
+func Drop() Action { return Action{Kind: ActDrop} }
+
+// Output builds a simple single-port output action.
+func Output(port int) Action {
+	return Action{Kind: ActOutput, Outputs: []PortAction{{Port: port}}}
+}
+
+// OutputLegs builds a multi-leg output action.
+func OutputLegs(legs ...PortAction) Action { return Action{Kind: ActOutput, Outputs: legs} }
+
+// PacketIn builds a punt-to-controller action.
+func PacketIn(reason string) Action { return Action{Kind: ActPacketIn, Reason: reason} }
+
+// Continue falls through to the next table.
+func Continue() Action { return Action{Kind: ActContinue} }
+
+// Entry is one table row.
+type Entry struct {
+	ID       int
+	Priority int // higher wins
+	Match    Match
+	Action   Action
+	// IdleTimeout, when positive, arms a data-plane idle watchdog: if
+	// the entry goes unmatched for the duration, OnIdle fires once.
+	IdleTimeout sim.Duration
+	OnIdle      func(*Entry)
+	// OnMatch, when set, observes every matching frame — the
+	// clone-to-CPU/digest primitive control planes use to monitor
+	// data-plane traffic without punting it.
+	OnMatch func(*Entry, *frame.Frame)
+
+	// Hits and Bytes count matched traffic.
+	Hits  uint64
+	Bytes uint64
+
+	idleTimer *sim.Event
+	table     *Table
+	deleted   bool
+}
+
+// Table is an ordered set of entries with a default action.
+type Table struct {
+	Name    string
+	Default Action
+	entries []*Entry
+	nextID  int
+	pl      *Pipeline
+}
+
+// Insert adds an entry and returns it. Entries with equal priority match
+// in insertion order.
+func (t *Table) Insert(e Entry) *Entry {
+	e.ID = t.nextID
+	t.nextID++
+	ent := &e
+	ent.table = t
+	// Keep sorted by priority descending, stable.
+	pos := len(t.entries)
+	for i, x := range t.entries {
+		if x.Priority < ent.Priority {
+			pos = i
+			break
+		}
+	}
+	t.entries = append(t.entries, nil)
+	copy(t.entries[pos+1:], t.entries[pos:])
+	t.entries[pos] = ent
+	if ent.IdleTimeout > 0 {
+		t.pl.armIdle(ent)
+	}
+	return ent
+}
+
+// Delete removes an entry.
+func (t *Table) Delete(e *Entry) {
+	for i, x := range t.entries {
+		if x == e {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			break
+		}
+	}
+	e.deleted = true
+	if e.idleTimer != nil {
+		e.idleTimer.Cancel()
+	}
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Entries returns the entries in match order.
+func (t *Table) Entries() []*Entry { return append([]*Entry(nil), t.entries...) }
+
+// lookup returns the first matching entry, or nil.
+func (t *Table) lookup(fl Fields) *Entry {
+	for _, e := range t.entries {
+		if e.Match.Matches(fl) {
+			return e
+		}
+	}
+	return nil
+}
+
+// PacketInEvent is a frame punted to the control plane.
+type PacketInEvent struct {
+	Reason string
+	Fields Fields
+	Frame  *frame.Frame
+}
+
+// Config sets the pipeline's forwarding-latency model.
+type Config struct {
+	Latency sim.Duration
+	Jitter  sim.Duration
+}
+
+// DefaultConfig models a software (DPDK-class) pipeline: ~3 µs, small
+// jitter.
+var DefaultConfig = Config{Latency: 3 * sim.Microsecond, Jitter: 100 * sim.Nanosecond}
+
+// Pipeline is the forwarding element.
+type Pipeline struct {
+	name   string
+	engine *sim.Engine
+	ports  []*simnet.Port
+	tables []*Table
+	cfg    Config
+	rng    *sim.RNG
+
+	// OnPacketIn receives punted frames (the control-plane channel).
+	OnPacketIn func(PacketInEvent)
+
+	// Processed, Dropped, PacketIns count pipeline verdicts.
+	Processed, Dropped, PacketIns uint64
+}
+
+// New creates a pipeline with nports ports.
+func New(engine *sim.Engine, name string, nports int, cfg Config) *Pipeline {
+	p := &Pipeline{name: name, engine: engine, cfg: cfg, rng: engine.RNG("dataplane/" + name)}
+	for i := 0; i < nports; i++ {
+		p.ports = append(p.ports, simnet.NewPort(p, i))
+	}
+	return p
+}
+
+// Name implements simnet.Node.
+func (p *Pipeline) Name() string { return p.name }
+
+// Port returns port i.
+func (p *Pipeline) Port(i int) *simnet.Port {
+	if i < 0 || i >= len(p.ports) {
+		panic(fmt.Sprintf("dataplane: %s has no port %d", p.name, i))
+	}
+	return p.ports[i]
+}
+
+// NumPorts returns the port count.
+func (p *Pipeline) NumPorts() int { return len(p.ports) }
+
+// AddTable appends a table with the given default action and returns it.
+func (p *Pipeline) AddTable(name string, def Action) *Table {
+	t := &Table{Name: name, Default: def, pl: p}
+	p.tables = append(p.tables, t)
+	return t
+}
+
+// Receive implements simnet.Node: parse, walk tables, act.
+func (p *Pipeline) Receive(port *simnet.Port, f *frame.Frame) {
+	d := p.cfg.Latency
+	if p.cfg.Jitter > 0 {
+		d = p.rng.NormDuration(p.cfg.Latency, p.cfg.Jitter, p.cfg.Latency/2)
+	}
+	in := port.Index
+	p.engine.After(d, func() { p.process(in, f) })
+}
+
+func (p *Pipeline) process(inPort int, f *frame.Frame) {
+	p.Processed++
+	fl := Parse(inPort, f)
+	for _, t := range p.tables {
+		var act Action
+		if e := t.lookup(fl); e != nil {
+			e.Hits++
+			e.Bytes += uint64(f.WireLen())
+			if e.IdleTimeout > 0 {
+				p.armIdle(e)
+			}
+			if e.OnMatch != nil {
+				e.OnMatch(e, f)
+			}
+			act = e.Action
+		} else {
+			act = t.Default
+		}
+		switch act.Kind {
+		case ActContinue:
+			continue
+		case ActDrop:
+			p.Dropped++
+			return
+		case ActPacketIn:
+			p.PacketIns++
+			if p.OnPacketIn != nil {
+				p.OnPacketIn(PacketInEvent{Reason: act.Reason, Fields: fl, Frame: f})
+			}
+			return
+		case ActOutput:
+			p.emit(act.Outputs, f)
+			return
+		}
+	}
+	// Fell off the last table: drop, like a pipeline with no verdict.
+	p.Dropped++
+}
+
+// emit sends the frame out each leg, applying egress rewrites to a copy.
+func (p *Pipeline) emit(legs []PortAction, f *frame.Frame) {
+	for _, leg := range legs {
+		if leg.Port < 0 || leg.Port >= len(p.ports) {
+			continue
+		}
+		g := f.Clone()
+		if leg.SetDst != nil {
+			g.Dst = *leg.SetDst
+		}
+		if leg.SetSrc != nil {
+			g.Src = *leg.SetSrc
+		}
+		if leg.SetARID != nil {
+			rewriteARID(g, *leg.SetARID)
+		}
+		p.ports[leg.Port].Send(g)
+	}
+}
+
+// rewriteARID patches the AR id of a PROFINET payload in place (egress
+// header rewrite). Non-PROFINET or short payloads are left untouched.
+func rewriteARID(f *frame.Frame, arid uint32) {
+	if f.Type != frame.TypeProfinet || len(f.Payload) < 6 {
+		return
+	}
+	binary.BigEndian.PutUint32(f.Payload[2:], arid)
+}
+
+// Inject performs a packet-out: the control plane emits a frame on a
+// port, bypassing the tables.
+func (p *Pipeline) Inject(port int, f *frame.Frame) {
+	p.Port(port).Send(f)
+}
+
+// armIdle (re)arms an entry's idle watchdog.
+func (p *Pipeline) armIdle(e *Entry) {
+	if e.idleTimer != nil {
+		e.idleTimer.Cancel()
+	}
+	e.idleTimer = p.engine.After(e.IdleTimeout, func() {
+		if e.deleted {
+			return
+		}
+		if e.OnIdle != nil {
+			e.OnIdle(e)
+		}
+	})
+}

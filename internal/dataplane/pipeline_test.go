@@ -1,0 +1,295 @@
+package dataplane
+
+import (
+	"testing"
+	"time"
+
+	"steelnet/internal/frame"
+	"steelnet/internal/profinet"
+	"steelnet/internal/sim"
+	"steelnet/internal/simnet"
+)
+
+// rig wires n hosts to an n-port pipeline and returns per-host receive
+// counters.
+func rig(t *testing.T, n int) (*sim.Engine, *Pipeline, []*simnet.Host, []*int) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	p := New(e, "dp", n, Config{Latency: sim.Microsecond})
+	hosts := make([]*simnet.Host, n)
+	counts := make([]*int, n)
+	for i := 0; i < n; i++ {
+		hosts[i] = simnet.NewHost(e, string(rune('a'+i)), frame.NewMAC(uint32(i+1)))
+		simnet.Connect(e, "l", hosts[i].Port(), p.Port(i), 1e9, 0)
+		c := new(int)
+		counts[i] = c
+		hosts[i].OnReceive(func(*frame.Frame) { *c++ })
+	}
+	return e, p, hosts, counts
+}
+
+func TestParseExtractsProfinetFields(t *testing.T) {
+	cd := profinet.CyclicData{ARID: 42, CycleCounter: 7, Status: profinet.StatusValid}
+	f := &frame.Frame{Src: frame.NewMAC(1), Dst: frame.NewMAC(2), Type: frame.TypeProfinet, Payload: cd.Marshal()}
+	fl := Parse(3, f)
+	if !fl.PNValid || fl.FrameID != profinet.FrameIDCyclic || fl.ARID != 42 || fl.InPort != 3 {
+		t.Fatalf("fields = %+v", fl)
+	}
+}
+
+func TestParseNonProfinet(t *testing.T) {
+	f := &frame.Frame{Type: frame.TypeIPv4, Payload: []byte{1, 2, 3, 4, 5, 6}}
+	if fl := Parse(0, f); fl.PNValid {
+		t.Fatal("IPv4 parsed as PROFINET")
+	}
+}
+
+func TestMatchWildcardsAndConstraints(t *testing.T) {
+	fl := Fields{InPort: 1, EtherType: frame.TypeProfinet, PNValid: true, FrameID: profinet.FrameIDCyclic, ARID: 5}
+	if !(Match{}).Matches(fl) {
+		t.Fatal("all-wildcard did not match")
+	}
+	if !(Match{InPort: Ptr(1), ARID: Ptr(uint32(5))}).Matches(fl) {
+		t.Fatal("exact match failed")
+	}
+	if (Match{InPort: Ptr(2)}).Matches(fl) {
+		t.Fatal("wrong port matched")
+	}
+	if (Match{FrameID: Ptr(profinet.FrameIDAlarm)}).Matches(fl) {
+		t.Fatal("wrong frame id matched")
+	}
+	// PROFINET constraints never match non-PROFINET frames.
+	if (Match{ARID: Ptr(uint32(0))}).Matches(Fields{}) {
+		t.Fatal("ARID constraint matched non-PN frame")
+	}
+}
+
+func TestOutputForwards(t *testing.T) {
+	e, p, hosts, counts := rig(t, 3)
+	tbl := p.AddTable("fwd", Drop())
+	tbl.Insert(Entry{Match: Match{InPort: Ptr(0)}, Action: Output(2)})
+	hosts[0].Send(&frame.Frame{Dst: hosts[2].MAC(), Payload: make([]byte, 20)})
+	e.Run()
+	if *counts[2] != 1 || *counts[1] != 0 {
+		t.Fatalf("counts = %d/%d", *counts[1], *counts[2])
+	}
+}
+
+func TestDefaultActionApplies(t *testing.T) {
+	e, p, hosts, counts := rig(t, 2)
+	p.AddTable("t", Drop())
+	hosts[0].Send(&frame.Frame{Dst: hosts[1].MAC()})
+	e.Run()
+	if *counts[1] != 0 {
+		t.Fatal("dropped frame delivered")
+	}
+	if p.Dropped != 1 {
+		t.Fatalf("dropped = %d", p.Dropped)
+	}
+}
+
+func TestPriorityOrdersEntries(t *testing.T) {
+	e, p, hosts, counts := rig(t, 3)
+	tbl := p.AddTable("t", Drop())
+	tbl.Insert(Entry{Priority: 1, Match: Match{}, Action: Output(1)})
+	tbl.Insert(Entry{Priority: 10, Match: Match{InPort: Ptr(0)}, Action: Output(2)})
+	hosts[0].Send(&frame.Frame{Dst: hosts[2].MAC()})
+	e.Run()
+	if *counts[2] != 1 || *counts[1] != 0 {
+		t.Fatalf("high-priority entry not preferred: %d/%d", *counts[1], *counts[2])
+	}
+}
+
+func TestMultiLegOutputMirrors(t *testing.T) {
+	e, p, hosts, counts := rig(t, 3)
+	tbl := p.AddTable("t", Drop())
+	tbl.Insert(Entry{Match: Match{InPort: Ptr(0)}, Action: OutputLegs(
+		PortAction{Port: 1, SetDst: Ptr(hosts[1].MAC())},
+		PortAction{Port: 2, SetDst: Ptr(hosts[2].MAC())},
+	)})
+	hosts[0].Send(&frame.Frame{Dst: frame.NewMAC(99)})
+	e.Run()
+	if *counts[1] != 1 || *counts[2] != 1 {
+		t.Fatalf("mirror counts = %d/%d", *counts[1], *counts[2])
+	}
+}
+
+func TestEgressARIDRewrite(t *testing.T) {
+	e, p, hosts, _ := rig(t, 2)
+	var gotARID uint32
+	hosts[1].OnReceive(func(f *frame.Frame) {
+		cd, err := profinet.UnmarshalCyclicData(f.Payload)
+		if err == nil {
+			gotARID = cd.ARID
+		}
+	})
+	tbl := p.AddTable("t", Drop())
+	tbl.Insert(Entry{Match: Match{InPort: Ptr(0)}, Action: OutputLegs(
+		PortAction{Port: 1, SetARID: Ptr(uint32(777))},
+	)})
+	cd := profinet.CyclicData{ARID: 5, Status: profinet.StatusValid, Data: []byte{1}}
+	hosts[0].Send(&frame.Frame{Dst: hosts[1].MAC(), Type: frame.TypeProfinet, Payload: cd.Marshal()})
+	e.Run()
+	if gotARID != 777 {
+		t.Fatalf("ARID = %d, want 777", gotARID)
+	}
+}
+
+func TestEgressRewriteDoesNotAliasOtherLegs(t *testing.T) {
+	e, p, hosts, _ := rig(t, 3)
+	var arids []uint32
+	rec := func(f *frame.Frame) {
+		if cd, err := profinet.UnmarshalCyclicData(f.Payload); err == nil {
+			arids = append(arids, cd.ARID)
+		}
+	}
+	hosts[1].OnReceive(rec)
+	hosts[2].OnReceive(rec)
+	tbl := p.AddTable("t", Drop())
+	tbl.Insert(Entry{Match: Match{InPort: Ptr(0)}, Action: OutputLegs(
+		PortAction{Port: 1, SetDst: Ptr(hosts[1].MAC()), SetARID: Ptr(uint32(100))},
+		PortAction{Port: 2, SetDst: Ptr(hosts[2].MAC())},
+	)})
+	cd := profinet.CyclicData{ARID: 5, Status: profinet.StatusValid}
+	hosts[0].Send(&frame.Frame{Dst: frame.NewMAC(50), Type: frame.TypeProfinet, Payload: cd.Marshal()})
+	e.Run()
+	if len(arids) != 2 {
+		t.Fatalf("arids = %v", arids)
+	}
+	seen := map[uint32]bool{arids[0]: true, arids[1]: true}
+	if !seen[100] || !seen[5] {
+		t.Fatalf("arids = %v, want one rewritten (100) and one original (5)", arids)
+	}
+}
+
+func TestPacketInPunts(t *testing.T) {
+	e, p, hosts, counts := rig(t, 2)
+	var events []PacketInEvent
+	p.OnPacketIn = func(ev PacketInEvent) { events = append(events, ev) }
+	tbl := p.AddTable("t", Drop())
+	tbl.Insert(Entry{Match: Match{FrameID: Ptr(profinet.FrameIDConnectReq)}, Action: PacketIn("connect")})
+	req := profinet.ConnectRequest{ARID: 3, CycleUS: 1000, WatchdogFactor: 3}
+	hosts[0].Send(&frame.Frame{Dst: hosts[1].MAC(), Type: frame.TypeProfinet, Payload: req.Marshal()})
+	e.Run()
+	if len(events) != 1 || events[0].Reason != "connect" || events[0].Fields.ARID != 3 {
+		t.Fatalf("events = %+v", events)
+	}
+	if *counts[1] != 0 {
+		t.Fatal("punted frame also forwarded")
+	}
+}
+
+func TestContinueFallsThroughTables(t *testing.T) {
+	e, p, hosts, counts := rig(t, 2)
+	t1 := p.AddTable("acl", Continue())
+	t1.Insert(Entry{Match: Match{Src: Ptr(frame.NewMAC(99))}, Action: Drop()})
+	t2 := p.AddTable("fwd", Drop())
+	t2.Insert(Entry{Match: Match{InPort: Ptr(0)}, Action: Output(1)})
+	hosts[0].Send(&frame.Frame{Dst: hosts[1].MAC()})
+	e.Run()
+	if *counts[1] != 1 {
+		t.Fatal("frame did not traverse both tables")
+	}
+}
+
+func TestCountersTrackHits(t *testing.T) {
+	e, p, hosts, _ := rig(t, 2)
+	tbl := p.AddTable("t", Drop())
+	ent := tbl.Insert(Entry{Match: Match{InPort: Ptr(0)}, Action: Output(1)})
+	for i := 0; i < 5; i++ {
+		hosts[0].Send(&frame.Frame{Dst: hosts[1].MAC(), Payload: make([]byte, 50)})
+	}
+	e.Run()
+	if ent.Hits != 5 {
+		t.Fatalf("hits = %d", ent.Hits)
+	}
+	if ent.Bytes != 5*64 {
+		t.Fatalf("bytes = %d", ent.Bytes)
+	}
+}
+
+func TestIdleTimeoutFiresOnceWhenTrafficStops(t *testing.T) {
+	e, p, hosts, _ := rig(t, 2)
+	idled := 0
+	tbl := p.AddTable("t", Drop())
+	tbl.Insert(Entry{
+		Match:       Match{InPort: Ptr(0)},
+		Action:      Output(1),
+		IdleTimeout: 5 * time.Millisecond,
+		OnIdle:      func(*Entry) { idled++ },
+	})
+	// Traffic every 1 ms for 20 ms, then silence.
+	tk := e.Every(0, time.Millisecond, func() {
+		hosts[0].Send(&frame.Frame{Dst: hosts[1].MAC()})
+	})
+	e.RunUntil(sim.Time(20 * time.Millisecond))
+	tk.Stop()
+	if idled != 0 {
+		t.Fatal("idle fired while traffic flowed")
+	}
+	e.RunUntil(sim.Time(100 * time.Millisecond))
+	if idled != 1 {
+		t.Fatalf("idle fired %d times, want 1", idled)
+	}
+}
+
+func TestIdleTimeoutCancelledByDelete(t *testing.T) {
+	e, p, _, _ := rig(t, 2)
+	tbl := p.AddTable("t", Drop())
+	ent := tbl.Insert(Entry{
+		Match:       Match{InPort: Ptr(0)},
+		Action:      Output(1),
+		IdleTimeout: time.Millisecond,
+		OnIdle:      func(*Entry) { t.Fatal("idle fired after delete") },
+	})
+	tbl.Delete(ent)
+	e.RunUntil(sim.Time(10 * time.Millisecond))
+	if tbl.Len() != 0 {
+		t.Fatalf("len = %d", tbl.Len())
+	}
+}
+
+func TestInjectPacketOut(t *testing.T) {
+	e, p, hosts, counts := rig(t, 2)
+	p.AddTable("t", Drop())
+	p.Inject(1, &frame.Frame{Src: frame.NewMAC(0xcc), Dst: hosts[1].MAC()})
+	e.Run()
+	if *counts[1] != 1 {
+		t.Fatal("packet-out not delivered")
+	}
+}
+
+func TestNoTablesDrops(t *testing.T) {
+	e, p, hosts, counts := rig(t, 2)
+	hosts[0].Send(&frame.Frame{Dst: hosts[1].MAC()})
+	e.Run()
+	if *counts[1] != 0 || p.Dropped != 1 {
+		t.Fatal("tableless pipeline forwarded")
+	}
+}
+
+func TestOutputToInvalidPortIgnored(t *testing.T) {
+	e, p, hosts, _ := rig(t, 2)
+	tbl := p.AddTable("t", Drop())
+	tbl.Insert(Entry{Match: Match{}, Action: Output(9)})
+	hosts[0].Send(&frame.Frame{Dst: hosts[1].MAC()})
+	e.Run() // must not panic
+}
+
+func TestOnMatchObservesFrames(t *testing.T) {
+	e, p, hosts, _ := rig(t, 2)
+	tbl := p.AddTable("t", Drop())
+	var seen int
+	tbl.Insert(Entry{
+		Match:   Match{InPort: Ptr(0)},
+		Action:  Output(1),
+		OnMatch: func(*Entry, *frame.Frame) { seen++ },
+	})
+	for i := 0; i < 3; i++ {
+		hosts[0].Send(&frame.Frame{Dst: hosts[1].MAC()})
+	}
+	e.Run()
+	if seen != 3 {
+		t.Fatalf("OnMatch saw %d frames", seen)
+	}
+}

@@ -1,0 +1,69 @@
+package ebpf
+
+import (
+	"testing"
+
+	"steelnet/internal/sim"
+)
+
+func BenchmarkVMReflectorProgram(b *testing.B) {
+	// The Base reflector shape: guard + MAC swap, the hot path of every
+	// reflection cycle.
+	a := NewAsm("bench")
+	a.MovImm(R1, 0).
+		LdPkt(R2, R1, 12, 2).
+		JNeImm(R2, 0x88b6, "pass").
+		LdPkt(R2, R1, 0, 4).
+		LdPkt(R3, R1, 4, 2).
+		LdPkt(R4, R1, 6, 4).
+		LdPkt(R5, R1, 10, 2).
+		StPkt(R1, 0, R4, 4).
+		StPkt(R1, 4, R5, 2).
+		StPkt(R1, 6, R2, 4).
+		StPkt(R1, 10, R3, 2).
+		Return(XDPTx).
+		Label("pass").
+		Return(XDPPass)
+	p := a.MustProgram()
+	pkt := make([]byte, 64)
+	pkt[12], pkt[13] = 0x88, 0xb6
+	costs := DefaultCosts
+	costs.RunNoiseSD = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(pkt, 0, &costs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifier(b *testing.B) {
+	insns := make([]Insn, 0, 1000)
+	for i := 0; i < 999; i++ {
+		insns = append(insns, Insn{Op: OpMovImm, Dst: R0, Imm: int64(i)})
+	}
+	insns = append(insns, Insn{Op: OpExit})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := &Program{Name: "big", Insns: insns}
+		if err := p.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRingbufOutput(b *testing.B) {
+	rb := NewRingBuf("bench", 1<<20)
+	rec := make([]byte, 16)
+	rng := sim.NewRNG(1)
+	_ = rng
+	for i := 0; i < b.N; i++ {
+		rb.Output(rec)
+		if rb.Len() > 1<<19 {
+			for rb.Len() > 0 {
+				rb.Read()
+			}
+		}
+	}
+}

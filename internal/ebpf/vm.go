@@ -1,0 +1,379 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"steelnet/internal/sim"
+)
+
+// XDP verdicts, numbered like the kernel's.
+const (
+	XDPAborted  uint64 = 0
+	XDPDrop     uint64 = 1
+	XDPPass     uint64 = 2
+	XDPTx       uint64 = 3
+	XDPRedirect uint64 = 4
+)
+
+// Helper IDs callable with OpCall.
+const (
+	// HelperKtime returns the current time in ns in R0.
+	HelperKtime int64 = iota
+	// HelperMapLookup reads Maps[R1][R2] into R0 (0 on miss).
+	HelperMapLookup
+	// HelperMapUpdate sets Maps[R1][R2] = R3; R0 = 1 on success.
+	HelperMapUpdate
+	// HelperRingbufOutput emits stack[R2 : R2+R3] to Rings[R1]; R0 = 1
+	// on success, 0 when the ring is full.
+	HelperRingbufOutput
+	numHelpers
+)
+
+// helperArgs lists the argument registers each helper consumes; the
+// verifier requires them to be initialized at the call site.
+var helperArgs = map[int64][]Reg{
+	HelperKtime:         nil,
+	HelperMapLookup:     {R1, R2},
+	HelperMapUpdate:     {R1, R2, R3},
+	HelperRingbufOutput: {R1, R2, R3},
+}
+
+// StackSize is the per-invocation stack frame, as in the kernel.
+const StackSize = 512
+
+// CostModel assigns virtual execution time to instructions and helpers.
+// The defaults are calibrated so the reflection harness lands in Fig. 4's
+// bands; see internal/reflect.
+type CostModel struct {
+	ALU      sim.Duration // mov/alu/jump
+	PktMem   sim.Duration // packet load/store
+	StackMem sim.Duration // stack load/store
+	CallBase sim.Duration // helper dispatch overhead
+
+	Ktime     sim.Duration
+	MapLookup sim.Duration
+	MapUpdate sim.Duration
+	// RingbufOutput is the base cost of reserving, copying and
+	// committing a ring-buffer record; RingbufWakeProb/RingbufWakeCost
+	// model the occasional consumer-wakeup path that makes ring-buffer
+	// variants visibly slower and more jittery in Fig. 4.
+	RingbufOutput   sim.Duration
+	RingbufWakeProb float64
+	RingbufWakeCost sim.Duration
+
+	// RunNoiseSD is per-invocation execution noise (cache and branch
+	// variation), applied once per run.
+	RunNoiseSD sim.Duration
+}
+
+// DefaultCosts is the calibrated model.
+var DefaultCosts = CostModel{
+	ALU:             2 * sim.Nanosecond,
+	PktMem:          4 * sim.Nanosecond,
+	StackMem:        3 * sim.Nanosecond,
+	CallBase:        20 * sim.Nanosecond,
+	Ktime:           70 * sim.Nanosecond,
+	MapLookup:       45 * sim.Nanosecond,
+	MapUpdate:       60 * sim.Nanosecond,
+	RingbufOutput:   1400 * sim.Nanosecond,
+	RingbufWakeProb: 0.04,
+	RingbufWakeCost: 900 * sim.Nanosecond,
+	RunNoiseSD:      9 * sim.Nanosecond,
+}
+
+// Program is a verified-or-not eBPF program plus the objects it may
+// reference from helpers.
+type Program struct {
+	Name  string
+	Insns []Insn
+	Maps  []*Map
+	Rings []*RingBuf
+
+	verified bool
+}
+
+// Result reports one program invocation.
+type Result struct {
+	Verdict uint64
+	Cost    sim.Duration
+	Steps   int
+}
+
+// Trap is a runtime fault (out-of-bounds packet access, bad helper
+// argument). A trapped program yields XDPAborted, as in the kernel.
+type Trap struct {
+	PC     int
+	Reason string
+}
+
+func (t *Trap) Error() string { return fmt.Sprintf("ebpf: trap at pc=%d: %s", t.PC, t.Reason) }
+
+// maxSteps is a defense-in-depth execution budget; the verifier's
+// forward-jump rule already guarantees termination well below it.
+const maxSteps = 1 << 16
+
+// Run executes the program over packet (which OpStPkt mutates in place)
+// at virtual time now, charging costs per the model and drawing noise
+// from rng (which may be nil for fully deterministic cost). Unverified
+// programs panic: the kernel will not attach them either.
+func (p *Program) Run(packet []byte, now sim.Time, costs *CostModel, rng *sim.RNG) (Result, error) {
+	if !p.verified {
+		panic(fmt.Sprintf("ebpf: program %q not verified", p.Name))
+	}
+	if costs == nil {
+		costs = &DefaultCosts
+	}
+	var regs [numRegs]uint64
+	var stack [StackSize]byte
+	regs[R1] = 0 // packet base: offsets are absolute into packet
+	regs[R10] = StackSize
+	var cost sim.Duration
+	pc := 0
+	steps := 0
+	trap := func(reason string) (Result, error) {
+		return Result{Verdict: XDPAborted, Cost: cost, Steps: steps}, &Trap{PC: pc, Reason: reason}
+	}
+	for {
+		if steps >= maxSteps {
+			return trap("step budget exhausted")
+		}
+		if pc < 0 || pc >= len(p.Insns) {
+			return trap("fell off program end")
+		}
+		in := p.Insns[pc]
+		steps++
+		next := pc + 1
+		switch in.Op {
+		case OpMovImm:
+			regs[in.Dst] = uint64(in.Imm)
+			cost += costs.ALU
+		case OpMovReg:
+			regs[in.Dst] = regs[in.Src]
+			cost += costs.ALU
+		case OpAddImm:
+			regs[in.Dst] += uint64(in.Imm)
+			cost += costs.ALU
+		case OpAddReg:
+			regs[in.Dst] += regs[in.Src]
+			cost += costs.ALU
+		case OpSubImm:
+			regs[in.Dst] -= uint64(in.Imm)
+			cost += costs.ALU
+		case OpSubReg:
+			regs[in.Dst] -= regs[in.Src]
+			cost += costs.ALU
+		case OpMulImm:
+			regs[in.Dst] *= uint64(in.Imm)
+			cost += costs.ALU
+		case OpMulReg:
+			regs[in.Dst] *= regs[in.Src]
+			cost += costs.ALU
+		case OpDivImm:
+			regs[in.Dst] /= uint64(in.Imm) // imm != 0 per verifier
+			cost += costs.ALU
+		case OpDivReg:
+			if regs[in.Src] == 0 {
+				regs[in.Dst] = 0 // BPF semantics: div by zero yields 0
+			} else {
+				regs[in.Dst] /= regs[in.Src]
+			}
+			cost += costs.ALU
+		case OpAndImm:
+			regs[in.Dst] &= uint64(in.Imm)
+			cost += costs.ALU
+		case OpAndReg:
+			regs[in.Dst] &= regs[in.Src]
+			cost += costs.ALU
+		case OpOrImm:
+			regs[in.Dst] |= uint64(in.Imm)
+			cost += costs.ALU
+		case OpOrReg:
+			regs[in.Dst] |= regs[in.Src]
+			cost += costs.ALU
+		case OpXorImm:
+			regs[in.Dst] ^= uint64(in.Imm)
+			cost += costs.ALU
+		case OpXorReg:
+			regs[in.Dst] ^= regs[in.Src]
+			cost += costs.ALU
+		case OpLshImm:
+			regs[in.Dst] <<= uint64(in.Imm) & 63
+			cost += costs.ALU
+		case OpRshImm:
+			regs[in.Dst] >>= uint64(in.Imm) & 63
+			cost += costs.ALU
+		case OpNeg:
+			regs[in.Dst] = -regs[in.Dst]
+			cost += costs.ALU
+
+		case OpPktLen:
+			regs[in.Dst] = uint64(len(packet))
+			cost += costs.ALU
+
+		case OpLdPkt:
+			off := int64(regs[in.Src]) + int64(in.Off)
+			v, ok := loadBE(packet, off, int(in.Size))
+			if !ok {
+				return trap(fmt.Sprintf("packet read [%d,+%d) out of bounds (len %d)", off, in.Size, len(packet)))
+			}
+			regs[in.Dst] = v
+			cost += costs.PktMem
+		case OpStPkt:
+			off := int64(regs[in.Dst]) + int64(in.Off)
+			if !storeBE(packet, off, int(in.Size), regs[in.Src]) {
+				return trap(fmt.Sprintf("packet write [%d,+%d) out of bounds (len %d)", off, in.Size, len(packet)))
+			}
+			cost += costs.PktMem
+
+		case OpLdStack:
+			v, _ := loadBE(stack[:], int64(in.Off), int(in.Size)) // verified statically
+			regs[in.Dst] = v
+			cost += costs.StackMem
+		case OpStStack:
+			storeBE(stack[:], int64(in.Off), int(in.Size), regs[in.Src])
+			cost += costs.StackMem
+
+		case OpJa:
+			next = pc + 1 + int(in.Off)
+			cost += costs.ALU
+		case OpJEqImm:
+			cost += costs.ALU
+			if regs[in.Dst] == uint64(in.Imm) {
+				next = pc + 1 + int(in.Off)
+			}
+		case OpJNeImm:
+			cost += costs.ALU
+			if regs[in.Dst] != uint64(in.Imm) {
+				next = pc + 1 + int(in.Off)
+			}
+		case OpJGtImm:
+			cost += costs.ALU
+			if regs[in.Dst] > uint64(in.Imm) {
+				next = pc + 1 + int(in.Off)
+			}
+		case OpJLtImm:
+			cost += costs.ALU
+			if regs[in.Dst] < uint64(in.Imm) {
+				next = pc + 1 + int(in.Off)
+			}
+		case OpJGeImm:
+			cost += costs.ALU
+			if regs[in.Dst] >= uint64(in.Imm) {
+				next = pc + 1 + int(in.Off)
+			}
+		case OpJEqReg:
+			cost += costs.ALU
+			if regs[in.Dst] == regs[in.Src] {
+				next = pc + 1 + int(in.Off)
+			}
+		case OpJNeReg:
+			cost += costs.ALU
+			if regs[in.Dst] != regs[in.Src] {
+				next = pc + 1 + int(in.Off)
+			}
+		case OpJGtReg:
+			cost += costs.ALU
+			if regs[in.Dst] > regs[in.Src] {
+				next = pc + 1 + int(in.Off)
+			}
+
+		case OpCall:
+			cost += costs.CallBase
+			switch in.Imm {
+			case HelperKtime:
+				regs[R0] = uint64(now) + uint64(cost)
+				cost += costs.Ktime
+			case HelperMapLookup:
+				idx := regs[R1]
+				if idx >= uint64(len(p.Maps)) {
+					return trap(fmt.Sprintf("map index %d out of range", idx))
+				}
+				v, _ := p.Maps[idx].Lookup(regs[R2])
+				regs[R0] = v
+				cost += costs.MapLookup
+			case HelperMapUpdate:
+				idx := regs[R1]
+				if idx >= uint64(len(p.Maps)) {
+					return trap(fmt.Sprintf("map index %d out of range", idx))
+				}
+				if p.Maps[idx].Update(regs[R2], regs[R3]) {
+					regs[R0] = 1
+				} else {
+					regs[R0] = 0
+				}
+				cost += costs.MapUpdate
+			case HelperRingbufOutput:
+				idx := regs[R1]
+				if idx >= uint64(len(p.Rings)) {
+					return trap(fmt.Sprintf("ring index %d out of range", idx))
+				}
+				off, n := regs[R2], regs[R3]
+				if off+n > StackSize || n == 0 {
+					return trap(fmt.Sprintf("ringbuf output [%d,+%d) outside stack", off, n))
+				}
+				if p.Rings[idx].Output(stack[off : off+n]) {
+					regs[R0] = 1
+				} else {
+					regs[R0] = 0
+				}
+				cost += costs.RingbufOutput
+				if rng != nil && costs.RingbufWakeProb > 0 && rng.Bool(costs.RingbufWakeProb) {
+					cost += costs.RingbufWakeCost
+				}
+			default:
+				return trap(fmt.Sprintf("unknown helper %d", in.Imm))
+			}
+
+		case OpExit:
+			if rng != nil && costs.RunNoiseSD > 0 {
+				n := rng.Norm(0, float64(costs.RunNoiseSD))
+				if n < 0 {
+					n = -n
+				}
+				cost += sim.Duration(n)
+			}
+			return Result{Verdict: regs[R0], Cost: cost, Steps: steps}, nil
+
+		default:
+			return trap(fmt.Sprintf("invalid opcode %v", in.Op))
+		}
+		pc = next
+	}
+}
+
+func loadBE(mem []byte, off int64, size int) (uint64, bool) {
+	if off < 0 || off+int64(size) > int64(len(mem)) {
+		return 0, false
+	}
+	switch size {
+	case 1:
+		return uint64(mem[off]), true
+	case 2:
+		return uint64(binary.BigEndian.Uint16(mem[off:])), true
+	case 4:
+		return uint64(binary.BigEndian.Uint32(mem[off:])), true
+	case 8:
+		return binary.BigEndian.Uint64(mem[off:]), true
+	}
+	return 0, false
+}
+
+func storeBE(mem []byte, off int64, size int, v uint64) bool {
+	if off < 0 || off+int64(size) > int64(len(mem)) {
+		return false
+	}
+	switch size {
+	case 1:
+		mem[off] = byte(v)
+	case 2:
+		binary.BigEndian.PutUint16(mem[off:], uint16(v))
+	case 4:
+		binary.BigEndian.PutUint32(mem[off:], uint32(v))
+	case 8:
+		binary.BigEndian.PutUint64(mem[off:], v)
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,176 @@
+// Package frame models Ethernet-level frames as they traverse the
+// simulated factory network: MAC addressing, 802.1Q VLAN/PCP tagging,
+// and the binary payload encodings the industrial protocol and the ML
+// workload use. Frames marshal to and from wire bytes so the eBPF VM,
+// the programmable data plane and the tap all operate on real octets,
+// exactly like their hardware counterparts.
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// Broadcast is the all-ones broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// NewMAC builds a locally-administered unicast MAC from a 32-bit station
+// id, giving every simulated node a stable, readable address.
+func NewMAC(station uint32) MAC {
+	var m MAC
+	m[0] = 0x02 // locally administered, unicast
+	m[1] = 0x5e
+	binary.BigEndian.PutUint32(m[2:], station)
+	return m
+}
+
+// IsBroadcast reports whether m is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == Broadcast }
+
+// IsMulticast reports whether the group bit is set.
+func (m MAC) IsMulticast() bool { return m[0]&1 == 1 }
+
+// String renders the address in canonical colon form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// EtherType identifies the frame payload protocol.
+type EtherType uint16
+
+// EtherTypes used in the simulation. ProfinetRT uses the real PROFINET
+// value; the others are from reserved-for-documentation space.
+const (
+	TypeIPv4      EtherType = 0x0800
+	TypeVLAN      EtherType = 0x8100
+	TypeProfinet  EtherType = 0x8892 // PROFINET RT, real assignment
+	TypePTP       EtherType = 0x88f7 // IEEE 1588
+	TypeMLData    EtherType = 0x88b5 // experimental 1: ML inference frames
+	TypeBenchEcho EtherType = 0x88b6 // experimental 2: reflection probes
+)
+
+// PCP is an 802.1Q priority code point (0-7). Industrial RT traffic
+// conventionally rides at 6; best effort at 0.
+type PCP uint8
+
+// Priority levels used across the repository.
+const (
+	PrioBestEffort PCP = 0
+	PrioML         PCP = 3
+	PrioRT         PCP = 6
+	PrioNetControl PCP = 7
+)
+
+// Frame is a parsed Ethernet frame. VLAN tagging is optional; when Tagged
+// is false VID/Priority are ignored on the wire.
+type Frame struct {
+	Dst, Src MAC
+	Tagged   bool
+	Priority PCP
+	VID      uint16 // 12-bit VLAN id
+	Type     EtherType
+	Payload  []byte
+
+	// Simulation metadata, not serialized: these travel with the frame
+	// object inside one node but are lost across marshal/unmarshal,
+	// mirroring how real metadata lives in descriptors, not packets.
+	Meta Meta
+}
+
+// Meta carries per-frame simulation metadata (ingress port, timestamps).
+type Meta struct {
+	IngressPort int
+	CreatedAt   int64 // ns, set by the original sender
+	FlowID      uint32
+}
+
+// headerLen returns the byte length of the L2 header.
+func (f *Frame) headerLen() int {
+	if f.Tagged {
+		return 18
+	}
+	return 14
+}
+
+// WireLen returns the total serialized length in bytes, before any
+// minimum-size padding. Ethernet's 64-byte minimum (incl. FCS) is applied
+// by the link model, not here, so tiny industrial payloads stay visible.
+func (f *Frame) WireLen() int { return f.headerLen() + len(f.Payload) }
+
+// Marshal serializes the frame to wire bytes.
+func (f *Frame) Marshal() []byte {
+	buf := make([]byte, f.WireLen())
+	copy(buf[0:6], f.Dst[:])
+	copy(buf[6:12], f.Src[:])
+	off := 12
+	if f.Tagged {
+		binary.BigEndian.PutUint16(buf[off:], uint16(TypeVLAN))
+		tci := uint16(f.Priority&7)<<13 | f.VID&0x0fff
+		binary.BigEndian.PutUint16(buf[off+2:], tci)
+		off += 4
+	}
+	binary.BigEndian.PutUint16(buf[off:], uint16(f.Type))
+	copy(buf[off+2:], f.Payload)
+	return buf
+}
+
+// ErrTruncated reports a frame shorter than its headers claim.
+var ErrTruncated = errors.New("frame: truncated")
+
+// Unmarshal parses wire bytes into f, replacing its contents. The payload
+// aliases data; callers that mutate must copy.
+func Unmarshal(data []byte) (*Frame, error) {
+	if len(data) < 14 {
+		return nil, ErrTruncated
+	}
+	f := &Frame{}
+	copy(f.Dst[:], data[0:6])
+	copy(f.Src[:], data[6:12])
+	et := EtherType(binary.BigEndian.Uint16(data[12:14]))
+	off := 14
+	if et == TypeVLAN {
+		if len(data) < 18 {
+			return nil, ErrTruncated
+		}
+		tci := binary.BigEndian.Uint16(data[14:16])
+		f.Tagged = true
+		f.Priority = PCP(tci >> 13)
+		f.VID = tci & 0x0fff
+		et = EtherType(binary.BigEndian.Uint16(data[16:18]))
+		off = 18
+	}
+	f.Type = et
+	f.Payload = data[off:]
+	return f, nil
+}
+
+// Clone returns a deep copy of the frame, including metadata. Switching
+// elements clone before mirroring so downstream mutation cannot alias.
+func (f *Frame) Clone() *Frame {
+	g := *f
+	g.Payload = make([]byte, len(f.Payload))
+	copy(g.Payload, f.Payload)
+	return &g
+}
+
+// EffectivePriority returns the scheduling priority: the PCP when tagged,
+// else best effort.
+func (f *Frame) EffectivePriority() PCP {
+	if f.Tagged {
+		return f.Priority
+	}
+	return PrioBestEffort
+}
+
+// String renders a compact one-line description.
+func (f *Frame) String() string {
+	tag := ""
+	if f.Tagged {
+		tag = fmt.Sprintf(" vlan=%d pcp=%d", f.VID, f.Priority)
+	}
+	return fmt.Sprintf("%s->%s type=0x%04x%s len=%d", f.Src, f.Dst, uint16(f.Type), tag, f.WireLen())
+}

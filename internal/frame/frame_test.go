@@ -1,0 +1,213 @@
+package frame
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMACConstruction(t *testing.T) {
+	m := NewMAC(0x01020304)
+	if m.String() != "02:5e:01:02:03:04" {
+		t.Fatalf("MAC = %s", m)
+	}
+	if m.IsBroadcast() || m.IsMulticast() {
+		t.Fatal("unicast MAC misclassified")
+	}
+	if !Broadcast.IsBroadcast() || !Broadcast.IsMulticast() {
+		t.Fatal("broadcast MAC misclassified")
+	}
+}
+
+func TestMarshalRoundTripUntagged(t *testing.T) {
+	f := &Frame{
+		Dst:     NewMAC(1),
+		Src:     NewMAC(2),
+		Type:    TypeProfinet,
+		Payload: []byte{1, 2, 3, 4},
+	}
+	wire := f.Marshal()
+	if len(wire) != 18 {
+		t.Fatalf("wire len = %d", len(wire))
+	}
+	g, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dst != f.Dst || g.Src != f.Src || g.Type != f.Type {
+		t.Fatalf("roundtrip header mismatch: %+v vs %+v", g, f)
+	}
+	if !bytes.Equal(g.Payload, f.Payload) {
+		t.Fatal("payload mismatch")
+	}
+	if g.Tagged {
+		t.Fatal("untagged frame parsed as tagged")
+	}
+}
+
+func TestMarshalRoundTripTagged(t *testing.T) {
+	f := &Frame{
+		Dst:      NewMAC(1),
+		Src:      NewMAC(2),
+		Tagged:   true,
+		Priority: PrioRT,
+		VID:      100,
+		Type:     TypeBenchEcho,
+		Payload:  []byte{9, 9},
+	}
+	g, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Tagged || g.Priority != PrioRT || g.VID != 100 || g.Type != TypeBenchEcho {
+		t.Fatalf("tagged roundtrip = %+v", g)
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 13)); err != ErrTruncated {
+		t.Fatalf("err = %v", err)
+	}
+	// Claims VLAN but too short for the tag.
+	buf := make([]byte, 14)
+	buf[12], buf[13] = 0x81, 0x00
+	if _, err := Unmarshal(buf); err != ErrTruncated {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVIDMaskedTo12Bits(t *testing.T) {
+	f := &Frame{Tagged: true, VID: 0xffff, Priority: 7, Type: TypeIPv4}
+	g, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.VID != 0x0fff {
+		t.Fatalf("VID = %#x", g.VID)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(dst, src uint32, tagged bool, pcp uint8, vid uint16, payload []byte) bool {
+		in := &Frame{
+			Dst: NewMAC(dst), Src: NewMAC(src),
+			Tagged: tagged, Priority: PCP(pcp & 7), VID: vid & 0x0fff,
+			Type: TypeMLData, Payload: payload,
+		}
+		out, err := Unmarshal(in.Marshal())
+		if err != nil {
+			return false
+		}
+		return out.Dst == in.Dst && out.Src == in.Src &&
+			out.Tagged == in.Tagged &&
+			(!tagged || (out.Priority == in.Priority && out.VID == in.VID)) &&
+			bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := &Frame{Payload: []byte{1, 2, 3}, Meta: Meta{FlowID: 7}}
+	g := f.Clone()
+	g.Payload[0] = 99
+	if f.Payload[0] != 1 {
+		t.Fatal("clone aliases payload")
+	}
+	if g.Meta.FlowID != 7 {
+		t.Fatal("clone lost metadata")
+	}
+}
+
+func TestEffectivePriority(t *testing.T) {
+	f := &Frame{Tagged: false, Priority: PrioRT}
+	if f.EffectivePriority() != PrioBestEffort {
+		t.Fatal("untagged frame has non-default priority")
+	}
+	f.Tagged = true
+	if f.EffectivePriority() != PrioRT {
+		t.Fatal("tagged priority lost")
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	f := &Frame{Dst: NewMAC(1), Src: NewMAC(2), Tagged: true, VID: 5, Type: TypeProfinet}
+	if s := f.String(); !strings.Contains(s, "vlan=5") || !strings.Contains(s, "0x8892") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestProbeRoundTrip(t *testing.T) {
+	p := Probe{Seq: 42, FlowID: 7, TS1: 1111, TS2: 2222, Padding: []byte{0xaa}}
+	buf, err := MarshalProbe(p, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 32 {
+		t.Fatalf("len = %d", len(buf))
+	}
+	q, err := UnmarshalProbe(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Seq != 42 || q.FlowID != 7 || q.TS1 != 1111 || q.TS2 != 2222 {
+		t.Fatalf("roundtrip = %+v", q)
+	}
+	if q.Padding[0] != 0xaa {
+		t.Fatal("padding lost")
+	}
+}
+
+func TestProbeMinimumSize(t *testing.T) {
+	if _, err := MarshalProbe(Probe{}, 20); err != ErrProbeTooShort {
+		t.Fatalf("20-byte probe err = %v (fixed fields need 24)", err)
+	}
+	if _, err := UnmarshalProbe(make([]byte, 10)); err != ErrProbeTooShort {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProbeTimestampOffsetsMatchEncoding(t *testing.T) {
+	p := Probe{TS1: 0x1122334455667788, TS2: 0x99aabbccddeeff00}
+	buf, err := MarshalProbe(p, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, o2 := ProbeTimestampOffsets()
+	if buf[o1] != 0x11 || buf[o2] != 0x99 {
+		t.Fatalf("offsets wrong: buf[%d]=%#x buf[%d]=%#x", o1, buf[o1], o2, buf[o2])
+	}
+}
+
+func TestWireLen(t *testing.T) {
+	f := &Frame{Payload: make([]byte, 50)}
+	if f.WireLen() != 64 {
+		t.Fatalf("untagged WireLen = %d", f.WireLen())
+	}
+	f.Tagged = true
+	if f.WireLen() != 68 {
+		t.Fatalf("tagged WireLen = %d", f.WireLen())
+	}
+}
+
+func TestUnmarshalArbitraryBytesNeverPanics(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		fr, err := Unmarshal(raw)
+		if err == nil {
+			// A parsed frame re-marshals without panicking too.
+			_ = fr.Marshal()
+		}
+		_, _ = UnmarshalProbe(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package host
+
+import (
+	"strings"
+	"testing"
+
+	"steelnet/internal/metrics"
+	"steelnet/internal/sim"
+)
+
+func stack(p Profile, seed uint64) *Stack {
+	return NewStack(p, sim.NewEngine(seed).RNG("host"))
+}
+
+func sample(s *Stack, n int, f func() sim.Duration) *metrics.Series {
+	out := metrics.NewSeries(n)
+	for i := 0; i < n; i++ {
+		out.AddDuration(f())
+	}
+	return out
+}
+
+func TestNilRNGPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil RNG accepted")
+		}
+	}()
+	NewStack(PreemptRT, nil)
+}
+
+func TestRxDelayPositiveAndBounded(t *testing.T) {
+	s := stack(PreemptRT, 1)
+	ser := sample(s, 20000, func() sim.Duration { return s.RxToXDP(64) })
+	if ser.Min() <= 0 {
+		t.Fatal("non-positive rx delay")
+	}
+	// Base path ≈ 0.5+0.9+0.05(pcie/byte)+1.25 ≈ 2.7µs; must sit in the
+	// low-µs range that makes round trips land in Fig. 4's 10-20µs band.
+	if m := ser.Mean(); m < 2000 || m > 5000 {
+		t.Fatalf("mean rx = %vns, want 2-5µs", m)
+	}
+}
+
+func TestSmallPacketsPayAlmostFullPCIeToll(t *testing.T) {
+	s := stack(PreemptRT, 1)
+	small := sample(s, 5000, func() sim.Duration { return s.RxToXDP(64) })
+	big := sample(s, 5000, func() sim.Duration { return s.RxToXDP(1500) })
+	// The per-byte part for 1500B is ~1.2µs; the fixed part dominates for
+	// small frames: per-byte cost of the small frame is < 5% of its total.
+	perByteSmall := 64 * s.Profile.PCIePerByteNs
+	if perByteSmall/small.Mean() > 0.05 {
+		t.Fatalf("small-frame variable share = %.3f", perByteSmall/small.Mean())
+	}
+	if big.Mean() <= small.Mean() {
+		t.Fatal("size-dependence missing")
+	}
+}
+
+func TestStandardKernelNoisierThanPreemptRT(t *testing.T) {
+	rt := stack(PreemptRT, 2)
+	std := stack(Standard, 2)
+	jrt := metrics.Jitter(sample(rt, 30000, func() sim.Duration { return rt.RxToXDP(64) }))
+	jstd := metrics.Jitter(sample(std, 30000, func() sim.Duration { return std.RxToXDP(64) }))
+	if jstd.P99() <= jrt.P99() {
+		t.Fatalf("standard p99 jitter %v <= RT %v", jstd.P99(), jrt.P99())
+	}
+	if jstd.Quantile(0.999) <= jrt.Quantile(0.999) {
+		t.Fatal("standard tail not heavier")
+	}
+}
+
+func TestContentionWidensJitter(t *testing.T) {
+	one := stack(PreemptRT, 3)
+	many := stack(PreemptRT, 3)
+	many.SetActiveFlows(25)
+	j1 := metrics.Jitter(sample(one, 30000, func() sim.Duration { return one.RxToXDP(64) }))
+	j25 := metrics.Jitter(sample(many, 30000, func() sim.Duration { return many.RxToXDP(64) }))
+	if j25.P99() <= j1.P99() {
+		t.Fatalf("25-flow p99 jitter %v <= 1-flow %v", j25.P99(), j1.P99())
+	}
+}
+
+func TestActiveFlowsClamped(t *testing.T) {
+	s := stack(PreemptRT, 4)
+	s.SetActiveFlows(0)
+	if s.ActiveFlows() != 1 {
+		t.Fatalf("flows = %d", s.ActiveFlows())
+	}
+	s.SetActiveFlows(-5)
+	if s.ActiveFlows() != 1 {
+		t.Fatalf("flows = %d", s.ActiveFlows())
+	}
+}
+
+func TestFullKernelSlowerThanXDP(t *testing.T) {
+	s := stack(PreemptRT, 5)
+	xdp := sample(s, 10000, func() sim.Duration { return s.RxToXDP(64) })
+	full := sample(s, 10000, func() sim.Duration { return s.FullKernelRx(64) })
+	if full.Mean() <= xdp.Mean() {
+		t.Fatal("full kernel path not slower than XDP hook path")
+	}
+}
+
+func TestSchedulingNoiseNonNegative(t *testing.T) {
+	s := stack(Standard, 6)
+	for i := 0; i < 10000; i++ {
+		if s.SchedulingNoise() < 0 {
+			t.Fatal("negative scheduling noise")
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := stack(PreemptRT, 7)
+	b := stack(PreemptRT, 7)
+	for i := 0; i < 1000; i++ {
+		if a.RxToXDP(64) != b.RxToXDP(64) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestNegativeSizeTreatedAsZero(t *testing.T) {
+	s := stack(PreemptRT, 8)
+	if d := s.XDPToWire(-10); d <= 0 {
+		t.Fatalf("delay = %v", d)
+	}
+}
+
+func TestStringContainsProfile(t *testing.T) {
+	s := stack(PreemptRT, 9)
+	if !strings.Contains(s.String(), "preempt-rt") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestPreemptRTMeetsSub1usJitterAtP99(t *testing.T) {
+	// §2.1's requirement: <1 µs jitter. A single-flow PREEMPT_RT stack
+	// must achieve it at p99 (though not at the absolute worst case —
+	// that is the paper's point about soft real-time).
+	s := stack(PreemptRT, 10)
+	j := metrics.Jitter(sample(s, 50000, func() sim.Duration { return s.RxToXDP(64) }))
+	if p := j.P99(); p >= 1000 {
+		t.Fatalf("p99 jitter = %vns, want <1µs", p)
+	}
+}

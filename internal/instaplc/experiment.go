@@ -1,0 +1,207 @@
+package instaplc
+
+import (
+	"fmt"
+
+	"time"
+
+	"steelnet/internal/dataplane"
+	"steelnet/internal/frame"
+	"steelnet/internal/iodevice"
+	"steelnet/internal/metrics"
+	"steelnet/internal/plc"
+	"steelnet/internal/profinet"
+	"steelnet/internal/sim"
+	"steelnet/internal/simnet"
+)
+
+// ExperimentConfig parameterizes the Fig. 5 failover scenario.
+type ExperimentConfig struct {
+	Seed uint64
+	// Cycle is the IO cycle (the paper's plot implies ≈1.6 ms: ≈31
+	// packets per 50 ms).
+	Cycle time.Duration
+	// DeviceWatchdogFactor is the device's own safety watchdog.
+	DeviceWatchdogFactor int
+	// InstaWatchdogCycles is InstaPLC's data-plane watchdog; it must be
+	// smaller than the device's factor for a seamless switchover.
+	InstaWatchdogCycles int
+	// SecondaryJoinAt is when vPLC2 connects; FailAt is when vPLC1
+	// crashes; Horizon ends the run.
+	SecondaryJoinAt, FailAt, Horizon time.Duration
+	// Bin is the rate-series bin (50 ms in the paper).
+	Bin time.Duration
+	// LinkBps is the cell link speed.
+	LinkBps float64
+	// DisableInstaPLC runs the same scenario through the pipeline with
+	// plain L2 forwarding (no twin, no failover) — the baseline that
+	// shows the device going failsafe.
+	DisableInstaPLC bool
+}
+
+// DefaultExperimentConfig reproduces Fig. 5's setup.
+func DefaultExperimentConfig() ExperimentConfig {
+	return ExperimentConfig{
+		Seed:                 1,
+		Cycle:                1600 * time.Microsecond,
+		DeviceWatchdogFactor: 3,
+		InstaWatchdogCycles:  2,
+		SecondaryJoinAt:      200 * time.Millisecond,
+		FailAt:               1300 * time.Millisecond,
+		Horizon:              3 * time.Second,
+		Bin:                  50 * time.Millisecond,
+		LinkBps:              100e6,
+	}
+}
+
+// ExperimentResult carries the Fig. 5 series and the assertions'
+// ground truth.
+type ExperimentResult struct {
+	// FromVPLC1, FromVPLC2 and ToIO are packets per bin (Fig. 5a/5b).
+	FromVPLC1, FromVPLC2, ToIO []int
+	Bin                        time.Duration
+	// SwitchoverAt is when InstaPLC promoted vPLC2 (zero when it never
+	// happened).
+	SwitchoverAt sim.Time
+	// FailAt echoes the configured failure time.
+	FailAt sim.Time
+	// FailsafeEvents counts device safety stops (must be 0 with
+	// InstaPLC).
+	FailsafeEvents uint64
+	// AbsorbedFrames counts secondary frames consumed by the twin
+	// before the switchover.
+	AbsorbedFrames uint64
+	// Switchovers counts data-plane failovers.
+	Switchovers uint64
+	// DeviceState is the device's final state.
+	DeviceState iodevice.State
+}
+
+// RunExperiment executes the Fig. 5 scenario: two vPLCs, one I/O
+// device, an InstaPLC pipeline between them; the primary is killed
+// mid-run.
+func RunExperiment(cfg ExperimentConfig) ExperimentResult {
+	e := sim.NewEngine(cfg.Seed)
+
+	pipe := dataplane.New(e, "instaplc-switch", 3, dataplane.DefaultConfig)
+	var app *App
+	if cfg.DisableInstaPLC {
+		installPlainL2(pipe)
+	} else {
+		app = New(e, pipe, Config{WatchdogCycles: cfg.InstaWatchdogCycles})
+	}
+
+	vplc1 := plc.NewController(e, "vplc1", frame.NewMAC(1), plc.ControllerConfig{Primary: true})
+	vplc2 := plc.NewController(e, "vplc2", frame.NewMAC(2), plc.ControllerConfig{})
+	dev := iodevice.New(e, "io", frame.NewMAC(3), nil, nil)
+
+	connect(e, vplc1, 0, cfg, 1)
+	connect(e, vplc2, cfg.SecondaryJoinAt, cfg, 2)
+
+	wire(e, vplc1, vplc2, dev, pipe, cfg.LinkBps)
+
+	e.Schedule(sim.Time(cfg.FailAt), vplc1.Fail)
+
+	res := ExperimentResult{Bin: cfg.Bin, FailAt: sim.Time(cfg.FailAt)}
+	if app != nil {
+		app.OnSwitchover = func(device, promoted frame.MAC) {
+			if res.SwitchoverAt == 0 {
+				res.SwitchoverAt = e.Now()
+			}
+		}
+	}
+
+	// Sample cumulative counters at each bin edge and diff them into
+	// per-bin rates (exact: counters are integers).
+	bins := int(cfg.Horizon/cfg.Bin) + 1
+	res.FromVPLC1 = make([]int, 0, bins)
+	res.FromVPLC2 = make([]int, 0, bins)
+	res.ToIO = make([]int, 0, bins)
+	var p1, p2, pio uint64
+	e.Every(sim.Time(cfg.Bin), cfg.Bin, func() {
+		t1 := vplc1.Host().Port().TxFrames
+		t2 := vplc2.Host().Port().TxFrames
+		tio := dev.Host().Port().RxFrames
+		res.FromVPLC1 = append(res.FromVPLC1, int(t1-p1))
+		res.FromVPLC2 = append(res.FromVPLC2, int(t2-p2))
+		res.ToIO = append(res.ToIO, int(tio-pio))
+		p1, p2, pio = t1, t2, tio
+	})
+
+	e.RunUntil(sim.Time(cfg.Horizon))
+	res.FailsafeEvents = dev.FailsafeEvents
+	res.DeviceState = dev.State()
+	if app != nil {
+		res.AbsorbedFrames = app.AbsorbedFrames(dev.Host().MAC())
+		res.Switchovers = app.Switchovers
+	}
+	return res
+}
+
+func connect(e *sim.Engine, c *plc.Controller, at time.Duration, cfg ExperimentConfig, arid uint32) {
+	e.Schedule(sim.Time(at), func() {
+		c.Connect(plc.ConnectSpec{
+			Device: frame.NewMAC(3),
+			Req: profinet.ConnectRequest{
+				ARID:           arid,
+				CycleUS:        uint32(cfg.Cycle / time.Microsecond),
+				WatchdogFactor: uint16(cfg.DeviceWatchdogFactor),
+				InputLen:       8,
+				OutputLen:      8,
+			},
+		})
+	})
+}
+
+func wire(e *sim.Engine, v1, v2 *plc.Controller, dev *iodevice.Device, pipe *dataplane.Pipeline, bps float64) {
+	// Port assignment: 0=vplc1, 1=vplc2, 2=device.
+	prop := 500 * sim.Nanosecond
+	simnet.Connect(e, "v1-dp", v1.Host().Port(), pipe.Port(0), bps, prop)
+	simnet.Connect(e, "v2-dp", v2.Host().Port(), pipe.Port(1), bps, prop)
+	simnet.Connect(e, "dev-dp", dev.Host().Port(), pipe.Port(2), bps, prop)
+}
+
+// RenderFigure5 renders the experiment as the paper's two panels: a
+// packets-per-bin table plus sparklines.
+func RenderFigure5(res ExperimentResult) string {
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 5: InstaPLC switchover (bin=%v, fail at %v, switchover at %v)",
+			res.Bin, res.FailAt, res.SwitchoverAt),
+		"t(s)", "from vPLC1", "from vPLC2", "to I/O")
+	for i := range res.ToIO {
+		// Print every 4th bin to keep the table readable; the series
+		// themselves stay full-resolution.
+		if i%4 != 0 {
+			continue
+		}
+		t.AddRow(
+			fmt.Sprintf("%.2f", float64(i)*res.Bin.Seconds()),
+			fmt.Sprintf("%d", res.FromVPLC1[i]),
+			fmt.Sprintf("%d", res.FromVPLC2[i]),
+			fmt.Sprintf("%d", res.ToIO[i]),
+		)
+	}
+	return t.String() +
+		"vPLC1 " + metrics.Sparkline(res.FromVPLC1) + "\n" +
+		"vPLC2 " + metrics.Sparkline(res.FromVPLC2) + "\n" +
+		"toIO  " + metrics.Sparkline(res.ToIO) + "\n"
+}
+
+// installPlainL2 programs the pipeline as a dumb learning switch via
+// the control plane (the no-InstaPLC baseline).
+func installPlainL2(pipe *dataplane.Pipeline) {
+	macPort := make(map[frame.MAC]int)
+	pipe.AddTable("l2", dataplane.PacketIn("l2"))
+	pipe.OnPacketIn = func(ev dataplane.PacketInEvent) {
+		macPort[ev.Fields.Src] = ev.Fields.InPort
+		if p, ok := macPort[ev.Frame.Dst]; ok {
+			pipe.Inject(p, ev.Frame)
+			return
+		}
+		for i := 0; i < pipe.NumPorts(); i++ {
+			if i != ev.Fields.InPort {
+				pipe.Inject(i, ev.Frame.Clone())
+			}
+		}
+	}
+}

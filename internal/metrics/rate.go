@@ -1,0 +1,103 @@
+package metrics
+
+import "time"
+
+// RateSeries bins event timestamps into fixed intervals and reports a
+// count per bin — the "packets per 50 ms" series of Fig. 5.
+type RateSeries struct {
+	bin    time.Duration
+	counts []int
+	start  int64
+}
+
+// NewRateSeries creates a rate series starting at time start (nanoseconds)
+// with the given bin width.
+func NewRateSeries(start int64, bin time.Duration) *RateSeries {
+	if bin <= 0 {
+		panic("metrics: non-positive rate bin")
+	}
+	return &RateSeries{bin: bin, start: start}
+}
+
+// Record counts one event at time now (nanoseconds). Events before start
+// are ignored.
+func (r *RateSeries) Record(now int64) {
+	if now < r.start {
+		return
+	}
+	idx := int((now - r.start) / int64(r.bin))
+	for len(r.counts) <= idx {
+		r.counts = append(r.counts, 0)
+	}
+	r.counts[idx]++
+}
+
+// Bin returns the bin width.
+func (r *RateSeries) Bin() time.Duration { return r.bin }
+
+// Counts returns a copy of the per-bin counts up to and including bin
+// index (end-start)/bin, padding trailing empty bins with zeros.
+func (r *RateSeries) Counts(end int64) []int {
+	n := int((end-r.start)/int64(r.bin)) + 1
+	if n < 0 {
+		n = 0
+	}
+	out := make([]int, n)
+	copy(out, r.counts)
+	return out
+}
+
+// BinStart returns the start time (nanoseconds) of bin i.
+func (r *RateSeries) BinStart(i int) int64 { return r.start + int64(i)*int64(r.bin) }
+
+// SteadyRate returns the median nonzero bin count — a robust estimate of
+// the in-operation packet rate used to assert Fig. 5's plateau.
+func (r *RateSeries) SteadyRate() float64 {
+	s := NewSeries(len(r.counts))
+	for _, c := range r.counts {
+		if c > 0 {
+			s.Add(float64(c))
+		}
+	}
+	return s.Median()
+}
+
+// Gap describes a run of bins whose count fell below a floor.
+type Gap struct {
+	FirstBin, Bins int
+}
+
+// Gaps returns the runs of consecutive bins with counts < floor, ignoring
+// leading and trailing runs (ramp-up before traffic starts and after it
+// ends). The remaining gaps are real service interruptions.
+func (r *RateSeries) Gaps(floor int) []Gap {
+	first, last := -1, -1
+	for i, c := range r.counts {
+		if c >= floor {
+			if first == -1 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first == -1 {
+		return nil
+	}
+	var gaps []Gap
+	runStart, runLen := -1, 0
+	for i := first; i <= last; i++ {
+		if r.counts[i] < floor {
+			if runLen == 0 {
+				runStart = i
+			}
+			runLen++
+		} else if runLen > 0 {
+			gaps = append(gaps, Gap{FirstBin: runStart, Bins: runLen})
+			runStart, runLen = -1, 0
+		}
+	}
+	if runLen > 0 {
+		gaps = append(gaps, Gap{FirstBin: runStart, Bins: runLen})
+	}
+	return gaps
+}

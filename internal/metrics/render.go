@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders labeled rows of numeric columns as a stable ASCII table.
+// All figure regenerators in the repository print through Table or
+// CDFTable so that CLI output, bench output and EXPERIMENTS.md match.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells beyond the column count are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Columns) {
+		cells = cells[:len(t.Columns)]
+	}
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row formatting each value with the matching verb.
+func (t *Table) AddRowf(format string, values ...any) {
+	parts := make([]string, len(values))
+	verbs := strings.Fields(format)
+	for i, v := range values {
+		verb := "%v"
+		if i < len(verbs) {
+			verb = verbs[i]
+		}
+		parts[i] = fmt.Sprintf(verb, v)
+	}
+	t.AddRow(parts...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CDFTable renders one or more named CDFs side by side at fixed
+// percentiles — the textual equivalent of the paper's CDF plots.
+func CDFTable(title, unit string, series map[string]*Series, order []string) string {
+	quantiles := []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999, 1.0}
+	cols := append([]string{"percentile"}, order...)
+	t := NewTable(fmt.Sprintf("%s (%s)", title, unit), cols...)
+	for _, q := range quantiles {
+		row := []string{fmt.Sprintf("p%g", q*100)}
+		for _, name := range order {
+			s, ok := series[name]
+			if !ok || s.Len() == 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.1f", s.Quantile(q)))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// Sparkline renders counts as a one-line unicode bar chart, handy for
+// eyeballing Fig. 5-style rate series in terminal output.
+func Sparkline(counts []int) string {
+	if len(counts) == 0 {
+		return ""
+	}
+	levels := []rune(" ▁▂▃▄▅▆▇█")
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for _, c := range counts {
+		idx := 0
+		if max > 0 {
+			idx = c * (len(levels) - 1) / max
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

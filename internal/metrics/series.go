@@ -1,0 +1,192 @@
+// Package metrics collects and summarizes the measurements the paper's
+// evaluation reports: latency/jitter distributions rendered as CDFs,
+// consecutive-jitter ("watchdog burst") detection, packets-per-interval
+// time series (Fig. 5), and service-availability accounting in "nines"
+// (§2.2). It also renders figures as stable ASCII tables so the CLIs,
+// benchmarks and EXPERIMENTS.md agree byte for byte.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Series is an append-only collection of float64 samples with lazy
+// order statistics. The zero value is ready to use.
+type Series struct {
+	samples []float64
+	sorted  []float64 // cache; nil when stale
+	sum     float64
+}
+
+// NewSeries returns a Series pre-sized for n samples.
+func NewSeries(n int) *Series {
+	return &Series{samples: make([]float64, 0, n)}
+}
+
+// Add appends a sample.
+func (s *Series) Add(v float64) {
+	s.samples = append(s.samples, v)
+	s.sum += v
+	s.sorted = nil
+}
+
+// AddDuration appends a duration sample in nanoseconds.
+func (s *Series) AddDuration(d time.Duration) { s.Add(float64(d)) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// Sum returns the sum of all samples.
+func (s *Series) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+// Min returns the smallest sample, or 0 for an empty series.
+func (s *Series) Min() float64 {
+	ss := s.ensureSorted()
+	if len(ss) == 0 {
+		return 0
+	}
+	return ss[0]
+}
+
+// Max returns the largest sample, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	ss := s.ensureSorted()
+	if len(ss) == 0 {
+		return 0
+	}
+	return ss[len(ss)-1]
+}
+
+// Stddev returns the population standard deviation.
+func (s *Series) Stddev() float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	var acc float64
+	for _, v := range s.samples {
+		d := v - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) with linear interpolation.
+func (s *Series) Quantile(q float64) float64 {
+	ss := s.ensureSorted()
+	n := len(ss)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return ss[0]
+	}
+	if q >= 1 {
+		return ss[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return ss[lo]
+	}
+	frac := pos - float64(lo)
+	return ss[lo]*(1-frac) + ss[hi]*frac
+}
+
+// Median returns the 0.5 quantile.
+func (s *Series) Median() float64 { return s.Quantile(0.5) }
+
+// P99 returns the 0.99 quantile.
+func (s *Series) P99() float64 { return s.Quantile(0.99) }
+
+// P999 returns the 0.999 quantile.
+func (s *Series) P999() float64 { return s.Quantile(0.999) }
+
+// Samples returns a copy of the raw samples in insertion order.
+func (s *Series) Samples() []float64 {
+	out := make([]float64, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// CDFAt returns P(X <= x), the empirical CDF evaluated at x.
+func (s *Series) CDFAt(x float64) float64 {
+	ss := s.ensureSorted()
+	if len(ss) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(ss, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(ss))
+}
+
+// CDF returns points quantile-spaced CDF points (x, P(X<=x)), suitable for
+// plotting. points must be >= 2.
+func (s *Series) CDF(points int) []CDFPoint {
+	if points < 2 {
+		points = 2
+	}
+	out := make([]CDFPoint, points)
+	for i := 0; i < points; i++ {
+		p := float64(i) / float64(points-1)
+		out[i] = CDFPoint{X: s.Quantile(p), P: p}
+	}
+	return out
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // sample value
+	P float64 // cumulative probability
+}
+
+func (s *Series) ensureSorted() []float64 {
+	if s.sorted == nil {
+		s.sorted = make([]float64, len(s.samples))
+		copy(s.sorted, s.samples)
+		sort.Float64s(s.sorted)
+	}
+	return s.sorted
+}
+
+// Summary is a compact statistical digest of a series.
+type Summary struct {
+	N             int
+	Mean, Stddev  float64
+	Min, Max      float64
+	P50, P90, P99 float64
+	P999          float64
+}
+
+// Summarize computes a Summary of the series.
+func (s *Series) Summarize() Summary {
+	return Summary{
+		N:      s.Len(),
+		Mean:   s.Mean(),
+		Stddev: s.Stddev(),
+		Min:    s.Min(),
+		Max:    s.Max(),
+		P50:    s.Quantile(0.50),
+		P90:    s.Quantile(0.90),
+		P99:    s.Quantile(0.99),
+		P999:   s.Quantile(0.999),
+	}
+}
+
+// String renders the summary on one line.
+func (sm Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f sd=%.1f min=%.1f p50=%.1f p90=%.1f p99=%.1f p99.9=%.1f max=%.1f",
+		sm.N, sm.Mean, sm.Stddev, sm.Min, sm.P50, sm.P90, sm.P99, sm.P999, sm.Max)
+}

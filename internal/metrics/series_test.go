@@ -1,0 +1,236 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func seriesOf(vs ...float64) *Series {
+	s := NewSeries(len(vs))
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return s
+}
+
+func TestSeriesBasicStats(t *testing.T) {
+	s := seriesOf(1, 2, 3, 4, 5)
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Sum() != 15 {
+		t.Fatalf("Sum = %v", s.Sum())
+	}
+	want := math.Sqrt(2)
+	if d := s.Stddev(); math.Abs(d-want) > 1e-12 {
+		t.Fatalf("Stddev = %v, want %v", d, want)
+	}
+}
+
+func TestEmptySeriesIsSafe(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty series stats not zero")
+	}
+	if s.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile not zero")
+	}
+	if s.CDFAt(10) != 0 {
+		t.Fatal("empty CDF not zero")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := seriesOf(0, 10)
+	if q := s.Quantile(0.5); q != 5 {
+		t.Fatalf("Quantile(0.5) = %v, want 5", q)
+	}
+	if q := s.Quantile(0); q != 0 {
+		t.Fatalf("Quantile(0) = %v", q)
+	}
+	if q := s.Quantile(1); q != 10 {
+		t.Fatalf("Quantile(1) = %v", q)
+	}
+	if q := s.Quantile(0.25); q != 2.5 {
+		t.Fatalf("Quantile(0.25) = %v", q)
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSeries(len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			s.Add(v)
+		}
+		qa := math.Mod(math.Abs(a), 1)
+		qb := math.Mod(math.Abs(b), 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return s.Quantile(qa) <= s.Quantile(qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFAtMatchesCounting(t *testing.T) {
+	s := seriesOf(1, 2, 2, 3, 10)
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0}, {1, 0.2}, {2, 0.6}, {2.5, 0.6}, {3, 0.8}, {10, 1}, {11, 1},
+	}
+	for _, c := range cases {
+		if got := s.CDFAt(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CDFAt(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestCDFPointsMonotonic(t *testing.T) {
+	s := seriesOf(5, 1, 9, 3, 7, 2)
+	pts := s.CDF(11)
+	if len(pts) != 11 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].P < pts[i-1].P {
+			t.Fatalf("CDF not monotone at %d: %+v", i, pts)
+		}
+	}
+	if pts[0].P != 0 || pts[len(pts)-1].P != 1 {
+		t.Fatal("CDF endpoints wrong")
+	}
+}
+
+func TestSeriesQuantileAgainstSort(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSeries(len(raw))
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+			s.Add(float64(v))
+		}
+		sort.Float64s(vals)
+		return s.Min() == vals[0] && s.Max() == vals[len(vals)-1] && s.Median() >= vals[0] && s.Median() <= vals[len(vals)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Series
+	s.AddDuration(1500 * time.Nanosecond)
+	if s.Max() != 1500 {
+		t.Fatalf("AddDuration stored %v", s.Max())
+	}
+}
+
+func TestSummaryFields(t *testing.T) {
+	s := NewSeries(100)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	sm := s.Summarize()
+	if sm.N != 100 || sm.Min != 1 || sm.Max != 100 {
+		t.Fatalf("summary = %+v", sm)
+	}
+	if sm.P50 < 50 || sm.P50 > 51 {
+		t.Fatalf("P50 = %v", sm.P50)
+	}
+	if sm.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestJitterOfConstantSeriesIsZero(t *testing.T) {
+	s := seriesOf(7, 7, 7, 7)
+	j := Jitter(s)
+	if j.Max() != 0 {
+		t.Fatalf("jitter of constant = %v", j.Max())
+	}
+}
+
+func TestJitterAbsoluteDeviationFromMedian(t *testing.T) {
+	s := seriesOf(10, 10, 10, 14, 6)
+	j := Jitter(s) // median 10 -> deviations 0,0,0,4,4
+	if j.Max() != 4 {
+		t.Fatalf("jitter max = %v, want 4", j.Max())
+	}
+	if j.Min() != 0 {
+		t.Fatalf("jitter min = %v, want 0", j.Min())
+	}
+}
+
+func TestInterArrivalJitter(t *testing.T) {
+	arrivals := []int64{0, 1000, 2100, 2900, 4000}
+	j := InterArrivalJitter(arrivals, 1000*time.Nanosecond)
+	// interarrivals: 1000,1100,800,1100 -> deviations 0,100,200,100
+	if j.Len() != 4 {
+		t.Fatalf("len = %d", j.Len())
+	}
+	if j.Max() != 200 {
+		t.Fatalf("max = %v", j.Max())
+	}
+}
+
+func TestBurstsDetectsRuns(t *testing.T) {
+	j := seriesOf(0, 5, 5, 5, 0, 5, 0, 5, 5)
+	bursts := Bursts(j, 1, 2)
+	if len(bursts) != 2 {
+		t.Fatalf("bursts = %+v", bursts)
+	}
+	if bursts[0].Start != 1 || bursts[0].Length != 3 {
+		t.Fatalf("burst0 = %+v", bursts[0])
+	}
+	if bursts[1].Start != 7 || bursts[1].Length != 2 {
+		t.Fatalf("burst1 = %+v", bursts[1])
+	}
+}
+
+func TestBurstsTrailingRunFlushed(t *testing.T) {
+	j := seriesOf(0, 9, 9)
+	bursts := Bursts(j, 1, 1)
+	if len(bursts) != 1 || bursts[0].Peak != 9 {
+		t.Fatalf("bursts = %+v", bursts)
+	}
+}
+
+func TestWouldTripWatchdog(t *testing.T) {
+	j := seriesOf(0, 5, 5, 0)
+	if WouldTripWatchdog(j, 1, 3) {
+		t.Fatal("tripped with only 2 consecutive misses")
+	}
+	if !WouldTripWatchdog(j, 1, 2) {
+		t.Fatal("did not trip with budget 2")
+	}
+}
+
+func TestWorstBurst(t *testing.T) {
+	j := seriesOf(5, 0, 5, 5, 5, 0, 5)
+	w := WorstBurst(j, 1)
+	if w.Length != 3 || w.Start != 2 {
+		t.Fatalf("worst = %+v", w)
+	}
+}

@@ -1,0 +1,74 @@
+package mltopo
+
+import (
+	"fmt"
+
+	"steelnet/internal/metrics"
+	"steelnet/internal/mlwork"
+)
+
+// Apps are the two Fig. 6 applications in panel order.
+var Apps = []mlwork.Profile{mlwork.ObjectIdentification, mlwork.DefectDetection}
+
+// RunFigure6 sweeps apps × topologies × client counts and returns all
+// cells, in app-major, kind-minor order.
+func RunFigure6(cfg Figure6Config) []Result {
+	if len(cfg.ClientCounts) == 0 {
+		cfg.ClientCounts = DefaultFigure6Config().ClientCounts
+	}
+	var out []Result
+	for _, app := range Apps {
+		for _, clients := range cfg.ClientCounts {
+			for _, kind := range Kinds {
+				sc := DefaultScenario(kind, app, clients)
+				sc.Seed = cfg.Seed
+				if cfg.Horizon > 0 {
+					sc.Horizon = cfg.Horizon
+				}
+				out = append(out, Run(sc))
+			}
+		}
+	}
+	return out
+}
+
+// Cell finds the result for (app, kind, clients), or false.
+func Cell(results []Result, app string, kind Kind, clients int) (Result, bool) {
+	for _, r := range results {
+		if r.App == app && r.Kind == kind && r.Clients == clients {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// RenderFigure6 renders the sweep as the paper's two panels.
+func RenderFigure6(results []Result) string {
+	var out string
+	for _, app := range Apps {
+		t := metrics.NewTable(
+			fmt.Sprintf("Figure 6 (%s): mean inference latency (ms)", app.Name),
+			"clients", Ring.String(), LeafSpine.String(), MLAware.String())
+		counts := map[int]bool{}
+		var order []int
+		for _, r := range results {
+			if r.App == app.Name && !counts[r.Clients] {
+				counts[r.Clients] = true
+				order = append(order, r.Clients)
+			}
+		}
+		for _, n := range order {
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, kind := range []Kind{Ring, LeafSpine, MLAware} {
+				if r, ok := Cell(results, app.Name, kind, n); ok {
+					row = append(row, fmt.Sprintf("%.2f", r.MeanLatencyMS))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			t.AddRow(row...)
+		}
+		out += t.String()
+	}
+	return out
+}

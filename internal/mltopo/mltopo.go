@@ -1,0 +1,285 @@
+// Package mltopo reproduces §5's simulation-based topology comparison
+// (Fig. 6): the same population of ML inference clients is placed on a
+// classic industrial ring, an IT leaf-spine, and a traffic-aware
+// ("ML-aware") topology produced by a placement-and-dimensioning
+// optimizer, and per-request latency is measured as the client count
+// grows. The ring suffers trunk sharing and long converge paths; the
+// leaf-spine fixes the fabric but still funnels requests across it to
+// centrally-pooled servers; the ML-aware design co-locates fog servers
+// with client pods and dimensions the few links that stay hot — which
+// is exactly the paper's argument for traffic-aware industrial design.
+package mltopo
+
+import (
+	"fmt"
+	"time"
+
+	"steelnet/internal/metrics"
+	"steelnet/internal/mlwork"
+	"steelnet/internal/sim"
+	"steelnet/internal/simnet"
+	"steelnet/internal/topo"
+)
+
+// Kind selects one of the three compared topologies.
+type Kind int
+
+// Topology kinds, in the paper's legend order.
+const (
+	LeafSpine Kind = iota
+	Ring
+	MLAware
+)
+
+// String names the kind as in Fig. 6's legend.
+func (k Kind) String() string {
+	switch k {
+	case LeafSpine:
+		return "Leaf Spine"
+	case Ring:
+		return "Ring"
+	case MLAware:
+		return "ML-aware"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Kinds lists all compared topologies.
+var Kinds = []Kind{LeafSpine, Ring, MLAware}
+
+// Scenario is one simulation cell of Fig. 6.
+type Scenario struct {
+	Seed    uint64
+	Kind    Kind
+	Clients int
+	Profile mlwork.Profile
+	// Deg is the input degradation clients apply (compression chosen by
+	// the quality/quantity trade; see mlwork.ChooseCompression).
+	Deg mlwork.Degradation
+	// Horizon bounds the simulated time.
+	Horizon time.Duration
+	// ClientsPerServer sets the shared compute budget: one server per
+	// this many clients, identical across topologies so only the
+	// network differs.
+	ClientsPerServer int
+	// PlacementOnly disables the ML-aware optimizer's link
+	// dimensioning (trunks stay at the 1 Gb/s floor and fog servers on
+	// 1 Gb/s attachments) — the ablation separating the two halves of
+	// the traffic-aware design.
+	PlacementOnly bool
+}
+
+// DefaultScenario fills the Fig. 6 defaults for a kind/app/client cell.
+// The legacy topologies (ring, leaf-spine) carry raw camera streams —
+// they are network-only designs. The ML-aware design additionally
+// applies the quality/quantity trade the paper cites as its input
+// ([88]): clients compress as far as a ≥94% predicted-accuracy floor
+// allows, which is part of what "aligns inference accuracy with
+// network dimensioning".
+func DefaultScenario(kind Kind, p mlwork.Profile, clients int) Scenario {
+	deg := mlwork.Degradation{CompressionRatio: 1}
+	if kind == MLAware {
+		deg.CompressionRatio = p.ChooseCompression(0.94, []float64{1, 2, 4, 8})
+	}
+	return Scenario{
+		Seed:             1,
+		Kind:             kind,
+		Clients:          clients,
+		Profile:          p,
+		Deg:              deg,
+		Horizon:          2 * time.Second,
+		ClientsPerServer: 16,
+	}
+}
+
+// Result is one measured cell.
+type Result struct {
+	Kind    Kind
+	App     string
+	Clients int
+	// MeanLatencyMS and P99LatencyMS summarize request latency.
+	MeanLatencyMS, P99LatencyMS float64
+	// LossRate is the fraction of requests with no reply.
+	LossRate float64
+	// Requests counts completed request/response pairs.
+	Requests uint64
+}
+
+// built is the instantiated simulation: hosts wired, ready to start.
+type built struct {
+	engine  *sim.Engine
+	clients []*mlwork.Client
+	servers []*mlwork.Server
+}
+
+// Run executes one scenario and returns its measurements.
+func Run(sc Scenario) Result {
+	if sc.Clients < 1 {
+		panic("mltopo: need at least one client")
+	}
+	if sc.ClientsPerServer < 1 {
+		sc.ClientsPerServer = 16
+	}
+	if sc.Deg.CompressionRatio < 1 {
+		sc.Deg.CompressionRatio = 1
+	}
+	var b built
+	switch sc.Kind {
+	case Ring:
+		b = buildRing(sc)
+	case LeafSpine:
+		b = buildLeafSpine(sc)
+	case MLAware:
+		b = buildMLAware(sc)
+	default:
+		panic(fmt.Sprintf("mltopo: unknown kind %d", sc.Kind))
+	}
+	// Desynchronize clients across the period, as independent cameras
+	// would be.
+	rng := b.engine.RNG("phase")
+	for _, c := range b.clients {
+		c.Start(sim.Time(rng.DurationRange(0, sc.Profile.Period)))
+	}
+	b.engine.RunUntil(sim.Time(sc.Horizon))
+
+	lat := metrics.NewSeries(1024)
+	var completed, issued uint64
+	for _, c := range b.clients {
+		for _, v := range c.Latencies.Samples() {
+			lat.Add(v)
+		}
+		completed += c.Completed
+		issued += c.Completed + uint64(float64(c.Completed)*c.LossRate()/(1-minf(c.LossRate(), 0.99)))
+	}
+	res := Result{
+		Kind:          sc.Kind,
+		App:           sc.Profile.Name,
+		Clients:       sc.Clients,
+		MeanLatencyMS: lat.Mean(),
+		P99LatencyMS:  lat.P99(),
+		Requests:      completed,
+	}
+	var lost, total float64
+	for _, c := range b.clients {
+		lost += c.LossRate()
+		total++
+	}
+	res.LossRate = lost / total
+	return res
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func serverCount(sc Scenario) int {
+	n := (sc.Clients + sc.ClientsPerServer - 1) / sc.ClientsPerServer
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// assign spreads clients over servers round-robin (hash assignment, as
+// a location-unaware orchestrator would).
+func assign(i, servers int) int { return i % servers }
+
+// buildRing: the legacy OT shape. One switch per 8 clients closed into
+// a ring of 1 Gb/s trunks; all inference servers sit in the control
+// cabinet at switch 0 (where compute traditionally lives), so requests
+// converge over shared trunk links.
+func buildRing(sc Scenario) built {
+	e := sim.NewEngine(sc.Seed)
+	// One switch per two stations, as on a daisy-chained production
+	// line: the ring's diameter grows with the plant.
+	nSw := sc.Clients / 2
+	if nSw < 4 {
+		nSw = 4
+	}
+	g := topo.NewGraph("ml-ring")
+	sw := make([]topo.NodeID, nSw)
+	for i := range sw {
+		sw[i] = g.AddNode(fmt.Sprintf("sw%d", i), topo.KindSwitch)
+		if i > 0 {
+			g.AddEdge(sw[i-1], sw[i], 1e9, 500)
+		}
+	}
+	g.AddEdge(sw[nSw-1], sw[0], 1e9, 500)
+	nSrv := serverCount(sc)
+	clientNode := make([]topo.NodeID, sc.Clients)
+	serverNode := make([]topo.NodeID, nSrv)
+	for i := 0; i < sc.Clients; i++ {
+		clientNode[i] = g.AddNode(fmt.Sprintf("cam%d", i), topo.KindHost)
+		g.AddEdge(sw[(i/2)%nSw], clientNode[i], 1e9, 500)
+	}
+	for i := 0; i < nSrv; i++ {
+		serverNode[i] = g.AddNode(fmt.Sprintf("srv%d", i), topo.KindServer)
+		g.AddEdge(sw[0], serverNode[i], 1e9, 500)
+	}
+	return instantiate(e, g, sc, clientNode, serverNode, nil)
+}
+
+// buildLeafSpine: the IT shape. 4 spines, one leaf per 16 endpoints,
+// 2.5 Gb/s fabric (a mid-range industrial-DC build), 1 Gb/s access.
+// Servers are pooled on a dedicated compute leaf, so most requests
+// cross the fabric (the paper: "the leaf spine can only slightly
+// improve the performance").
+func buildLeafSpine(sc Scenario) built {
+	e := sim.NewEngine(sc.Seed)
+	nSrv := serverCount(sc)
+	leaves := (sc.Clients+15)/16 + 1 // +1 compute leaf
+	g := topo.NewGraph("ml-leafspine")
+	spines := make([]topo.NodeID, 4)
+	for i := range spines {
+		spines[i] = g.AddNode(fmt.Sprintf("spine%d", i), topo.KindSwitch)
+	}
+	leaf := make([]topo.NodeID, leaves)
+	for i := range leaf {
+		leaf[i] = g.AddNode(fmt.Sprintf("leaf%d", i), topo.KindSwitch)
+		for _, s := range spines {
+			g.AddEdge(leaf[i], s, 2.5e9, 500)
+		}
+	}
+	clientNode := make([]topo.NodeID, sc.Clients)
+	for i := 0; i < sc.Clients; i++ {
+		clientNode[i] = g.AddNode(fmt.Sprintf("cam%d", i), topo.KindHost)
+		g.AddEdge(leaf[i/16], clientNode[i], 1e9, 500)
+	}
+	serverNode := make([]topo.NodeID, nSrv)
+	compute := leaf[leaves-1]
+	for i := 0; i < nSrv; i++ {
+		serverNode[i] = g.AddNode(fmt.Sprintf("srv%d", i), topo.KindServer)
+		g.AddEdge(compute, serverNode[i], 1e9, 500)
+	}
+	return instantiate(e, g, sc, clientNode, serverNode, nil)
+}
+
+// instantiate wires the graph and creates clients/servers; assignFn
+// nil means round-robin assignment.
+func instantiate(e *sim.Engine, g *topo.Graph, sc Scenario, clientNode, serverNode []topo.NodeID, assignFn func(i int) int) built {
+	net := simnet.Build(e, g, simnet.DefaultSwitchConfig)
+	// Byte-deep buffers: commodity switches hold hundreds of KB per
+	// port; the default 256-frame class limit would incast-drop the
+	// fragmented camera frames and turn queueing into loss.
+	net.SetSwitchQueueDepth(4096)
+	net.InstallStaticRoutes()
+	b := built{engine: e}
+	servers := make([]*mlwork.Server, len(serverNode))
+	for i, n := range serverNode {
+		servers[i] = mlwork.AttachServer(e, net.Host(n), sc.Profile)
+	}
+	clients := make([]*mlwork.Client, len(clientNode))
+	for i, n := range clientNode {
+		sIdx := assign(i, len(serverNode))
+		if assignFn != nil {
+			sIdx = assignFn(i)
+		}
+		clients[i] = mlwork.AttachClient(e, net.Host(n), uint32(i+1), net.Host(serverNode[sIdx]).MAC(), sc.Profile, sc.Deg)
+	}
+	b.clients = clients
+	b.servers = servers
+	return b
+}

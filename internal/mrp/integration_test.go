@@ -1,0 +1,82 @@
+package mrp
+
+import (
+	"testing"
+	"time"
+
+	"steelnet/internal/frame"
+	"steelnet/internal/iodevice"
+	"steelnet/internal/plc"
+	"steelnet/internal/profinet"
+	"steelnet/internal/sim"
+	"steelnet/internal/simnet"
+)
+
+// controlRing wires a 1.6 ms control loop across a 4-switch MRP ring
+// (vPLC on sw0, device on sw2 — opposite sides, so a link cut between
+// them forces a reroute) and cuts a ring link mid-run.
+func controlRing(t *testing.T, cfg Config) (devFailsafes func() uint64, devState func() iodevice.State, run func(time.Duration), cut func()) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	n := 4
+	sws := make([]*simnet.Switch, n)
+	for i := 0; i < n; i++ {
+		sws[i] = simnet.NewSwitch(e, "sw", 3, simnet.SwitchConfig{Latency: sim.Microsecond})
+	}
+	links := make([]*simnet.Link, n)
+	for i := 0; i < n; i++ {
+		links[i] = simnet.Connect(e, "ring", sws[i].Port(1), sws[(i+1)%n].Port(0), 100e6, 500*sim.Nanosecond)
+	}
+	Attach(e, sws[0], 0, 1, cfg)
+	for i := 1; i < n; i++ {
+		AttachClient(sws[i], 0, 1)
+	}
+	ctrl := plc.NewController(e, "vplc", frame.NewMAC(1), plc.ControllerConfig{})
+	dev := iodevice.New(e, "io", frame.NewMAC(2), nil, nil)
+	simnet.Connect(e, "c", ctrl.Host().Port(), sws[0].Port(2), 100e6, 0)
+	simnet.Connect(e, "d", dev.Host().Port(), sws[2].Port(2), 100e6, 0)
+	ctrl.Connect(plc.ConnectSpec{
+		Device: dev.Host().MAC(),
+		Req:    profinet.ConnectRequest{ARID: 1, CycleUS: 1600, WatchdogFactor: 3, InputLen: 20, OutputLen: 20},
+	})
+	// The manager blocks sw0's port 1 (links[0]), so the active path
+	// from vPLC to device runs sw0 -> sw3 -> sw2 over links[3] and
+	// links[2]; cutting links[2] severs it.
+	return func() uint64 { return dev.FailsafeEvents },
+		func() iodevice.State { return dev.State() },
+		func(d time.Duration) { e.RunUntil(e.Now().Add(d)) },
+		func() { links[2].SetUp(false) }
+}
+
+func TestStandardMRPTooSlowForMotionControlWatchdog(t *testing.T) {
+	// Standard MRP (3×20 ms) recovers far outside the 4.8 ms device
+	// watchdog: the cell failsafes once, then recovers — the §2.2
+	// observation that OT failover budgets and network recovery times
+	// must be co-designed.
+	failsafes, state, run, cut := controlRing(t, DefaultConfig)
+	run(500 * time.Millisecond)
+	cut()
+	run(2 * time.Second)
+	if failsafes() == 0 {
+		t.Fatal("60ms ring recovery magically beat a 4.8ms watchdog")
+	}
+	if state() != iodevice.StateOperate {
+		t.Fatalf("device did not recover after ring reconverged: %v", state())
+	}
+}
+
+func TestFastMRPProfileKeepsWatchdogAlive(t *testing.T) {
+	// A fast profile (3×1 ms ≈ 3 ms + reroute) stays inside the 4.8 ms
+	// budget: the cut is invisible to the process.
+	fast := Config{TestInterval: time.Millisecond, TestTolerance: 2}
+	failsafes, state, run, cut := controlRing(t, fast)
+	run(500 * time.Millisecond)
+	cut()
+	run(2 * time.Second)
+	if failsafes() != 0 {
+		t.Fatalf("failsafes = %d with fast ring profile", failsafes())
+	}
+	if state() != iodevice.StateOperate {
+		t.Fatalf("device state = %v", state())
+	}
+}

@@ -1,0 +1,158 @@
+package mrp
+
+import (
+	"testing"
+	"time"
+
+	"steelnet/internal/frame"
+	"steelnet/internal/sim"
+	"steelnet/internal/simnet"
+)
+
+// ring builds a 4-switch ring with the manager on sw0 (ring ports 0,1)
+// and a host on every switch (port 2). Ring links use ports 0 (to the
+// previous switch) and 1 (to the next).
+func ring(t *testing.T, cfg Config) (*sim.Engine, []*simnet.Switch, []*simnet.Host, *Manager, []*simnet.Link) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	n := 4
+	sws := make([]*simnet.Switch, n)
+	hosts := make([]*simnet.Host, n)
+	for i := 0; i < n; i++ {
+		sws[i] = simnet.NewSwitch(e, "sw", 3, simnet.SwitchConfig{Latency: sim.Microsecond})
+		hosts[i] = simnet.NewHost(e, "h", frame.NewMAC(uint32(i+1)))
+		simnet.Connect(e, "h", hosts[i].Port(), sws[i].Port(2), 100e6, 0)
+	}
+	links := make([]*simnet.Link, n)
+	for i := 0; i < n; i++ {
+		next := (i + 1) % n
+		links[i] = simnet.Connect(e, "ring", sws[i].Port(1), sws[next].Port(0), 100e6, 500*sim.Nanosecond)
+	}
+	mgr := Attach(e, sws[0], 0, 1, cfg)
+	for i := 1; i < n; i++ {
+		AttachClient(sws[i], 0, 1)
+	}
+	return e, sws, hosts, mgr, links
+}
+
+func TestClosedRingHasNoBroadcastStorm(t *testing.T) {
+	e, _, hosts, mgr, _ := ring(t, DefaultConfig)
+	received := 0
+	hosts[2].OnReceive(func(*frame.Frame) { received++ })
+	e.RunUntil(sim.Time(100 * time.Millisecond))
+	if mgr.State() != RingClosed {
+		t.Fatalf("state = %v", mgr.State())
+	}
+	hosts[0].Send(&frame.Frame{Dst: frame.Broadcast, Payload: []byte{1}})
+	e.RunUntil(sim.Time(200 * time.Millisecond))
+	if received != 1 {
+		t.Fatalf("broadcast copies = %d, want exactly 1 (no storm, no loss)", received)
+	}
+}
+
+func TestTestFramesCirculate(t *testing.T) {
+	e, _, _, mgr, _ := ring(t, DefaultConfig)
+	e.RunUntil(sim.Time(500 * time.Millisecond))
+	if mgr.TestsSent < 20 {
+		t.Fatalf("tests sent = %d", mgr.TestsSent)
+	}
+	if mgr.TestsReturned < mgr.TestsSent/2 {
+		t.Fatalf("tests returned = %d of %d", mgr.TestsReturned, mgr.TestsSent)
+	}
+	if mgr.State() != RingClosed || mgr.Transitions != 0 {
+		t.Fatalf("healthy ring flapped: state=%v transitions=%d", mgr.State(), mgr.Transitions)
+	}
+}
+
+func TestRingOpensOnLinkFailure(t *testing.T) {
+	e, _, _, mgr, links := ring(t, DefaultConfig)
+	var openedAt sim.Time
+	mgr.OnStateChange = func(s RingState) {
+		if s == RingOpen && openedAt == 0 {
+			openedAt = e.Now()
+		}
+	}
+	e.RunUntil(sim.Time(200 * time.Millisecond))
+	failAt := e.Now()
+	links[2].SetUp(false) // cut a link far from the manager
+	e.RunUntil(sim.Time(500 * time.Millisecond))
+	if mgr.State() != RingOpen {
+		t.Fatalf("state = %v after link cut", mgr.State())
+	}
+	budget := time.Duration(DefaultConfig.TestTolerance+2) * DefaultConfig.TestInterval
+	if gap := openedAt.Sub(failAt); gap > budget {
+		t.Fatalf("ring opened after %v, budget %v", gap, budget)
+	}
+}
+
+func TestConnectivityRestoredAfterFailure(t *testing.T) {
+	e, _, hosts, _, links := ring(t, DefaultConfig)
+	got := 0
+	hosts[2].OnReceive(func(f *frame.Frame) {
+		if f.Type == frame.TypeProfinet {
+			got++
+		}
+	})
+	send := func() {
+		hosts[0].Send(&frame.Frame{Dst: hosts[2].MAC(), Type: frame.TypeProfinet, Payload: []byte{1}})
+	}
+	e.RunUntil(sim.Time(100 * time.Millisecond))
+	send()
+	e.RunUntil(sim.Time(150 * time.Millisecond))
+	if got != 1 {
+		t.Fatalf("pre-failure delivery = %d", got)
+	}
+	// Cut the link the current path uses (between sw1 and sw2), wait
+	// for reconvergence, send again: must arrive the other way round.
+	links[1].SetUp(false)
+	e.RunUntil(sim.Time(400 * time.Millisecond))
+	send()
+	e.RunUntil(sim.Time(500 * time.Millisecond))
+	if got != 2 {
+		t.Fatalf("post-failure delivery = %d, want 2", got)
+	}
+}
+
+func TestRingClosesAgainAfterRepair(t *testing.T) {
+	e, _, _, mgr, links := ring(t, DefaultConfig)
+	e.RunUntil(sim.Time(200 * time.Millisecond))
+	links[2].SetUp(false)
+	e.RunUntil(sim.Time(400 * time.Millisecond))
+	if mgr.State() != RingOpen {
+		t.Fatal("ring did not open")
+	}
+	links[2].SetUp(true)
+	e.RunUntil(sim.Time(800 * time.Millisecond))
+	if mgr.State() != RingClosed {
+		t.Fatalf("ring did not re-close after repair: %v", mgr.State())
+	}
+}
+
+func TestTopologyChangeFlushesClients(t *testing.T) {
+	e, sws, hosts, _, links := ring(t, DefaultConfig)
+	// Teach the switches a path.
+	hosts[0].Send(&frame.Frame{Dst: hosts[2].MAC(), Payload: []byte{1}})
+	hosts[2].Send(&frame.Frame{Dst: hosts[0].MAC(), Payload: []byte{1}})
+	e.RunUntil(sim.Time(100 * time.Millisecond))
+	_ = sws
+	links[1].SetUp(false)
+	e.RunUntil(sim.Time(400 * time.Millisecond))
+	// Client flush counters moved (manager sent topology change).
+	flushed := false
+	for i := 1; i < 4; i++ {
+		// Clients store themselves in the switch hook; reconstruct via
+		// behaviour: after a flush, the FIB forgets hosts[0].
+		if sws[i].LookupPort(hosts[0].MAC()) == -1 {
+			flushed = true
+		}
+	}
+	if !flushed {
+		t.Fatal("no client flushed its FIB after topology change")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if RingClosed.String() != "closed" || RingOpen.String() != "open" {
+		t.Fatal("state names")
+	}
+}

@@ -1,0 +1,328 @@
+// Package plc implements the Programmable Logic Controller runtime at
+// the heart of the factory (§1.1): a scan-cycle executor (read inputs →
+// run logic → write outputs) over a process image, a small IEC
+// 61131-3-style instruction-list (IL) interpreter for the control logic
+// itself, a PROFINET controller role that exchanges cyclic IO with
+// devices, virtual-PLC timing that couples the scan cycle to the host
+// virtualization stack (§2.1), and the classic redundant pair with a
+// dedicated sync link (§4's hardware baseline, S7-1500R-style [98]).
+package plc
+
+import (
+	"fmt"
+	"time"
+)
+
+// Area selects a process-image region in an operand address.
+type Area uint8
+
+// Operand areas, IEC style: %I inputs, %Q outputs, %M memory flags.
+const (
+	AreaInput  Area = iota // %I
+	AreaOutput             // %Q
+	AreaMemory             // %M
+)
+
+// String returns the IEC prefix.
+func (a Area) String() string {
+	switch a {
+	case AreaInput:
+		return "%I"
+	case AreaOutput:
+		return "%Q"
+	case AreaMemory:
+		return "%M"
+	}
+	return fmt.Sprintf("area(%d)", uint8(a))
+}
+
+// BitAddr addresses one bit, byte.bit style (e.g. %I0.3).
+type BitAddr struct {
+	Area Area
+	Byte uint16
+	Bit  uint8 // 0-7
+}
+
+// String renders the address IEC style.
+func (b BitAddr) String() string { return fmt.Sprintf("%s%d.%d", b.Area, b.Byte, b.Bit) }
+
+// ILOp is an instruction-list operation.
+type ILOp uint8
+
+// IL operations. The accumulator (RLO, "result of logic operation") is
+// boolean; word operations use a separate integer accumulator.
+const (
+	ILLoad   ILOp = iota // RLO = bit
+	ILLoadN              // RLO = !bit
+	ILAnd                // RLO &= bit
+	ILAndN               // RLO &= !bit
+	ILOr                 // RLO |= bit
+	ILOrN                // RLO |= !bit
+	ILXor                // RLO ^= bit
+	ILStore              // bit = RLO
+	ILStoreN             // bit = !RLO
+	ILSet                // if RLO { bit = 1 }
+	ILReset              // if RLO { bit = 0 }
+	ILNot                // RLO = !RLO
+
+	ILLoadW  // ACC = word at Byte (big-endian uint16)
+	ILAddW   // ACC += word
+	ILSubW   // ACC -= word
+	ILStoreW // word at Byte = ACC
+	ILLoadWI // ACC = Imm
+
+	ILTon // on-delay timer: RLO gates timer Timer with preset Imm ms
+
+	// ILCtu is an up-counter: a rising edge of RLO increments counter
+	// Timer; RLO becomes Q = (count >= Imm). ILCtuR resets counter
+	// Timer when RLO is true. ILRtrig turns RLO into a one-scan pulse
+	// on its rising edge (R_TRIG), using edge-memory slot Timer.
+	ILCtu
+	ILCtuR
+	ILRtrig
+)
+
+// ILInsn is one IL instruction.
+type ILInsn struct {
+	Op    ILOp
+	Addr  BitAddr
+	Imm   uint16
+	Timer uint8 // timer index for ILTon
+}
+
+// MaxTimers bounds the per-program TON timer pool.
+const MaxTimers = 16
+
+// ILProgram is a compiled instruction list.
+type ILProgram struct {
+	Name  string
+	Insns []ILInsn
+}
+
+// ilState is the retentive state of one program instance.
+type ilState struct {
+	memory   [256]byte
+	timers   [MaxTimers]tonState
+	counters [MaxTimers]ctuState
+	edges    [MaxTimers]bool
+}
+
+type ctuState struct {
+	count uint16
+	prev  bool
+}
+
+type tonState struct {
+	running bool
+	started time.Duration // scan-time when the input went true
+	done    bool
+}
+
+// Image is the process image a scan operates on.
+type Image struct {
+	Inputs  []byte
+	Outputs []byte
+}
+
+// Runner executes an ILProgram scan by scan, keeping retentive memory
+// and timer state between scans.
+type Runner struct {
+	prog  *ILProgram
+	state ilState
+}
+
+// NewRunner instantiates a program.
+func NewRunner(p *ILProgram) *Runner { return &Runner{prog: p} }
+
+// Program returns the underlying program.
+func (r *Runner) Program() *ILProgram { return r.prog }
+
+// Memory exposes the retentive %M area (for tests and HMI access).
+func (r *Runner) Memory() []byte { return r.state.memory[:] }
+
+// Scan executes one pass over img at scan time now (used by timers).
+// It returns an error on out-of-range operand addresses.
+func (r *Runner) Scan(img Image, now time.Duration) error {
+	rlo := false
+	var acc uint16
+	for pc, in := range r.prog.Insns {
+		area, err := r.area(img, in.Addr.Area)
+		if err != nil {
+			return fmt.Errorf("plc: %s insn %d: %w", r.prog.Name, pc, err)
+		}
+		switch in.Op {
+		case ILLoad, ILLoadN, ILAnd, ILAndN, ILOr, ILOrN, ILXor, ILStore, ILStoreN, ILSet, ILReset:
+			if int(in.Addr.Byte) >= len(area) {
+				return fmt.Errorf("plc: %s insn %d: address %s out of range", r.prog.Name, pc, in.Addr)
+			}
+			bit := area[in.Addr.Byte]&(1<<in.Addr.Bit) != 0
+			switch in.Op {
+			case ILLoad:
+				rlo = bit
+			case ILLoadN:
+				rlo = !bit
+			case ILAnd:
+				rlo = rlo && bit
+			case ILAndN:
+				rlo = rlo && !bit
+			case ILOr:
+				rlo = rlo || bit
+			case ILOrN:
+				rlo = rlo || !bit
+			case ILXor:
+				rlo = rlo != bit
+			case ILStore:
+				setBit(area, in.Addr, rlo)
+			case ILStoreN:
+				setBit(area, in.Addr, !rlo)
+			case ILSet:
+				if rlo {
+					setBit(area, in.Addr, true)
+				}
+			case ILReset:
+				if rlo {
+					setBit(area, in.Addr, false)
+				}
+			}
+		case ILNot:
+			rlo = !rlo
+		case ILLoadWI:
+			acc = in.Imm
+		case ILLoadW, ILAddW, ILSubW, ILStoreW:
+			if int(in.Addr.Byte)+2 > len(area) {
+				return fmt.Errorf("plc: %s insn %d: word address %s out of range", r.prog.Name, pc, in.Addr)
+			}
+			w := uint16(area[in.Addr.Byte])<<8 | uint16(area[in.Addr.Byte+1])
+			switch in.Op {
+			case ILLoadW:
+				acc = w
+			case ILAddW:
+				acc += w
+			case ILSubW:
+				acc -= w
+			case ILStoreW:
+				area[in.Addr.Byte] = byte(acc >> 8)
+				area[in.Addr.Byte+1] = byte(acc)
+			}
+		case ILCtu:
+			if int(in.Timer) >= MaxTimers {
+				return fmt.Errorf("plc: %s insn %d: counter %d out of range", r.prog.Name, pc, in.Timer)
+			}
+			ct := &r.state.counters[in.Timer]
+			if rlo && !ct.prev && ct.count < 0xffff {
+				ct.count++
+			}
+			ct.prev = rlo
+			rlo = ct.count >= in.Imm
+		case ILCtuR:
+			if int(in.Timer) >= MaxTimers {
+				return fmt.Errorf("plc: %s insn %d: counter %d out of range", r.prog.Name, pc, in.Timer)
+			}
+			if rlo {
+				r.state.counters[in.Timer].count = 0
+			}
+		case ILRtrig:
+			if int(in.Timer) >= MaxTimers {
+				return fmt.Errorf("plc: %s insn %d: edge slot %d out of range", r.prog.Name, pc, in.Timer)
+			}
+			prev := r.state.edges[in.Timer]
+			r.state.edges[in.Timer] = rlo
+			rlo = rlo && !prev
+		case ILTon:
+			if int(in.Timer) >= MaxTimers {
+				return fmt.Errorf("plc: %s insn %d: timer %d out of range", r.prog.Name, pc, in.Timer)
+			}
+			t := &r.state.timers[in.Timer]
+			preset := time.Duration(in.Imm) * time.Millisecond
+			if rlo {
+				if !t.running {
+					t.running = true
+					t.started = now
+					t.done = false
+				}
+				if now-t.started >= preset {
+					t.done = true
+				}
+			} else {
+				t.running = false
+				t.done = false
+			}
+			rlo = t.done
+		default:
+			return fmt.Errorf("plc: %s insn %d: unknown op %d", r.prog.Name, pc, in.Op)
+		}
+	}
+	return nil
+}
+
+func (r *Runner) area(img Image, a Area) ([]byte, error) {
+	switch a {
+	case AreaInput:
+		return img.Inputs, nil
+	case AreaOutput:
+		return img.Outputs, nil
+	case AreaMemory:
+		return r.state.memory[:], nil
+	}
+	return nil, fmt.Errorf("unknown area %d", a)
+}
+
+func setBit(area []byte, a BitAddr, v bool) {
+	if v {
+		area[a.Byte] |= 1 << a.Bit
+	} else {
+		area[a.Byte] &^= 1 << a.Bit
+	}
+}
+
+// Convenience constructors for readable programs.
+
+// I returns an input bit address.
+func I(byteIdx uint16, bit uint8) BitAddr { return BitAddr{AreaInput, byteIdx, bit} }
+
+// Q returns an output bit address.
+func Q(byteIdx uint16, bit uint8) BitAddr { return BitAddr{AreaOutput, byteIdx, bit} }
+
+// M returns a memory bit address.
+func M(byteIdx uint16, bit uint8) BitAddr { return BitAddr{AreaMemory, byteIdx, bit} }
+
+// LD emits RLO = addr.
+func LD(a BitAddr) ILInsn { return ILInsn{Op: ILLoad, Addr: a} }
+
+// LDN emits RLO = !addr.
+func LDN(a BitAddr) ILInsn { return ILInsn{Op: ILLoadN, Addr: a} }
+
+// AND emits RLO &= addr.
+func AND(a BitAddr) ILInsn { return ILInsn{Op: ILAnd, Addr: a} }
+
+// ANDN emits RLO &= !addr.
+func ANDN(a BitAddr) ILInsn { return ILInsn{Op: ILAndN, Addr: a} }
+
+// OR emits RLO |= addr.
+func OR(a BitAddr) ILInsn { return ILInsn{Op: ILOr, Addr: a} }
+
+// ST emits addr = RLO.
+func ST(a BitAddr) ILInsn { return ILInsn{Op: ILStore, Addr: a} }
+
+// STN emits addr = !RLO.
+func STN(a BitAddr) ILInsn { return ILInsn{Op: ILStoreN, Addr: a} }
+
+// SET emits a set-latch.
+func SET(a BitAddr) ILInsn { return ILInsn{Op: ILSet, Addr: a} }
+
+// RST emits a reset-latch.
+func RST(a BitAddr) ILInsn { return ILInsn{Op: ILReset, Addr: a} }
+
+// TON emits an on-delay timer with preset in milliseconds.
+func TON(timer uint8, presetMS uint16) ILInsn { return ILInsn{Op: ILTon, Timer: timer, Imm: presetMS} }
+
+// CTU emits an up-counter with the given preset.
+func CTU(counter uint8, preset uint16) ILInsn {
+	return ILInsn{Op: ILCtu, Timer: counter, Imm: preset}
+}
+
+// CTUR emits a counter reset gated by RLO.
+func CTUR(counter uint8) ILInsn { return ILInsn{Op: ILCtuR, Timer: counter} }
+
+// RTRIG emits a rising-edge one-scan pulse using edge slot.
+func RTRIG(slot uint8) ILInsn { return ILInsn{Op: ILRtrig, Timer: slot} }

@@ -1,0 +1,90 @@
+package profinet
+
+import "encoding/binary"
+
+// DCPIdentify is the discovery request: broadcast with an optional
+// station-name filter (empty matches every device), the way PROFINET's
+// DCP Identify commissions a network before any CR exists.
+type DCPIdentify struct {
+	XID    uint32 // transaction id echoed by responses
+	Filter string // station-name filter, empty = all
+}
+
+// Marshal encodes the request.
+func (d DCPIdentify) Marshal() []byte {
+	b := make([]byte, 8+len(d.Filter))
+	binary.BigEndian.PutUint16(b[0:], uint16(FrameIDDCPIdentify))
+	binary.BigEndian.PutUint32(b[2:], d.XID)
+	binary.BigEndian.PutUint16(b[6:], uint16(len(d.Filter)))
+	copy(b[8:], d.Filter)
+	return b
+}
+
+// UnmarshalDCPIdentify decodes a request.
+func UnmarshalDCPIdentify(b []byte) (DCPIdentify, error) {
+	if len(b) < 8 {
+		return DCPIdentify{}, ErrTruncated
+	}
+	if FrameID(binary.BigEndian.Uint16(b)) != FrameIDDCPIdentify {
+		return DCPIdentify{}, ErrFrameID
+	}
+	n := int(binary.BigEndian.Uint16(b[6:]))
+	if len(b) < 8+n {
+		return DCPIdentify{}, ErrTruncated
+	}
+	return DCPIdentify{
+		XID:    binary.BigEndian.Uint32(b[2:]),
+		Filter: string(b[8 : 8+n]),
+	}, nil
+}
+
+// DCPIdentifyResponse announces a station.
+type DCPIdentifyResponse struct {
+	XID         uint32
+	StationName string
+	// DeviceRole hints what the station is (device, controller).
+	DeviceRole uint8
+}
+
+// Device roles.
+const (
+	RoleIODevice   uint8 = 1
+	RoleController uint8 = 2
+)
+
+// Marshal encodes the response.
+func (d DCPIdentifyResponse) Marshal() []byte {
+	b := make([]byte, 9+len(d.StationName))
+	binary.BigEndian.PutUint16(b[0:], uint16(FrameIDDCPIdentifyResp))
+	binary.BigEndian.PutUint32(b[2:], d.XID)
+	b[6] = d.DeviceRole
+	binary.BigEndian.PutUint16(b[7:], uint16(len(d.StationName)))
+	copy(b[9:], d.StationName)
+	return b
+}
+
+// UnmarshalDCPIdentifyResponse decodes a response.
+func UnmarshalDCPIdentifyResponse(b []byte) (DCPIdentifyResponse, error) {
+	if len(b) < 9 {
+		return DCPIdentifyResponse{}, ErrTruncated
+	}
+	if FrameID(binary.BigEndian.Uint16(b)) != FrameIDDCPIdentifyResp {
+		return DCPIdentifyResponse{}, ErrFrameID
+	}
+	n := int(binary.BigEndian.Uint16(b[7:]))
+	if len(b) < 9+n {
+		return DCPIdentifyResponse{}, ErrTruncated
+	}
+	return DCPIdentifyResponse{
+		XID:         binary.BigEndian.Uint32(b[2:]),
+		DeviceRole:  b[6],
+		StationName: string(b[9 : 9+n]),
+	}, nil
+}
+
+// MatchesFilter reports whether a station name satisfies a DCP filter:
+// empty filter matches everything, otherwise exact match (PROFINET
+// also supports aliases; exact is the common case).
+func MatchesFilter(stationName, filter string) bool {
+	return filter == "" || stationName == filter
+}

@@ -1,0 +1,192 @@
+// Package ptp implements a two-step IEEE 1588 Precision Time Protocol
+// exchange over the simulated network: Sync/Follow_Up from the master,
+// Delay_Req/Delay_Resp from the slave, and an offset servo on the
+// slave's local oscillator. It exists to make §3's argument measurable:
+// PTP can discipline a drifting clock to sub-µs offsets, but its offset
+// estimate assumes symmetric paths — any forward/backward delay
+// asymmetry leaves a residual error of half the asymmetry that no
+// amount of synchronization traffic removes. That residual is why
+// Traffic Reflection measures with a single tap clock instead.
+package ptp
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"steelnet/internal/clock"
+	"steelnet/internal/frame"
+	"steelnet/internal/metrics"
+	"steelnet/internal/sim"
+	"steelnet/internal/simnet"
+)
+
+// Message types.
+const (
+	msgSync      = 1
+	msgFollowUp  = 2
+	msgDelayReq  = 3
+	msgDelayResp = 4
+)
+
+// message is the wire form: type(1) seq(2) timestamp(8).
+const msgLen = 11
+
+var errShort = errors.New("ptp: short message")
+
+func marshal(typ uint8, seq uint16, ts int64) []byte {
+	b := make([]byte, msgLen)
+	b[0] = typ
+	binary.BigEndian.PutUint16(b[1:], seq)
+	binary.BigEndian.PutUint64(b[3:], uint64(ts))
+	return b
+}
+
+func unmarshal(b []byte) (typ uint8, seq uint16, ts int64, err error) {
+	if len(b) < msgLen {
+		return 0, 0, 0, errShort
+	}
+	return b[0], binary.BigEndian.Uint16(b[1:]), int64(binary.BigEndian.Uint64(b[3:])), nil
+}
+
+// Master is the grandmaster: it owns the reference clock and answers
+// delay requests.
+type Master struct {
+	host   *simnet.Host
+	engine *sim.Engine
+	clk    clock.Clock
+	seq    uint16
+	ticker *sim.Ticker
+
+	// SyncsSent counts sync rounds initiated.
+	SyncsSent uint64
+}
+
+// NewMaster creates a grandmaster with reference clock clk.
+func NewMaster(e *sim.Engine, name string, mac frame.MAC, clk clock.Clock) *Master {
+	m := &Master{host: simnet.NewHost(e, name, mac), engine: e, clk: clk}
+	m.host.OnReceive(m.onFrame)
+	return m
+}
+
+// Host returns the underlying host for wiring.
+func (m *Master) Host() *simnet.Host { return m.host }
+
+// Start begins sync rounds towards slave every interval.
+func (m *Master) Start(slave frame.MAC, interval time.Duration) {
+	m.ticker = m.engine.Every(m.engine.Now(), interval, func() {
+		seq := m.seq
+		m.seq++
+		m.SyncsSent++
+		// Two-step: Sync goes out, then Follow_Up carries the precise
+		// transmit timestamp t1 taken at send time.
+		t1 := m.clk.Read(m.engine.Now())
+		m.send(slave, marshal(msgSync, seq, 0))
+		m.send(slave, marshal(msgFollowUp, seq, t1))
+	})
+}
+
+// Stop halts sync rounds.
+func (m *Master) Stop() {
+	if m.ticker != nil {
+		m.ticker.Stop()
+	}
+}
+
+func (m *Master) onFrame(f *frame.Frame) {
+	if f.Type != frame.TypePTP {
+		return
+	}
+	typ, seq, _, err := unmarshal(f.Payload)
+	if err != nil || typ != msgDelayReq {
+		return
+	}
+	// t4: arrival of the delay request at the master.
+	t4 := m.clk.Read(m.engine.Now())
+	m.send(f.Src, marshal(msgDelayResp, seq, t4))
+}
+
+func (m *Master) send(dst frame.MAC, payload []byte) {
+	m.host.Send(&frame.Frame{
+		Dst: dst, Tagged: true, Priority: frame.PrioNetControl, VID: 10,
+		Type: frame.TypePTP, Payload: payload,
+	})
+}
+
+// Slave disciplines a drifting local oscillator against the master.
+type Slave struct {
+	host   *simnet.Host
+	engine *sim.Engine
+	osc    clock.Clock // free-running local oscillator
+	corr   int64       // servo correction added to the oscillator
+
+	t1, t2, t3 int64
+	haveSync   bool
+	curSeq     uint16
+
+	// OffsetSamples records the servo's computed offsets (ns) per round.
+	OffsetSamples *metrics.Series
+	// Rounds counts completed sync exchanges.
+	Rounds uint64
+}
+
+// NewSlave creates a slave with free-running oscillator osc.
+func NewSlave(e *sim.Engine, name string, mac frame.MAC, osc clock.Clock) *Slave {
+	s := &Slave{
+		host: simnet.NewHost(e, name, mac), engine: e, osc: osc,
+		OffsetSamples: metrics.NewSeries(128),
+	}
+	s.host.OnReceive(s.onFrame)
+	return s
+}
+
+// Host returns the underlying host for wiring.
+func (s *Slave) Host() *simnet.Host { return s.host }
+
+// Now returns the slave's disciplined time at virtual instant now.
+func (s *Slave) Now(now sim.Time) int64 { return s.osc.Read(now) + s.corr }
+
+// OffsetError returns the slave's error vs true time at now — the
+// quantity a real deployment can never observe directly.
+func (s *Slave) OffsetError(now sim.Time) time.Duration {
+	return time.Duration(s.Now(now) - int64(now))
+}
+
+func (s *Slave) onFrame(f *frame.Frame) {
+	if f.Type != frame.TypePTP {
+		return
+	}
+	typ, seq, ts, err := unmarshal(f.Payload)
+	if err != nil {
+		return
+	}
+	switch typ {
+	case msgSync:
+		s.curSeq = seq
+		s.t2 = s.Now(s.engine.Now())
+		s.haveSync = true
+	case msgFollowUp:
+		if !s.haveSync || seq != s.curSeq {
+			return
+		}
+		s.t1 = ts
+		// Kick off the delay measurement.
+		s.t3 = s.Now(s.engine.Now())
+		s.host.Send(&frame.Frame{
+			Dst: f.Src, Tagged: true, Priority: frame.PrioNetControl, VID: 10,
+			Type: frame.TypePTP, Payload: marshal(msgDelayReq, seq, 0),
+		})
+	case msgDelayResp:
+		if !s.haveSync || seq != s.curSeq {
+			return
+		}
+		t4 := ts
+		// offset = ((t2-t1) - (t4-t3)) / 2; exact only when the two
+		// directions have equal delay.
+		offset := ((s.t2 - s.t1) - (t4 - s.t3)) / 2
+		s.corr -= offset
+		s.OffsetSamples.Add(float64(offset))
+		s.Rounds++
+		s.haveSync = false
+	}
+}

@@ -1,0 +1,137 @@
+package ptp
+
+import (
+	"testing"
+	"time"
+
+	"steelnet/internal/clock"
+	"steelnet/internal/frame"
+	"steelnet/internal/sim"
+	"steelnet/internal/simnet"
+)
+
+// rig wires master and slave over one link and returns them plus the
+// link for asymmetry injection. The slave oscillator drifts +driftPPM
+// and starts offset by startOffset.
+func rig(t *testing.T, driftPPM float64, startOffset time.Duration) (*sim.Engine, *Master, *Slave, *simnet.Link) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	m := NewMaster(e, "gm", frame.NewMAC(1), clock.Perfect{})
+	s := NewSlave(e, "slave", frame.NewMAC(2), clock.Drifting{Offset: startOffset, DriftPPM: driftPPM})
+	l := simnet.Connect(e, "ptp", m.Host().Port(), s.Host().Port(), 1e9, 5*sim.Microsecond)
+	return e, m, s, l
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	typ, seq, ts, err := unmarshal(marshal(msgFollowUp, 42, 123456789))
+	if err != nil || typ != msgFollowUp || seq != 42 || ts != 123456789 {
+		t.Fatalf("roundtrip = %d,%d,%d,%v", typ, seq, ts, err)
+	}
+	if _, _, _, err := unmarshal([]byte{1, 2}); err != errShort {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSlaveConvergesOnSymmetricPath(t *testing.T) {
+	e, m, s, _ := rig(t, 20, 500*time.Microsecond)
+	m.Start(s.Host().MAC(), 100*time.Millisecond)
+	e.RunUntil(sim.Time(5 * time.Second))
+	m.Stop()
+	if s.Rounds < 40 {
+		t.Fatalf("rounds = %d", s.Rounds)
+	}
+	// Converged error: bounded by drift accumulated in one interval
+	// (20 ppm × 100 ms = 2 µs) — sub-µs right after a round, a few µs
+	// at worst. The 500 µs initial offset must be long gone.
+	if err := s.OffsetError(e.Now()); err < -5*time.Microsecond || err > 5*time.Microsecond {
+		t.Fatalf("offset error = %v", err)
+	}
+}
+
+func TestSlaveTracksDriftContinuously(t *testing.T) {
+	e, m, s, _ := rig(t, 50, 0)
+	m.Start(s.Host().MAC(), 50*time.Millisecond)
+	// Without the servo, 50 ppm over 3 s would be 150 µs of error.
+	e.RunUntil(sim.Time(3 * time.Second))
+	if err := s.OffsetError(e.Now()); err < -10*time.Microsecond || err > 10*time.Microsecond {
+		t.Fatalf("offset error = %v, drift not servoed out", err)
+	}
+}
+
+func TestAsymmetryLeavesResidualError(t *testing.T) {
+	// §3's point: with +100 µs extra on the master->slave direction the
+	// servo converges to a standing error of asymmetry/2 = 50 µs that
+	// no further syncing removes.
+	e, m, s, l := rig(t, 0, 0)
+	l.SetAsymmetry(0, 100*time.Microsecond) // master is end 0
+	m.Start(s.Host().MAC(), 100*time.Millisecond)
+	e.RunUntil(sim.Time(3 * time.Second))
+	err := s.OffsetError(e.Now())
+	// The slave believes it is synchronized; really it runs behind by
+	// half the asymmetry (the inflated t2-t1 makes the servo
+	// over-correct downward).
+	if err > -40*time.Microsecond || err < -60*time.Microsecond {
+		t.Fatalf("residual = %v, want ≈-50µs (asym/2)", err)
+	}
+	// And the servo reports near-zero offsets, hiding the error.
+	recent := s.OffsetSamples.Samples()
+	last := recent[len(recent)-1]
+	if last > 1000 || last < -1000 {
+		t.Fatalf("servo still sees %vns offset; should believe it is synced", last)
+	}
+}
+
+func TestPerfectOscillatorStaysPut(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := NewMaster(e, "gm", frame.NewMAC(1), clock.Perfect{})
+	s := NewSlave(e, "slave", frame.NewMAC(2), clock.Perfect{})
+	simnet.Connect(e, "ptp", m.Host().Port(), s.Host().Port(), 1e9, sim.Microsecond)
+	m.Start(s.Host().MAC(), 100*time.Millisecond)
+	e.RunUntil(sim.Time(2 * time.Second))
+	if err := s.OffsetError(e.Now()); err < -time.Microsecond || err > time.Microsecond {
+		t.Fatalf("perfect oscillator perturbed: %v", err)
+	}
+}
+
+func TestMasterCountsSyncs(t *testing.T) {
+	e, m, s, _ := rig(t, 0, 0)
+	m.Start(s.Host().MAC(), 100*time.Millisecond)
+	e.RunUntil(sim.Time(time.Second))
+	m.Stop()
+	if m.SyncsSent < 9 || m.SyncsSent > 11 {
+		t.Fatalf("syncs = %d", m.SyncsSent)
+	}
+	sent := m.SyncsSent
+	e.RunUntil(sim.Time(2 * time.Second))
+	if m.SyncsSent != sent {
+		t.Fatal("master kept syncing after Stop")
+	}
+}
+
+func TestStaleFollowUpIgnored(t *testing.T) {
+	// A Follow_Up with a mismatched sequence must not corrupt state.
+	e := sim.NewEngine(1)
+	s := NewSlave(e, "slave", frame.NewMAC(2), clock.Perfect{})
+	injector := simnet.NewHost(e, "inj", frame.NewMAC(9))
+	simnet.Connect(e, "l", injector.Port(), s.Host().Port(), 1e9, 0)
+	injector.Send(&frame.Frame{Dst: s.Host().MAC(), Type: frame.TypePTP, Payload: marshal(msgFollowUp, 99, 12345)})
+	injector.Send(&frame.Frame{Dst: s.Host().MAC(), Type: frame.TypePTP, Payload: marshal(msgDelayResp, 99, 12345)})
+	e.Run()
+	if s.Rounds != 0 {
+		t.Fatal("stale messages completed a round")
+	}
+	if s.OffsetError(e.Now()) != 0 {
+		t.Fatal("stale messages moved the clock")
+	}
+}
+
+func TestLinkAsymmetryValidation(t *testing.T) {
+	e, _, _, l := rig(t, 0, 0)
+	_ = e
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad end accepted")
+		}
+	}()
+	l.SetAsymmetry(2, time.Microsecond)
+}

@@ -1,0 +1,284 @@
+package reflection
+
+import (
+	"fmt"
+
+	"steelnet/internal/ebpf"
+	"steelnet/internal/frame"
+	"steelnet/internal/host"
+	"steelnet/internal/metrics"
+	"steelnet/internal/sim"
+	"steelnet/internal/simnet"
+	"steelnet/internal/tap"
+)
+
+// Reflector is the device under test: a host whose NIC runs an XDP
+// program. Incoming frames pay the NIC→PCIe→driver path from the host
+// model, then the program executes; XDP_TX verdicts re-cross PCIe and
+// return to the wire. XDP_PASS frames are counted and discarded (no
+// full-stack consumer is attached in this experiment).
+type Reflector struct {
+	host    *simnet.Host
+	stack   *host.Stack
+	variant Variant
+	costs   *ebpf.CostModel
+	rng     *sim.RNG
+
+	// Reflected, Passed and Aborted count program verdicts.
+	Reflected, Passed, Aborted uint64
+}
+
+// NewReflector attaches variant v to a new reflector host.
+func NewReflector(e *sim.Engine, name string, mac frame.MAC, stk *host.Stack, v Variant, costs *ebpf.CostModel) *Reflector {
+	r := &Reflector{
+		host:    simnet.NewHost(e, name, mac),
+		stack:   stk,
+		variant: v,
+		costs:   costs,
+		rng:     e.RNG("reflector/" + name),
+	}
+	r.host.OnReceive(r.onFrame)
+	return r
+}
+
+// Host returns the underlying simnet host (for wiring).
+func (r *Reflector) Host() *simnet.Host { return r.host }
+
+func (r *Reflector) onFrame(f *frame.Frame) {
+	e := r.host.Engine()
+	size := f.WireLen()
+	rx := r.stack.RxToXDP(size)
+	e.After(rx, func() {
+		pkt := f.Marshal()
+		res, err := r.variant.Program.Run(pkt, e.Now(), r.costs, r.rng)
+		if err != nil {
+			r.Aborted++
+			return
+		}
+		switch res.Verdict {
+		case ebpf.XDPTx:
+			out, uerr := frame.Unmarshal(pkt)
+			if uerr != nil {
+				r.Aborted++
+				return
+			}
+			g := out.Clone() // pkt buffer aliases; detach
+			tx := r.stack.XDPToWire(size)
+			e.After(res.Cost+tx, func() {
+				r.Reflected++
+				// Bypass Host.Send: XDP_TX must not re-stamp the source
+				// MAC — the program already swapped the addresses.
+				r.host.Port().Send(g)
+			})
+		case ebpf.XDPPass:
+			r.Passed++
+		default:
+			r.Aborted++
+		}
+	})
+}
+
+// Sender emits cyclic probe flows through its single port.
+type Sender struct {
+	host   *simnet.Host
+	dst    frame.MAC
+	size   int
+	seqs   map[uint32]uint32
+	ticker []*sim.Ticker
+}
+
+// NewSender creates a probe source addressed at dst with the given probe
+// payload size (>= 24).
+func NewSender(e *sim.Engine, name string, mac, dst frame.MAC, size int) *Sender {
+	return &Sender{
+		host: simnet.NewHost(e, name, mac),
+		dst:  dst,
+		size: size,
+		seqs: make(map[uint32]uint32),
+	}
+}
+
+// Host returns the underlying simnet host (for wiring).
+func (s *Sender) Host() *simnet.Host { return s.host }
+
+// StartFlow begins emitting flowID probes every cycle, first at start.
+func (s *Sender) StartFlow(flowID uint32, start sim.Time, cycle sim.Duration) {
+	e := s.host.Engine()
+	t := e.Every(start, cycle, func() {
+		seq := s.seqs[flowID]
+		s.seqs[flowID] = seq + 1
+		pl, err := frame.MarshalProbe(frame.Probe{Seq: seq, FlowID: flowID}, s.size)
+		if err != nil {
+			panic(err)
+		}
+		s.host.Send(&frame.Frame{
+			Dst:     s.dst,
+			Type:    frame.TypeBenchEcho,
+			Payload: pl,
+			Meta:    frame.Meta{FlowID: flowID},
+		})
+	})
+	s.ticker = append(s.ticker, t)
+}
+
+// Stop halts all flows.
+func (s *Sender) Stop() {
+	for _, t := range s.ticker {
+		t.Stop()
+	}
+}
+
+// Config parameterizes one reflection experiment.
+type Config struct {
+	Seed      uint64
+	Profile   host.Profile // reflector host stack
+	Costs     ebpf.CostModel
+	LinkBps   float64      // sender—tap—reflector link rate
+	Cycle     sim.Duration // probe period per flow
+	Cycles    int          // probes per flow
+	Flows     int          // concurrent flows
+	ProbeSize int          // probe payload bytes
+	TapCfg    tap.Config
+}
+
+// DefaultConfig is the paper-like setup: 100 Mb/s industrial links, 2 ms
+// cycle, PREEMPT_RT host, 8 ns tap.
+func DefaultConfig() Config {
+	return Config{
+		Seed:      1,
+		Profile:   host.PreemptRT,
+		Costs:     ebpf.DefaultCosts,
+		LinkBps:   100e6,
+		Cycle:     2 * sim.Millisecond,
+		Cycles:    2000,
+		Flows:     1,
+		ProbeSize: 32,
+		TapCfg:    tap.DefaultConfig,
+	}
+}
+
+// Result is the measured delay distribution for one variant/flow-count.
+type Result struct {
+	Variant string
+	Flows   int
+	// Delays holds tap-measured round-trip delays in microseconds.
+	Delays *metrics.Series
+	// Jitter holds |delay - median| in nanoseconds.
+	Jitter *metrics.Series
+	// RingRecords is the number of ring-buffer records the variant
+	// produced (0 for non-ring variants).
+	RingRecords uint64
+}
+
+// Run executes one experiment with the given variant and returns the
+// tap-derived delay and jitter distributions.
+func Run(cfg Config, v Variant) Result {
+	e := sim.NewEngine(cfg.Seed)
+	stk := host.NewStack(cfg.Profile, e.RNG("stack"))
+	stk.SetActiveFlows(cfg.Flows)
+
+	sender := NewSender(e, "sender", frame.NewMAC(1), frame.NewMAC(2), cfg.ProbeSize)
+	costs := cfg.Costs
+	refl := NewReflector(e, "reflector", frame.NewMAC(2), stk, v, &costs)
+	tp := tap.New(e, "tap", cfg.TapCfg)
+
+	simnet.Connect(e, "sender-tap", sender.Host().Port(), tp.PortA(), cfg.LinkBps, 500*sim.Nanosecond)
+	simnet.Connect(e, "tap-reflector", tp.PortB(), refl.Host().Port(), cfg.LinkBps, 500*sim.Nanosecond)
+
+	// Stagger flows across the cycle to avoid synchronized bursts, like
+	// a TSN schedule would.
+	for fl := 0; fl < cfg.Flows; fl++ {
+		offset := sim.Duration(fl) * cfg.Cycle / sim.Duration(cfg.Flows+1)
+		sender.StartFlow(uint32(fl+1), sim.Time(offset), cfg.Cycle)
+	}
+	horizon := sim.Time(cfg.Cycle) * sim.Time(cfg.Cycles+1)
+	e.RunUntil(horizon)
+	sender.Stop()
+	e.Run() // drain in-flight probes
+
+	delays := metrics.NewSeries(cfg.Cycles * cfg.Flows)
+	for fl := 0; fl < cfg.Flows; fl++ {
+		for _, rtt := range tp.RoundTrip(uint32(fl + 1)) {
+			delays.Add(float64(rtt.Delay) / 1e3) // µs
+		}
+	}
+	jitter := metrics.NewSeries(delays.Len())
+	med := delays.Median()
+	for _, d := range delays.Samples() {
+		dev := (d - med) * 1e3 // ns
+		if dev < 0 {
+			dev = -dev
+		}
+		jitter.Add(dev)
+	}
+	res := Result{Variant: v.Name, Flows: cfg.Flows, Delays: delays, Jitter: jitter}
+	if v.Ring != nil {
+		res.RingRecords = v.Ring.Produced
+	}
+	return res
+}
+
+// ConsecutiveJitterEvents scans the per-cycle jitter series for runs of
+// at least minRun consecutive cycles above thresholdNS — the
+// "consecutive jitter events … cycle after cycle" §2.1 faults existing
+// evaluations for not reporting, because they are what expire PROFINET
+// watchdog counters.
+func (r Result) ConsecutiveJitterEvents(thresholdNS float64, minRun int) []metrics.BurstEvent {
+	return metrics.Bursts(r.Jitter, thresholdNS, minRun)
+}
+
+// WouldTripWatchdog reports whether the measured jitter pattern would
+// have halted a device with the given consecutive-miss budget, treating
+// any cycle with jitter above thresholdNS as a missed deadline.
+func (r Result) WouldTripWatchdog(thresholdNS float64, watchdogCycles int) bool {
+	return metrics.WouldTripWatchdog(r.Jitter, thresholdNS, watchdogCycles)
+}
+
+// RunAllVariants reproduces Fig. 4 (left): the delay CDF of all six
+// variants under cfg.
+func RunAllVariants(cfg Config) []Result {
+	out := make([]Result, 0, len(VariantNames))
+	for _, name := range VariantNames {
+		v, err := NewVariant(name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, Run(cfg, v))
+	}
+	return out
+}
+
+// RunFlowSweep reproduces Fig. 4 (right): jitter CDFs of the Base
+// variant for each flow count.
+func RunFlowSweep(cfg Config, flowCounts []int) []Result {
+	out := make([]Result, 0, len(flowCounts))
+	for _, n := range flowCounts {
+		c := cfg
+		c.Flows = n
+		out = append(out, Run(c, NewBase()))
+	}
+	return out
+}
+
+// DelayTable renders Fig. 4 (left) as a percentile table (µs).
+func DelayTable(results []Result) string {
+	series := make(map[string]*metrics.Series, len(results))
+	order := make([]string, 0, len(results))
+	for _, r := range results {
+		series[r.Variant] = r.Delays
+		order = append(order, r.Variant)
+	}
+	return metrics.CDFTable("Figure 4 (left): reflection delay CDF by eBPF variant", "µs", series, order)
+}
+
+// JitterTable renders Fig. 4 (right) as a percentile table (ns).
+func JitterTable(results []Result) string {
+	series := make(map[string]*metrics.Series, len(results))
+	order := make([]string, 0, len(results))
+	for _, r := range results {
+		name := fmt.Sprintf("%d flow(s)", r.Flows)
+		series[name] = r.Jitter
+		order = append(order, name)
+	}
+	return metrics.CDFTable("Figure 4 (right): reflection jitter CDF by flow count", "ns", series, order)
+}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled to run at a specific virtual time.
+type Event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	fn   func()
+	idx  int // heap index, -1 when not queued
+	dead bool
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an already-fired
+// or already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.dead }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; simulations are deterministic precisely because all state
+// transitions happen in one goroutine in timestamp order.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	seed   uint64
+	rngs   map[string]*RNG
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine at time zero whose named RNG streams derive
+// from seed. Two engines with the same seed replay identically.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{seed: seed, rngs: make(map[string]*RNG)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the scenario seed the engine was created with.
+func (e *Engine) Seed() uint64 { return e.seed }
+
+// EventsFired returns the number of events executed so far.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// Pending returns the number of events currently queued (including
+// cancelled events not yet reaped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn at absolute virtual time at. Scheduling in the past
+// panics: it would silently violate causality.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After runs fn d after the current time. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Every runs fn at start and then every period until the returned Ticker is
+// stopped. The first invocation is at start (absolute time).
+func (e *Engine) Every(start Time, period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", period))
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.ev = e.Schedule(start, t.tick)
+	return t
+}
+
+// Halt stops the current Run/RunUntil after the in-flight event completes.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step executes the next pending event, advancing time to it. It returns
+// false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the
+// clock to deadline. Events beyond the deadline stay queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.halted = false
+	for !e.halted {
+		// Reap cancelled events so the peek below sees the earliest
+		// *live* event; Step would otherwise skip past the deadline.
+		for len(e.queue) > 0 && e.queue[0].dead {
+			heap.Pop(&e.queue)
+		}
+		if len(e.queue) == 0 {
+			break
+		}
+		if e.queue[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor executes events for a span d from the current time.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Ticker repeats a callback with a fixed period until stopped.
+type Ticker struct {
+	engine  *Engine
+	period  Duration
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if t.stopped { // fn may stop the ticker
+		return
+	}
+	t.ev = t.engine.After(t.period, t.tick)
+}
+
+// Stop cancels future ticks. Safe to call from within the tick callback.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}
+
+// Period returns the ticker's period.
+func (t *Ticker) Period() Duration { return t.period }

@@ -1,0 +1,38 @@
+package sim
+
+import "testing"
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+1, func() {})
+		e.Step()
+	}
+}
+
+func BenchmarkTickerChain(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	tk := e.Every(0, 1, func() { n++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	tk.Stop()
+}
+
+func BenchmarkRNGNorm(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Norm(0, 1)
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

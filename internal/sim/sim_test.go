@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events reordered: %v", got)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(50, func() {})
+}
+
+func TestAfterNegativePanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	e.After(-time.Second, func() {})
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now = %v, want 25", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events after Run, want 4", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesClockOnEmptyQueue(t *testing.T) {
+	e := NewEngine(1)
+	e.RunUntil(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("Now = %v, want 1000", e.Now())
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.Schedule(1, func() { n++; e.Halt() })
+	e.Schedule(2, func() { n++ })
+	e.Run()
+	if n != 1 {
+		t.Fatalf("executed %d events, want 1 (halted)", n)
+	}
+}
+
+func TestTickerPeriodicAndStop(t *testing.T) {
+	e := NewEngine(1)
+	var at []Time
+	var tk *Ticker
+	tk = e.Every(100, 50, func() {
+		at = append(at, e.Now())
+		if len(at) == 4 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	want := []Time{100, 150, 200, 250}
+	if len(at) != len(want) {
+		t.Fatalf("ticks = %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", at, want)
+		}
+	}
+}
+
+func TestEveryNonPositivePeriodPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period did not panic")
+		}
+	}()
+	e.Every(0, 0, func() {})
+}
+
+func TestNestedSchedulingDuringRun(t *testing.T) {
+	e := NewEngine(1)
+	depth := 0
+	var grow func()
+	grow = func() {
+		depth++
+		if depth < 100 {
+			e.After(1, grow)
+		}
+	}
+	e.Schedule(0, grow)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 99 {
+		t.Fatalf("Now = %v, want 99", e.Now())
+	}
+}
+
+func TestRNGDeterministicByName(t *testing.T) {
+	a := NewEngine(42)
+	b := NewEngine(42)
+	for i := 0; i < 100; i++ {
+		if a.RNG("x").Uint64() != b.RNG("x").Uint64() {
+			t.Fatal("same seed+name diverged")
+		}
+	}
+	if a.RNG("x").Uint64() == a.RNG("y").Uint64() {
+		t.Fatal("different names produced identical draw (suspicious)")
+	}
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	// Drawing from stream "a" must not perturb stream "b".
+	e1 := NewEngine(7)
+	e2 := NewEngine(7)
+	e1.RNG("a").Uint64()
+	e1.RNG("a").Uint64()
+	if e1.RNG("b").Uint64() != e2.RNG("b").Uint64() {
+		t.Fatal("stream b perturbed by draws on stream a")
+	}
+}
+
+func TestRNGFloat64InUnitInterval(t *testing.T) {
+	r := NewRNG(3)
+	f := func(skip uint8) bool {
+		for i := uint8(0); i < skip; i++ {
+			r.Uint64()
+		}
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(4)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(5)
+	const n = 200000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if mean < 9.95 || mean > 10.05 {
+		t.Fatalf("mean = %v, want ≈10", mean)
+	}
+	if variance < 3.8 || variance > 4.2 {
+		t.Fatalf("variance = %v, want ≈4", variance)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(6)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(3)
+	}
+	if m := sum / n; m < 2.9 || m > 3.1 {
+		t.Fatalf("exp mean = %v, want ≈3", m)
+	}
+}
+
+func TestRNGParetoMinimum(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(5, 1.5); v < 5 {
+			t.Fatalf("pareto draw %v below xm", v)
+		}
+	}
+}
+
+func TestRNGNormDurationClamped(t *testing.T) {
+	r := NewRNG(8)
+	for i := 0; i < 10000; i++ {
+		if d := r.NormDuration(100, 500, 10); d < 10 {
+			t.Fatalf("NormDuration %v below clamp", d)
+		}
+	}
+}
+
+func TestRNGShuffleIsPermutation(t *testing.T) {
+	r := NewRNG(9)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		seen[x] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{Time(1500 * Nanosecond), "1.500µs"},
+		{Time(2500 * Microsecond), "2.500ms"},
+		{Time(3 * Second), "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(1000)
+	b := a.Add(500 * Nanosecond)
+	if b != 1500 {
+		t.Fatalf("Add = %v", b)
+	}
+	if d := b.Sub(a); d != 500 {
+		t.Fatalf("Sub = %v", d)
+	}
+	if !a.Before(b) || !b.After(a) {
+		t.Fatal("Before/After inconsistent")
+	}
+}
+
+func TestEngineEventsFiredCount(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 25; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.EventsFired() != 25 {
+		t.Fatalf("EventsFired = %d, want 25", e.EventsFired())
+	}
+}
+
+func TestRunUntilSkipsCancelledWithoutOverrunningDeadline(t *testing.T) {
+	// Regression: a cancelled event before the deadline must not cause
+	// Step to execute a live event beyond the deadline.
+	e := NewEngine(1)
+	ev := e.Schedule(10, func() {})
+	ev.Cancel()
+	fired := false
+	e.Schedule(100, func() { fired = true })
+	e.RunUntil(50)
+	if fired {
+		t.Fatal("event beyond deadline fired")
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}

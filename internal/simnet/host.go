@@ -1,0 +1,66 @@
+package simnet
+
+import (
+	"steelnet/internal/frame"
+	"steelnet/internal/sim"
+)
+
+// Host is a single-port endpoint: it owns a MAC address and hands
+// received frames to a pluggable handler. The PLC runtime, I/O devices,
+// traffic generators and ML clients are all Hosts with different
+// handlers.
+type Host struct {
+	name    string
+	engine  *sim.Engine
+	mac     frame.MAC
+	port    *Port
+	handler func(*frame.Frame)
+
+	// RxCount counts frames delivered to the handler.
+	RxCount uint64
+}
+
+// NewHost creates a host with the given MAC.
+func NewHost(engine *sim.Engine, name string, mac frame.MAC) *Host {
+	h := &Host{name: name, engine: engine, mac: mac}
+	h.port = NewPort(h, 0)
+	return h
+}
+
+// Name implements Node.
+func (h *Host) Name() string { return h.name }
+
+// MAC returns the host's address.
+func (h *Host) MAC() frame.MAC { return h.mac }
+
+// Port returns the host's single port.
+func (h *Host) Port() *Port { return h.port }
+
+// Engine returns the simulation engine the host runs on.
+func (h *Host) Engine() *sim.Engine { return h.engine }
+
+// OnReceive installs the frame handler. Frames addressed elsewhere
+// (unicast to another MAC) are filtered before the handler runs.
+func (h *Host) OnReceive(fn func(*frame.Frame)) { h.handler = fn }
+
+// Receive implements Node.
+func (h *Host) Receive(port *Port, f *frame.Frame) {
+	if !f.Dst.IsBroadcast() && !f.Dst.IsMulticast() && f.Dst != h.mac {
+		return // not for us (flooded frame)
+	}
+	h.RxCount++
+	if h.handler != nil {
+		h.handler(f)
+	}
+}
+
+// Send stamps the frame with the host's source MAC and current time,
+// then transmits it. It returns false when the frame was dropped at the
+// egress queue.
+func (h *Host) Send(f *frame.Frame) bool {
+	f.Src = h.mac
+	if f.Meta.CreatedAt == 0 {
+		f.Meta.CreatedAt = int64(h.engine.Now())
+	}
+	return h.port.Send(f)
+}

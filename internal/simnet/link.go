@@ -1,0 +1,250 @@
+// Package simnet is the discrete-event network simulator underneath every
+// experiment in the repository: full-duplex links with serialization and
+// propagation delay, store-and-forward switches with per-priority output
+// queues, optional 802.1Qbv time-aware shaping (TAS) gates, passive taps,
+// and host endpoints. It deliberately models the mechanisms the paper's
+// arguments rest on — queueing delay from traffic mixing (§2.3, §5),
+// priority isolation for RT traffic, and bounded, observable forwarding
+// latency — while staying deterministic (all noise comes from named
+// sim.RNG streams).
+package simnet
+
+import (
+	"fmt"
+
+	"steelnet/internal/frame"
+	"steelnet/internal/sim"
+)
+
+// Node is anything that can be attached to links through ports: switches,
+// hosts, taps, the programmable data plane.
+type Node interface {
+	// Name returns the node's unique name within its network.
+	Name() string
+	// Receive delivers a frame arriving on the node's port.
+	Receive(port *Port, f *frame.Frame)
+}
+
+// Port is one attachment point of a node. A port is bound to at most one
+// link end. Egress frames queue at the port and drain at link rate.
+type Port struct {
+	Owner Node
+	Index int
+	link  *Link
+	end   int // 0 or 1: which side of the link we are
+
+	queue    *PriorityQueue
+	shaper   Shaper
+	busy     bool
+	pausedTx *sim.Event
+
+	// Stats
+	TxFrames, RxFrames uint64
+	TxBytes, RxBytes   uint64
+	Drops              uint64
+}
+
+// NewPort creates a port owned by owner with the given index and a
+// default 256-frame-per-priority queue.
+func NewPort(owner Node, index int) *Port {
+	return &Port{Owner: owner, Index: index, queue: NewPriorityQueue(256)}
+}
+
+// SetQueue replaces the port's egress queue. Must be called before
+// traffic flows.
+func (p *Port) SetQueue(q *PriorityQueue) { p.queue = q }
+
+// SetTAS installs a time-aware-shaper gate schedule on the port.
+func (p *Port) SetTAS(g *GateSchedule) { p.shaper = g }
+
+// SetShaper installs any Shaper (TAS gate schedule, credit-based
+// shaper) on the port's egress.
+func (p *Port) SetShaper(s Shaper) { p.shaper = s }
+
+// Connected reports whether the port is attached to a link.
+func (p *Port) Connected() bool { return p.link != nil }
+
+// Link returns the attached link, or nil.
+func (p *Port) Link() *Link { return p.link }
+
+// Peer returns the port on the other side of the link, or nil.
+func (p *Port) Peer() *Port {
+	if p.link == nil {
+		return nil
+	}
+	return p.link.ports[1-p.end]
+}
+
+// QueueDepth returns the number of frames waiting at the port.
+func (p *Port) QueueDepth() int { return p.queue.Len() }
+
+// Link is a full-duplex point-to-point cable. Each direction serializes
+// independently: a frame occupies the direction for wirelen*8/rate, then
+// arrives after the propagation delay. Links enforce Ethernet's 64-byte
+// minimum on serialization time so tiny industrial payloads pay the real
+// wire cost.
+type Link struct {
+	Name    string
+	RateBps float64
+	Prop    sim.Duration
+	engine  *sim.Engine
+	ports   [2]*Port
+	up      bool
+	extra   [2]sim.Duration // per-direction added delay (asymmetry)
+
+	// Delivered counts frames that completed traversal, per direction.
+	Delivered [2]uint64
+}
+
+// SetAsymmetry adds extra one-way delay to the direction leaving the
+// link's end (0 or 1). Asymmetric paths are what breaks PTP's offset
+// estimate (§3), so experiments need to dial them in explicitly.
+func (l *Link) SetAsymmetry(end int, extra sim.Duration) {
+	if end != 0 && end != 1 {
+		panic("simnet: link end must be 0 or 1")
+	}
+	if extra < 0 {
+		panic("simnet: negative asymmetry")
+	}
+	l.extra[end] = extra
+}
+
+const minWireBytes = 64
+
+// Connect wires two ports with a new link. Either port already being
+// connected panics: rewiring mid-simulation would corrupt in-flight state.
+func Connect(engine *sim.Engine, name string, a, b *Port, rateBps float64, prop sim.Duration) *Link {
+	if a.link != nil || b.link != nil {
+		panic(fmt.Sprintf("simnet: port already connected (link %q)", name))
+	}
+	if rateBps <= 0 {
+		panic("simnet: non-positive link rate")
+	}
+	l := &Link{Name: name, RateBps: rateBps, Prop: prop, engine: engine, up: true}
+	l.ports[0], l.ports[1] = a, b
+	a.link, a.end = l, 0
+	b.link, b.end = l, 1
+	return l
+}
+
+// Up reports whether the link is carrying traffic.
+func (l *Link) Up() bool { return l.up }
+
+// SetUp changes the link state. Taking a link down drops queued and
+// in-flight frames — the failure model for §2.2.
+func (l *Link) SetUp(up bool) {
+	l.up = up
+	if !up {
+		for _, p := range l.ports {
+			if p != nil {
+				p.Drops += uint64(p.queue.Len())
+				p.queue.Clear()
+				p.busy = false
+				if p.pausedTx != nil {
+					p.pausedTx.Cancel()
+					p.pausedTx = nil
+				}
+			}
+		}
+	}
+}
+
+// SerializationDelay returns the time a frame of wireLen bytes occupies
+// the wire.
+func (l *Link) SerializationDelay(wireLen int) sim.Duration {
+	if wireLen < minWireBytes {
+		wireLen = minWireBytes
+	}
+	return sim.Duration(float64(wireLen*8) / l.RateBps * 1e9)
+}
+
+// Send enqueues a frame for transmission out of port p. It returns false
+// when the frame was dropped (full queue or downed link).
+func (p *Port) Send(f *frame.Frame) bool {
+	if p.link == nil || !p.link.up {
+		p.Drops++
+		return false
+	}
+	if !p.queue.Push(f) {
+		p.Drops++
+		return false
+	}
+	// A port paused on a closed gate re-evaluates on arrival: TAS gates
+	// are per-queue, so a newly queued higher-priority frame whose gate
+	// is open must not wait behind a gated lower-priority head.
+	if p.pausedTx != nil {
+		p.pausedTx.Cancel()
+		p.pausedTx = nil
+		p.busy = false
+	}
+	if !p.busy {
+		p.startNext()
+	}
+	return true
+}
+
+// startNext begins serializing the next eligible queued frame.
+func (p *Port) startNext() {
+	l := p.link
+	if l == nil || !l.up {
+		return
+	}
+	now := l.engine.Now()
+	f := p.queue.Peek()
+	if f == nil {
+		p.busy = false
+		return
+	}
+	ser := l.SerializationDelay(f.WireLen())
+	if p.shaper != nil {
+		start, ok := p.shaper.NextEligible(now, f.EffectivePriority(), ser)
+		if !ok {
+			// Never eligible (e.g. frame longer than any gate window):
+			// drop to avoid deadlock.
+			p.queue.Pop()
+			p.Drops++
+			p.busy = false
+			if p.queue.Len() > 0 {
+				p.startNext()
+			}
+			return
+		}
+		if start > now {
+			p.busy = true
+			p.pausedTx = l.engine.Schedule(start, func() {
+				p.pausedTx = nil
+				p.busy = false
+				p.startNext()
+			})
+			return
+		}
+	}
+	p.queue.Pop()
+	p.busy = true
+	if p.shaper != nil {
+		p.shaper.OnTransmit(now, f.EffectivePriority(), f.WireLen(), ser)
+	}
+	p.TxFrames++
+	p.TxBytes += uint64(f.WireLen())
+	end := p.end
+	l.engine.After(ser, func() {
+		// Serialization done: wire is free for the next frame; the
+		// in-flight frame arrives after propagation.
+		if l.up {
+			l.engine.After(l.Prop+l.extra[end], func() {
+				if !l.up {
+					return
+				}
+				dst := l.ports[1-end]
+				l.Delivered[end]++
+				dst.RxFrames++
+				dst.RxBytes += uint64(f.WireLen())
+				dst.Owner.Receive(dst, f)
+			})
+		}
+		p.busy = false
+		if p.queue.Len() > 0 {
+			p.startNext()
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package simnet
+
+import (
+	"fmt"
+
+	"steelnet/internal/frame"
+	"steelnet/internal/sim"
+	"steelnet/internal/topo"
+)
+
+// Network instantiates a topo.Graph as live simulated equipment: one
+// Switch per switch node, one Host per host/server/io node, one Link per
+// edge. It keeps the mapping both ways so experiments can reason about
+// paths on the graph and observe counters on the equipment.
+type Network struct {
+	Engine *sim.Engine
+	Graph  *topo.Graph
+
+	switches map[topo.NodeID]*Switch
+	hosts    map[topo.NodeID]*Host
+	links    map[topo.EdgeID]*Link
+	byMAC    map[frame.MAC]topo.NodeID
+}
+
+// Build instantiates g on engine. Switch ports are numbered by the order
+// of the node's incident edges in the graph.
+func Build(engine *sim.Engine, g *topo.Graph, cfg SwitchConfig) *Network {
+	n := &Network{
+		Engine:   engine,
+		Graph:    g,
+		switches: make(map[topo.NodeID]*Switch),
+		hosts:    make(map[topo.NodeID]*Host),
+		links:    make(map[topo.EdgeID]*Link),
+		byMAC:    make(map[frame.MAC]topo.NodeID),
+	}
+	// Port index assignment: for each node, its incident edges in order.
+	portOf := make(map[[2]int]int) // {node, edge} -> port index
+	for _, node := range g.Nodes() {
+		switch node.Kind {
+		case topo.KindSwitch:
+			inc := g.Incident(node.ID)
+			sw := NewSwitch(engine, node.Name, len(inc), cfg)
+			n.switches[node.ID] = sw
+			for i, eid := range inc {
+				portOf[[2]int{int(node.ID), int(eid)}] = i
+			}
+		default:
+			mac := frame.NewMAC(uint32(node.ID))
+			h := NewHost(engine, node.Name, mac)
+			n.hosts[node.ID] = h
+			n.byMAC[mac] = node.ID
+			if deg := g.Degree(node.ID); deg > 1 {
+				panic(fmt.Sprintf("simnet: host %s has %d links; hosts are single-homed", node.Name, deg))
+			}
+			for _, eid := range g.Incident(node.ID) {
+				portOf[[2]int{int(node.ID), int(eid)}] = 0
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		pa := n.portFor(e.A, e.ID, portOf)
+		pb := n.portFor(e.B, e.ID, portOf)
+		name := fmt.Sprintf("%s--%s", g.Node(e.A).Name, g.Node(e.B).Name)
+		n.links[e.ID] = Connect(engine, name, pa, pb, e.RateBps, sim.Duration(e.PropNs))
+	}
+	return n
+}
+
+func (n *Network) portFor(node topo.NodeID, edge topo.EdgeID, portOf map[[2]int]int) *Port {
+	idx := portOf[[2]int{int(node), int(edge)}]
+	if sw, ok := n.switches[node]; ok {
+		return sw.Port(idx)
+	}
+	return n.hosts[node].Port()
+}
+
+// Switch returns the switch instantiated for graph node id; it panics
+// when id is not a switch.
+func (n *Network) Switch(id topo.NodeID) *Switch {
+	sw, ok := n.switches[id]
+	if !ok {
+		panic(fmt.Sprintf("simnet: node %d is not a switch", id))
+	}
+	return sw
+}
+
+// Host returns the host instantiated for graph node id; it panics when
+// id is not a host.
+func (n *Network) Host(id topo.NodeID) *Host {
+	h, ok := n.hosts[id]
+	if !ok {
+		panic(fmt.Sprintf("simnet: node %d is not a host", id))
+	}
+	return h
+}
+
+// Link returns the link instantiated for graph edge id.
+func (n *Network) Link(id topo.EdgeID) *Link {
+	l, ok := n.links[id]
+	if !ok {
+		panic(fmt.Sprintf("simnet: unknown edge %d", id))
+	}
+	return l
+}
+
+// Hosts returns all hosts keyed by graph node id.
+func (n *Network) Hosts() map[topo.NodeID]*Host { return n.hosts }
+
+// NodeByMAC returns the graph node owning mac, or -1.
+func (n *Network) NodeByMAC(mac frame.MAC) topo.NodeID {
+	if id, ok := n.byMAC[mac]; ok {
+		return id
+	}
+	return -1
+}
+
+// SetSwitchQueueDepth applies SetQueueDepth to every switch in the
+// network (hosts keep their defaults).
+func (n *Network) SetSwitchQueueDepth(perClassLimit int) {
+	for _, sw := range n.switches {
+		sw.SetQueueDepth(perClassLimit)
+	}
+}
+
+// InstallStaticRoutes programs every switch's FIB with the shortest-path
+// port toward every host, eliminating flooding. Industrial networks are
+// engineered and static after commissioning (§2.3); this is that
+// commissioning step.
+func (n *Network) InstallStaticRoutes() {
+	r := topo.NewRouter(n.Graph, topo.HopCount)
+	for hostID, h := range n.hosts {
+		for swID, sw := range n.switches {
+			p, err := r.Path(swID, hostID)
+			if err != nil {
+				continue
+			}
+			// First edge on the path determines the egress port.
+			firstEdge := p.Edges[0]
+			for i, eid := range n.Graph.Incident(swID) {
+				if eid == firstEdge {
+					sw.AddStatic(h.MAC(), i)
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package simnet
+
+import "steelnet/internal/frame"
+
+// PriorityQueue is a strict-priority egress queue with eight classes
+// (one per 802.1Q PCP value) and a per-class depth bound. Higher PCP
+// drains first; within a class frames are FIFO. Strict priority is what
+// keeps never-ending RT microflows (§2.3) isolated from elephant flows
+// sharing the port.
+type PriorityQueue struct {
+	classes [8][]*frame.Frame
+	limit   int
+	length  int
+
+	// EnqueuedPerClass counts accepted frames per priority class.
+	EnqueuedPerClass [8]uint64
+	// DroppedPerClass counts tail drops per priority class.
+	DroppedPerClass [8]uint64
+}
+
+// NewPriorityQueue creates a queue holding at most perClassLimit frames
+// in each priority class.
+func NewPriorityQueue(perClassLimit int) *PriorityQueue {
+	if perClassLimit < 1 {
+		perClassLimit = 1
+	}
+	return &PriorityQueue{limit: perClassLimit}
+}
+
+// Push enqueues f by its effective priority. It returns false on tail
+// drop.
+func (q *PriorityQueue) Push(f *frame.Frame) bool {
+	c := int(f.EffectivePriority())
+	if len(q.classes[c]) >= q.limit {
+		q.DroppedPerClass[c]++
+		return false
+	}
+	q.classes[c] = append(q.classes[c], f)
+	q.EnqueuedPerClass[c]++
+	q.length++
+	return true
+}
+
+// Peek returns the next frame to transmit without removing it, or nil.
+func (q *PriorityQueue) Peek() *frame.Frame {
+	for c := 7; c >= 0; c-- {
+		if len(q.classes[c]) > 0 {
+			return q.classes[c][0]
+		}
+	}
+	return nil
+}
+
+// Pop removes and returns the next frame, or nil when empty.
+func (q *PriorityQueue) Pop() *frame.Frame {
+	for c := 7; c >= 0; c-- {
+		if cls := q.classes[c]; len(cls) > 0 {
+			f := cls[0]
+			copy(cls, cls[1:])
+			q.classes[c] = cls[:len(cls)-1]
+			q.length--
+			return f
+		}
+	}
+	return nil
+}
+
+// Len returns the number of queued frames across all classes.
+func (q *PriorityQueue) Len() int { return q.length }
+
+// ClassLen returns the depth of one priority class.
+func (q *PriorityQueue) ClassLen(c frame.PCP) int { return len(q.classes[int(c&7)]) }
+
+// Clear drops all queued frames.
+func (q *PriorityQueue) Clear() {
+	for c := range q.classes {
+		q.classes[c] = nil
+	}
+	q.length = 0
+}

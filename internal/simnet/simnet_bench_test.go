@@ -1,0 +1,51 @@
+package simnet
+
+import (
+	"testing"
+
+	"steelnet/internal/frame"
+	"steelnet/internal/sim"
+)
+
+func BenchmarkSwitchForwarding(b *testing.B) {
+	e := sim.NewEngine(1)
+	sw := NewSwitch(e, "sw", 2, SwitchConfig{Latency: sim.Microsecond})
+	src := NewHost(e, "src", frame.NewMAC(1))
+	dst := NewHost(e, "dst", frame.NewMAC(2))
+	Connect(e, "a", src.Port(), sw.Port(0), 10e9, 0)
+	Connect(e, "b", dst.Port(), sw.Port(1), 10e9, 0)
+	sw.AddStatic(dst.MAC(), 1)
+	dst.OnReceive(func(*frame.Frame) {})
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Send(&frame.Frame{Dst: dst.MAC(), Payload: payload})
+		e.Run()
+	}
+}
+
+func BenchmarkPriorityQueue(b *testing.B) {
+	q := NewPriorityQueue(1 << 16)
+	frames := make([]*frame.Frame, 8)
+	for i := range frames {
+		frames[i] = &frame.Frame{Tagged: true, Priority: frame.PCP(i)}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(frames[i%8])
+		if i%4 == 3 {
+			q.Pop()
+		}
+		if q.Len() > 1<<15 {
+			q.Clear()
+		}
+	}
+}
+
+func BenchmarkTASNextOpen(b *testing.B) {
+	g := RTGuardSchedule(sim.Millisecond, 200*sim.Microsecond)
+	for i := 0; i < b.N; i++ {
+		g.NextOpen(sim.Time(i), frame.PrioBestEffort, 10*sim.Microsecond)
+	}
+}

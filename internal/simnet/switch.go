@@ -1,0 +1,175 @@
+package simnet
+
+import (
+	"fmt"
+
+	"steelnet/internal/frame"
+	"steelnet/internal/sim"
+)
+
+// Switch is a store-and-forward Ethernet switch with MAC learning,
+// static FIB entries, per-port strict-priority egress queues and an
+// optional TAS schedule per port. Forwarding latency is a fixed pipeline
+// delay plus a small jitter term drawn from the switch's RNG stream —
+// real cut-through ASICs are faster, but the paper's arguments only need
+// the store-and-forward ordering of delays.
+type Switch struct {
+	name    string
+	engine  *sim.Engine
+	ports   []*Port
+	fib     map[frame.MAC]int
+	static  map[frame.MAC]bool
+	blocked map[int]bool
+	latency sim.Duration
+	jitter  sim.Duration
+	rng     *sim.RNG
+
+	// OnControlFrame, when set, sees every received frame before normal
+	// processing; returning true consumes it. Ring-redundancy managers
+	// and other switch-resident protocols hook in here.
+	OnControlFrame func(port int, f *frame.Frame) bool
+
+	// FloodedFrames counts frames forwarded by flooding (unknown or
+	// broadcast destination).
+	FloodedFrames uint64
+	// ForwardedFrames counts all frames forwarded (including floods).
+	ForwardedFrames uint64
+}
+
+// SwitchConfig sets a switch's forwarding-latency model.
+type SwitchConfig struct {
+	// Latency is the fixed pipeline (lookup + store-and-forward) delay.
+	Latency sim.Duration
+	// Jitter is the standard deviation of the latency noise.
+	Jitter sim.Duration
+}
+
+// DefaultSwitchConfig is a contemporary industrial GbE switch: ~2 µs
+// pipeline, tens of ns of variation.
+var DefaultSwitchConfig = SwitchConfig{Latency: 2 * sim.Microsecond, Jitter: 50 * sim.Nanosecond}
+
+// NewSwitch creates a switch with nports ports.
+func NewSwitch(engine *sim.Engine, name string, nports int, cfg SwitchConfig) *Switch {
+	s := &Switch{
+		name:    name,
+		engine:  engine,
+		fib:     make(map[frame.MAC]int),
+		static:  make(map[frame.MAC]bool),
+		blocked: make(map[int]bool),
+		latency: cfg.Latency,
+		jitter:  cfg.Jitter,
+		rng:     engine.RNG("switch/" + name),
+	}
+	for i := 0; i < nports; i++ {
+		s.ports = append(s.ports, NewPort(s, i))
+	}
+	return s
+}
+
+// Name implements Node.
+func (s *Switch) Name() string { return s.name }
+
+// Port returns port i.
+func (s *Switch) Port(i int) *Port {
+	if i < 0 || i >= len(s.ports) {
+		panic(fmt.Sprintf("simnet: switch %s has no port %d", s.name, i))
+	}
+	return s.ports[i]
+}
+
+// NumPorts returns the port count.
+func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// SetQueueDepth replaces every port's egress queue with one holding
+// perClassLimit frames per priority class. Call before traffic flows.
+func (s *Switch) SetQueueDepth(perClassLimit int) {
+	for _, p := range s.ports {
+		p.SetQueue(NewPriorityQueue(perClassLimit))
+	}
+}
+
+// AddStatic installs a permanent FIB entry mapping mac to port.
+func (s *Switch) AddStatic(mac frame.MAC, port int) {
+	s.fib[mac] = port
+	s.static[mac] = true
+}
+
+// LookupPort returns the FIB port for mac, or -1 when unknown.
+func (s *Switch) LookupPort(mac frame.MAC) int {
+	if p, ok := s.fib[mac]; ok {
+		return p
+	}
+	return -1
+}
+
+// SetPortBlocked sets a port's data-plane blocking state. Blocked ports
+// drop data frames in both directions but still carry control frames
+// consumed by OnControlFrame — the primitive ring redundancy needs to
+// keep a physical loop from becoming a forwarding loop.
+func (s *Switch) SetPortBlocked(port int, blocked bool) {
+	if port < 0 || port >= len(s.ports) {
+		panic(fmt.Sprintf("simnet: switch %s has no port %d", s.name, port))
+	}
+	s.blocked[port] = blocked
+}
+
+// PortBlocked reports a port's blocking state.
+func (s *Switch) PortBlocked(port int) bool { return s.blocked[port] }
+
+// FlushDynamic clears every learned (non-static) FIB entry — what a
+// topology-change notification triggers so traffic can re-learn paths.
+func (s *Switch) FlushDynamic() {
+	for mac := range s.fib {
+		if !s.static[mac] {
+			delete(s.fib, mac)
+		}
+	}
+}
+
+// Receive implements Node: learn, then forward after the pipeline delay.
+func (s *Switch) Receive(port *Port, f *frame.Frame) {
+	if s.OnControlFrame != nil && s.OnControlFrame(port.Index, f) {
+		return
+	}
+	if s.blocked[port.Index] {
+		return // data frames die at blocked ports
+	}
+	// Learn the source unless pinned statically.
+	if !f.Src.IsMulticast() && !s.static[f.Src] {
+		s.fib[f.Src] = port.Index
+	}
+	d := s.latency
+	if s.jitter > 0 {
+		d = s.rng.NormDuration(s.latency, s.jitter, s.latency/2)
+	}
+	in := port.Index
+	s.engine.After(d, func() { s.forward(in, f) })
+}
+
+func (s *Switch) forward(inPort int, f *frame.Frame) {
+	if f.Dst.IsBroadcast() || f.Dst.IsMulticast() {
+		s.flood(inPort, f)
+		return
+	}
+	out, ok := s.fib[f.Dst]
+	if !ok {
+		s.flood(inPort, f)
+		return
+	}
+	if out == inPort || s.blocked[out] {
+		return // hairpin or blocked egress; drop like a real switch
+	}
+	s.ForwardedFrames++
+	s.ports[out].Send(f)
+}
+
+func (s *Switch) flood(inPort int, f *frame.Frame) {
+	s.FloodedFrames++
+	for i, p := range s.ports {
+		if i == inPort || !p.Connected() || s.blocked[i] {
+			continue
+		}
+		s.ForwardedFrames++
+		p.Send(f.Clone())
+	}
+}

@@ -1,0 +1,121 @@
+package simnet
+
+import (
+	"fmt"
+
+	"steelnet/internal/frame"
+	"steelnet/internal/sim"
+)
+
+// GateWindow is one entry of an 802.1Qbv gate control list: for Duration
+// starting at Offset within the cycle, the gates for the priorities in
+// Mask are open.
+type GateWindow struct {
+	Offset   sim.Duration
+	Duration sim.Duration
+	Mask     GateMask
+}
+
+// GateMask is a bitmask of open priority classes (bit i = PCP i).
+type GateMask uint8
+
+// MaskOf builds a mask from priority values.
+func MaskOf(prios ...frame.PCP) GateMask {
+	var m GateMask
+	for _, p := range prios {
+		m |= 1 << (p & 7)
+	}
+	return m
+}
+
+// MaskAll opens all eight gates.
+const MaskAll GateMask = 0xff
+
+// Open reports whether the gate for priority p is open in the mask.
+func (m GateMask) Open(p frame.PCP) bool { return m&(1<<(p&7)) != 0 }
+
+// GateSchedule is a repeating gate control list: the paper's TSN switches
+// run pre-computed transmission schedules for pre-defined flows (§1.1).
+// Windows must tile the cycle exactly, in order, without gaps — the
+// constructor enforces it so a schedule can never silently blackhole a
+// priority through a coverage hole.
+type GateSchedule struct {
+	Cycle   sim.Duration
+	Windows []GateWindow
+}
+
+// NewGateSchedule validates and builds a schedule.
+func NewGateSchedule(cycle sim.Duration, windows []GateWindow) (*GateSchedule, error) {
+	if cycle <= 0 {
+		return nil, fmt.Errorf("simnet: non-positive TAS cycle %v", cycle)
+	}
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("simnet: empty gate control list")
+	}
+	var at sim.Duration
+	for i, w := range windows {
+		if w.Offset != at {
+			return nil, fmt.Errorf("simnet: window %d starts at %v, want %v (gap or overlap)", i, w.Offset, at)
+		}
+		if w.Duration <= 0 {
+			return nil, fmt.Errorf("simnet: window %d has non-positive duration", i)
+		}
+		at += w.Duration
+	}
+	if at != cycle {
+		return nil, fmt.Errorf("simnet: windows cover %v of %v cycle", at, cycle)
+	}
+	return &GateSchedule{Cycle: cycle, Windows: windows}, nil
+}
+
+// MustGateSchedule is NewGateSchedule that panics on error, for static
+// schedules in tests and examples.
+func MustGateSchedule(cycle sim.Duration, windows []GateWindow) *GateSchedule {
+	g, err := NewGateSchedule(cycle, windows)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// RTGuardSchedule builds the canonical industrial schedule: each cycle
+// opens an exclusive window of rtWindow for RT priority (PCP 6-7), and
+// leaves the rest for everyone. This protects cyclic control traffic from
+// best-effort bursts.
+func RTGuardSchedule(cycle, rtWindow sim.Duration) *GateSchedule {
+	if rtWindow >= cycle {
+		panic("simnet: RT window must be shorter than the cycle")
+	}
+	return MustGateSchedule(cycle, []GateWindow{
+		{Offset: 0, Duration: rtWindow, Mask: MaskOf(frame.PrioRT, frame.PrioNetControl)},
+		{Offset: rtWindow, Duration: cycle - rtWindow, Mask: MaskAll},
+	})
+}
+
+// NextOpen returns the earliest time >= now at which a frame of priority
+// p needing ser transmission time may start so that it finishes within a
+// single open window (the guard-band rule). ok is false when no window
+// can ever fit the frame.
+func (g *GateSchedule) NextOpen(now sim.Time, p frame.PCP, ser sim.Duration) (sim.Time, bool) {
+	cyc := int64(g.Cycle)
+	base := (int64(now) / cyc) * cyc
+	// Search at most two cycles: if no window in a full cycle fits, none
+	// ever will (the schedule repeats).
+	for c := int64(0); c < 2; c++ {
+		for _, w := range g.Windows {
+			if !w.Mask.Open(p) || w.Duration < ser {
+				continue
+			}
+			start := sim.Time(base + c*cyc + int64(w.Offset))
+			latest := start.Add(w.Duration - ser) // must finish inside window
+			if latest < now {
+				continue
+			}
+			if start < now {
+				start = now
+			}
+			return start, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,173 @@
+// Package tap implements the passive network tap at the heart of the
+// Traffic Reflection methodology (§3, Fig. 3): an inline two-port device
+// that forwards frames transparently and timestamps every frame it sees
+// with a single local clock. Because both the outbound probe and the
+// reflected probe cross the same tap, their timestamp difference needs
+// no clock synchronization at all — the property that lets the method
+// resolve nanosecond-level eBPF jitter despite PTP's µs-scale errors.
+// The tap's own timestamping granularity (8 ns in the paper's hardware)
+// is modeled with a quantized clock.
+package tap
+
+import (
+	"fmt"
+
+	"steelnet/internal/clock"
+	"steelnet/internal/frame"
+	"steelnet/internal/sim"
+	"steelnet/internal/simnet"
+)
+
+// Direction identifies which tap port a frame entered.
+type Direction int
+
+// Directions: AtoB means the frame entered port A (towards B).
+const (
+	AtoB Direction = iota
+	BtoA
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == AtoB {
+		return "a->b"
+	}
+	return "b->a"
+}
+
+// Capture is one timestamped observation.
+type Capture struct {
+	Timestamp int64 // tap-clock ns
+	Dir       Direction
+	WireLen   int
+	// Seq and FlowID are parsed from probe payloads when present
+	// (TypeBenchEcho); zero otherwise.
+	Seq    uint32
+	FlowID uint32
+	Type   frame.EtherType
+}
+
+// Tap is the inline device. Port A faces the sender, port B the device
+// under test. Forwarding adds a fixed pass-through latency (store-free
+// electrical taps are ~ns; configurable).
+type Tap struct {
+	name    string
+	engine  *sim.Engine
+	clock   clock.Clock
+	latency sim.Duration
+	portA   *simnet.Port
+	portB   *simnet.Port
+
+	captures []Capture
+	// OnCapture, when set, observes every capture as it happens.
+	OnCapture func(Capture)
+}
+
+// Config parameterizes a tap.
+type Config struct {
+	// TimestampStep is the capture-clock granularity (the paper's tap:
+	// 8 ns). Zero means no quantization.
+	TimestampStep sim.Duration
+	// PassThrough is the added forwarding latency per direction.
+	PassThrough sim.Duration
+	// ClockOffset is the tap clock's fixed offset from true time. It
+	// cancels out of all intra-tap differences — that is the point.
+	ClockOffset sim.Duration
+}
+
+// DefaultConfig matches the paper's tap: 8 ns stamps, negligible
+// pass-through.
+var DefaultConfig = Config{TimestampStep: 8 * sim.Nanosecond, PassThrough: 5 * sim.Nanosecond}
+
+// New creates a tap.
+func New(engine *sim.Engine, name string, cfg Config) *Tap {
+	t := &Tap{
+		name:    name,
+		engine:  engine,
+		latency: cfg.PassThrough,
+		clock: clock.Quantized{
+			Base: clock.Perfect{Offset: cfg.ClockOffset},
+			Step: cfg.TimestampStep,
+		},
+	}
+	t.portA = simnet.NewPort(t, 0)
+	t.portB = simnet.NewPort(t, 1)
+	return t
+}
+
+// Name implements simnet.Node.
+func (t *Tap) Name() string { return t.name }
+
+// PortA returns the sender-facing port.
+func (t *Tap) PortA() *simnet.Port { return t.portA }
+
+// PortB returns the device-under-test-facing port.
+func (t *Tap) PortB() *simnet.Port { return t.portB }
+
+// Receive implements simnet.Node: capture, then forward out the other
+// port after the pass-through latency.
+func (t *Tap) Receive(port *simnet.Port, f *frame.Frame) {
+	dir := AtoB
+	out := t.portB
+	if port == t.portB {
+		dir = BtoA
+		out = t.portA
+	}
+	c := Capture{
+		Timestamp: t.clock.Read(t.engine.Now()),
+		Dir:       dir,
+		WireLen:   f.WireLen(),
+		Type:      f.Type,
+	}
+	if f.Type == frame.TypeBenchEcho {
+		if p, err := frame.UnmarshalProbe(f.Payload); err == nil {
+			c.Seq = p.Seq
+			c.FlowID = p.FlowID
+		}
+	}
+	t.captures = append(t.captures, c)
+	if t.OnCapture != nil {
+		t.OnCapture(c)
+	}
+	t.engine.After(t.latency, func() { out.Send(f) })
+}
+
+// Captures returns all observations in capture order.
+func (t *Tap) Captures() []Capture { return append([]Capture(nil), t.captures...) }
+
+// Reset discards recorded captures.
+func (t *Tap) Reset() { t.captures = nil }
+
+// RoundTrip pairs each A→B probe with the next B→A probe carrying the
+// same flow and sequence number and returns the tap-clock delay between
+// them — the measurement of Fig. 3. Unmatched probes are skipped.
+func (t *Tap) RoundTrip(flowID uint32) []RTT {
+	type key struct{ seq uint32 }
+	outb := make(map[key]int64)
+	var out []RTT
+	for _, c := range t.captures {
+		if c.Type != frame.TypeBenchEcho || c.FlowID != flowID {
+			continue
+		}
+		k := key{c.Seq}
+		switch c.Dir {
+		case AtoB:
+			outb[k] = c.Timestamp
+		case BtoA:
+			if start, ok := outb[k]; ok {
+				out = append(out, RTT{Seq: c.Seq, Delay: sim.Duration(c.Timestamp - start)})
+				delete(outb, k)
+			}
+		}
+	}
+	return out
+}
+
+// RTT is one matched probe round trip as seen by the tap.
+type RTT struct {
+	Seq   uint32
+	Delay sim.Duration
+}
+
+// String renders the measurement.
+func (r RTT) String() string { return fmt.Sprintf("seq=%d delay=%v", r.Seq, r.Delay) }

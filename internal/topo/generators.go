@@ -1,0 +1,161 @@
+package topo
+
+import "fmt"
+
+// LinkSpec gives the capacity and propagation delay used when a generator
+// creates a class of links.
+type LinkSpec struct {
+	RateBps float64
+	PropNs  int64
+}
+
+// Common link classes. Factory cabling is short (sub-µs propagation);
+// the paper's OT networks are typically 100 Mb/s–1 Gb/s while DC fabrics
+// run 10–100 Gb/s.
+var (
+	LinkOT100M = LinkSpec{RateBps: 100e6, PropNs: 500}
+	LinkOT1G   = LinkSpec{RateBps: 1e9, PropNs: 500}
+	LinkDC10G  = LinkSpec{RateBps: 10e9, PropNs: 500}
+	LinkDC40G  = LinkSpec{RateBps: 40e9, PropNs: 500}
+	LinkDC100G = LinkSpec{RateBps: 100e9, PropNs: 500}
+)
+
+// Line builds the classic OT daisy-chain: switches in a row, hostsPer
+// hosts hanging off each switch. Common along conveyor lines.
+func Line(switches, hostsPer int, trunk, access LinkSpec) *Graph {
+	g := NewGraph(fmt.Sprintf("line-%d", switches))
+	addChain(g, switches, hostsPer, trunk, access, false)
+	return g
+}
+
+// Ring builds the dominant resilient OT topology: a closed chain of
+// switches (MRP-style ring) with hosts per switch.
+func Ring(switches, hostsPer int, trunk, access LinkSpec) *Graph {
+	g := NewGraph(fmt.Sprintf("ring-%d", switches))
+	sw := addChain(g, switches, hostsPer, trunk, access, false)
+	if switches > 2 {
+		g.AddEdge(sw[len(sw)-1], sw[0], trunk.RateBps, trunk.PropNs)
+	}
+	return g
+}
+
+func addChain(g *Graph, switches, hostsPer int, trunk, access LinkSpec, _ bool) []NodeID {
+	if switches < 1 {
+		panic("topo: need at least one switch")
+	}
+	sw := make([]NodeID, switches)
+	for i := range sw {
+		sw[i] = g.AddNode(fmt.Sprintf("sw%d", i), KindSwitch)
+		if i > 0 {
+			g.AddEdge(sw[i-1], sw[i], trunk.RateBps, trunk.PropNs)
+		}
+	}
+	for i, s := range sw {
+		for h := 0; h < hostsPer; h++ {
+			host := g.AddNode(fmt.Sprintf("h%d.%d", i, h), KindHost)
+			g.AddEdge(s, host, access.RateBps, access.PropNs)
+		}
+	}
+	return sw
+}
+
+// Star builds one central switch with leaves hosts.
+func Star(leaves int, access LinkSpec) *Graph {
+	g := NewGraph(fmt.Sprintf("star-%d", leaves))
+	c := g.AddNode("sw0", KindSwitch)
+	for i := 0; i < leaves; i++ {
+		h := g.AddNode(fmt.Sprintf("h%d", i), KindHost)
+		g.AddEdge(c, h, access.RateBps, access.PropNs)
+	}
+	return g
+}
+
+// Tree builds a balanced switch tree of the given depth and fanout with
+// hostsPerLeaf hosts under each leaf switch. Depth 1 is a single switch.
+func Tree(depth, fanout, hostsPerLeaf int, trunk, access LinkSpec) *Graph {
+	if depth < 1 || fanout < 1 {
+		panic("topo: tree needs depth >= 1 and fanout >= 1")
+	}
+	g := NewGraph(fmt.Sprintf("tree-d%d-f%d", depth, fanout))
+	level := []NodeID{g.AddNode("sw-root", KindSwitch)}
+	for d := 1; d < depth; d++ {
+		var next []NodeID
+		for pi, parent := range level {
+			for c := 0; c < fanout; c++ {
+				s := g.AddNode(fmt.Sprintf("sw-%d.%d.%d", d, pi, c), KindSwitch)
+				g.AddEdge(parent, s, trunk.RateBps, trunk.PropNs)
+				next = append(next, s)
+			}
+		}
+		level = next
+	}
+	for li, leaf := range level {
+		for h := 0; h < hostsPerLeaf; h++ {
+			host := g.AddNode(fmt.Sprintf("h%d.%d", li, h), KindHost)
+			g.AddEdge(leaf, host, access.RateBps, access.PropNs)
+		}
+	}
+	return g
+}
+
+// LeafSpine builds the standard two-tier DC fabric: every leaf connects
+// to every spine; hostsPerLeaf servers hang off each leaf.
+func LeafSpine(spines, leaves, hostsPerLeaf int, fabric, access LinkSpec) *Graph {
+	if spines < 1 || leaves < 1 {
+		panic("topo: leaf-spine needs spines >= 1 and leaves >= 1")
+	}
+	g := NewGraph(fmt.Sprintf("leafspine-%dx%d", spines, leaves))
+	sp := make([]NodeID, spines)
+	for i := range sp {
+		sp[i] = g.AddNode(fmt.Sprintf("spine%d", i), KindSwitch)
+	}
+	for l := 0; l < leaves; l++ {
+		leaf := g.AddNode(fmt.Sprintf("leaf%d", l), KindSwitch)
+		for _, s := range sp {
+			g.AddEdge(leaf, s, fabric.RateBps, fabric.PropNs)
+		}
+		for h := 0; h < hostsPerLeaf; h++ {
+			host := g.AddNode(fmt.Sprintf("srv%d.%d", l, h), KindServer)
+			g.AddEdge(leaf, host, access.RateBps, access.PropNs)
+		}
+	}
+	return g
+}
+
+// FatTree builds a k-ary fat tree (k even): (k/2)² core switches, k pods
+// of k/2 aggregation and k/2 edge switches, and (k/2) servers per edge.
+func FatTree(k int, spec LinkSpec) *Graph {
+	if k < 2 || k%2 != 0 {
+		panic("topo: fat tree needs even k >= 2")
+	}
+	g := NewGraph(fmt.Sprintf("fattree-k%d", k))
+	half := k / 2
+	core := make([]NodeID, half*half)
+	for i := range core {
+		core[i] = g.AddNode(fmt.Sprintf("core%d", i), KindSwitch)
+	}
+	for p := 0; p < k; p++ {
+		aggs := make([]NodeID, half)
+		edges := make([]NodeID, half)
+		for i := 0; i < half; i++ {
+			aggs[i] = g.AddNode(fmt.Sprintf("agg%d.%d", p, i), KindSwitch)
+			edges[i] = g.AddNode(fmt.Sprintf("edge%d.%d", p, i), KindSwitch)
+		}
+		for i, a := range aggs {
+			// Aggregation switch i connects to core group i.
+			for j := 0; j < half; j++ {
+				g.AddEdge(a, core[i*half+j], spec.RateBps, spec.PropNs)
+			}
+			for _, e := range edges {
+				g.AddEdge(a, e, spec.RateBps, spec.PropNs)
+			}
+		}
+		for i, e := range edges {
+			for s := 0; s < half; s++ {
+				srv := g.AddNode(fmt.Sprintf("srv%d.%d.%d", p, i, s), KindServer)
+				g.AddEdge(e, srv, spec.RateBps, spec.PropNs)
+			}
+		}
+	}
+	return g
+}

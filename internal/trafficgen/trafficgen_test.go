@@ -1,0 +1,106 @@
+package trafficgen
+
+import (
+	"testing"
+	"time"
+
+	"steelnet/internal/sim"
+)
+
+func TestClassifyTaxonomy(t *testing.T) {
+	cases := []struct {
+		f    Flow
+		want Class
+	}{
+		{Flow{Bytes: 5 << 10, PacketSize: 1460}, Mice},
+		{Flow{Bytes: 500 << 10, PacketSize: 1460}, Medium},
+		{Flow{Bytes: 2 << 30, PacketSize: 1460}, Elephant},
+		{Flow{Bytes: 400, Cyclic: true, NeverEnding: true, PacketSize: 40, LatencySensitive: true}, DeterministicMicroflow},
+	}
+	for _, c := range cases {
+		if got := Classify(c.f); got != c.want {
+			t.Errorf("Classify(%+v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestMicroflowPrecedesSizeRules(t *testing.T) {
+	// A long-window vPLC flow can accumulate megabytes; it is still a
+	// microflow, not a medium flow.
+	f := Flow{Bytes: 5 << 20, Cyclic: true, NeverEnding: true, PacketSize: 50, LatencySensitive: true}
+	if Classify(f) != DeterministicMicroflow {
+		t.Fatal("bulk vPLC flow misclassified by size")
+	}
+}
+
+func TestBigPacketCyclicIsNotMicroflow(t *testing.T) {
+	f := Flow{Bytes: 5 << 20, Cyclic: true, NeverEnding: true, PacketSize: 1460, LatencySensitive: true}
+	if Classify(f) == DeterministicMicroflow {
+		t.Fatal("1460B-packet flow classified as industrial microflow")
+	}
+}
+
+func TestGeneratePopulationShape(t *testing.T) {
+	rng := sim.NewRNG(1)
+	flows := Generate(rng, DefaultMix)
+	hist := Histogram(flows)
+	if hist[DeterministicMicroflow] != DefaultMix.VPLCFlows {
+		t.Fatalf("microflows = %d, want %d", hist[DeterministicMicroflow], DefaultMix.VPLCFlows)
+	}
+	if hist[Mice] < DefaultMix.Mice {
+		t.Fatalf("mice = %d, want >= %d", hist[Mice], DefaultMix.Mice)
+	}
+	if hist[Elephant] < DefaultMix.Elephant {
+		t.Fatalf("elephants = %d", hist[Elephant])
+	}
+}
+
+func TestGeneratedVPLCFlowsMatchSection23(t *testing.T) {
+	rng := sim.NewRNG(2)
+	flows := Generate(rng, Mix{VPLCFlows: 200, Window: 10 * time.Second})
+	for _, f := range flows {
+		if f.PacketSize < 20 || f.PacketSize > 250 {
+			t.Fatalf("payload %dB outside §2.3's 20-250B", f.PacketSize)
+		}
+		if f.Period < 500*time.Microsecond || f.Period > 10*time.Millisecond {
+			t.Fatalf("period %v outside §2.3's range", f.Period)
+		}
+		if !f.NeverEnding || !f.Cyclic {
+			t.Fatal("vPLC flow not never-ending cyclic")
+		}
+	}
+}
+
+func TestMisclassifiedBySizeAloneIsTotal(t *testing.T) {
+	rng := sim.NewRNG(3)
+	flows := Generate(rng, Mix{VPLCFlows: 50, Window: time.Second})
+	// Every vPLC flow lands in some wrong size bucket: the taxonomy has
+	// no right answer for them.
+	if got := MisclassifiedBySizeAlone(flows); got != 50 {
+		t.Fatalf("misclassified = %d, want 50", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(sim.NewRNG(7), DefaultMix)
+	b := Generate(sim.NewRNG(7), DefaultMix)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		Mice: "mice", Medium: "medium", Elephant: "elephant",
+		DeterministicMicroflow: "deterministic-microflow",
+	} {
+		if c.String() != want {
+			t.Fatalf("%d = %q", c, c.String())
+		}
+	}
+}

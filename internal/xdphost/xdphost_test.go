@@ -1,0 +1,142 @@
+package xdphost
+
+import (
+	"testing"
+	"time"
+
+	"steelnet/internal/ebpf"
+	"steelnet/internal/frame"
+	"steelnet/internal/host"
+	"steelnet/internal/sim"
+	"steelnet/internal/simnet"
+)
+
+// firewall builds the OT allowlist program: PROFINET and PTP pass,
+// everything else drops.
+func firewall() *ebpf.Program {
+	allow := ebpf.NewHashMap("allow", 16)
+	allow.Update(uint64(frame.TypeProfinet), 1)
+	allow.Update(uint64(frame.TypePTP), 1)
+	a := ebpf.NewAsm("fw")
+	fd := a.WithMap(allow)
+	return a.
+		MovImm(ebpf.R1, 0).
+		LdPkt(ebpf.R6, ebpf.R1, 12, 2).
+		MovImm(ebpf.R1, fd).
+		MovReg(ebpf.R2, ebpf.R6).
+		Call(ebpf.HelperMapLookup).
+		JEqImm(ebpf.R0, 1, "pass").
+		Return(ebpf.XDPDrop).
+		Label("pass").
+		Return(ebpf.XDPPass).
+		MustProgram()
+}
+
+func rig(t *testing.T, prog *ebpf.Program) (*sim.Engine, *simnet.Host, *XDPHost) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	src := simnet.NewHost(e, "src", frame.NewMAC(1))
+	dst := simnet.NewHost(e, "dst", frame.NewMAC(2))
+	simnet.Connect(e, "l", src.Port(), dst.Port(), 1e9, 0)
+	stk := host.NewStack(host.PreemptRT, e.RNG("stk"))
+	x := Attach(e, dst, stk, prog, nil)
+	return e, src, x
+}
+
+func TestFirewallFiltersByEtherType(t *testing.T) {
+	e, src, x := rig(t, firewall())
+	var delivered []frame.EtherType
+	x.OnReceive(func(f *frame.Frame) { delivered = append(delivered, f.Type) })
+	// Untagged frames keep the EtherType at offset 12 where the
+	// firewall looks for it.
+	for _, et := range []frame.EtherType{frame.TypeProfinet, frame.TypeIPv4, frame.TypePTP, frame.TypeMLData} {
+		src.Send(&frame.Frame{Dst: frame.NewMAC(2), Type: et, Payload: make([]byte, 40)})
+	}
+	e.Run()
+	if len(delivered) != 2 {
+		t.Fatalf("delivered = %v", delivered)
+	}
+	if x.Dropped != 2 || x.Passed != 2 {
+		t.Fatalf("dropped=%d passed=%d", x.Dropped, x.Passed)
+	}
+}
+
+func TestXDPTxBouncesFrames(t *testing.T) {
+	// An unconditional reflector: every frame returns to the sender.
+	refl := ebpf.NewAsm("refl").
+		MovImm(ebpf.R1, 0).
+		LdPkt(ebpf.R2, ebpf.R1, 0, 4).
+		LdPkt(ebpf.R3, ebpf.R1, 4, 2).
+		LdPkt(ebpf.R4, ebpf.R1, 6, 4).
+		LdPkt(ebpf.R5, ebpf.R1, 10, 2).
+		StPkt(ebpf.R1, 0, ebpf.R4, 4).
+		StPkt(ebpf.R1, 4, ebpf.R5, 2).
+		StPkt(ebpf.R1, 6, ebpf.R2, 4).
+		StPkt(ebpf.R1, 10, ebpf.R3, 2).
+		Return(ebpf.XDPTx).
+		MustProgram()
+	e, src, x := rig(t, refl)
+	echoed := 0
+	src.OnReceive(func(*frame.Frame) { echoed++ })
+	for i := 0; i < 5; i++ {
+		src.Send(&frame.Frame{Dst: frame.NewMAC(2), Type: frame.TypeBenchEcho, Payload: make([]byte, 40)})
+	}
+	e.Run()
+	if echoed != 5 {
+		t.Fatalf("echoed = %d", echoed)
+	}
+	if x.Transmitted != 5 {
+		t.Fatalf("transmitted = %d", x.Transmitted)
+	}
+}
+
+func TestAttachUnverifiedPanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	h := simnet.NewHost(e, "h", frame.NewMAC(1))
+	stk := host.NewStack(host.PreemptRT, e.RNG("s"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unverified program attached")
+		}
+	}()
+	Attach(e, h, stk, &ebpf.Program{Insns: []ebpf.Insn{{Op: ebpf.OpExit}}}, nil)
+}
+
+func TestFirewallInFrontOfDevice(t *testing.T) {
+	// Integration: an IT host floods an OT device with IPv4 while a
+	// controller-style PROFINET stream flows. The XDP firewall on the
+	// device NIC keeps the junk away from the protocol handler.
+	e := sim.NewEngine(1)
+	sw := simnet.NewSwitch(e, "sw", 3, simnet.DefaultSwitchConfig)
+	ctrl := simnet.NewHost(e, "ctrl", frame.NewMAC(1))
+	attacker := simnet.NewHost(e, "it", frame.NewMAC(3))
+	dev := simnet.NewHost(e, "dev", frame.NewMAC(2))
+	simnet.Connect(e, "c", ctrl.Port(), sw.Port(0), 100e6, 0)
+	simnet.Connect(e, "a", attacker.Port(), sw.Port(1), 100e6, 0)
+	simnet.Connect(e, "d", dev.Port(), sw.Port(2), 100e6, 0)
+	stk := host.NewStack(host.PreemptRT, e.RNG("stk"))
+	x := Attach(e, dev, stk, firewall(), nil)
+	seen := 0
+	x.OnReceive(func(f *frame.Frame) {
+		if f.Type == frame.TypeProfinet {
+			seen++
+		} else {
+			t.Fatalf("non-PROFINET frame reached userspace: %v", f.Type)
+		}
+	})
+	tick := e.Every(0, time.Millisecond, func() {
+		ctrl.Send(&frame.Frame{Dst: dev.MAC(), Type: frame.TypeProfinet, Payload: make([]byte, 20)})
+		for i := 0; i < 4; i++ {
+			attacker.Send(&frame.Frame{Dst: dev.MAC(), Type: frame.TypeIPv4, Payload: make([]byte, 1400)})
+		}
+	})
+	e.RunUntil(sim.Time(200 * time.Millisecond))
+	tick.Stop()
+	e.Run()
+	if seen < 190 {
+		t.Fatalf("control frames delivered = %d", seen)
+	}
+	if x.Dropped < 700 {
+		t.Fatalf("junk dropped = %d", x.Dropped)
+	}
+}
