@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	reflectbench [-seed N] [-cycles N] [-cycle D] [-flows list] [-jitter-only] [-delay-only]
+//	reflectbench [-seed N] [-cycles N] [-cycle D] [-flows list] [-workers N] [-jitter-only] [-delay-only]
 package main
 
 import (
@@ -26,12 +26,14 @@ func main() {
 	flows := flag.String("flows", "1,25", "comma-separated flow counts for the jitter sweep")
 	delayOnly := flag.Bool("delay-only", false, "run only the Fig. 4 (left) delay experiment")
 	jitterOnly := flag.Bool("jitter-only", false, "run only the Fig. 4 (right) jitter sweep")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = NumCPU, 1 = serial)")
 	flag.Parse()
 
 	cfg := reflection.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Cycles = *cycles
 	cfg.Cycle = *cycle
+	cfg.Workers = *workers
 
 	if !*jitterOnly {
 		table, results := core.Figure4Delay(cfg)

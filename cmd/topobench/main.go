@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	topobench [-seed N] [-clients list] [-horizon D]
+//	topobench [-seed N] [-clients list] [-horizon D] [-workers N]
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	clients := flag.String("clients", "32,64,128,256", "comma-separated client counts")
 	horizon := flag.Duration("horizon", 2*time.Second, "simulated time per cell")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = NumCPU, 1 = serial)")
 	flag.Parse()
 
 	counts, err := parseInts(*clients)
@@ -31,7 +32,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "topobench: bad -clients: %v\n", err)
 		os.Exit(2)
 	}
-	cfg := mltopo.Figure6Config{Seed: *seed, ClientCounts: counts, Horizon: *horizon}
+	cfg := mltopo.Figure6Config{Seed: *seed, ClientCounts: counts, Horizon: *horizon, Workers: *workers}
 	table, results := core.Figure6(cfg)
 	fmt.Print(table)
 	var worst float64

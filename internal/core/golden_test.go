@@ -1,0 +1,109 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"steelnet/internal/mltopo"
+	"steelnet/internal/reflection"
+)
+
+// The figure sweeps run their cells on a worker pool. The determinism
+// contract is that parallelism changes wall-clock time only: for a
+// fixed seed the rendered tables must be byte-identical no matter how
+// many workers ran the sweep. These tests pin that contract by diffing
+// the serial table against a parallel one.
+
+func goldenReflectionConfig() reflection.Config {
+	cfg := reflection.DefaultConfig()
+	cfg.Cycles = 120 // enough cycles for stable percentiles, short enough for CI
+	return cfg
+}
+
+func parallelWorkers() int {
+	w := runtime.NumCPU()
+	if w < 4 {
+		w = 4 // exercise real concurrency even on small CI boxes
+	}
+	return w
+}
+
+func TestFigure4DelayTableIdenticalAcrossWorkerCounts(t *testing.T) {
+	serial := goldenReflectionConfig()
+	serial.Workers = 1
+	wantTable, wantResults := Figure4Delay(serial)
+
+	par := goldenReflectionConfig()
+	par.Workers = parallelWorkers()
+	gotTable, gotResults := Figure4Delay(par)
+
+	if gotTable != wantTable {
+		t.Errorf("Figure4Delay table differs between workers=1 and workers=%d:\n--- serial ---\n%s--- parallel ---\n%s",
+			par.Workers, wantTable, gotTable)
+	}
+	if len(gotResults) != len(wantResults) {
+		t.Fatalf("result count differs: %d vs %d", len(gotResults), len(wantResults))
+	}
+	for i := range wantResults {
+		if gotResults[i].Variant != wantResults[i].Variant {
+			t.Errorf("result %d variant order differs: %q vs %q", i, gotResults[i].Variant, wantResults[i].Variant)
+		}
+		if gotResults[i].RingRecords != wantResults[i].RingRecords {
+			t.Errorf("result %d ring records differ: %d vs %d", i, gotResults[i].RingRecords, wantResults[i].RingRecords)
+		}
+	}
+}
+
+func TestFigure4JitterTableIdenticalAcrossWorkerCounts(t *testing.T) {
+	serial := goldenReflectionConfig()
+	serial.Workers = 1
+	wantTable, _ := Figure4Jitter(serial)
+
+	par := goldenReflectionConfig()
+	par.Workers = parallelWorkers()
+	gotTable, _ := Figure4Jitter(par)
+
+	if gotTable != wantTable {
+		t.Errorf("Figure4Jitter table differs between workers=1 and workers=%d:\n--- serial ---\n%s--- parallel ---\n%s",
+			par.Workers, wantTable, gotTable)
+	}
+}
+
+func TestFigure6TableIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping topology sweep in -short mode")
+	}
+	base := mltopo.Figure6Config{
+		Seed:         1,
+		ClientCounts: []int{8, 16},
+		Horizon:      100 * time.Millisecond,
+	}
+
+	serial := base
+	serial.Workers = 1
+	wantTable, wantResults := Figure6(serial)
+
+	par := base
+	par.Workers = parallelWorkers()
+	gotTable, gotResults := Figure6(par)
+
+	if gotTable != wantTable {
+		t.Errorf("Figure6 table differs between workers=1 and workers=%d:\n--- serial ---\n%s--- parallel ---\n%s",
+			par.Workers, wantTable, gotTable)
+	}
+	if len(gotResults) != len(wantResults) {
+		t.Fatalf("result count differs: %d vs %d", len(gotResults), len(wantResults))
+	}
+	for i := range wantResults {
+		w, g := wantResults[i], gotResults[i]
+		if g.App != w.App || g.Kind != w.Kind || g.Clients != w.Clients {
+			t.Errorf("result %d cell order differs: got (%s,%v,%d), want (%s,%v,%d)",
+				i, g.App, g.Kind, g.Clients, w.App, w.Kind, w.Clients)
+		}
+		if g.MeanLatencyMS != w.MeanLatencyMS || g.LossRate != w.LossRate {
+			t.Errorf("result %d stats differ: got (%v,%v), want (%v,%v)",
+				i, g.MeanLatencyMS, g.LossRate, w.MeanLatencyMS, w.LossRate)
+		}
+	}
+}

@@ -158,7 +158,7 @@ type Entry struct {
 	Hits  uint64
 	Bytes uint64
 
-	idleTimer *sim.Event
+	idleTimer sim.Event
 	table     *Table
 	deleted   bool
 }
@@ -205,9 +205,7 @@ func (t *Table) Delete(e *Entry) {
 		}
 	}
 	e.deleted = true
-	if e.idleTimer != nil {
-		e.idleTimer.Cancel()
-	}
+	e.idleTimer.Cancel()
 }
 
 // Len returns the number of entries.
@@ -375,9 +373,7 @@ func (p *Pipeline) Inject(port int, f *frame.Frame) {
 
 // armIdle (re)arms an entry's idle watchdog.
 func (p *Pipeline) armIdle(e *Entry) {
-	if e.idleTimer != nil {
-		e.idleTimer.Cancel()
-	}
+	e.idleTimer.Cancel()
 	e.idleTimer = p.engine.After(e.IdleTimeout, func() {
 		if e.deleted {
 			return

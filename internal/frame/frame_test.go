@@ -211,3 +211,64 @@ func TestUnmarshalArbitraryBytesNeverPanics(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPoolReusesFramesAndBuffers(t *testing.T) {
+	var p Pool
+	f := p.Get(64)
+	if len(f.Payload) != 64 {
+		t.Fatalf("payload len = %d", len(f.Payload))
+	}
+	f.Dst = NewMAC(9)
+	f.Tagged = true
+	f.Meta.FlowID = 7
+	buf := &f.Payload[0]
+	p.Put(f)
+	g := p.Get(32)
+	if g != f {
+		t.Fatal("pool did not reuse the frame object")
+	}
+	if &g.Payload[0] != buf {
+		t.Fatal("pool did not reuse the payload buffer")
+	}
+	if g.Tagged || g.Dst != (MAC{}) || g.Meta.FlowID != 0 {
+		t.Fatalf("Get returned stale header/meta: %+v", g)
+	}
+	if len(g.Payload) != 32 {
+		t.Fatalf("reused payload len = %d, want 32", len(g.Payload))
+	}
+	// Growing beyond the recycled capacity reallocates.
+	p.Put(g)
+	h := p.Get(128)
+	if len(h.Payload) != 128 {
+		t.Fatalf("grown payload len = %d", len(h.Payload))
+	}
+	if p.News != 1 || p.Reused != 2 {
+		t.Fatalf("News/Reused = %d/%d, want 1/2", p.News, p.Reused)
+	}
+}
+
+func TestPoolCloneDetaches(t *testing.T) {
+	var p Pool
+	src := &Frame{Dst: NewMAC(1), Src: NewMAC(2), Tagged: true, Priority: 6, VID: 10,
+		Type: TypeProfinet, Payload: []byte{1, 2, 3}, Meta: Meta{FlowID: 42}}
+	g := p.Clone(src)
+	if g == src {
+		t.Fatal("clone aliases source frame")
+	}
+	if g.Dst != src.Dst || g.Src != src.Src || !g.Tagged || g.Priority != 6 ||
+		g.VID != 10 || g.Type != TypeProfinet || g.Meta.FlowID != 42 {
+		t.Fatalf("clone fields differ: %+v", g)
+	}
+	src.Payload[0] = 99
+	if g.Payload[0] != 1 {
+		t.Fatal("clone payload aliases source")
+	}
+}
+
+func TestPoolPutNilIsNoop(t *testing.T) {
+	var p Pool
+	p.Put(nil)
+	if f := p.Get(4); f == nil || len(f.Payload) != 4 {
+		t.Fatal("pool corrupted by nil Put")
+	}
+}

@@ -1,0 +1,61 @@
+package frame
+
+// Pool is a free list of Frame objects and their payload buffers for
+// allocation-free transmit paths: a sender Gets a frame per packet, and
+// whichever endpoint consumes the frame Puts it back once its handler is
+// done with it. Frames need not return to the pool they came from — any
+// engine-local pool works as a free list, so request frames recycled by
+// a server naturally become its response frames.
+//
+// A Pool is not safe for concurrent use. Each simulation engine runs on
+// one goroutine (see internal/sweep), so pools must not be shared across
+// scenario cells.
+type Pool struct {
+	free []*Frame
+
+	// News counts frames allocated because the pool was empty; Reused
+	// counts frames served from the free list.
+	News, Reused uint64
+}
+
+// Get returns a frame whose Payload has length n. All header fields and
+// metadata are zeroed. Payload bytes are NOT zeroed on reuse: callers
+// must write every byte they expect a receiver to read, exactly as with
+// a recycled DMA buffer.
+func (p *Pool) Get(n int) *Frame {
+	if k := len(p.free) - 1; k >= 0 {
+		f := p.free[k]
+		p.free[k] = nil
+		p.free = p.free[:k]
+		pl := f.Payload
+		*f = Frame{}
+		if cap(pl) < n {
+			pl = make([]byte, n)
+		}
+		f.Payload = pl[:n]
+		p.Reused++
+		return f
+	}
+	p.News++
+	return &Frame{Payload: make([]byte, n)}
+}
+
+// Clone returns a pooled deep copy of f — the pooled counterpart of
+// Frame.Clone for transmit paths that re-emit a received frame.
+func (p *Pool) Clone(f *Frame) *Frame {
+	g := p.Get(len(f.Payload))
+	pl := g.Payload
+	*g = *f
+	g.Payload = pl
+	copy(g.Payload, f.Payload)
+	return g
+}
+
+// Put returns f to the pool. The caller must not touch f afterwards; the
+// next Get may hand it out again. Putting nil is a no-op.
+func (p *Pool) Put(f *Frame) {
+	if f == nil {
+		return
+	}
+	p.free = append(p.free, f)
+}

@@ -31,12 +31,25 @@ func MarshalProbe(p Probe, size int) ([]byte, error) {
 		return nil, ErrProbeTooShort
 	}
 	buf := make([]byte, size)
+	if err := MarshalProbeInto(p, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// MarshalProbeInto encodes p into buf (typically a pooled payload),
+// writing the fixed fields and padding. Bytes of buf beyond the fixed
+// fields and p.Padding are left untouched.
+func MarshalProbeInto(p Probe, buf []byte) error {
+	if len(buf) < probeFixedLen {
+		return ErrProbeTooShort
+	}
 	binary.BigEndian.PutUint32(buf[0:], p.Seq)
 	binary.BigEndian.PutUint32(buf[4:], p.FlowID)
 	binary.BigEndian.PutUint64(buf[8:], p.TS1)
 	binary.BigEndian.PutUint64(buf[16:], p.TS2)
 	copy(buf[probeFixedLen:], p.Padding)
-	return buf, nil
+	return nil
 }
 
 // UnmarshalProbe decodes a probe payload.

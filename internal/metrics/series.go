@@ -14,11 +14,15 @@ import (
 )
 
 // Series is an append-only collection of float64 samples with lazy
-// order statistics. The zero value is ready to use.
+// order statistics. Running sum and extrema are maintained in Add, so
+// Sum/Mean/Min/Max never sort; quantiles sort lazily into a buffer that
+// is reused across calls. The zero value is ready to use.
 type Series struct {
-	samples []float64
-	sorted  []float64 // cache; nil when stale
-	sum     float64
+	samples  []float64
+	sorted   []float64 // reusable sort buffer; valid when !dirty
+	dirty    bool      // samples appended since the last sort
+	sum      float64
+	min, max float64 // running extrema; meaningful when len(samples) > 0
 }
 
 // NewSeries returns a Series pre-sized for n samples.
@@ -26,11 +30,17 @@ func NewSeries(n int) *Series {
 	return &Series{samples: make([]float64, 0, n)}
 }
 
-// Add appends a sample.
+// Add appends a sample, updating the running sum and extrema.
 func (s *Series) Add(v float64) {
+	if len(s.samples) == 0 || v < s.min {
+		s.min = v
+	}
+	if len(s.samples) == 0 || v > s.max {
+		s.max = v
+	}
 	s.samples = append(s.samples, v)
 	s.sum += v
-	s.sorted = nil
+	s.dirty = true
 }
 
 // AddDuration appends a duration sample in nanoseconds.
@@ -50,22 +60,22 @@ func (s *Series) Mean() float64 {
 	return s.sum / float64(len(s.samples))
 }
 
-// Min returns the smallest sample, or 0 for an empty series.
+// Min returns the smallest sample, or 0 for an empty series. It reads
+// the running extremum maintained by Add and never sorts.
 func (s *Series) Min() float64 {
-	ss := s.ensureSorted()
-	if len(ss) == 0 {
+	if len(s.samples) == 0 {
 		return 0
 	}
-	return ss[0]
+	return s.min
 }
 
-// Max returns the largest sample, or 0 for an empty series.
+// Max returns the largest sample, or 0 for an empty series. It reads
+// the running extremum maintained by Add and never sorts.
 func (s *Series) Max() float64 {
-	ss := s.ensureSorted()
-	if len(ss) == 0 {
+	if len(s.samples) == 0 {
 		return 0
 	}
-	return ss[len(ss)-1]
+	return s.max
 }
 
 // Stddev returns the population standard deviation.
@@ -153,10 +163,15 @@ type CDFPoint struct {
 }
 
 func (s *Series) ensureSorted() []float64 {
-	if s.sorted == nil {
-		s.sorted = make([]float64, len(s.samples))
-		copy(s.sorted, s.samples)
+	if s.dirty || len(s.sorted) != len(s.samples) {
+		if cap(s.sorted) < len(s.samples) {
+			// Match the samples slice's capacity so the buffer keeps
+			// being reused while the series grows within it.
+			s.sorted = make([]float64, 0, cap(s.samples))
+		}
+		s.sorted = append(s.sorted[:0], s.samples...)
 		sort.Float64s(s.sorted)
+		s.dirty = false
 	}
 	return s.sorted
 }

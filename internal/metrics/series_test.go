@@ -234,3 +234,65 @@ func TestWorstBurst(t *testing.T) {
 		t.Fatalf("worst = %+v", w)
 	}
 }
+
+func TestMinMaxDoNotSort(t *testing.T) {
+	s := NewSeries(0)
+	for i := 0; i < 1000; i++ {
+		s.Add(float64((i * 7919) % 1000))
+	}
+	if s.Min() != 0 || s.Max() != 999 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	// Regression: min/max-only use must never materialize the sorted
+	// buffer (the old implementation sorted all samples for Min).
+	if s.sorted != nil {
+		t.Fatal("Min/Max materialized the sorted cache")
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		_ = s.Min()
+		_ = s.Max()
+		_ = s.Mean()
+	}); avg != 0 {
+		t.Fatalf("Min/Max/Mean allocate %v per call, want 0", avg)
+	}
+}
+
+func TestMinMaxTrackNegativesAndUpdates(t *testing.T) {
+	var s Series
+	s.Add(-5)
+	if s.Min() != -5 || s.Max() != -5 {
+		t.Fatalf("single sample Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	s.Add(3)
+	s.Add(-10)
+	if s.Min() != -10 || s.Max() != 3 {
+		t.Fatalf("Min/Max = %v/%v, want -10/3", s.Min(), s.Max())
+	}
+	// Cross-check against the sorted path.
+	if s.Min() != s.Quantile(0) || s.Max() != s.Quantile(1) {
+		t.Fatalf("running extrema disagree with quantile extremes")
+	}
+}
+
+func TestSortedBufferReusedAcrossQuantileCalls(t *testing.T) {
+	s := NewSeries(1024)
+	for i := 0; i < 512; i++ {
+		s.Add(float64(512 - i))
+	}
+	_ = s.Quantile(0.5)
+	ptr := &s.sorted[0]
+	s.Add(0.5) // invalidate; capacity is still sufficient
+	_ = s.Quantile(0.9)
+	if &s.sorted[0] != ptr {
+		t.Fatal("quantile re-sort reallocated the sorted buffer")
+	}
+	if got := s.Quantile(0); got != 0.5 {
+		t.Fatalf("Quantile(0) = %v after re-sort, want 0.5", got)
+	}
+	// A second call without Adds must not re-sort: mutate the cache and
+	// observe the (stale) value coming straight back.
+	s.sorted[0] = -1
+	if got := s.Quantile(0); got != -1 {
+		t.Fatal("Quantile re-sorted a clean cache")
+	}
+}

@@ -5,31 +5,43 @@ import (
 
 	"steelnet/internal/metrics"
 	"steelnet/internal/mlwork"
+	"steelnet/internal/sweep"
 )
 
 // Apps are the two Fig. 6 applications in panel order.
 var Apps = []mlwork.Profile{mlwork.ObjectIdentification, mlwork.DefectDetection}
 
 // RunFigure6 sweeps apps × topologies × client counts and returns all
-// cells, in app-major, kind-minor order.
+// cells, in app-major, kind-minor order. Each cell is an independent
+// scenario with its own engine, so the grid runs across cfg.Workers
+// goroutines; results merge in the same order as a serial sweep, and
+// the rendered panels are byte-identical for any worker count.
 func RunFigure6(cfg Figure6Config) []Result {
 	if len(cfg.ClientCounts) == 0 {
 		cfg.ClientCounts = DefaultFigure6Config().ClientCounts
 	}
-	var out []Result
+	type cell struct {
+		app     mlwork.Profile
+		clients int
+		kind    Kind
+	}
+	cells := make([]cell, 0, len(Apps)*len(cfg.ClientCounts)*len(Kinds))
 	for _, app := range Apps {
 		for _, clients := range cfg.ClientCounts {
 			for _, kind := range Kinds {
-				sc := DefaultScenario(kind, app, clients)
-				sc.Seed = cfg.Seed
-				if cfg.Horizon > 0 {
-					sc.Horizon = cfg.Horizon
-				}
-				out = append(out, Run(sc))
+				cells = append(cells, cell{app: app, clients: clients, kind: kind})
 			}
 		}
 	}
-	return out
+	return sweep.Run(cfg.Workers, len(cells), func(i int) Result {
+		c := cells[i]
+		sc := DefaultScenario(c.kind, c.app, c.clients)
+		sc.Seed = cfg.Seed
+		if cfg.Horizon > 0 {
+			sc.Horizon = cfg.Horizon
+		}
+		return Run(sc)
+	})
 }
 
 // Cell finds the result for (app, kind, clients), or false.

@@ -201,6 +201,9 @@ type Figure6Config struct {
 	Seed         uint64
 	ClientCounts []int
 	Horizon      time.Duration
+	// Workers bounds the goroutines running sweep cells. <= 0 selects
+	// runtime.NumCPU(); 1 runs serially. Output is identical either way.
+	Workers int
 }
 
 // DefaultFigure6Config matches the paper's x-axis.

@@ -37,13 +37,19 @@ type header struct {
 
 func marshalHeader(h header, body []byte) []byte {
 	buf := make([]byte, headerLen+len(body))
+	putHeader(buf, h)
+	copy(buf[headerLen:], body)
+	return buf
+}
+
+// putHeader writes h into the first headerLen bytes of buf (typically a
+// pooled payload whose body bytes carry no information).
+func putHeader(buf []byte, h header) {
 	binary.BigEndian.PutUint32(buf[0:], h.ClientID)
 	binary.BigEndian.PutUint32(buf[4:], h.ReqID)
 	binary.BigEndian.PutUint16(buf[8:], h.FragIdx)
 	binary.BigEndian.PutUint16(buf[10:], h.FragCount)
 	buf[12] = h.Kind
-	copy(buf[headerLen:], body)
-	return buf
 }
 
 func unmarshalHeader(b []byte) (header, error) {
@@ -69,6 +75,7 @@ type Server struct {
 	queue   int
 	busy    bool
 	parts   map[uint64]uint16 // (client,req) -> fragments seen
+	pool    frame.Pool        // recycles consumed requests into responses
 
 	// Served counts completed inferences; MaxQueue the worst backlog.
 	Served   uint64
@@ -103,6 +110,10 @@ func (s *Server) onFrame(f *frame.Frame) {
 		return
 	}
 	h, err := unmarshalHeader(f.Payload)
+	src := f.Src
+	// The handler is the frame's terminal consumer: once the header is
+	// decoded the fragment is dead, so recycle it into the response pool.
+	s.pool.Put(f)
 	if err != nil || h.Kind != kindRequest {
 		return
 	}
@@ -117,7 +128,6 @@ func (s *Server) onFrame(f *frame.Frame) {
 	if s.queue > s.MaxQueue {
 		s.MaxQueue = s.queue
 	}
-	src := f.Src
 	s.serve(src, h)
 }
 
@@ -134,17 +144,18 @@ func (s *Server) serve(dst frame.MAC, h header) {
 		s.busy = false
 		s.queue--
 		s.Served++
-		resp := marshalHeader(header{
+		f := s.pool.Get(headerLen + s.profile.ResultBytes)
+		putHeader(f.Payload, header{
 			ClientID: h.ClientID, ReqID: h.ReqID, FragIdx: 0, FragCount: 1, Kind: kindResponse,
-		}, make([]byte, s.profile.ResultBytes))
-		s.host.Send(&frame.Frame{
-			Dst:      dst,
-			Tagged:   true,
-			Priority: frame.PrioML,
-			VID:      20,
-			Type:     frame.TypeMLData,
-			Payload:  resp,
 		})
+		f.Dst = dst
+		f.Tagged = true
+		f.Priority = frame.PrioML
+		f.VID = 20
+		f.Type = frame.TypeMLData
+		if !s.host.Send(f) {
+			s.pool.Put(f) // egress drop: the frame never entered the network
+		}
 	})
 }
 
@@ -159,6 +170,7 @@ type Client struct {
 	nextReq uint32
 	sentAt  map[uint32]sim.Time
 	ticker  *sim.Ticker
+	pool    frame.Pool // recycles consumed responses into request fragments
 
 	// Latencies collects request->response times in milliseconds.
 	Latencies *metrics.Series
@@ -216,19 +228,20 @@ func (c *Client) sendRequest() {
 		if i == frags-1 {
 			n = size - (frags-1)*MTU
 		}
-		pl := marshalHeader(header{
+		f := c.pool.Get(headerLen + n)
+		putHeader(f.Payload, header{
 			ClientID: c.id, ReqID: reqID,
 			FragIdx: uint16(i), FragCount: uint16(frags), Kind: kindRequest,
-		}, make([]byte, n))
-		c.host.Send(&frame.Frame{
-			Dst:      c.server,
-			Tagged:   true,
-			Priority: frame.PrioML,
-			VID:      20,
-			Type:     frame.TypeMLData,
-			Payload:  pl,
-			Meta:     frame.Meta{FlowID: c.id},
 		})
+		f.Dst = c.server
+		f.Tagged = true
+		f.Priority = frame.PrioML
+		f.VID = 20
+		f.Type = frame.TypeMLData
+		f.Meta = frame.Meta{FlowID: c.id}
+		if !c.host.Send(f) {
+			c.pool.Put(f) // egress drop: safe to recycle immediately
+		}
 	}
 }
 
@@ -237,6 +250,8 @@ func (c *Client) onFrame(f *frame.Frame) {
 		return
 	}
 	h, err := unmarshalHeader(f.Payload)
+	// Terminal consumer: recycle the response into the fragment pool.
+	c.pool.Put(f)
 	if err != nil || h.Kind != kindResponse || h.ClientID != c.id {
 		return
 	}

@@ -24,7 +24,7 @@ type RedundantPair struct {
 	syncA      *simnet.Host // primary's sync-link endpoint
 	syncB      *simnet.Host // standby's sync-link endpoint
 	hbTicker   *sim.Ticker
-	hbWatch    *sim.Event
+	hbWatch    sim.Event
 	promoted   bool
 	promotedAt sim.Time
 
@@ -103,9 +103,7 @@ func (p *RedundantPair) armWatch() {
 	if p.promoted {
 		return
 	}
-	if p.hbWatch != nil {
-		p.hbWatch.Cancel()
-	}
+	p.hbWatch.Cancel()
 	timeout := time.Duration(p.cfg.HeartbeatMiss) * p.cfg.HeartbeatEvery
 	p.hbWatch = p.engine.After(timeout, p.promote)
 }
@@ -137,7 +135,5 @@ func (p *RedundantPair) Stop() {
 	if p.hbTicker != nil {
 		p.hbTicker.Stop()
 	}
-	if p.hbWatch != nil {
-		p.hbWatch.Cancel()
-	}
+	p.hbWatch.Cancel()
 }

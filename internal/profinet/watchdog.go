@@ -16,7 +16,7 @@ type Watchdog struct {
 	factor  int
 	onTrip  func()
 	onClear func()
-	timer   *sim.Event
+	timer   sim.Event
 	expired bool
 	// Trips counts expiry events.
 	Trips uint64
@@ -34,9 +34,7 @@ func NewWatchdog(engine *sim.Engine, cycle time.Duration, factor int, onTrip, on
 
 // Feed registers a fresh valid frame, re-arming the timeout.
 func (w *Watchdog) Feed() {
-	if w.timer != nil {
-		w.timer.Cancel()
-	}
+	w.timer.Cancel()
 	if w.expired {
 		w.expired = false
 		if w.onClear != nil {
@@ -48,10 +46,8 @@ func (w *Watchdog) Feed() {
 
 // Stop disarms the watchdog without firing.
 func (w *Watchdog) Stop() {
-	if w.timer != nil {
-		w.timer.Cancel()
-		w.timer = nil
-	}
+	w.timer.Cancel()
+	w.timer = sim.Event{}
 }
 
 // Expired reports whether the watchdog is currently tripped.

@@ -9,6 +9,7 @@ import (
 	"steelnet/internal/metrics"
 	"steelnet/internal/sim"
 	"steelnet/internal/simnet"
+	"steelnet/internal/sweep"
 	"steelnet/internal/tap"
 )
 
@@ -23,6 +24,7 @@ type Reflector struct {
 	variant Variant
 	costs   *ebpf.CostModel
 	rng     *sim.RNG
+	pool    frame.Pool // recycles consumed probes into reflected frames
 
 	// Reflected, Passed and Aborted count program verdicts.
 	Reflected, Passed, Aborted uint64
@@ -50,6 +52,7 @@ func (r *Reflector) onFrame(f *frame.Frame) {
 	rx := r.stack.RxToXDP(size)
 	e.After(rx, func() {
 		pkt := f.Marshal()
+		r.pool.Put(f) // consumed: the VM operates on the marshaled octets
 		res, err := r.variant.Program.Run(pkt, e.Now(), r.costs, r.rng)
 		if err != nil {
 			r.Aborted++
@@ -62,7 +65,7 @@ func (r *Reflector) onFrame(f *frame.Frame) {
 				r.Aborted++
 				return
 			}
-			g := out.Clone() // pkt buffer aliases; detach
+			g := r.pool.Clone(out) // pkt buffer aliases; detach
 			tx := r.stack.XDPToWire(size)
 			e.After(res.Cost+tx, func() {
 				r.Reflected++
@@ -85,17 +88,22 @@ type Sender struct {
 	size   int
 	seqs   map[uint32]uint32
 	ticker []*sim.Ticker
+	pool   frame.Pool // recycles reflected probes into fresh ones
 }
 
 // NewSender creates a probe source addressed at dst with the given probe
 // payload size (>= 24).
 func NewSender(e *sim.Engine, name string, mac, dst frame.MAC, size int) *Sender {
-	return &Sender{
+	s := &Sender{
 		host: simnet.NewHost(e, name, mac),
 		dst:  dst,
 		size: size,
 		seqs: make(map[uint32]uint32),
 	}
+	// Reflected probes terminate here; recycling them makes the probe
+	// stream allocation-free in steady state.
+	s.host.OnReceive(s.pool.Put)
+	return s
 }
 
 // Host returns the underlying simnet host (for wiring).
@@ -107,16 +115,16 @@ func (s *Sender) StartFlow(flowID uint32, start sim.Time, cycle sim.Duration) {
 	t := e.Every(start, cycle, func() {
 		seq := s.seqs[flowID]
 		s.seqs[flowID] = seq + 1
-		pl, err := frame.MarshalProbe(frame.Probe{Seq: seq, FlowID: flowID}, s.size)
-		if err != nil {
+		f := s.pool.Get(s.size)
+		if err := frame.MarshalProbeInto(frame.Probe{Seq: seq, FlowID: flowID}, f.Payload); err != nil {
 			panic(err)
 		}
-		s.host.Send(&frame.Frame{
-			Dst:     s.dst,
-			Type:    frame.TypeBenchEcho,
-			Payload: pl,
-			Meta:    frame.Meta{FlowID: flowID},
-		})
+		f.Dst = s.dst
+		f.Type = frame.TypeBenchEcho
+		f.Meta = frame.Meta{FlowID: flowID}
+		if !s.host.Send(f) {
+			s.pool.Put(f) // egress drop: safe to recycle immediately
+		}
 	})
 	s.ticker = append(s.ticker, t)
 }
@@ -139,6 +147,11 @@ type Config struct {
 	Flows     int          // concurrent flows
 	ProbeSize int          // probe payload bytes
 	TapCfg    tap.Config
+	// Workers bounds the goroutines used by multi-cell sweeps
+	// (RunAllVariants, RunFlowSweep). <= 0 selects runtime.NumCPU();
+	// 1 runs serially. Results are identical for any value — each cell
+	// runs on its own engine and results merge in input order.
+	Workers int
 }
 
 // DefaultConfig is the paper-like setup: 100 Mb/s industrial links, 2 ms
@@ -235,29 +248,26 @@ func (r Result) WouldTripWatchdog(thresholdNS float64, watchdogCycles int) bool 
 }
 
 // RunAllVariants reproduces Fig. 4 (left): the delay CDF of all six
-// variants under cfg.
+// variants under cfg. Cells run across cfg.Workers goroutines; the
+// result order (and thus every rendered table) matches a serial run.
 func RunAllVariants(cfg Config) []Result {
-	out := make([]Result, 0, len(VariantNames))
-	for _, name := range VariantNames {
-		v, err := NewVariant(name)
+	return sweep.Run(cfg.Workers, len(VariantNames), func(i int) Result {
+		v, err := NewVariant(VariantNames[i])
 		if err != nil {
 			panic(err)
 		}
-		out = append(out, Run(cfg, v))
-	}
-	return out
+		return Run(cfg, v)
+	})
 }
 
 // RunFlowSweep reproduces Fig. 4 (right): jitter CDFs of the Base
-// variant for each flow count.
+// variant for each flow count, one sweep cell per count.
 func RunFlowSweep(cfg Config, flowCounts []int) []Result {
-	out := make([]Result, 0, len(flowCounts))
-	for _, n := range flowCounts {
+	return sweep.Run(cfg.Workers, len(flowCounts), func(i int) Result {
 		c := cfg
-		c.Flows = n
-		out = append(out, Run(c, NewBase()))
-	}
-	return out
+		c.Flows = flowCounts[i]
+		return Run(c, NewBase())
+	})
 }
 
 // DelayTable renders Fig. 4 (left) as a percentile table (µs).

@@ -1,69 +1,104 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
+import "fmt"
+
+// slot is one arena cell of the engine's event pool. Slots are allocated
+// in fixed-size chunks so *slot pointers stay stable for the lifetime of
+// the engine, and recycled through a LIFO free list: the slot released
+// by the event currently firing is the first one a reschedule from
+// inside its callback gets back — which is how Tickers reuse one slot
+// for their entire life.
+type slot struct {
+	at    Time
+	seq   uint64 // tie-breaker: FIFO among events at the same instant
+	fn    func()
+	gen   uint32 // bumped on reuse; invalidates stale Event handles
+	state uint8
+	next  *slot // free-list link, nil while in use
+	eng   *Engine
+}
+
+// slot states. The zero value is idle (never scheduled).
+const (
+	stateIdle uint8 = iota
+	statePending
+	stateFired
+	stateCancelled
 )
 
-// Event is a callback scheduled to run at a specific virtual time.
+// Event is a handle to a scheduled callback. The zero value is inert:
+// all methods are no-ops. Handles are generation-checked, so holding one
+// past the event's firing is safe — Cancel and Cancelled on a handle
+// whose slot has been recycled by a later Schedule do nothing and report
+// false instead of acting on the unrelated new event.
 type Event struct {
-	at   Time
-	seq  uint64 // tie-breaker: FIFO among events at the same instant
-	fn   func()
-	idx  int // heap index, -1 when not queued
-	dead bool
+	s   *slot
+	gen uint32
 }
 
-// At returns the virtual time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
-
-// Cancel prevents a pending event from firing. Cancelling an already-fired
-// or already-cancelled event is a no-op.
-func (e *Event) Cancel() { e.dead = true }
-
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.dead }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// At returns the virtual time the event is (or was) scheduled for, or 0
+// when the handle is zero or stale.
+func (h Event) At() Time {
+	if h.s == nil || h.s.gen != h.gen {
+		return 0
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*q = old[:n-1]
-	return e
+	return h.s.at
 }
 
-// Engine is a single-threaded discrete-event scheduler. It is not safe for
-// concurrent use; simulations are deterministic precisely because all state
-// transitions happen in one goroutine in timestamp order.
+// Cancel prevents a pending event from firing. Cancelling an already
+// fired, already cancelled, or stale event is a no-op. The cancelled
+// slot stays in the heap and is reaped lazily.
+func (h Event) Cancel() {
+	s := h.s
+	if s == nil || s.gen != h.gen || s.state != statePending {
+		return
+	}
+	s.state = stateCancelled
+	s.fn = nil
+	e := s.eng
+	e.live--
+	e.dead++
+	e.maybeReap()
+}
+
+// Cancelled reports whether Cancel took effect on this event (false for
+// zero or stale handles).
+func (h Event) Cancelled() bool {
+	return h.s != nil && h.s.gen == h.gen && h.s.state == stateCancelled
+}
+
+// Pending reports whether the event is still queued and live.
+func (h Event) Pending() bool {
+	return h.s != nil && h.s.gen == h.gen && h.s.state == statePending
+}
+
+// arenaChunk is the number of event slots allocated at once. Steady
+// state, an engine allocates ceil(maxOutstanding/arenaChunk) chunks and
+// then never again.
+const arenaChunk = 512
+
+// reapMinDead and reapFraction gate heap compaction: cancelled events
+// are swept out eagerly only once they are both numerous and the
+// majority of the heap, otherwise they drain lazily at pop time.
+const reapMinDead = 64
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; simulations are deterministic precisely because
+// all state transitions happen in one goroutine in timestamp order.
+// Independent engines (one per scenario cell) may run on separate
+// goroutines — see internal/sweep.
 type Engine struct {
 	now    Time
-	queue  eventQueue
+	heap   []*slot // inlined 4-ary min-heap ordered by (at, seq)
 	seq    uint64
 	seed   uint64
 	rngs   map[string]*RNG
 	fired  uint64
 	halted bool
+	live   int // pending (non-cancelled) events in the heap
+	dead   int // cancelled events awaiting lazy reap
+	chunks [][]slot
+	free   *slot
 }
 
 // NewEngine returns an engine at time zero whose named RNG streams derive
@@ -81,38 +116,167 @@ func (e *Engine) Seed() uint64 { return e.seed }
 // EventsFired returns the number of events executed so far.
 func (e *Engine) EventsFired() uint64 { return e.fired }
 
-// Pending returns the number of events currently queued (including
-// cancelled events not yet reaped).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live events currently queued. Cancelled
+// events awaiting lazy reap are not counted.
+func (e *Engine) Pending() int { return e.live }
+
+// alloc takes a slot from the free list (growing the arena by one chunk
+// when empty) and initializes it as pending.
+func (e *Engine) alloc(at Time, fn func()) *slot {
+	s := e.free
+	if s == nil {
+		chunk := make([]slot, arenaChunk)
+		e.chunks = append(e.chunks, chunk)
+		for i := range chunk {
+			chunk[i].eng = e
+			chunk[i].next = e.free
+			e.free = &chunk[i]
+		}
+		s = e.free
+	}
+	e.free = s.next
+	s.next = nil
+	s.gen++
+	s.at = at
+	s.seq = e.seq
+	s.fn = fn
+	s.state = statePending
+	e.seq++
+	return s
+}
+
+// release returns a slot to the free list. The slot keeps its gen and
+// terminal state until reused, so handles stay readable meanwhile.
+func (e *Engine) release(s *slot) {
+	s.fn = nil
+	s.next = e.free
+	e.free = s
+}
+
+// less orders the heap by time, then FIFO by schedule order.
+func less(a, b *slot) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// heapPush appends s and sifts it up the 4-ary heap.
+func (e *Engine) heapPush(s *slot) {
+	h := append(e.heap, s)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(s, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = s
+	e.heap = h
+}
+
+// heapPop removes and returns the minimum slot.
+func (e *Engine) heapPop() *slot {
+	h := e.heap
+	n := len(h) - 1
+	top := h[0]
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	if n > 0 {
+		siftDown(h, 0, last)
+	}
+	e.heap = h
+	return top
+}
+
+// siftDown places s at index i, moving smaller children up. h[i] is
+// treated as a hole.
+func siftDown(h []*slot, i int, s *slot) {
+	n := len(h)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !less(h[m], s) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = s
+}
+
+// maybeReap compacts the heap when cancelled events dominate it, so a
+// workload that cancels most of what it schedules (watchdogs fed every
+// cycle) cannot grow the heap without bound between pops.
+func (e *Engine) maybeReap() {
+	if e.dead < reapMinDead || e.dead*2 <= len(e.heap) {
+		return
+	}
+	h := e.heap
+	w := 0
+	for _, s := range h {
+		if s.state == statePending {
+			h[w] = s
+			w++
+		} else {
+			e.release(s)
+		}
+	}
+	for i := w; i < len(h); i++ {
+		h[i] = nil
+	}
+	h = h[:w]
+	for i := (w - 2) >> 2; i >= 0; i-- {
+		siftDown(h, i, h[i])
+	}
+	e.heap = h
+	e.dead = 0
+}
 
 // Schedule runs fn at absolute virtual time at. Scheduling in the past
 // panics: it would silently violate causality.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+func (e *Engine) Schedule(at Time, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	s := e.alloc(at, fn)
+	e.heapPush(s)
+	e.live++
+	return Event{s: s, gen: s.gen}
 }
 
 // After runs fn d after the current time. Negative d panics.
-func (e *Engine) After(d Duration, fn func()) *Event {
+func (e *Engine) After(d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.Schedule(e.now.Add(d), fn)
 }
 
-// Every runs fn at start and then every period until the returned Ticker is
-// stopped. The first invocation is at start (absolute time).
+// Every runs fn at start and then every period until the returned Ticker
+// is stopped. The first invocation is at start (absolute time).
 func (e *Engine) Every(start Time, period Duration, fn func()) *Ticker {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: non-positive period %v", period))
 	}
 	t := &Ticker{engine: e, period: period, fn: fn}
-	t.ev = e.Schedule(start, t.tick)
+	t.tickFn = t.tick // one closure for the ticker's whole life
+	t.ev = e.Schedule(start, t.tickFn)
 	return t
 }
 
@@ -120,19 +284,27 @@ func (e *Engine) Every(start Time, period Duration, fn func()) *Ticker {
 func (e *Engine) Halt() { e.halted = true }
 
 // Step executes the next pending event, advancing time to it. It returns
-// false when the queue is empty.
+// false when the queue is empty. The firing event's slot is released
+// before its callback runs, so a reschedule from inside the callback
+// (the Ticker pattern) reuses the same slot allocation-free.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.dead {
+	for len(e.heap) > 0 {
+		s := e.heapPop()
+		if s.state != statePending {
+			e.dead--
+			e.release(s)
 			continue
 		}
-		if ev.at < e.now {
+		if s.at < e.now {
 			panic("sim: time went backwards")
 		}
-		e.now = ev.at
+		e.now = s.at
 		e.fired++
-		ev.fn()
+		e.live--
+		fn := s.fn
+		s.state = stateFired
+		e.release(s)
+		fn()
 		return true
 	}
 	return false
@@ -152,13 +324,14 @@ func (e *Engine) RunUntil(deadline Time) {
 	for !e.halted {
 		// Reap cancelled events so the peek below sees the earliest
 		// *live* event; Step would otherwise skip past the deadline.
-		for len(e.queue) > 0 && e.queue[0].dead {
-			heap.Pop(&e.queue)
+		for len(e.heap) > 0 && e.heap[0].state != statePending {
+			e.dead--
+			e.release(e.heapPop())
 		}
-		if len(e.queue) == 0 {
+		if len(e.heap) == 0 {
 			break
 		}
-		if e.queue[0].at > deadline {
+		if e.heap[0].at > deadline {
 			break
 		}
 		e.Step()
@@ -171,12 +344,16 @@ func (e *Engine) RunUntil(deadline Time) {
 // RunFor executes events for a span d from the current time.
 func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
 
-// Ticker repeats a callback with a fixed period until stopped.
+// Ticker repeats a callback with a fixed period until stopped. Its
+// rescheduling is allocation-free: the tick closure is built once, and
+// the event slot released when a tick fires is the same one the next
+// tick is scheduled into.
 type Ticker struct {
 	engine  *Engine
 	period  Duration
 	fn      func()
-	ev      *Event
+	tickFn  func()
+	ev      Event
 	stopped bool
 }
 
@@ -188,15 +365,13 @@ func (t *Ticker) tick() {
 	if t.stopped { // fn may stop the ticker
 		return
 	}
-	t.ev = t.engine.After(t.period, t.tick)
+	t.ev = t.engine.After(t.period, t.tickFn)
 }
 
 // Stop cancels future ticks. Safe to call from within the tick callback.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.ev != nil {
-		t.ev.Cancel()
-	}
+	t.ev.Cancel()
 }
 
 // Period returns the ticker's period.

@@ -336,3 +336,196 @@ func TestRunUntilSkipsCancelledWithoutOverrunningDeadline(t *testing.T) {
 		t.Fatalf("Now = %v", e.Now())
 	}
 }
+
+func TestPendingCountsLiveEventsOnly(t *testing.T) {
+	e := NewEngine(1)
+	evs := make([]Event, 5)
+	for i := range evs {
+		evs[i] = e.Schedule(Time(10+i), func() {})
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", e.Pending())
+	}
+	evs[1].Cancel()
+	evs[3].Cancel()
+	if e.Pending() != 3 {
+		t.Fatalf("Pending after 2 cancels = %d, want 3 (cancelled events must not count)", e.Pending())
+	}
+	// Double-cancel must not decrement twice.
+	evs[1].Cancel()
+	if e.Pending() != 3 {
+		t.Fatalf("Pending after double cancel = %d, want 3", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", e.Pending())
+	}
+	if e.EventsFired() != 3 {
+		t.Fatalf("EventsFired = %d, want 3", e.EventsFired())
+	}
+}
+
+func TestStaleHandleCannotCancelRecycledSlot(t *testing.T) {
+	// A handle held past its event's firing must become inert once the
+	// slot is recycled by a later Schedule — not cancel the new event.
+	e := NewEngine(1)
+	stale := e.Schedule(1, func() {})
+	e.Run() // fires; slot returns to the free list
+	fired := false
+	fresh := e.Schedule(2, func() { fired = true })
+	stale.Cancel()
+	if fresh.Cancelled() {
+		t.Fatal("stale Cancel hit the recycled slot's new event")
+	}
+	if stale.Cancelled() || stale.Pending() {
+		t.Fatal("stale handle reports live state")
+	}
+	if stale.At() != 0 {
+		t.Fatalf("stale At = %v, want 0", stale.At())
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("recycled-slot event did not fire")
+	}
+}
+
+func TestEventZeroValueIsInert(t *testing.T) {
+	var ev Event
+	ev.Cancel() // must not panic
+	if ev.Cancelled() || ev.Pending() || ev.At() != 0 {
+		t.Fatal("zero Event reports live state")
+	}
+}
+
+func TestHandleReadableAfterFiringUntilReuse(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.Schedule(7, func() {})
+	e.Run()
+	// Slot freed but not yet reused: the handle still answers queries.
+	if ev.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	if ev.Cancelled() {
+		t.Fatal("fired event reports cancelled")
+	}
+	if ev.At() != 7 {
+		t.Fatalf("At after fire = %v, want 7", ev.At())
+	}
+}
+
+func TestReapCompactsCancelledMajority(t *testing.T) {
+	e := NewEngine(1)
+	evs := make([]Event, 400)
+	for i := range evs {
+		evs[i] = e.Schedule(Time(1000+i), func() {})
+	}
+	for _, ev := range evs {
+		ev.Cancel()
+	}
+	// All cancelled: reap fires whenever dead events both exceed the
+	// minimum and outnumber live ones, so the residue left lazily in the
+	// heap stays below the threshold instead of holding all 400.
+	if len(e.heap) >= reapMinDead {
+		t.Fatalf("heap len = %d after cancelling all, want < %d (reap)", len(e.heap), reapMinDead)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+	// Ordering still intact afterwards.
+	var got []Time
+	e.Schedule(2000, func() { got = append(got, e.Now()) })
+	e.Schedule(1500, func() { got = append(got, e.Now()) })
+	e.Run()
+	if len(got) != 2 || got[0] != 1500 || got[1] != 2000 {
+		t.Fatalf("post-reap order = %v", got)
+	}
+}
+
+func TestReapPreservesSameInstantFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	var cancels []Event
+	// Interleave 100 keepers and 100 victims at the same instant, then
+	// cancel every victim to force a reap mid-heap.
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(50, func() { got = append(got, i) })
+		cancels = append(cancels, e.Schedule(50, func() { t.Error("cancelled event fired") }))
+	}
+	for _, ev := range cancels {
+		ev.Cancel()
+	}
+	e.Run()
+	if len(got) != 100 {
+		t.Fatalf("fired %d keepers, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant FIFO broken after reap: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEngineSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine(1)
+	// Warm the arena and the heap slice.
+	for i := 0; i < 10; i++ {
+		e.Schedule(e.Now()+1, func() {})
+		e.Step()
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		e.Schedule(e.Now()+1, func() {})
+		e.Step()
+	}); avg != 0 {
+		t.Fatalf("Schedule+Step allocates %v per op in steady state, want 0", avg)
+	}
+}
+
+func TestTickerReusesSlotAcrossTicks(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	tk := e.Every(0, 1, func() { n++ })
+	e.Step() // first tick warms the slot
+	if avg := testing.AllocsPerRun(1000, func() { e.Step() }); avg != 0 {
+		t.Fatalf("Ticker tick allocates %v per op, want 0", avg)
+	}
+	tk.Stop()
+	if n < 1000 {
+		t.Fatalf("ticks = %d", n)
+	}
+}
+
+func TestHeapOrderRandomized(t *testing.T) {
+	// Push a pseudo-random schedule through the 4-ary heap and assert
+	// strict (time, seq) pop order against a reference sort.
+	e := NewEngine(99)
+	r := NewRNG(1234)
+	const n = 5000
+	type rec struct {
+		at  Time
+		ord int
+	}
+	var fired []rec
+	for i := 0; i < n; i++ {
+		i := i
+		at := Time(r.Intn(700)) // heavy same-instant collisions
+		e.Schedule(at, func() { fired = append(fired, rec{at: e.Now(), ord: i}) })
+	}
+	e.Run()
+	if len(fired) != n {
+		t.Fatalf("fired %d, want %d", len(fired), n)
+	}
+	seen := make(map[int]int, n) // schedule order -> fire position
+	for pos, f := range fired {
+		seen[f.ord] = pos
+	}
+	for i := 1; i < n; i++ {
+		if fired[i].at < fired[i-1].at {
+			t.Fatalf("time went backwards at %d: %v after %v", i, fired[i].at, fired[i-1].at)
+		}
+		if fired[i].at == fired[i-1].at && fired[i].ord < fired[i-1].ord {
+			t.Fatalf("same-instant FIFO violated at %d", i)
+		}
+	}
+	_ = seen
+}

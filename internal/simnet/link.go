@@ -36,7 +36,7 @@ type Port struct {
 	queue    *PriorityQueue
 	shaper   Shaper
 	busy     bool
-	pausedTx *sim.Event
+	pausedTx sim.Event
 
 	// Stats
 	TxFrames, RxFrames uint64
@@ -140,10 +140,8 @@ func (l *Link) SetUp(up bool) {
 				p.Drops += uint64(p.queue.Len())
 				p.queue.Clear()
 				p.busy = false
-				if p.pausedTx != nil {
-					p.pausedTx.Cancel()
-					p.pausedTx = nil
-				}
+				p.pausedTx.Cancel()
+				p.pausedTx = sim.Event{}
 			}
 		}
 	}
@@ -172,9 +170,9 @@ func (p *Port) Send(f *frame.Frame) bool {
 	// A port paused on a closed gate re-evaluates on arrival: TAS gates
 	// are per-queue, so a newly queued higher-priority frame whose gate
 	// is open must not wait behind a gated lower-priority head.
-	if p.pausedTx != nil {
+	if p.pausedTx.Pending() {
 		p.pausedTx.Cancel()
-		p.pausedTx = nil
+		p.pausedTx = sim.Event{}
 		p.busy = false
 	}
 	if !p.busy {
@@ -212,7 +210,7 @@ func (p *Port) startNext() {
 		if start > now {
 			p.busy = true
 			p.pausedTx = l.engine.Schedule(start, func() {
-				p.pausedTx = nil
+				p.pausedTx = sim.Event{}
 				p.busy = false
 				p.startNext()
 			})

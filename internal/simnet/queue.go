@@ -2,13 +2,76 @@ package simnet
 
 import "steelnet/internal/frame"
 
+// classRing is one priority class's FIFO, backed by a power-of-two ring
+// buffer. Dequeue moves a head index instead of shifting the slice, so
+// Pop is O(1) where the previous slice-based queue paid an O(n) copy per
+// frame.
+type classRing struct {
+	buf  []*frame.Frame // len(buf) is always 0 or a power of two
+	head int
+	n    int
+}
+
+// push appends f, growing the ring when full. The caller enforces the
+// class depth limit.
+func (r *classRing) push(f *frame.Frame) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = f
+	r.n++
+}
+
+// grow doubles the ring, unrolling the wrapped contents to the front.
+func (r *classRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	nb := make([]*frame.Frame, size)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
+// peek returns the head frame without removing it, or nil when empty.
+func (r *classRing) peek() *frame.Frame {
+	if r.n == 0 {
+		return nil
+	}
+	return r.buf[r.head]
+}
+
+// pop removes and returns the head frame, or nil when empty.
+func (r *classRing) pop() *frame.Frame {
+	if r.n == 0 {
+		return nil
+	}
+	f := r.buf[r.head]
+	r.buf[r.head] = nil // release the reference for GC
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return f
+}
+
+// clear drops all queued frames, keeping the ring's capacity for reuse.
+func (r *classRing) clear() {
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)&(len(r.buf)-1)] = nil
+	}
+	r.head = 0
+	r.n = 0
+}
+
 // PriorityQueue is a strict-priority egress queue with eight classes
 // (one per 802.1Q PCP value) and a per-class depth bound. Higher PCP
 // drains first; within a class frames are FIFO. Strict priority is what
 // keeps never-ending RT microflows (§2.3) isolated from elephant flows
 // sharing the port.
 type PriorityQueue struct {
-	classes [8][]*frame.Frame
+	classes [8]classRing
 	limit   int
 	length  int
 
@@ -31,11 +94,11 @@ func NewPriorityQueue(perClassLimit int) *PriorityQueue {
 // drop.
 func (q *PriorityQueue) Push(f *frame.Frame) bool {
 	c := int(f.EffectivePriority())
-	if len(q.classes[c]) >= q.limit {
+	if q.classes[c].n >= q.limit {
 		q.DroppedPerClass[c]++
 		return false
 	}
-	q.classes[c] = append(q.classes[c], f)
+	q.classes[c].push(f)
 	q.EnqueuedPerClass[c]++
 	q.length++
 	return true
@@ -44,8 +107,8 @@ func (q *PriorityQueue) Push(f *frame.Frame) bool {
 // Peek returns the next frame to transmit without removing it, or nil.
 func (q *PriorityQueue) Peek() *frame.Frame {
 	for c := 7; c >= 0; c-- {
-		if len(q.classes[c]) > 0 {
-			return q.classes[c][0]
+		if q.classes[c].n > 0 {
+			return q.classes[c].peek()
 		}
 	}
 	return nil
@@ -54,12 +117,9 @@ func (q *PriorityQueue) Peek() *frame.Frame {
 // Pop removes and returns the next frame, or nil when empty.
 func (q *PriorityQueue) Pop() *frame.Frame {
 	for c := 7; c >= 0; c-- {
-		if cls := q.classes[c]; len(cls) > 0 {
-			f := cls[0]
-			copy(cls, cls[1:])
-			q.classes[c] = cls[:len(cls)-1]
+		if q.classes[c].n > 0 {
 			q.length--
-			return f
+			return q.classes[c].pop()
 		}
 	}
 	return nil
@@ -69,12 +129,13 @@ func (q *PriorityQueue) Pop() *frame.Frame {
 func (q *PriorityQueue) Len() int { return q.length }
 
 // ClassLen returns the depth of one priority class.
-func (q *PriorityQueue) ClassLen(c frame.PCP) int { return len(q.classes[int(c&7)]) }
+func (q *PriorityQueue) ClassLen(c frame.PCP) int { return q.classes[int(c&7)].n }
 
-// Clear drops all queued frames.
+// Clear drops all queued frames. Ring capacity is retained so the next
+// burst does not reallocate.
 func (q *PriorityQueue) Clear() {
 	for c := range q.classes {
-		q.classes[c] = nil
+		q.classes[c].clear()
 	}
 	q.length = 0
 }

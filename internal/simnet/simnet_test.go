@@ -543,3 +543,95 @@ func TestCreditShaperBadSlopePanics(t *testing.T) {
 	}()
 	NewCreditShaper(frame.PrioML, 0)
 }
+
+func TestPriorityQueueRingWraparound(t *testing.T) {
+	// Interleaved push/pop cycles the head index through the ring many
+	// times; FIFO order per class must survive the wraparound.
+	q := NewPriorityQueue(8)
+	mk := func(i int) *frame.Frame {
+		return &frame.Frame{Tagged: true, Priority: frame.PrioRT, Meta: frame.Meta{FlowID: uint32(i)}}
+	}
+	next := 0
+	want := 0
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 5; i++ {
+			if !q.Push(mk(next)) {
+				t.Fatalf("push %d rejected below limit", next)
+			}
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			f := q.Pop()
+			if f == nil {
+				t.Fatal("pop returned nil with frames queued")
+			}
+			if int(f.Meta.FlowID) != want {
+				t.Fatalf("FIFO broken across wraparound: got %d, want %d", f.Meta.FlowID, want)
+			}
+			want++
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+func TestPriorityQueueClassLenAndClearAfterWrap(t *testing.T) {
+	q := NewPriorityQueue(16)
+	// Wrap the PCP-5 ring: fill, drain half, refill.
+	for i := 0; i < 16; i++ {
+		q.Push(&frame.Frame{Tagged: true, Priority: 5})
+	}
+	for i := 0; i < 10; i++ {
+		q.Pop()
+	}
+	for i := 0; i < 10; i++ {
+		q.Push(&frame.Frame{Tagged: true, Priority: 5})
+	}
+	if got := q.ClassLen(5); got != 16 {
+		t.Fatalf("ClassLen(5) = %d, want 16", got)
+	}
+	if !q.Push(&frame.Frame{Tagged: true, Priority: 4}) {
+		t.Fatal("other class rejected")
+	}
+	if q.Len() != 17 {
+		t.Fatalf("Len = %d, want 17", q.Len())
+	}
+	// Tail drop at the limit, counted per class.
+	if q.Push(&frame.Frame{Tagged: true, Priority: 5}) {
+		t.Fatal("push above class limit accepted")
+	}
+	if q.DroppedPerClass[5] != 1 {
+		t.Fatalf("DroppedPerClass[5] = %d, want 1", q.DroppedPerClass[5])
+	}
+	q.Clear()
+	if q.Len() != 0 || q.ClassLen(5) != 0 || q.ClassLen(4) != 0 {
+		t.Fatal("Clear left residue")
+	}
+	if q.Peek() != nil || q.Pop() != nil {
+		t.Fatal("Peek/Pop non-nil after Clear")
+	}
+	// Drop counters survive Clear (they are lifetime stats).
+	if q.DroppedPerClass[5] != 1 {
+		t.Fatalf("Clear reset drop counters")
+	}
+	// Ring still usable after Clear.
+	q.Push(&frame.Frame{Tagged: true, Priority: 5})
+	if q.ClassLen(5) != 1 {
+		t.Fatal("push after Clear failed")
+	}
+}
+
+func TestPriorityQueuePopIsAllocFree(t *testing.T) {
+	q := NewPriorityQueue(1 << 12)
+	f := &frame.Frame{Tagged: true, Priority: 3}
+	for i := 0; i < 1024; i++ {
+		q.Push(f)
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		q.Push(f)
+		q.Pop()
+	}); avg != 0 {
+		t.Fatalf("Push+Pop allocates %v per op in steady state, want 0", avg)
+	}
+}

@@ -1,0 +1,81 @@
+// Package sweep runs independent simulation cells across a bounded
+// worker pool. Figure sweeps (reflection variants, flow counts, the
+// Fig. 6 topology grid) are embarrassingly parallel: every cell builds
+// its own engine from its own seed, so cells may run on separate
+// goroutines as long as nothing is shared. Run preserves the input
+// order of results, which keeps rendered tables byte-identical to a
+// serial sweep — parallelism changes wall-clock time only, never
+// output.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run evaluates fn(0) … fn(n-1) on a pool of worker goroutines and
+// returns the results in input order. workers <= 0 selects
+// runtime.NumCPU(); workers == 1 runs serially on the calling
+// goroutine with no synchronization at all.
+//
+// fn must be safe to call concurrently for distinct i — in this
+// codebase that means each cell constructs its own sim.Engine and
+// touches no package-level mutable state. If any call panics, Run
+// re-panics on the caller's goroutine with the first recovered value
+// after all workers have stopped.
+func Run[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+
+	var (
+		next     atomic.Int64 // next undispatched cell index
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+		panicked bool
+	)
+	next.Store(-1)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if !panicked {
+						panicked, panicVal = true, r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked {
+		panic(fmt.Sprintf("sweep: worker panicked: %v", panicVal))
+	}
+	return out
+}

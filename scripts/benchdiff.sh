@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# benchdiff.sh — run the allocation-sensitive micro-benchmarks and emit
+# a machine-readable report (BENCH_sim.json) for CI artifact diffing.
+#
+# Usage: scripts/benchdiff.sh [output.json]
+#
+# The report is a JSON array of {name, ns_per_op, bytes_per_op,
+# allocs_per_op} rows parsed from `go test -bench -benchmem` output.
+# The script fails if BenchmarkEngineScheduleAndRun reports any
+# steady-state allocations: the pooled-event arena contract is
+# 0 allocs/op, and a regression there silently re-introduces GC churn
+# into every figure sweep.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_sim.json}"
+
+raw=$(go test -run '^$' -bench \
+  'BenchmarkEngineScheduleAndRun|BenchmarkTickerChain|BenchmarkPriorityQueue|BenchmarkSwitchForwarding' \
+  -benchmem -benchtime 10000x ./internal/sim ./internal/simnet)
+echo "$raw"
+
+echo "$raw" | awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = $3; bytes = $5; allocs = $7
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
+}
+END { print "\n]" }
+' >"$out"
+echo "wrote $out"
+
+if echo "$raw" | awk '/^BenchmarkEngineScheduleAndRun/ { exit ($7 != 0) ? 0 : 1 }'; then
+    echo "FAIL: BenchmarkEngineScheduleAndRun allocates in steady state" >&2
+    exit 1
+fi
