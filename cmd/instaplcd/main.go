@@ -5,14 +5,22 @@
 // Usage:
 //
 //	instaplcd [-seed N] [-cycle D] [-fail D] [-horizon D] [-baseline]
+//	          [-faults SPEC] [-chaos] [-workers N]
+//
+// -faults replaces the default crash with a declarative fault plan,
+// e.g. "hoststall:vplc1@1.3s+400ms,loss:dp.2@0.5s+1s*0.2"; the run
+// prints the executed fault trace next to the figure. -chaos sweeps
+// randomized fault plans of increasing intensity over the scenario.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"steelnet/internal/core"
+	"steelnet/internal/faults"
 	"steelnet/internal/instaplc"
 )
 
@@ -23,6 +31,9 @@ func main() {
 	horizon := flag.Duration("horizon", 3*time.Second, "simulated time span")
 	wd := flag.Int("watchdog", 2, "InstaPLC data-plane watchdog in cycles")
 	baseline := flag.Bool("baseline", false, "disable InstaPLC (plain L2 switch) for comparison")
+	faultSpec := flag.String("faults", "", "fault plan spec replacing the default crash (kind:target@at[+dur][*mag],...)")
+	chaos := flag.Bool("chaos", false, "sweep randomized fault plans over the scenario")
+	workers := flag.Int("workers", 0, "chaos sweep worker pool size (0 = NumCPU)")
 	flag.Parse()
 
 	cfg := instaplc.DefaultExperimentConfig()
@@ -33,11 +44,52 @@ func main() {
 	cfg.InstaWatchdogCycles = *wd
 	cfg.DisableInstaPLC = *baseline
 
-	table, res := core.Figure5(cfg)
-	fmt.Print(table)
-	fmt.Printf("\nswitchovers=%d absorbed-by-twin=%d failsafe-events=%d final-device-state=%v\n",
-		res.Switchovers, res.AbsorbedFrames, res.FailsafeEvents, res.DeviceState)
-	if res.SwitchoverAt > 0 {
-		fmt.Printf("switchover completed %v after the failure\n", res.SwitchoverAt.Sub(res.FailAt))
+	if *chaos {
+		ccfg := core.DefaultChaosConfig()
+		ccfg.Seed = *seed
+		ccfg.Base = cfg
+		ccfg.Workers = *workers
+		fmt.Print(core.RenderChaosSweep(core.RunChaosSweep(ccfg)))
+		return
 	}
+
+	if *faultSpec != "" {
+		plan, err := faults.ParsePlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "instaplcd: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Faults = &plan
+	}
+
+	table, res := figure5(cfg, *faultSpec != "")
+	fmt.Print(table)
+	if *faultSpec != "" {
+		fmt.Printf("\nfault trace (plan %q):\n%s", *faultSpec, res.FaultTrace)
+	}
+	fmt.Printf("\nswitchovers=%d absorbed-by-twin=%d failsafe-events=%d final-device-state=%v io-availability=%.4f\n",
+		res.Switchovers, res.AbsorbedFrames, res.FailsafeEvents, res.DeviceState, res.IOAvailability)
+	if res.SwitchoverAt > 0 {
+		if *faultSpec != "" {
+			// A user plan may contain several failures; the delta against
+			// the single default FailAt would be meaningless.
+			fmt.Printf("switchover completed at t=%v\n", res.SwitchoverAt)
+		} else {
+			fmt.Printf("switchover completed %v after the failure\n", res.SwitchoverAt.Sub(res.FailAt))
+		}
+	}
+}
+
+// figure5 runs the experiment, turning the bad-fault-plan panic into a
+// clean CLI error when the plan came from the user rather than code.
+func figure5(cfg instaplc.ExperimentConfig, userPlan bool) (string, instaplc.ExperimentResult) {
+	if userPlan {
+		defer func() {
+			if r := recover(); r != nil {
+				fmt.Fprintf(os.Stderr, "instaplcd: %v\n", r)
+				os.Exit(2)
+			}
+		}()
+	}
+	return core.Figure5(cfg)
 }

@@ -1,0 +1,51 @@
+package clock
+
+import (
+	"testing"
+	"time"
+
+	"steelnet/internal/sim"
+)
+
+func TestAdjustableMatchesDriftingBetweenAdjustments(t *testing.T) {
+	a := NewAdjustable(3*time.Millisecond, 50)
+	d := Drifting{Offset: 3 * time.Millisecond, DriftPPM: 50}
+	for _, at := range []sim.Time{0, sim.Time(time.Millisecond), sim.Time(time.Second), sim.Time(10 * time.Second)} {
+		if got, want := a.Read(at), d.Read(at); got != want {
+			t.Fatalf("Read(%v) = %d, Drifting gives %d", at, got, want)
+		}
+	}
+}
+
+func TestAdjustableDriftChangeIsContinuous(t *testing.T) {
+	a := NewAdjustable(0, 100)
+	at := sim.Time(time.Second)
+	before := a.Read(at)
+	a.SetDriftPPM(at, -100)
+	if after := a.Read(at); after != before {
+		t.Fatalf("reading jumped across drift change: %d -> %d", before, after)
+	}
+	if a.DriftPPM() != -100 {
+		t.Fatalf("DriftPPM = %v", a.DriftPPM())
+	}
+	// One second at -100 ppm cancels the first second's +100 ppm gain.
+	at2 := sim.Time(2 * time.Second)
+	if got := a.Read(at2); got != int64(at2) {
+		t.Fatalf("Read(2s) = %d, want %d (drift should have cancelled)", got, int64(at2))
+	}
+}
+
+func TestAdjustableStepJumpsExactly(t *testing.T) {
+	a := NewAdjustable(0, 0)
+	at := sim.Time(500 * time.Millisecond)
+	before := a.Read(at)
+	a.Step(at, -250*time.Microsecond)
+	if got := a.Read(at) - before; got != int64(-250*time.Microsecond) {
+		t.Fatalf("step moved reading by %d, want %d", got, int64(-250*time.Microsecond))
+	}
+	// The step is phase only: rate stays nominal afterwards.
+	later := sim.Time(time.Second)
+	if got, want := a.Read(later)-a.Read(at), int64(later-at); got != want {
+		t.Fatalf("rate after step: advanced %d over %d of true time", got, want)
+	}
+}

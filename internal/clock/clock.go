@@ -46,6 +46,52 @@ func (d Drifting) Read(now sim.Time) int64 {
 	return int64(now) + int64(d.Offset) + int64(drift)
 }
 
+// Adjustable is a piecewise-linear clock whose frequency error and
+// phase can be changed mid-run — the target of fault-injected drift and
+// step events (internal/faults). Between adjustments it behaves like
+// Drifting; each adjustment rebaselines the accumulated reading so the
+// clock stays continuous across a drift change and jumps exactly delta
+// across a step. Adjustment instants must be non-decreasing (they come
+// from engine-scheduled events, so they are).
+type Adjustable struct {
+	base  sim.Time // instant of the last adjustment
+	acc   int64    // reading at base
+	drift float64  // current frequency error, ppm
+}
+
+// NewAdjustable builds an adjustable clock reading offset at time zero
+// with an initial frequency error of ppm.
+func NewAdjustable(offset time.Duration, ppm float64) *Adjustable {
+	return &Adjustable{acc: int64(offset), drift: ppm}
+}
+
+// Read implements Clock.
+func (a *Adjustable) Read(now sim.Time) int64 {
+	dt := int64(now) - int64(a.base)
+	return a.acc + dt + int64(float64(dt)*a.drift/1e6)
+}
+
+// SetDriftPPM changes the clock's frequency error at instant now,
+// keeping the reading continuous.
+func (a *Adjustable) SetDriftPPM(now sim.Time, ppm float64) {
+	a.rebase(now)
+	a.drift = ppm
+}
+
+// Step jumps the clock's reading by delta at instant now.
+func (a *Adjustable) Step(now sim.Time, delta time.Duration) {
+	a.rebase(now)
+	a.acc += int64(delta)
+}
+
+// DriftPPM returns the current frequency error.
+func (a *Adjustable) DriftPPM() float64 { return a.drift }
+
+func (a *Adjustable) rebase(now sim.Time) {
+	a.acc = a.Read(now)
+	a.base = now
+}
+
 // PTPSynced models a clock disciplined by IEEE 1588: drift is servo-ed
 // out, but a residual offset remains, dominated by path asymmetry
 // (§3 cites sub-µs accuracy that still suffers asymmetric delays). The

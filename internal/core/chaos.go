@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"steelnet/internal/faults"
+	"steelnet/internal/instaplc"
+	"steelnet/internal/iodevice"
+	"steelnet/internal/metrics"
+	"steelnet/internal/sweep"
+)
+
+// ChaosConfig parameterizes RunChaosSweep: the Fig. 5 InstaPLC scenario
+// bombarded with randomized-but-replayable fault plans of increasing
+// intensity. Every cell derives its own seed from (Seed, cell index),
+// generates its plan with faults.Generate, and runs on its own engine,
+// so the sweep parallelizes like every other figure sweep — same table
+// at any worker count.
+type ChaosConfig struct {
+	Seed uint64
+	// Intensities is the fault-count ladder; each level runs Trials
+	// cells with different derived seeds.
+	Intensities []int
+	Trials      int
+	// Workers sizes the sweep pool (<=0: NumCPU).
+	Workers int
+	// Base is the scenario under attack (zero value: the Fig. 5
+	// defaults). Its Seed and Faults fields are overwritten per cell.
+	Base instaplc.ExperimentConfig
+	// MeanOutage is the mean generated fault duration (default 100 ms —
+	// long against the 4.8 ms watchdog, short against the horizon).
+	MeanOutage time.Duration
+}
+
+// DefaultChaosConfig sweeps 0..12 faults, three trials each.
+func DefaultChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Seed:        1,
+		Intensities: []int{0, 2, 4, 8, 12},
+		Trials:      3,
+		Base:        instaplc.DefaultExperimentConfig(),
+	}
+}
+
+// ChaosCell is one (intensity, trial) run.
+type ChaosCell struct {
+	Intensity, Trial int
+	Seed             uint64
+	Plan             string
+	InjectedFaults   int
+	Switchovers      uint64
+	FailsafeEvents   uint64
+	IOAvailability   float64
+	DeviceState      iodevice.State
+}
+
+// chaosTargets lists the Fig. 5 scenario's registered fault targets
+// (see instaplc.ExperimentConfig.Faults).
+var chaosTargets = faults.GenConfig{
+	Links: []string{"v1-dp", "v2-dp", "dev-dp"},
+	Ports: []string{"vplc1", "vplc2", "io", "dp.0", "dp.1", "dp.2"},
+	Hosts: []string{"vplc1", "vplc2"},
+}
+
+// chaosSeed derives a cell seed from the sweep seed and cell index
+// (splitmix-style odd multiplier keeps nearby indices uncorrelated).
+func chaosSeed(seed uint64, i int) uint64 {
+	return seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15
+}
+
+// RunChaosSweep runs the ladder and returns cells in (intensity, trial)
+// order.
+func RunChaosSweep(cfg ChaosConfig) []ChaosCell {
+	if len(cfg.Intensities) == 0 {
+		cfg.Intensities = DefaultChaosConfig().Intensities
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = DefaultChaosConfig().Trials
+	}
+	if cfg.Base.Horizon <= 0 {
+		cfg.Base = instaplc.DefaultExperimentConfig()
+	}
+	if cfg.MeanOutage <= 0 {
+		cfg.MeanOutage = 100 * time.Millisecond
+	}
+	n := len(cfg.Intensities) * cfg.Trials
+	return sweep.Run(cfg.Workers, n, func(i int) ChaosCell {
+		cell := ChaosCell{
+			Intensity: cfg.Intensities[i/cfg.Trials],
+			Trial:     i % cfg.Trials,
+			Seed:      chaosSeed(cfg.Seed, i),
+		}
+		gen := chaosTargets
+		gen.Horizon = cfg.Base.Horizon
+		gen.Events = cell.Intensity
+		gen.MeanOutage = cfg.MeanOutage
+		plan := faults.Generate(cell.Seed, gen)
+		ecfg := cfg.Base
+		ecfg.Seed = cell.Seed
+		ecfg.Faults = &plan
+		res := instaplc.RunExperiment(ecfg)
+		cell.Plan = plan.String()
+		cell.InjectedFaults = res.InjectedFaults
+		cell.Switchovers = res.Switchovers
+		cell.FailsafeEvents = res.FailsafeEvents
+		cell.IOAvailability = res.IOAvailability
+		cell.DeviceState = res.DeviceState
+		return cell
+	})
+}
+
+// RenderChaosSweep renders the ladder: availability and failover
+// activity per cell, then a per-intensity availability summary.
+func RenderChaosSweep(cells []ChaosCell) string {
+	t := metrics.NewTable("Chaos sweep: InstaPLC cell under randomized fault plans",
+		"faults", "trial", "seed", "injected", "switchovers", "failsafes", "IO avail", "device")
+	for _, c := range cells {
+		t.AddRow(
+			formatInt(c.Intensity),
+			formatInt(c.Trial),
+			fmt.Sprintf("%#x", c.Seed),
+			formatInt(c.InjectedFaults),
+			fmt.Sprintf("%d", c.Switchovers),
+			fmt.Sprintf("%d", c.FailsafeEvents),
+			fmt.Sprintf("%.4f", c.IOAvailability),
+			c.DeviceState.String(),
+		)
+	}
+	s := t.String()
+	sum := metrics.NewTable("per-intensity availability", "faults", "mean IO avail", "min IO avail")
+	byIntensity := map[int][]float64{}
+	order := []int{}
+	for _, c := range cells {
+		if _, seen := byIntensity[c.Intensity]; !seen {
+			order = append(order, c.Intensity)
+		}
+		byIntensity[c.Intensity] = append(byIntensity[c.Intensity], c.IOAvailability)
+	}
+	for _, k := range order {
+		vs := byIntensity[k]
+		mean, min := 0.0, vs[0]
+		for _, v := range vs {
+			mean += v
+			if v < min {
+				min = v
+			}
+		}
+		sum.AddRow(formatInt(k), fmt.Sprintf("%.4f", mean/float64(len(vs))), fmt.Sprintf("%.4f", min))
+	}
+	return s + sum.String()
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"steelnet/internal/faults"
+	"steelnet/internal/instaplc"
+	"steelnet/internal/iodevice"
+)
+
+// The chaos suite's invariants: whatever the generated fault plan does,
+// the cell must come back — the engine terminates (implicit in any
+// completed run), availability holds a floor, quiet cells stay quiet,
+// and the ladder is monotone in spirit (faults only ever appear when
+// asked for).
+
+func TestChaosSweepInvariants(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cells := RunChaosSweep(cfg)
+	if len(cells) != len(cfg.Intensities)*cfg.Trials {
+		t.Fatalf("got %d cells, want %d", len(cells), len(cfg.Intensities)*cfg.Trials)
+	}
+	for _, c := range cells {
+		if c.InjectedFaults != c.Intensity {
+			t.Errorf("cell (%d,%d): injected %d faults, want %d",
+				c.Intensity, c.Trial, c.InjectedFaults, c.Intensity)
+		}
+		// Generated faults always recover, InstaPLC rides through host
+		// stalls, and the bin floor holds even under the heaviest
+		// ladder rung (deterministic: these seeds either pass forever
+		// or fail forever).
+		if c.IOAvailability < 0.8 {
+			t.Errorf("cell (%d,%d): IOAvailability %.4f below 0.8 floor\nplan: %s",
+				c.Intensity, c.Trial, c.IOAvailability, c.Plan)
+		}
+		if c.Intensity == 0 {
+			if c.Switchovers != 0 || c.FailsafeEvents != 0 || c.IOAvailability != 1 {
+				t.Errorf("quiet cell (%d,%d) was not quiet: %+v", c.Intensity, c.Trial, c)
+			}
+			if c.DeviceState != iodevice.StateOperate {
+				t.Errorf("quiet cell (%d,%d): device state %v", c.Intensity, c.Trial, c.DeviceState)
+			}
+		}
+	}
+}
+
+func TestChaosPlansAreReplayable(t *testing.T) {
+	// Every cell's plan string must reparse and reproduce the cell's
+	// result when run directly — the property that turns a chaos
+	// finding into a regression test.
+	cfg := DefaultChaosConfig()
+	cfg.Intensities = []int{6}
+	cfg.Trials = 1
+	cells := RunChaosSweep(cfg)
+	c := cells[0]
+	replayed := replayCell(t, cfg, c)
+	if replayed.Switchovers != c.Switchovers ||
+		replayed.FailsafeEvents != c.FailsafeEvents ||
+		replayed.IOAvailability != c.IOAvailability {
+		t.Fatalf("replay from plan string diverged:\nsweep:  %+v\nreplay: switchovers=%d failsafes=%d avail=%v",
+			c, replayed.Switchovers, replayed.FailsafeEvents, replayed.IOAvailability)
+	}
+}
+
+func replayCell(t *testing.T, cfg ChaosConfig, c ChaosCell) instaplc.ExperimentResult {
+	t.Helper()
+	plan, err := faults.ParsePlan(c.Plan)
+	if err != nil {
+		t.Fatalf("cell plan %q does not reparse: %v", c.Plan, err)
+	}
+	ecfg := cfg.Base
+	ecfg.Seed = c.Seed
+	ecfg.Faults = &plan
+	return instaplc.RunExperiment(ecfg)
+}
+
+func TestRenderChaosSweep(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Intensities = []int{0, 2}
+	cfg.Trials = 1
+	out := RenderChaosSweep(RunChaosSweep(cfg))
+	for _, want := range []string{"Chaos sweep", "IO avail", "per-intensity availability", "operate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -70,6 +70,36 @@ func TestFigure4JitterTableIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+func TestChaosSweepTableIdenticalAcrossWorkerCounts(t *testing.T) {
+	// Same seed + same fault plans ⇒ byte-identical chaos table at any
+	// worker count: fault injection must not leak nondeterminism into
+	// the sweep (every cell's plan and engine derive only from the cell
+	// seed, and fault RNG streams are per-port by name).
+	base := DefaultChaosConfig()
+	base.Intensities = []int{0, 3, 9}
+	base.Trials = 2
+
+	serial := base
+	serial.Workers = 1
+	wantCells := RunChaosSweep(serial)
+	wantTable := RenderChaosSweep(wantCells)
+
+	par := base
+	par.Workers = parallelWorkers()
+	gotCells := RunChaosSweep(par)
+	gotTable := RenderChaosSweep(gotCells)
+
+	if gotTable != wantTable {
+		t.Errorf("chaos table differs between workers=1 and workers=%d:\n--- serial ---\n%s--- parallel ---\n%s",
+			par.Workers, wantTable, gotTable)
+	}
+	for i := range wantCells {
+		if gotCells[i] != wantCells[i] {
+			t.Errorf("cell %d differs:\nserial:   %+v\nparallel: %+v", i, wantCells[i], gotCells[i])
+		}
+	}
+}
+
 func TestFigure6TableIdenticalAcrossWorkerCounts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping topology sweep in -short mode")

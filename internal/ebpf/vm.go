@@ -309,7 +309,10 @@ func (p *Program) Run(packet []byte, now sim.Time, costs *CostModel, rng *sim.RN
 					return trap(fmt.Sprintf("ring index %d out of range", idx))
 				}
 				off, n := regs[R2], regs[R3]
-				if off+n > StackSize || n == 0 {
+				// Compare without computing off+n: both come straight
+				// from registers, and a wrapped sum would slip a huge
+				// offset past the bound.
+				if n == 0 || off > StackSize || n > StackSize-off {
 					return trap(fmt.Sprintf("ringbuf output [%d,+%d) outside stack", off, n))
 				}
 				if p.Rings[idx].Output(stack[off : off+n]) {
@@ -343,7 +346,9 @@ func (p *Program) Run(packet []byte, now sim.Time, costs *CostModel, rng *sim.RN
 }
 
 func loadBE(mem []byte, off int64, size int) (uint64, bool) {
-	if off < 0 || off+int64(size) > int64(len(mem)) {
+	// off comes from untrusted register arithmetic: bound it without
+	// computing off+size, which can wrap for off near MaxInt64.
+	if off < 0 || size < 1 || off > int64(len(mem))-int64(size) {
 		return 0, false
 	}
 	switch size {
@@ -360,7 +365,7 @@ func loadBE(mem []byte, off int64, size int) (uint64, bool) {
 }
 
 func storeBE(mem []byte, off int64, size int, v uint64) bool {
-	if off < 0 || off+int64(size) > int64(len(mem)) {
+	if off < 0 || size < 1 || off > int64(len(mem))-int64(size) {
 		return false
 	}
 	switch size {

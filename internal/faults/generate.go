@@ -1,0 +1,126 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"steelnet/internal/sim"
+)
+
+// GenConfig parameterizes randomized plan generation. Only kinds whose
+// target list is non-empty are drawn; Events counts fault injections
+// (recoveries don't count). Zero-valued knobs get usable defaults.
+type GenConfig struct {
+	// Horizon bounds injection times: every event's At is uniform in
+	// [0, Horizon).
+	Horizon time.Duration
+	// Events is the number of fault events to generate.
+	Events int
+	// MeanOutage is the mean of the exponential fault-duration draw.
+	// Generated faults always recover (chaos plans probe degradation
+	// and recovery, not permanent loss); durations are clamped to
+	// [MinOutage, Horizon].
+	MeanOutage time.Duration
+	// MinOutage floors the duration draw (default 1ms).
+	MinOutage time.Duration
+	// MaxLossRate bounds loss/corruption burst probability (default 0.2).
+	MaxLossRate float64
+	// MaxDriftPPM bounds clock drift faults (default 100).
+	MaxDriftPPM float64
+	// MaxStep bounds clock step faults (default 10µs).
+	MaxStep time.Duration
+
+	// Target name pools, one per registry. Empty pools disable the
+	// corresponding kinds.
+	Links    []string
+	Ports    []string
+	Switches []string
+	Hosts    []string
+	Clocks   []string
+
+	// Kinds optionally restricts which fault kinds are drawn (before
+	// the empty-pool filter). Nil means all kinds.
+	Kinds []Kind
+}
+
+// Generate builds a randomized fault plan from seed. Same seed, same
+// config ⇒ same plan, byte for byte: the draw uses its own sim.RNG so
+// plan generation never perturbs (and is never perturbed by) the
+// scenario's own random streams.
+func Generate(seed uint64, cfg GenConfig) Plan {
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = time.Second
+	}
+	if cfg.MeanOutage <= 0 {
+		cfg.MeanOutage = cfg.Horizon / 20
+	}
+	if cfg.MinOutage <= 0 {
+		cfg.MinOutage = time.Millisecond
+	}
+	if cfg.MaxLossRate <= 0 {
+		cfg.MaxLossRate = 0.2
+	}
+	if cfg.MaxDriftPPM <= 0 {
+		cfg.MaxDriftPPM = 100
+	}
+	if cfg.MaxStep <= 0 {
+		cfg.MaxStep = 10 * time.Microsecond
+	}
+
+	pools := map[Kind][]string{
+		KindLinkFlap:     cfg.Links,
+		KindLossBurst:    cfg.Ports,
+		KindCorruptBurst: cfg.Ports,
+		KindSwitchCrash:  cfg.Switches,
+		KindHostStall:    cfg.Hosts,
+		KindClockDrift:   cfg.Clocks,
+		KindClockStep:    cfg.Clocks,
+	}
+	allowed := cfg.Kinds
+	if allowed == nil {
+		allowed = []Kind{KindLinkFlap, KindLossBurst, KindCorruptBurst,
+			KindSwitchCrash, KindHostStall, KindClockDrift, KindClockStep}
+	}
+	kinds := make([]Kind, 0, len(allowed))
+	for _, k := range allowed {
+		if len(pools[k]) > 0 {
+			kinds = append(kinds, k)
+		}
+	}
+	p := Plan{Name: fmt.Sprintf("chaos(seed=%d,n=%d)", seed, cfg.Events)}
+	if len(kinds) == 0 || cfg.Events <= 0 {
+		return p
+	}
+
+	rng := sim.NewRNG(seed)
+	for i := 0; i < cfg.Events; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		pool := pools[k]
+		ev := Event{
+			Kind:   k,
+			Target: pool[rng.Intn(len(pool))],
+			At:     rng.DurationRange(0, cfg.Horizon),
+		}
+		if k != KindClockStep {
+			d := time.Duration(rng.Exp(float64(cfg.MeanOutage)))
+			if d < cfg.MinOutage {
+				d = cfg.MinOutage
+			}
+			if d > cfg.Horizon {
+				d = cfg.Horizon
+			}
+			ev.Duration = d
+		}
+		switch k {
+		case KindLossBurst, KindCorruptBurst:
+			ev.Magnitude = rng.Range(0.01, cfg.MaxLossRate)
+		case KindClockDrift:
+			ev.Magnitude = rng.Range(-cfg.MaxDriftPPM, cfg.MaxDriftPPM)
+		case KindClockStep:
+			ev.Magnitude = rng.Range(-float64(cfg.MaxStep), float64(cfg.MaxStep))
+		}
+		p.Events = append(p.Events, ev)
+	}
+	p.Sort()
+	return p
+}

@@ -79,6 +79,11 @@ type Frame struct {
 	// object inside one node but are lost across marshal/unmarshal,
 	// mirroring how real metadata lives in descriptors, not packets.
 	Meta Meta
+
+	// pooled marks a frame currently sitting in a Pool free list, so a
+	// double Put panics at the release site instead of corrupting the
+	// list and surfacing as aliased payloads much later.
+	pooled bool
 }
 
 // Meta carries per-frame simulation metadata (ingress port, timestamps).
@@ -152,6 +157,7 @@ func Unmarshal(data []byte) (*Frame, error) {
 // elements clone before mirroring so downstream mutation cannot alias.
 func (f *Frame) Clone() *Frame {
 	g := *f
+	g.pooled = false
 	g.Payload = make([]byte, len(f.Payload))
 	copy(g.Payload, f.Payload)
 	return &g

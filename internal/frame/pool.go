@@ -14,8 +14,16 @@ type Pool struct {
 	free []*Frame
 
 	// News counts frames allocated because the pool was empty; Reused
-	// counts frames served from the free list.
-	News, Reused uint64
+	// counts frames served from the free list; Puts counts returns.
+	News, Reused, Puts uint64
+}
+
+// Outstanding returns frames handed out and not yet returned. Across a
+// set of pools whose frames migrate between them, the sum is the number
+// of frames alive in the network — zero once a drained simulation has
+// reclaimed every drop (the chaos suite's no-leak invariant).
+func (p *Pool) Outstanding() int64 {
+	return int64(p.News+p.Reused) - int64(p.Puts)
 }
 
 // Get returns a frame whose Payload has length n. All header fields and
@@ -46,16 +54,25 @@ func (p *Pool) Clone(f *Frame) *Frame {
 	g := p.Get(len(f.Payload))
 	pl := g.Payload
 	*g = *f
+	g.pooled = false
 	g.Payload = pl
 	copy(g.Payload, f.Payload)
 	return g
 }
 
 // Put returns f to the pool. The caller must not touch f afterwards; the
-// next Get may hand it out again. Putting nil is a no-op.
+// next Get may hand it out again. Putting nil is a no-op; putting a
+// frame that is already on a free list panics — a double release means
+// two owners believe they hold the frame, and the next two Gets would
+// hand out aliases of one buffer.
 func (p *Pool) Put(f *Frame) {
 	if f == nil {
 		return
 	}
+	if f.pooled {
+		panic("frame: double release to pool")
+	}
+	f.pooled = true
+	p.Puts++
 	p.free = append(p.free, f)
 }

@@ -1,0 +1,101 @@
+package frame
+
+import "testing"
+
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	var p Pool
+	f := p.Get(16)
+	p.Put(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic")
+		}
+	}()
+	p.Put(f)
+}
+
+func TestPoolReleaseAfterReuseIsFine(t *testing.T) {
+	// Get must clear the pooled mark, otherwise the first legitimate Put
+	// of a recycled frame would false-positive as a double release.
+	var p Pool
+	f := p.Get(8)
+	p.Put(f)
+	g := p.Get(8)
+	if g != f {
+		t.Fatal("pool did not recycle the frame object")
+	}
+	p.Put(g) // must not panic
+	if p.Puts != 2 {
+		t.Fatalf("Puts = %d, want 2", p.Puts)
+	}
+}
+
+func TestPoolOutstandingAccounting(t *testing.T) {
+	var p Pool
+	if p.Outstanding() != 0 {
+		t.Fatalf("fresh pool Outstanding = %d", p.Outstanding())
+	}
+	a, b, c := p.Get(1), p.Get(2), p.Get(3)
+	if p.Outstanding() != 3 {
+		t.Fatalf("Outstanding = %d after 3 Gets, want 3", p.Outstanding())
+	}
+	p.Put(a)
+	p.Put(b)
+	if p.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d after 2 Puts, want 1", p.Outstanding())
+	}
+	d := p.Get(4) // reuse, still counts as handed out
+	if p.Outstanding() != 2 {
+		t.Fatalf("Outstanding = %d after reuse Get, want 2", p.Outstanding())
+	}
+	p.Put(c)
+	p.Put(d)
+	if p.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d after full return, want 0", p.Outstanding())
+	}
+	if p.News != 3 || p.Reused != 1 || p.Puts != 4 {
+		t.Fatalf("News/Reused/Puts = %d/%d/%d, want 3/1/4", p.News, p.Reused, p.Puts)
+	}
+}
+
+func TestPoolCloneOfPooledFrameIsReleasable(t *testing.T) {
+	// Pool.Clone copies the source wholesale and must scrub the pooled
+	// mark; both source and clone then return to the pool independently.
+	var p Pool
+	src := p.Get(4)
+	copy(src.Payload, []byte{1, 2, 3, 4})
+	g := p.Clone(src)
+	p.Put(src)
+	p.Put(g) // must not panic
+	if p.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d, want 0", p.Outstanding())
+	}
+}
+
+func TestFrameCloneClearsPooledMark(t *testing.T) {
+	// Frame.Clone (the non-pooled deep copy) of a pool-owned frame must
+	// also produce a frame the pool will accept exactly once.
+	var p Pool
+	src := p.Get(4)
+	g := src.Clone()
+	p.Put(src)
+	p.Put(g)
+	if p.Puts != 2 {
+		t.Fatalf("Puts = %d, want 2", p.Puts)
+	}
+}
+
+func TestPoolMixedFramesFromOtherPools(t *testing.T) {
+	// Frames migrate between pools (a server recycles request frames into
+	// responses); Outstanding sums to zero across the set even though the
+	// per-pool values go negative/positive.
+	var a, b Pool
+	f := a.Get(8)
+	b.Put(f) // consumed by the other endpoint
+	if sum := a.Outstanding() + b.Outstanding(); sum != 0 {
+		t.Fatalf("cross-pool Outstanding sum = %d, want 0", sum)
+	}
+	if a.Outstanding() != 1 || b.Outstanding() != -1 {
+		t.Fatalf("per-pool Outstanding = %d/%d, want 1/-1", a.Outstanding(), b.Outstanding())
+	}
+}

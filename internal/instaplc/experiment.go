@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"steelnet/internal/dataplane"
+	"steelnet/internal/faults"
 	"steelnet/internal/frame"
 	"steelnet/internal/iodevice"
 	"steelnet/internal/metrics"
@@ -37,6 +38,13 @@ type ExperimentConfig struct {
 	// plain L2 forwarding (no twin, no failover) — the baseline that
 	// shows the device going failsafe.
 	DisableInstaPLC bool
+	// Faults optionally replaces the scenario's fault plan. Nil means
+	// the classic Fig. 5 plan (vPLC1 crashes permanently at FailAt); a
+	// non-nil empty plan means a fault-free run. Registered targets:
+	// hosts "vplc1"/"vplc2"; links "v1-dp"/"v2-dp"/"dev-dp"; ports
+	// "vplc1"/"vplc2"/"io" (host egress) and "dp.0"/"dp.1"/"dp.2"
+	// (pipeline egress toward vPLC1, vPLC2 and the device).
+	Faults *faults.Plan
 }
 
 // DefaultExperimentConfig reproduces Fig. 5's setup.
@@ -75,6 +83,14 @@ type ExperimentResult struct {
 	Switchovers uint64
 	// DeviceState is the device's final state.
 	DeviceState iodevice.State
+	// IOAvailability is the fraction of bins carrying device traffic,
+	// counted from the first bin that saw any — the floor chaos
+	// experiments assert on.
+	IOAvailability float64
+	// InjectedFaults counts executed fault injections.
+	InjectedFaults int
+	// FaultTrace lists the executed fault phases, one line each.
+	FaultTrace string
 }
 
 // RunExperiment executes the Fig. 5 scenario: two vPLCs, one I/O
@@ -98,9 +114,32 @@ func RunExperiment(cfg ExperimentConfig) ExperimentResult {
 	connect(e, vplc1, 0, cfg, 1)
 	connect(e, vplc2, cfg.SecondaryJoinAt, cfg, 2)
 
-	wire(e, vplc1, vplc2, dev, pipe, cfg.LinkBps)
+	links := wire(e, vplc1, vplc2, dev, pipe, cfg.LinkBps)
 
-	e.Schedule(sim.Time(cfg.FailAt), vplc1.Fail)
+	// The crash is a declarative fault plan: the default plan reproduces
+	// Fig. 5 (vPLC1 killed at FailAt, never restarted), and cfg.Faults
+	// swaps in any other scenario against the same registered targets.
+	in := faults.NewInjector(e)
+	in.RegisterHost("vplc1", vplc1)
+	in.RegisterHost("vplc2", vplc2)
+	for _, l := range links {
+		in.RegisterLink(l.Name, l)
+	}
+	in.RegisterPort("vplc1", vplc1.Host().Port())
+	in.RegisterPort("vplc2", vplc2.Host().Port())
+	in.RegisterPort("io", dev.Host().Port())
+	for i := 0; i < pipe.NumPorts(); i++ {
+		in.RegisterPort(fmt.Sprintf("dp.%d", i), pipe.Port(i))
+	}
+	plan := faults.Plan{Name: "fig5", Events: []faults.Event{
+		{At: cfg.FailAt, Kind: faults.KindHostStall, Target: "vplc1"},
+	}}
+	if cfg.Faults != nil {
+		plan = *cfg.Faults
+	}
+	if err := in.Apply(plan); err != nil {
+		panic(fmt.Sprintf("instaplc: bad fault plan: %v", err))
+	}
 
 	res := ExperimentResult{Bin: cfg.Bin, FailAt: sim.Time(cfg.FailAt)}
 	if app != nil {
@@ -135,7 +174,32 @@ func RunExperiment(cfg ExperimentConfig) ExperimentResult {
 		res.AbsorbedFrames = app.AbsorbedFrames(dev.Host().MAC())
 		res.Switchovers = app.Switchovers
 	}
+	res.InjectedFaults = in.Injected
+	res.FaultTrace = in.TraceString()
+	res.IOAvailability = binAvailability(res.ToIO)
 	return res
+}
+
+// binAvailability is the fraction of non-empty bins from the first bin
+// with traffic onward.
+func binAvailability(bins []int) float64 {
+	first := -1
+	for i, n := range bins {
+		if n > 0 {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return 0
+	}
+	up := 0
+	for _, n := range bins[first:] {
+		if n > 0 {
+			up++
+		}
+	}
+	return float64(up) / float64(len(bins)-first)
 }
 
 func connect(e *sim.Engine, c *plc.Controller, at time.Duration, cfg ExperimentConfig, arid uint32) {
@@ -153,12 +217,14 @@ func connect(e *sim.Engine, c *plc.Controller, at time.Duration, cfg ExperimentC
 	})
 }
 
-func wire(e *sim.Engine, v1, v2 *plc.Controller, dev *iodevice.Device, pipe *dataplane.Pipeline, bps float64) {
+func wire(e *sim.Engine, v1, v2 *plc.Controller, dev *iodevice.Device, pipe *dataplane.Pipeline, bps float64) []*simnet.Link {
 	// Port assignment: 0=vplc1, 1=vplc2, 2=device.
 	prop := 500 * sim.Nanosecond
-	simnet.Connect(e, "v1-dp", v1.Host().Port(), pipe.Port(0), bps, prop)
-	simnet.Connect(e, "v2-dp", v2.Host().Port(), pipe.Port(1), bps, prop)
-	simnet.Connect(e, "dev-dp", dev.Host().Port(), pipe.Port(2), bps, prop)
+	return []*simnet.Link{
+		simnet.Connect(e, "v1-dp", v1.Host().Port(), pipe.Port(0), bps, prop),
+		simnet.Connect(e, "v2-dp", v2.Host().Port(), pipe.Port(1), bps, prop),
+		simnet.Connect(e, "dev-dp", dev.Host().Port(), pipe.Port(2), bps, prop),
+	}
 }
 
 // RenderFigure5 renders the experiment as the paper's two panels: a

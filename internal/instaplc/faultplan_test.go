@@ -1,0 +1,90 @@
+package instaplc
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"steelnet/internal/faults"
+	"steelnet/internal/iodevice"
+)
+
+// TestTransientStallPlanFailsOver: the Fig. 5 crash expressed as a
+// recovering fault — vPLC1 stalls for 400 ms and comes back. InstaPLC
+// promotes vPLC2 within the watchdog budget, so the device never
+// notices either the stall or the return.
+func TestTransientStallPlanFailsOver(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	cfg.Faults = &faults.Plan{Name: "transient-stall", Events: []faults.Event{
+		{At: cfg.FailAt, Kind: faults.KindHostStall, Target: "vplc1",
+			Duration: 400 * time.Millisecond},
+	}}
+	res := RunExperiment(cfg)
+	if res.Switchovers == 0 {
+		t.Fatal("no switchover on primary stall")
+	}
+	if res.FailsafeEvents != 0 {
+		t.Fatalf("failsafes = %d, want 0", res.FailsafeEvents)
+	}
+	if res.DeviceState != iodevice.StateOperate {
+		t.Fatalf("device state = %v", res.DeviceState)
+	}
+	if res.InjectedFaults != 1 {
+		t.Fatalf("InjectedFaults = %d, want 1", res.InjectedFaults)
+	}
+	if !strings.Contains(res.FaultTrace, "inject") || !strings.Contains(res.FaultTrace, "recover") {
+		t.Fatalf("trace missing phases:\n%s", res.FaultTrace)
+	}
+}
+
+// TestLossBurstPlanDegradesGracefully: a 20%% loss burst on the
+// pipeline's device-facing egress thins the cyclic stream but, at bin
+// granularity, never silences it — availability stays at the floor the
+// chaos suite asserts.
+func TestLossBurstPlanDegradesGracefully(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	cfg.Faults = &faults.Plan{Name: "loss", Events: []faults.Event{
+		{At: 600 * time.Millisecond, Kind: faults.KindLossBurst, Target: "dp.2",
+			Duration: time.Second, Magnitude: 0.2},
+		{At: cfg.FailAt, Kind: faults.KindHostStall, Target: "vplc1"},
+	}}
+	res := RunExperiment(cfg)
+	if res.IOAvailability < 0.9 {
+		t.Fatalf("IOAvailability = %v, want ≥0.9", res.IOAvailability)
+	}
+	if res.Switchovers == 0 {
+		t.Fatal("crash under loss never failed over")
+	}
+	if res.DeviceState != iodevice.StateOperate {
+		t.Fatalf("device state = %v", res.DeviceState)
+	}
+}
+
+// TestEmptyPlanMeansNoFaults: a non-nil empty plan suppresses the
+// default crash entirely.
+func TestEmptyPlanMeansNoFaults(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	cfg.Faults = &faults.Plan{Name: "quiet"}
+	res := RunExperiment(cfg)
+	if res.InjectedFaults != 0 || res.Switchovers != 0 || res.FailsafeEvents != 0 {
+		t.Fatalf("quiet run was not quiet: %+v", res)
+	}
+	if res.IOAvailability != 1 {
+		t.Fatalf("IOAvailability = %v, want 1 with no faults", res.IOAvailability)
+	}
+}
+
+// TestBadPlanPanics: an unknown target is a scenario bug and fails
+// loudly before anything runs.
+func TestBadPlanPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "ghost") {
+			t.Fatalf("recover = %v, want panic naming ghost", r)
+		}
+	}()
+	cfg := DefaultExperimentConfig()
+	cfg.Faults = &faults.Plan{Events: []faults.Event{
+		{Kind: faults.KindHostStall, Target: "ghost"},
+	}}
+	RunExperiment(cfg)
+}

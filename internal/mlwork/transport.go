@@ -103,6 +103,18 @@ func AttachServer(e *sim.Engine, h *simnet.Host, p Profile) *Server {
 // Host returns the underlying host for wiring.
 func (s *Server) Host() *simnet.Host { return s.host }
 
+// Pool exposes the server's frame pool for accounting (the chaos
+// suite's no-leak invariant sums Outstanding across all pools).
+func (s *Server) Pool() *frame.Pool { return &s.pool }
+
+// ReclaimNetworkDrops wires the host port's OnDrop hook to the pool:
+// frames the network destroys after accepting them (downed links,
+// injected loss, drained queues) return to the free list instead of
+// leaking to the GC.
+func (s *Server) ReclaimNetworkDrops() {
+	s.host.Port().OnDrop = func(f *frame.Frame) { s.pool.Put(f) }
+}
+
 func key(clientID, reqID uint32) uint64 { return uint64(clientID)<<32 | uint64(reqID) }
 
 func (s *Server) onFrame(f *frame.Frame) {
@@ -201,6 +213,15 @@ func AttachClient(e *sim.Engine, h *simnet.Host, id uint32, server frame.MAC, p 
 
 // Host returns the underlying host for wiring.
 func (c *Client) Host() *simnet.Host { return c.host }
+
+// Pool exposes the client's frame pool for accounting.
+func (c *Client) Pool() *frame.Pool { return &c.pool }
+
+// ReclaimNetworkDrops wires the host port's OnDrop hook to the pool
+// (see Server.ReclaimNetworkDrops).
+func (c *Client) ReclaimNetworkDrops() {
+	c.host.Port().OnDrop = func(f *frame.Frame) { c.pool.Put(f) }
+}
 
 // Start begins periodic requests at start (absolute virtual time).
 func (c *Client) Start(start sim.Time) {

@@ -1,0 +1,161 @@
+package mrp
+
+import (
+	"fmt"
+	"time"
+
+	"steelnet/internal/faults"
+	"steelnet/internal/frame"
+	"steelnet/internal/iodevice"
+	"steelnet/internal/plc"
+	"steelnet/internal/profinet"
+	"steelnet/internal/sim"
+	"steelnet/internal/simnet"
+)
+
+// RingExperimentConfig parameterizes a control loop over an MRP ring
+// with a declarative fault plan: the §2.2/§2.3 co-design question —
+// does the ring's engineered recovery beat the process watchdog? —
+// posed against arbitrary failure scenarios instead of one hardcoded
+// cable cut.
+type RingExperimentConfig struct {
+	Seed uint64
+	// Switches is the ring size (default 4). The vPLC hangs off sw0
+	// (the manager), the device off the switch diametrically opposite,
+	// so mid-ring failures force a reroute.
+	Switches int
+	// Ring is the MRP profile (test interval × tolerance bounds
+	// recovery).
+	Ring Config
+	// Cycle and WatchdogFactor define the control loop riding the ring.
+	Cycle          time.Duration
+	WatchdogFactor int
+	// Horizon ends the run; LinkBps is the ring link speed.
+	Horizon time.Duration
+	LinkBps float64
+	// Faults optionally replaces the default plan (a permanent cut of
+	// ring2 at 500 ms — the classic far-side cable cut). Registered
+	// targets: links "ring0".."ringN-1" plus "uplink-plc"/"uplink-dev";
+	// switches "sw0".."swN-1"; host "vplc"; ports "sw<i>.<j>" for every
+	// switch port plus "vplc"/"io" host egress.
+	Faults *faults.Plan
+}
+
+// DefaultRingExperimentConfig mirrors the integration scenario: a
+// 4-switch ring carrying a 1.6 ms cycle with a 3-cycle watchdog.
+func DefaultRingExperimentConfig() RingExperimentConfig {
+	return RingExperimentConfig{
+		Seed:           1,
+		Switches:       4,
+		Ring:           DefaultConfig,
+		Cycle:          1600 * time.Microsecond,
+		WatchdogFactor: 3,
+		Horizon:        2500 * time.Millisecond,
+		LinkBps:        100e6,
+	}
+}
+
+// RingExperimentResult is the run's ground truth for assertions.
+type RingExperimentResult struct {
+	// FinalRingState is the manager's state at the horizon.
+	FinalRingState RingState
+	// Transitions counts ring open/close transitions.
+	Transitions uint64
+	// TestsSent/TestsReturned count the manager's test frames.
+	TestsSent, TestsReturned uint64
+	// FirstOpenAt is when the ring first opened (0 = never);
+	// LastCloseAt is the latest reconvergence back to closed.
+	FirstOpenAt, LastCloseAt sim.Time
+	// FailsafeEvents counts device safety stops; DeviceState is the
+	// device's state at the horizon.
+	FailsafeEvents uint64
+	DeviceState    iodevice.State
+	// InjectedFaults counts executed fault injections; FaultTrace lists
+	// every executed phase.
+	InjectedFaults int
+	FaultTrace     string
+}
+
+// RunRingExperiment builds the ring, applies the fault plan and runs to
+// the horizon.
+func RunRingExperiment(cfg RingExperimentConfig) RingExperimentResult {
+	if cfg.Switches < 3 {
+		cfg.Switches = 4
+	}
+	e := sim.NewEngine(cfg.Seed)
+	n := cfg.Switches
+	in := faults.NewInjector(e)
+
+	sws := make([]*simnet.Switch, n)
+	for i := 0; i < n; i++ {
+		sws[i] = simnet.NewSwitch(e, fmt.Sprintf("sw%d", i), 3, simnet.SwitchConfig{Latency: sim.Microsecond})
+		in.RegisterSwitch(sws[i].Name(), sws[i])
+	}
+	for i := 0; i < n; i++ {
+		l := simnet.Connect(e, fmt.Sprintf("ring%d", i),
+			sws[i].Port(1), sws[(i+1)%n].Port(0), cfg.LinkBps, 500*sim.Nanosecond)
+		in.RegisterLink(l.Name, l)
+	}
+	for i, sw := range sws {
+		for j := 0; j < sw.NumPorts(); j++ {
+			in.RegisterPort(fmt.Sprintf("sw%d.%d", i, j), sw.Port(j))
+		}
+	}
+
+	mgr := Attach(e, sws[0], 0, 1, cfg.Ring)
+	for i := 1; i < n; i++ {
+		AttachClient(sws[i], 0, 1)
+	}
+
+	ctrl := plc.NewController(e, "vplc", frame.NewMAC(1), plc.ControllerConfig{})
+	dev := iodevice.New(e, "io", frame.NewMAC(2), nil, nil)
+	in.RegisterHost("vplc", ctrl)
+	in.RegisterLink("uplink-plc",
+		simnet.Connect(e, "uplink-plc", ctrl.Host().Port(), sws[0].Port(2), cfg.LinkBps, 0))
+	in.RegisterLink("uplink-dev",
+		simnet.Connect(e, "uplink-dev", dev.Host().Port(), sws[n/2].Port(2), cfg.LinkBps, 0))
+	in.RegisterPort("vplc", ctrl.Host().Port())
+	in.RegisterPort("io", dev.Host().Port())
+
+	ctrl.Connect(plc.ConnectSpec{
+		Device: dev.Host().MAC(),
+		Req: profinet.ConnectRequest{
+			ARID:           1,
+			CycleUS:        uint32(cfg.Cycle / time.Microsecond),
+			WatchdogFactor: uint16(cfg.WatchdogFactor),
+			InputLen:       20,
+			OutputLen:      20,
+		},
+	})
+
+	res := RingExperimentResult{}
+	mgr.OnStateChange = func(s RingState) {
+		if s == RingOpen && res.FirstOpenAt == 0 {
+			res.FirstOpenAt = e.Now()
+		}
+		if s == RingClosed {
+			res.LastCloseAt = e.Now()
+		}
+	}
+
+	plan := faults.Plan{Name: "ring-cut", Events: []faults.Event{
+		{At: 500 * time.Millisecond, Kind: faults.KindLinkFlap, Target: "ring2"},
+	}}
+	if cfg.Faults != nil {
+		plan = *cfg.Faults
+	}
+	if err := in.Apply(plan); err != nil {
+		panic(fmt.Sprintf("mrp: bad fault plan: %v", err))
+	}
+
+	e.RunUntil(sim.Time(cfg.Horizon))
+	res.FinalRingState = mgr.State()
+	res.Transitions = mgr.Transitions
+	res.TestsSent = mgr.TestsSent
+	res.TestsReturned = mgr.TestsReturned
+	res.FailsafeEvents = dev.FailsafeEvents
+	res.DeviceState = dev.State()
+	res.InjectedFaults = in.Injected
+	res.FaultTrace = in.TraceString()
+	return res
+}

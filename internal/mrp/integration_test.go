@@ -1,82 +1,111 @@
 package mrp
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
-	"steelnet/internal/frame"
+	"steelnet/internal/faults"
 	"steelnet/internal/iodevice"
-	"steelnet/internal/plc"
-	"steelnet/internal/profinet"
-	"steelnet/internal/sim"
-	"steelnet/internal/simnet"
 )
 
-// controlRing wires a 1.6 ms control loop across a 4-switch MRP ring
-// (vPLC on sw0, device on sw2 — opposite sides, so a link cut between
-// them forces a reroute) and cuts a ring link mid-run.
-func controlRing(t *testing.T, cfg Config) (devFailsafes func() uint64, devState func() iodevice.State, run func(time.Duration), cut func()) {
-	t.Helper()
-	e := sim.NewEngine(1)
-	n := 4
-	sws := make([]*simnet.Switch, n)
-	for i := 0; i < n; i++ {
-		sws[i] = simnet.NewSwitch(e, "sw", 3, simnet.SwitchConfig{Latency: sim.Microsecond})
-	}
-	links := make([]*simnet.Link, n)
-	for i := 0; i < n; i++ {
-		links[i] = simnet.Connect(e, "ring", sws[i].Port(1), sws[(i+1)%n].Port(0), 100e6, 500*sim.Nanosecond)
-	}
-	Attach(e, sws[0], 0, 1, cfg)
-	for i := 1; i < n; i++ {
-		AttachClient(sws[i], 0, 1)
-	}
-	ctrl := plc.NewController(e, "vplc", frame.NewMAC(1), plc.ControllerConfig{})
-	dev := iodevice.New(e, "io", frame.NewMAC(2), nil, nil)
-	simnet.Connect(e, "c", ctrl.Host().Port(), sws[0].Port(2), 100e6, 0)
-	simnet.Connect(e, "d", dev.Host().Port(), sws[2].Port(2), 100e6, 0)
-	ctrl.Connect(plc.ConnectSpec{
-		Device: dev.Host().MAC(),
-		Req:    profinet.ConnectRequest{ARID: 1, CycleUS: 1600, WatchdogFactor: 3, InputLen: 20, OutputLen: 20},
-	})
-	// The manager blocks sw0's port 1 (links[0]), so the active path
-	// from vPLC to device runs sw0 -> sw3 -> sw2 over links[3] and
-	// links[2]; cutting links[2] severs it.
-	return func() uint64 { return dev.FailsafeEvents },
-		func() iodevice.State { return dev.State() },
-		func(d time.Duration) { e.RunUntil(e.Now().Add(d)) },
-		func() { links[2].SetUp(false) }
-}
+// The integration scenarios express failures as declarative fault
+// plans against RunRingExperiment's registered targets: a 1.6 ms
+// control loop across a 4-switch MRP ring (vPLC on sw0, device on sw2
+// — opposite sides, so a mid-ring failure forces a reroute).
 
 func TestStandardMRPTooSlowForMotionControlWatchdog(t *testing.T) {
 	// Standard MRP (3×20 ms) recovers far outside the 4.8 ms device
 	// watchdog: the cell failsafes once, then recovers — the §2.2
 	// observation that OT failover budgets and network recovery times
-	// must be co-designed.
-	failsafes, state, run, cut := controlRing(t, DefaultConfig)
-	run(500 * time.Millisecond)
-	cut()
-	run(2 * time.Second)
-	if failsafes() == 0 {
+	// must be co-designed. The default plan is the classic permanent
+	// far-side cable cut at 500 ms.
+	res := RunRingExperiment(DefaultRingExperimentConfig())
+	if res.FailsafeEvents == 0 {
 		t.Fatal("60ms ring recovery magically beat a 4.8ms watchdog")
 	}
-	if state() != iodevice.StateOperate {
-		t.Fatalf("device did not recover after ring reconverged: %v", state())
+	if res.DeviceState != iodevice.StateOperate {
+		t.Fatalf("device did not recover after ring reconverged: %v", res.DeviceState)
+	}
+	if res.FirstOpenAt == 0 || res.FinalRingState != RingOpen {
+		t.Fatalf("permanent cut should leave the ring open: openAt=%v state=%v",
+			res.FirstOpenAt, res.FinalRingState)
 	}
 }
 
 func TestFastMRPProfileKeepsWatchdogAlive(t *testing.T) {
-	// A fast profile (3×1 ms ≈ 3 ms + reroute) stays inside the 4.8 ms
+	// A fast profile (2×1 ms ≈ 2 ms + reroute) stays inside the 4.8 ms
 	// budget: the cut is invisible to the process.
-	fast := Config{TestInterval: time.Millisecond, TestTolerance: 2}
-	failsafes, state, run, cut := controlRing(t, fast)
-	run(500 * time.Millisecond)
-	cut()
-	run(2 * time.Second)
-	if failsafes() != 0 {
-		t.Fatalf("failsafes = %d with fast ring profile", failsafes())
+	cfg := DefaultRingExperimentConfig()
+	cfg.Ring = Config{TestInterval: time.Millisecond, TestTolerance: 2}
+	res := RunRingExperiment(cfg)
+	if res.FailsafeEvents != 0 {
+		t.Fatalf("failsafes = %d with fast ring profile", res.FailsafeEvents)
 	}
-	if state() != iodevice.StateOperate {
-		t.Fatalf("device state = %v", state())
+	if res.DeviceState != iodevice.StateOperate {
+		t.Fatalf("device state = %v", res.DeviceState)
+	}
+}
+
+func TestRingHealsAfterLinkFlap(t *testing.T) {
+	// A transient cut: the ring opens on the flap and closes again once
+	// the link returns and test frames circulate.
+	cfg := DefaultRingExperimentConfig()
+	cfg.Faults = &faults.Plan{Name: "flap", Events: []faults.Event{
+		{At: 500 * time.Millisecond, Kind: faults.KindLinkFlap, Target: "ring2",
+			Duration: 800 * time.Millisecond},
+	}}
+	res := RunRingExperiment(cfg)
+	if res.FirstOpenAt == 0 {
+		t.Fatal("ring never opened on the cut")
+	}
+	if res.FinalRingState != RingClosed || res.LastCloseAt <= res.FirstOpenAt {
+		t.Fatalf("ring did not reconverge: state=%v openAt=%v closeAt=%v",
+			res.FinalRingState, res.FirstOpenAt, res.LastCloseAt)
+	}
+	if res.Transitions < 2 {
+		t.Fatalf("transitions = %d, want ≥2 (open + close)", res.Transitions)
+	}
+	if res.DeviceState != iodevice.StateOperate {
+		t.Fatalf("device state = %v", res.DeviceState)
+	}
+}
+
+func TestRingSurvivesSwitchCrashRestart(t *testing.T) {
+	// Crash a transit switch on the active path (sw3: the closed ring
+	// forwards sw0→sw3→sw2). The manager sees the silent peer through
+	// missing test frames, opens the ring onto the standby path, and
+	// closes it again after the switch reboots cold.
+	cfg := DefaultRingExperimentConfig()
+	cfg.Ring = Config{TestInterval: time.Millisecond, TestTolerance: 2}
+	cfg.Faults = &faults.Plan{Name: "crash", Events: []faults.Event{
+		{At: 500 * time.Millisecond, Kind: faults.KindSwitchCrash, Target: "sw3",
+			Duration: 700 * time.Millisecond},
+	}}
+	res := RunRingExperiment(cfg)
+	if res.FirstOpenAt == 0 {
+		t.Fatal("ring never opened on the switch crash")
+	}
+	if res.FinalRingState != RingClosed || res.LastCloseAt <= res.FirstOpenAt {
+		t.Fatalf("ring did not reconverge after restart: state=%v openAt=%v closeAt=%v",
+			res.FinalRingState, res.FirstOpenAt, res.LastCloseAt)
+	}
+	if res.FailsafeEvents != 0 {
+		t.Fatalf("failsafes = %d with fast ring profile", res.FailsafeEvents)
+	}
+	if res.DeviceState != iodevice.StateOperate {
+		t.Fatalf("device state = %v", res.DeviceState)
+	}
+}
+
+func TestRingExperimentDeterministic(t *testing.T) {
+	cfg := DefaultRingExperimentConfig()
+	cfg.Faults = &faults.Plan{Name: "flap", Events: []faults.Event{
+		{At: 500 * time.Millisecond, Kind: faults.KindLinkFlap, Target: "ring1",
+			Duration: 300 * time.Millisecond},
+	}}
+	a, b := RunRingExperiment(cfg), RunRingExperiment(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, same plan, different results:\n%+v\n%+v", a, b)
 	}
 }

@@ -1,0 +1,123 @@
+package ptp
+
+import (
+	"testing"
+	"time"
+
+	"steelnet/internal/clock"
+	"steelnet/internal/faults"
+	"steelnet/internal/frame"
+	"steelnet/internal/sim"
+	"steelnet/internal/simnet"
+)
+
+// faultRig is rig with an Adjustable oscillator so drift/step faults can
+// retune the slave's crystal mid-run.
+func faultRig(t *testing.T, ppm float64) (*sim.Engine, *Master, *Slave, *clock.Adjustable) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	osc := clock.NewAdjustable(0, ppm)
+	m := NewMaster(e, "gm", frame.NewMAC(1), clock.Perfect{})
+	s := NewSlave(e, "slave", frame.NewMAC(2), osc)
+	simnet.Connect(e, "ptp", m.Host().Port(), s.Host().Port(), 1e9, 5*sim.Microsecond)
+	return e, m, s, osc
+}
+
+// TestServoRidesOutDriftFault heats the slave's crystal mid-run via a
+// declarative fault plan: a 200 ppm frequency excursion for one second.
+// The servo must absorb the excursion round by round and return to its
+// converged error band once the fault recovers.
+func TestServoRidesOutDriftFault(t *testing.T) {
+	e, m, s, osc := faultRig(t, 20)
+	in := faults.NewInjector(e)
+	in.RegisterClock("slave-osc", osc)
+	plan, err := faults.ParsePlan("clockdrift:slave-osc@2s+1s*200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Apply(plan); err != nil {
+		t.Fatal(err)
+	}
+
+	m.Start(s.Host().MAC(), 100*time.Millisecond)
+	// Converged before the fault.
+	e.RunUntil(sim.Time(2 * time.Second))
+	if err := s.OffsetError(e.Now()); err < -5*time.Microsecond || err > 5*time.Microsecond {
+		t.Fatalf("not converged before fault: %v", err)
+	}
+	// Mid-fault: 200 ppm × 100 ms sync interval = 20 µs of fresh error
+	// per round, so the error band widens but stays bounded by roughly
+	// one interval's accumulation — the servo keeps re-zeroing it.
+	e.RunUntil(sim.Time(3 * time.Second))
+	if err := s.OffsetError(e.Now()); err < -40*time.Microsecond || err > 40*time.Microsecond {
+		t.Fatalf("servo lost the clock during drift fault: %v", err)
+	}
+	// After recovery the oscillator is back at 20 ppm and the band is tight.
+	e.RunUntil(sim.Time(5 * time.Second))
+	m.Stop()
+	if osc.DriftPPM() != 20 {
+		t.Fatalf("fault recovery left drift at %v ppm, want 20", osc.DriftPPM())
+	}
+	if err := s.OffsetError(e.Now()); err < -5*time.Microsecond || err > 5*time.Microsecond {
+		t.Fatalf("not re-converged after fault: %v", err)
+	}
+	if in.Injected != 1 || len(in.Trace) != 2 {
+		t.Fatalf("injected=%d trace=%d, want 1 fault / 2 records", in.Injected, len(in.Trace))
+	}
+}
+
+// TestServoCorrectsStepFault kicks the slave's phase by +500 µs with a
+// clockstep event. One complete sync exchange later the servo has
+// measured and removed the jump.
+func TestServoCorrectsStepFault(t *testing.T) {
+	e, m, s, osc := faultRig(t, 0)
+	in := faults.NewInjector(e)
+	in.RegisterClock("slave-osc", osc)
+	// Inject mid-interval (syncs tick at multiples of 100 ms) so the jump
+	// is observable before the next exchange measures it away.
+	if err := in.Apply(faults.Plan{Events: []faults.Event{
+		{At: 2*time.Second + 50*time.Millisecond, Kind: faults.KindClockStep, Target: "slave-osc",
+			Magnitude: float64(500 * time.Microsecond)},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	m.Start(s.Host().MAC(), 100*time.Millisecond)
+	e.RunUntil(sim.Time(2*time.Second + 90*time.Millisecond))
+	if err := s.OffsetError(e.Now()); err < 490*time.Microsecond || err > 510*time.Microsecond {
+		t.Fatalf("step not visible right after injection: %v", err)
+	}
+	e.RunUntil(sim.Time(3 * time.Second))
+	m.Stop()
+	if err := s.OffsetError(e.Now()); err < -5*time.Microsecond || err > 5*time.Microsecond {
+		t.Fatalf("step not servoed out: %v", err)
+	}
+}
+
+// TestDriftFaultDeterministic replays the drift scenario twice and
+// demands identical servo trajectories — the determinism contract
+// extends through the clock fault path.
+func TestDriftFaultDeterministic(t *testing.T) {
+	runOnce := func() []float64 {
+		e, m, s, osc := faultRig(t, 20)
+		in := faults.NewInjector(e)
+		in.RegisterClock("slave-osc", osc)
+		plan, _ := faults.ParsePlan("clockdrift:slave-osc@1s+500ms*150,clockstep:slave-osc@2s*100000")
+		if err := in.Apply(plan); err != nil {
+			t.Fatal(err)
+		}
+		m.Start(s.Host().MAC(), 50*time.Millisecond)
+		e.RunUntil(sim.Time(3 * time.Second))
+		m.Stop()
+		return append([]float64(nil), s.OffsetSamples.Samples()...)
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("servo trajectory diverges at round %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

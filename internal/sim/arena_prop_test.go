@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// refEvent is the reference model's view of one scheduled callback: just
+// the ordering key and an identity. The model "fires" by sorting pending
+// events by (at, seq) — the specification the arena-backed 4-ary heap,
+// lazy reap and slot recycling must all be indistinguishable from.
+type refEvent struct {
+	at  Time
+	seq int
+	id  int
+}
+
+type refModel struct {
+	pending []refEvent
+	seq     int
+}
+
+func (m *refModel) schedule(at Time, id int) {
+	m.pending = append(m.pending, refEvent{at: at, seq: m.seq, id: id})
+	m.seq++
+}
+
+// cancel removes event id if still pending, reporting whether it did.
+func (m *refModel) cancel(id int) bool {
+	for i, ev := range m.pending {
+		if ev.id == id {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// fireOrder returns the ids of all pending events in firing order.
+func (m *refModel) fireOrder() []int {
+	sorted := append([]refEvent(nil), m.pending...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].at != sorted[j].at {
+			return sorted[i].at < sorted[j].at
+		}
+		return sorted[i].seq < sorted[j].seq
+	})
+	ids := make([]int, len(sorted))
+	for i, ev := range sorted {
+		ids[i] = ev.id
+	}
+	return ids
+}
+
+// popMin removes and returns the id that must fire next.
+func (m *refModel) popMin() (int, bool) {
+	if len(m.pending) == 0 {
+		return 0, false
+	}
+	min := 0
+	for i := 1; i < len(m.pending); i++ {
+		ev, best := m.pending[i], m.pending[min]
+		if ev.at < best.at || (ev.at == best.at && ev.seq < best.seq) {
+			min = i
+		}
+	}
+	id := m.pending[min].id
+	m.pending = append(m.pending[:min], m.pending[min+1:]...)
+	return id, true
+}
+
+// TestArenaMatchesReferenceModel drives the engine with a random mix of
+// schedule / cancel / reschedule / step operations and checks, operation
+// by operation, that it is observationally equivalent to the naive
+// reference model. Cancels deliberately target handles of every vintage —
+// pending, fired, already-cancelled, and stale handles whose slot has
+// been recycled — so a generation-check bug would surface as the engine
+// cancelling (or refusing to cancel) a different event than the model.
+func TestArenaMatchesReferenceModel(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 99, 0xdecaf} {
+		e := NewEngine(seed)
+		rng := NewRNG(seed ^ 0xfeed)
+		model := refModel{}
+
+		var fired []int      // ids in engine firing order
+		var modelFired []int // ids in model firing order
+		var handles []Event  // every handle ever returned, any vintage
+		var handleIDs []int  // parallel: the id each handle was issued for
+		nextID := 0
+
+		schedule := func() {
+			// Coarse timestamps force same-instant ties so the seq
+			// tie-breaker is exercised constantly; occasional zero delay
+			// schedules at the current instant mid-run.
+			at := e.Now().Add(Duration(rng.Intn(16)))
+			id := nextID
+			nextID++
+			handles = append(handles, e.Schedule(at, func() { fired = append(fired, id) }))
+			handleIDs = append(handleIDs, id)
+			model.schedule(at, id)
+		}
+
+		const ops = 4000
+		for op := 0; op < ops; op++ {
+			switch r := rng.Float64(); {
+			case r < 0.45 || len(handles) == 0:
+				schedule()
+			case r < 0.75: // cancel a handle of random vintage
+				i := rng.Intn(len(handles))
+				h, id := handles[i], handleIDs[i]
+				wasPending := h.Pending()
+				h.Cancel()
+				took := model.cancel(id)
+				if wasPending != took {
+					t.Fatalf("seed %d op %d: handle for id %d Pending()=%v but model pending=%v",
+						seed, op, id, wasPending, took)
+				}
+				// Cancelled() is the slot's terminal state, not this call's
+				// effect: it stays true for a handle cancelled in an earlier
+				// op, and false forever for fired or stale handles.
+				if took && !h.Cancelled() {
+					t.Fatalf("seed %d op %d: cancel of id %d took effect but Cancelled()=false",
+						seed, op, id)
+				}
+			case r < 0.85: // reschedule: cancel + schedule later
+				i := rng.Intn(len(handles))
+				handles[i].Cancel()
+				model.cancel(handleIDs[i])
+				schedule()
+			default: // step
+				stepped := e.Step()
+				id, ok := model.popMin()
+				if stepped != ok {
+					t.Fatalf("seed %d op %d: Step()=%v but model had %v events",
+						seed, op, stepped, len(model.pending))
+				}
+				if ok {
+					modelFired = append(modelFired, id)
+				}
+			}
+			if e.Pending() != len(model.pending) {
+				t.Fatalf("seed %d op %d: Pending()=%d, model has %d",
+					seed, op, e.Pending(), len(model.pending))
+			}
+		}
+
+		// Drain everything still queued and compare complete histories.
+		modelFired = append(modelFired, model.fireOrder()...)
+		e.Run()
+		if len(fired) != len(modelFired) {
+			t.Fatalf("seed %d: engine fired %d events, model %d", seed, len(fired), len(modelFired))
+		}
+		for i := range fired {
+			if fired[i] != modelFired[i] {
+				t.Fatalf("seed %d: firing order diverges at %d: engine id %d, model id %d",
+					seed, i, fired[i], modelFired[i])
+			}
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("seed %d: %d events pending after drain", seed, e.Pending())
+		}
+	}
+}
+
+// TestArenaStaleHandlesAcrossReuse hammers slot recycling: every fired or
+// cancelled slot goes back on the free list and its generation bumps on
+// reuse, so a retained stale handle must answer all queries negatively
+// and its Cancel must never touch the new occupant.
+func TestArenaStaleHandlesAcrossReuse(t *testing.T) {
+	e := NewEngine(7)
+	rng := NewRNG(8)
+	var stale []Event
+
+	fired := 0
+	for round := 0; round < 200; round++ {
+		var live []Event
+		for i := 0; i < 20; i++ {
+			live = append(live, e.After(Duration(rng.Intn(8)), func() { fired++ }))
+		}
+		// The new events occupy slots recycled from earlier rounds. Attack
+		// them with every handle those slots previously issued: each must
+		// see the bumped generation and do nothing.
+		for _, h := range stale {
+			if h.Pending() {
+				t.Fatal("stale handle reports Pending after its event completed")
+			}
+			h.Cancel()
+		}
+		if e.Pending() != 20 {
+			t.Fatalf("round %d: stale Cancel killed a live event (pending %d, want 20)",
+				round, e.Pending())
+		}
+		// Cancel some for real (their slots recycle next round), fire the rest.
+		for i, h := range live {
+			if i%3 == 0 {
+				h.Cancel()
+			}
+		}
+		e.Run()
+		stale = append(stale, live...)
+	}
+	if want := 200 * 13; fired != want { // 20 scheduled, 7 cancelled per round
+		t.Fatalf("fired %d events, want %d", fired, want)
+	}
+}

@@ -38,10 +38,31 @@ type Port struct {
 	busy     bool
 	pausedTx sim.Event
 
+	// Failure-injection surface (internal/faults). lossRate drops each
+	// frame leaving this port with the given probability once it has
+	// occupied the wire; corruptRate flips one payload byte at delivery.
+	// Draws come from a port-named RNG stream, so injecting faults on
+	// one port never perturbs any other stream in the scenario.
+	lossRate    float64
+	corruptRate float64
+	faultRNG    *sim.RNG
+
+	// OnDrop, when set, observes every frame the network destroys after
+	// accepting it: frames flushed by a link-down or switch crash, shaper
+	// never-eligible drops, and injected in-flight losses. Frames that
+	// Send refuses (returning false) stay the caller's and are NOT
+	// reported here — pooled transports reclaim those on the spot and
+	// reclaim network-owned frames through this hook, keeping every
+	// frame accounted for even under fault injection.
+	OnDrop func(*frame.Frame)
+
 	// Stats
 	TxFrames, RxFrames uint64
 	TxBytes, RxBytes   uint64
 	Drops              uint64
+	// InjectedDrops counts frames destroyed by loss injection;
+	// CorruptedFrames counts frames damaged by corruption injection.
+	InjectedDrops, CorruptedFrames uint64
 }
 
 // NewPort creates a port owned by owner with the given index and a
@@ -77,6 +98,34 @@ func (p *Port) Peer() *Port {
 
 // QueueDepth returns the number of frames waiting at the port.
 func (p *Port) QueueDepth() int { return p.queue.Len() }
+
+// SetLossRate makes the port drop each departing frame with probability
+// rate once it has finished serializing (the frame occupies the wire,
+// then never arrives — how real loss looks to the sender). Zero disables.
+func (p *Port) SetLossRate(rate float64) { p.lossRate = rate }
+
+// SetCorruptRate makes the port flip one payload byte of each delivered
+// frame with probability rate, exercising receivers' validation paths.
+// Zero disables.
+func (p *Port) SetCorruptRate(rate float64) { p.corruptRate = rate }
+
+// rng returns the port's lazily created fault RNG stream. Only the
+// fault paths draw from it, so scenarios without injected faults are
+// bit-identical to ones where the stream was never created.
+func (p *Port) rng() *sim.RNG {
+	if p.faultRNG == nil {
+		p.faultRNG = p.link.engine.RNG(fmt.Sprintf("faults/port/%s/%d", p.Owner.Name(), p.Index))
+	}
+	return p.faultRNG
+}
+
+// reclaim hands a network-owned frame destroyed by a failure to the
+// OnDrop hook, if any.
+func (p *Port) reclaim(f *frame.Frame) {
+	if p.OnDrop != nil {
+		p.OnDrop(f)
+	}
+}
 
 // Link is a full-duplex point-to-point cable. Each direction serializes
 // independently: a frame occupies the direction for wirelen*8/rate, then
@@ -138,7 +187,7 @@ func (l *Link) SetUp(up bool) {
 		for _, p := range l.ports {
 			if p != nil {
 				p.Drops += uint64(p.queue.Len())
-				p.queue.Clear()
+				p.queue.Drain(p.reclaim)
 				p.busy = false
 				p.pausedTx.Cancel()
 				p.pausedTx = sim.Event{}
@@ -199,7 +248,7 @@ func (p *Port) startNext() {
 		if !ok {
 			// Never eligible (e.g. frame longer than any gate window):
 			// drop to avoid deadlock.
-			p.queue.Pop()
+			p.reclaim(p.queue.Pop())
 			p.Drops++
 			p.busy = false
 			if p.queue.Len() > 0 {
@@ -225,13 +274,26 @@ func (p *Port) startNext() {
 	p.TxFrames++
 	p.TxBytes += uint64(f.WireLen())
 	end := p.end
+	lost := p.lossRate > 0 && p.rng().Bool(p.lossRate)
 	l.engine.After(ser, func() {
 		// Serialization done: wire is free for the next frame; the
 		// in-flight frame arrives after propagation.
-		if l.up {
+		switch {
+		case !l.up:
+			// Link died mid-serialization: the frame dies on the wire.
+			p.reclaim(f)
+		case lost:
+			p.InjectedDrops++
+			p.reclaim(f)
+		default:
 			l.engine.After(l.Prop+l.extra[end], func() {
 				if !l.up {
+					p.reclaim(f)
 					return
+				}
+				if p.corruptRate > 0 && len(f.Payload) > 0 && p.rng().Bool(p.corruptRate) {
+					f.Payload[p.rng().Intn(len(f.Payload))] ^= 0xff
+					p.CorruptedFrames++
 				}
 				dst := l.ports[1-end]
 				l.Delivered[end]++

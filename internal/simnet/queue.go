@@ -139,3 +139,15 @@ func (q *PriorityQueue) Clear() {
 	}
 	q.length = 0
 }
+
+// Drain empties the queue like Clear but hands every dropped frame to
+// fn, highest priority class first, FIFO within a class — the hook
+// pooled transports need to reclaim frames a failure throws away.
+func (q *PriorityQueue) Drain(fn func(*frame.Frame)) {
+	for c := 7; c >= 0; c-- {
+		for f := q.classes[c].pop(); f != nil; f = q.classes[c].pop() {
+			fn(f)
+		}
+	}
+	q.length = 0
+}

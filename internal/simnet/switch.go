@@ -23,6 +23,7 @@ type Switch struct {
 	latency sim.Duration
 	jitter  sim.Duration
 	rng     *sim.RNG
+	failed  bool
 
 	// OnControlFrame, when set, sees every received frame before normal
 	// processing; returning true consumes it. Ring-redundancy managers
@@ -34,6 +35,9 @@ type Switch struct {
 	FloodedFrames uint64
 	// ForwardedFrames counts all frames forwarded (including floods).
 	ForwardedFrames uint64
+	// DroppedWhileFailed counts frames that arrived while the switch was
+	// crashed (including control frames — a dead switch hears nothing).
+	DroppedWhileFailed uint64
 }
 
 // SwitchConfig sets a switch's forwarding-latency model.
@@ -126,8 +130,42 @@ func (s *Switch) FlushDynamic() {
 	}
 }
 
+// Fail crashes the switch: everything volatile dies — queued egress
+// frames, paused transmissions, the learned FIB — and until Restart the
+// switch neither forwards nor answers control frames. Attached links
+// stay up (the failure is the box, not the cable), which is exactly the
+// silent-peer signature ring-redundancy protocols must detect from
+// missing test frames.
+func (s *Switch) Fail() {
+	if s.failed {
+		return
+	}
+	s.failed = true
+	for _, p := range s.ports {
+		p.pausedTx.Cancel()
+		p.pausedTx = sim.Event{}
+		p.busy = false
+		p.Drops += uint64(p.queue.Len())
+		p.queue.Drain(p.reclaim)
+	}
+	s.FlushDynamic()
+}
+
+// Restart brings a crashed switch back cold: empty learned FIB, empty
+// queues, same static entries and blocking state (those model
+// configuration, which survives reboot).
+func (s *Switch) Restart() { s.failed = false }
+
+// Failed reports whether the switch is currently crashed.
+func (s *Switch) Failed() bool { return s.failed }
+
 // Receive implements Node: learn, then forward after the pipeline delay.
 func (s *Switch) Receive(port *Port, f *frame.Frame) {
+	if s.failed {
+		s.DroppedWhileFailed++
+		port.reclaim(f)
+		return
+	}
 	if s.OnControlFrame != nil && s.OnControlFrame(port.Index, f) {
 		return
 	}
@@ -147,6 +185,13 @@ func (s *Switch) Receive(port *Port, f *frame.Frame) {
 }
 
 func (s *Switch) forward(inPort int, f *frame.Frame) {
+	if s.failed {
+		// Crashed mid-pipeline: the frame was in the store-and-forward
+		// buffer and dies with the switch.
+		s.DroppedWhileFailed++
+		s.ports[inPort].reclaim(f)
+		return
+	}
 	if f.Dst.IsBroadcast() || f.Dst.IsMulticast() {
 		s.flood(inPort, f)
 		return

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# covercheck.sh — fail CI when total statement coverage drops below the
+# committed baseline. The baseline is a floor, not a target: raise it
+# when a PR meaningfully improves coverage, never lower it to make a
+# red build green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=$(cat scripts/coverage_baseline.txt)
+go test -count=1 -coverprofile=coverage.out ./... >/dev/null
+total=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+rm -f coverage.out
+
+echo "total coverage: ${total}% (baseline: ${baseline}%)"
+awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t+0 < b+0) }' && {
+    echo "FAIL: coverage ${total}% fell below the ${baseline}% baseline" >&2
+    exit 1
+}
+exit 0
