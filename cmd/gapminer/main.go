@@ -5,13 +5,19 @@
 //
 // Usage:
 //
-//	gapminer [-seed N] [-requirements]
+//	gapminer [-seed N] [-requirements] [-trace FILE] [-stats] [-cpuprofile FILE]
+//
+// The telemetry flags are accepted for CLI uniformity: gapminer's
+// analyses move no frames through the simulated network, so -trace
+// yields an empty (but valid) timeline and -stats an empty snapshot,
+// while -cpuprofile profiles the mining itself.
 package main
 
 import (
 	"flag"
 	"fmt"
 
+	"steelnet/internal/cli"
 	"steelnet/internal/core"
 	"steelnet/internal/corpus"
 	"steelnet/internal/host"
@@ -21,7 +27,9 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1, "corpus shuffle seed (counts are seed-invariant)")
 	requirements := flag.Bool("requirements", false, "also print the §2.1-§2.3 requirement checks")
+	tel := cli.RegisterTelemetryFlags()
 	flag.Parse()
+	cli.Must(tel.Begin("gapminer"))
 
 	table, counts := core.Figure1(*seed)
 	fmt.Print(table)
@@ -34,4 +42,5 @@ func main() {
 		fmt.Println()
 		fmt.Print(core.RenderTrafficMix(core.Section23TrafficMix(*seed, trafficgen.DefaultMix)))
 	}
+	cli.Must(tel.End())
 }

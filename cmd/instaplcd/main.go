@@ -6,11 +6,15 @@
 //
 //	instaplcd [-seed N] [-cycle D] [-fail D] [-horizon D] [-baseline]
 //	          [-faults SPEC] [-chaos] [-workers N]
+//	          [-trace FILE] [-stats] [-cpuprofile FILE]
 //
 // -faults replaces the default crash with a declarative fault plan,
 // e.g. "hoststall:vplc1@1.3s+400ms,loss:dp.2@0.5s+1s*0.2"; the run
 // prints the executed fault trace next to the figure. -chaos sweeps
 // randomized fault plans of increasing intensity over the scenario.
+// -trace exports the frame lifecycle (and fault spans) as JSONL plus a
+// Chrome/Perfetto timeline; -stats prints the component metrics
+// snapshot. Both force -chaos sweeps serial.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"steelnet/internal/cli"
 	"steelnet/internal/core"
 	"steelnet/internal/faults"
 	"steelnet/internal/instaplc"
@@ -34,7 +39,9 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault plan spec replacing the default crash (kind:target@at[+dur][*mag],...)")
 	chaos := flag.Bool("chaos", false, "sweep randomized fault plans over the scenario")
 	workers := flag.Int("workers", 0, "chaos sweep worker pool size (0 = NumCPU)")
+	tel := cli.RegisterTelemetryFlags()
 	flag.Parse()
+	cli.Must(tel.Begin("instaplcd"))
 
 	cfg := instaplc.DefaultExperimentConfig()
 	cfg.Seed = *seed
@@ -43,6 +50,8 @@ func main() {
 	cfg.Horizon = *horizon
 	cfg.InstaWatchdogCycles = *wd
 	cfg.DisableInstaPLC = *baseline
+	cfg.Trace = tel.Tracer
+	cfg.Metrics = tel.Registry
 
 	if *chaos {
 		ccfg := core.DefaultChaosConfig()
@@ -50,6 +59,7 @@ func main() {
 		ccfg.Base = cfg
 		ccfg.Workers = *workers
 		fmt.Print(core.RenderChaosSweep(core.RunChaosSweep(ccfg)))
+		cli.Must(tel.End())
 		return
 	}
 
@@ -78,6 +88,7 @@ func main() {
 			fmt.Printf("switchover completed %v after the failure\n", res.SwitchoverAt.Sub(res.FailAt))
 		}
 	}
+	cli.Must(tel.End())
 }
 
 // figure5 runs the experiment, turning the bad-fault-plan panic into a

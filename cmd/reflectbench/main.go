@@ -4,17 +4,22 @@
 //
 // Usage:
 //
-//	reflectbench [-seed N] [-cycles N] [-cycle D] [-flows list] [-workers N] [-jitter-only] [-delay-only]
+//	reflectbench [-seed N] [-cycles N] [-cycle D] [-flows list]
+//	             [-workers N] [-jitter-only] [-delay-only]
+//	             [-trace FILE] [-stats] [-cpuprofile FILE]
+//
+// -trace exports the probe frames' lifecycle as JSONL plus a
+// Chrome/Perfetto timeline; -stats prints the component metrics
+// snapshot. Both force the sweeps serial.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
+	"steelnet/internal/cli"
 	"steelnet/internal/core"
 	"steelnet/internal/reflection"
 )
@@ -27,13 +32,17 @@ func main() {
 	delayOnly := flag.Bool("delay-only", false, "run only the Fig. 4 (left) delay experiment")
 	jitterOnly := flag.Bool("jitter-only", false, "run only the Fig. 4 (right) jitter sweep")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = NumCPU, 1 = serial)")
+	tel := cli.RegisterTelemetryFlags()
 	flag.Parse()
+	cli.Must(tel.Begin("reflectbench"))
 
 	cfg := reflection.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Cycles = *cycles
 	cfg.Cycle = *cycle
 	cfg.Workers = *workers
+	cfg.Trace = tel.Tracer
+	cfg.Metrics = tel.Registry
 
 	if !*jitterOnly {
 		table, results := core.Figure4Delay(cfg)
@@ -46,7 +55,7 @@ func main() {
 		fmt.Println()
 	}
 	if !*delayOnly {
-		counts, err := parseInts(*flows)
+		counts, err := cli.ParseInts(*flows)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "reflectbench: bad -flows: %v\n", err)
 			os.Exit(2)
@@ -54,23 +63,5 @@ func main() {
 		results := reflection.RunFlowSweep(cfg, counts)
 		fmt.Print(reflection.JitterTable(results))
 	}
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		v, err := strconv.Atoi(part)
-		if err != nil || v < 1 {
-			return nil, fmt.Errorf("%q is not a positive integer", part)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("empty list")
-	}
-	return out, nil
+	cli.Must(tel.End())
 }

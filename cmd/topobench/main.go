@@ -6,16 +6,21 @@
 // Usage:
 //
 //	topobench [-seed N] [-clients list] [-horizon D] [-workers N]
+//	          [-trace FILE] [-stats] [-cpuprofile FILE]
+//
+// -trace exports the frame lifecycle of every cell as JSONL plus a
+// Chrome/Perfetto timeline; -stats prints the component metrics
+// snapshot. Both force the grid serial (large with default counts —
+// prefer a single small cell, e.g. -clients 32).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
+	"steelnet/internal/cli"
 	"steelnet/internal/core"
 	"steelnet/internal/mltopo"
 )
@@ -25,14 +30,19 @@ func main() {
 	clients := flag.String("clients", "32,64,128,256", "comma-separated client counts")
 	horizon := flag.Duration("horizon", 2*time.Second, "simulated time per cell")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = NumCPU, 1 = serial)")
+	tel := cli.RegisterTelemetryFlags()
 	flag.Parse()
+	cli.Must(tel.Begin("topobench"))
 
-	counts, err := parseInts(*clients)
+	counts, err := cli.ParseInts(*clients)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "topobench: bad -clients: %v\n", err)
 		os.Exit(2)
 	}
-	cfg := mltopo.Figure6Config{Seed: *seed, ClientCounts: counts, Horizon: *horizon, Workers: *workers}
+	cfg := mltopo.Figure6Config{
+		Seed: *seed, ClientCounts: counts, Horizon: *horizon, Workers: *workers,
+		Trace: tel.Tracer, Metrics: tel.Registry,
+	}
 	table, results := core.Figure6(cfg)
 	fmt.Print(table)
 	var worst float64
@@ -42,23 +52,5 @@ func main() {
 		}
 	}
 	fmt.Printf("worst-case request loss across cells: %.3f\n", worst)
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		v, err := strconv.Atoi(part)
-		if err != nil || v < 1 {
-			return nil, fmt.Errorf("%q is not a positive integer", part)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("empty list")
-	}
-	return out, nil
+	cli.Must(tel.End())
 }

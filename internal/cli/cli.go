@@ -1,0 +1,156 @@
+// Package cli carries the flag plumbing shared by the steelnet
+// commands: the uniform -trace/-stats/-cpuprofile observability flag
+// trio and the comma-separated integer-list parser every sweep CLI
+// needs. Keeping it in one place means every command spells the flags
+// the same way and produces the same artifact layout.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+
+	"steelnet/internal/telemetry"
+)
+
+// Telemetry is the observability flag set. When no flag is given the
+// Tracer and Registry stay nil, every instrumentation call site
+// short-circuits, and the run is byte- and allocation-identical to an
+// uninstrumented binary.
+type Telemetry struct {
+	// TracePath receives -trace ("" disables tracing).
+	TracePath string
+	// Stats receives -stats.
+	Stats bool
+	// CPUProfilePath receives -cpuprofile ("" disables profiling).
+	CPUProfilePath string
+
+	// Tracer and Registry are allocated by Begin when the matching flag
+	// was set; pass them into experiment configs.
+	Tracer   *telemetry.Tracer
+	Registry *telemetry.Registry
+
+	cmd     string
+	cpuFile *os.File
+}
+
+// RegisterTelemetryFlags installs -trace, -stats and -cpuprofile on the
+// default flag set. Call it before flag.Parse.
+func RegisterTelemetryFlags() *Telemetry {
+	t := &Telemetry{}
+	flag.StringVar(&t.TracePath, "trace", "",
+		"write a JSONL frame-lifecycle trace to this `file` (plus file.chrome.json for chrome://tracing / Perfetto)")
+	flag.BoolVar(&t.Stats, "stats", false,
+		"collect component metrics and print the registry snapshot after the run")
+	flag.StringVar(&t.CPUProfilePath, "cpuprofile", "",
+		"write a CPU profile to this `file` (sweep workers carry pprof labels)")
+	return t
+}
+
+// Begin materializes what the parsed flags asked for: the tracer, the
+// registry, and CPU profiling. cmd names the command in errors.
+func (t *Telemetry) Begin(cmd string) error {
+	t.cmd = cmd
+	if t.TracePath != "" {
+		// Unbound until an experiment adopts it (experiments Bind the
+		// tracer to their engine before traffic flows).
+		t.Tracer = telemetry.NewTracer(nil)
+	}
+	if t.Stats {
+		t.Registry = telemetry.NewRegistry()
+	}
+	if t.CPUProfilePath != "" {
+		f, err := os.Create(t.CPUProfilePath)
+		if err != nil {
+			return fmt.Errorf("%s: -cpuprofile: %w", cmd, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: -cpuprofile: %w", cmd, err)
+		}
+		t.cpuFile = f
+	}
+	return nil
+}
+
+// End flushes everything Begin started: it stops the CPU profile,
+// writes the JSONL trace plus its Chrome/Perfetto twin, and prints the
+// registry snapshot to stdout when -stats was set.
+func (t *Telemetry) End() error {
+	if t.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := t.cpuFile.Close()
+		t.cpuFile = nil
+		if err != nil {
+			return fmt.Errorf("%s: -cpuprofile: %w", t.cmd, err)
+		}
+	}
+	if t.Tracer != nil {
+		if err := writeTraces(t.TracePath, t.Tracer.Events()); err != nil {
+			return fmt.Errorf("%s: -trace: %w", t.cmd, err)
+		}
+	}
+	if t.Registry != nil {
+		fmt.Print(t.Registry.Snapshot())
+	}
+	return nil
+}
+
+// writeTraces writes the JSONL trace to path and the Chrome trace to
+// path+".chrome.json".
+func writeTraces(path string, events []telemetry.Event) error {
+	jf, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteJSONL(jf, events); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	cf, err := os.Create(path + ".chrome.json")
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(cf, events); err != nil {
+		cf.Close()
+		return err
+	}
+	return cf.Close()
+}
+
+// Must prints err to stderr and exits with status 2 — the CLIs' shared
+// flag-error shape. A nil err is a no-op.
+func Must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+// ParseInts parses a comma-separated list of positive integers
+// ("32,64,128"); blanks between commas are skipped, an empty list is an
+// error.
+func ParseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("%q is not a positive integer", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

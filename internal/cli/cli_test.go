@@ -1,0 +1,139 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"steelnet/internal/frame"
+	"steelnet/internal/telemetry"
+)
+
+func TestParseInts(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"32,64,128", []int{32, 64, 128}, false},
+		{" 1 ,, 2 ", []int{1, 2}, false}, // blanks between commas skipped
+		{"7", []int{7}, false},
+		{"", nil, true},
+		{",,", nil, true},
+		{"1,x", nil, true},
+		{"0", nil, true},  // not positive
+		{"-3", nil, true}, // not positive
+	} {
+		got, err := ParseInts(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ParseInts(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseInts(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// The flag trio must land on the default flag set under the canonical
+// names every command shares.
+func TestRegisterTelemetryFlags(t *testing.T) {
+	tel := RegisterTelemetryFlags()
+	for _, name := range []string{"trace", "stats", "cpuprofile"} {
+		if flag.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+	if tel.TracePath != "" || tel.Stats || tel.CPUProfilePath != "" {
+		t.Fatalf("defaults not zero: %+v", tel)
+	}
+	// With no flag given, Begin materializes nothing: the nil
+	// Tracer/Registry keep the run on the zero-overhead path.
+	if err := tel.Begin("test"); err != nil {
+		t.Fatal(err)
+	}
+	if tel.Tracer != nil || tel.Registry != nil {
+		t.Fatal("Begin allocated telemetry without flags")
+	}
+	if err := tel.End(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Begin/End with every flag set: the tracer's events must come back out
+// as a loadable JSONL trace plus a valid Chrome trace, the registry
+// must exist, and the CPU profile file must be non-empty.
+func TestBeginEndWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	tel := &Telemetry{
+		TracePath:      filepath.Join(dir, "run.jsonl"),
+		Stats:          true,
+		CPUProfilePath: filepath.Join(dir, "cpu.prof"),
+	}
+	if err := tel.Begin("test"); err != nil {
+		t.Fatal(err)
+	}
+	if tel.Tracer == nil || tel.Registry == nil {
+		t.Fatal("Begin did not materialize tracer/registry")
+	}
+	tel.Tracer.HostTx("h", &frame.Frame{})
+	if err := tel.End(); err != nil {
+		t.Fatal(err)
+	}
+
+	jf, err := os.Open(tel.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	events, err := telemetry.ReadJSONL(jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != telemetry.KindHostTx {
+		t.Fatalf("replayed events = %+v", events)
+	}
+
+	cb, err := os.ReadFile(tel.TracePath + ".chrome.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(cb, &doc); err != nil {
+		t.Fatalf("chrome trace invalid: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace empty")
+	}
+
+	if st, err := os.Stat(tel.CPUProfilePath); err != nil || st.Size() == 0 {
+		t.Fatalf("cpu profile not written: %v", err)
+	}
+}
+
+func TestEndReportsUnwritableTracePath(t *testing.T) {
+	tel := &Telemetry{TracePath: filepath.Join(t.TempDir(), "no-such-dir", "x.jsonl")}
+	if err := tel.Begin("test"); err != nil {
+		t.Fatal(err)
+	}
+	tel.Tracer.HostTx("h", &frame.Frame{})
+	if err := tel.End(); err == nil {
+		t.Fatal("End succeeded writing into a missing directory")
+	}
+}
+
+func TestBeginReportsUnwritableProfilePath(t *testing.T) {
+	tel := &Telemetry{CPUProfilePath: filepath.Join(t.TempDir(), "no-such-dir", "cpu.prof")}
+	if err := tel.Begin("test"); err == nil {
+		t.Fatal("Begin succeeded with unwritable -cpuprofile")
+	}
+}
+
+func TestMustNilIsNoOp(t *testing.T) {
+	Must(nil) // must not exit
+}

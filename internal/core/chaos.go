@@ -8,6 +8,7 @@ import (
 	"steelnet/internal/instaplc"
 	"steelnet/internal/iodevice"
 	"steelnet/internal/metrics"
+	"steelnet/internal/simnet"
 	"steelnet/internal/sweep"
 )
 
@@ -53,6 +54,9 @@ type ChaosCell struct {
 	FailsafeEvents   uint64
 	IOAvailability   float64
 	DeviceState      iodevice.State
+	// Accounting is the cell's frame-conservation ledger; chaos tests
+	// assert Accounting.Check() == nil (forwarded+dropped==sent) per run.
+	Accounting simnet.Accounting
 }
 
 // chaosTargets lists the Fig. 5 scenario's registered fault targets
@@ -85,7 +89,13 @@ func RunChaosSweep(cfg ChaosConfig) []ChaosCell {
 		cfg.MeanOutage = 100 * time.Millisecond
 	}
 	n := len(cfg.Intensities) * cfg.Trials
-	return sweep.Run(cfg.Workers, n, func(i int) ChaosCell {
+	workers := cfg.Workers
+	if cfg.Base.Trace != nil || cfg.Base.Metrics != nil {
+		// A shared tracer or registry cannot be written from parallel
+		// cells; telemetry-attached sweeps run serially.
+		workers = 1
+	}
+	return sweep.Run(workers, n, func(i int) ChaosCell {
 		cell := ChaosCell{
 			Intensity: cfg.Intensities[i/cfg.Trials],
 			Trial:     i % cfg.Trials,
@@ -106,6 +116,7 @@ func RunChaosSweep(cfg ChaosConfig) []ChaosCell {
 		cell.FailsafeEvents = res.FailsafeEvents
 		cell.IOAvailability = res.IOAvailability
 		cell.DeviceState = res.DeviceState
+		cell.Accounting = res.Accounting
 		return cell
 	})
 }

@@ -34,6 +34,15 @@ func TestChaosSweepInvariants(t *testing.T) {
 			t.Errorf("cell (%d,%d): IOAvailability %.4f below 0.8 floor\nplan: %s",
 				c.Intensity, c.Trial, c.IOAvailability, c.Plan)
 		}
+		// Frame conservation per run: everything the egress queues
+		// accepted is delivered, destroyed for a cause, or still in the
+		// network at the horizon (forwarded + dropped == sent).
+		if err := c.Accounting.Check(); err != nil {
+			t.Errorf("cell (%d,%d): %v\nplan: %s", c.Intensity, c.Trial, err, c.Plan)
+		}
+		if c.Accounting.Accepted == 0 {
+			t.Errorf("cell (%d,%d): accounting saw no traffic", c.Intensity, c.Trial)
+		}
 		if c.Intensity == 0 {
 			if c.Switchovers != 0 || c.FailsafeEvents != 0 || c.IOAvailability != 1 {
 				t.Errorf("quiet cell (%d,%d) was not quiet: %+v", c.Intensity, c.Trial, c)

@@ -19,6 +19,7 @@ import (
 	"steelnet/internal/profinet"
 	"steelnet/internal/sim"
 	"steelnet/internal/simnet"
+	"steelnet/internal/telemetry"
 )
 
 // Fields is the parsed header view the pipeline matches on.
@@ -249,6 +250,7 @@ type Pipeline struct {
 	tables []*Table
 	cfg    Config
 	rng    *sim.RNG
+	tr     *telemetry.Tracer
 
 	// OnPacketIn receives punted frames (the control-plane channel).
 	OnPacketIn func(PacketInEvent)
@@ -279,6 +281,26 @@ func (p *Pipeline) Port(i int) *simnet.Port {
 
 // NumPorts returns the port count.
 func (p *Pipeline) NumPorts() int { return len(p.ports) }
+
+// SetTracer attaches a lifecycle tracer to the pipeline and its ports.
+func (p *Pipeline) SetTracer(t *telemetry.Tracer) {
+	p.tr = t
+	for _, port := range p.ports {
+		port.SetTracer(t)
+	}
+}
+
+// RegisterMetrics exposes the pipeline's verdict counters and all its
+// ports' counters on r.
+func (p *Pipeline) RegisterMetrics(r *telemetry.Registry) {
+	ls := telemetry.L("node", p.name)
+	r.Counter("steelnet_pipeline_processed_total", ls, "frames that entered the pipeline", func() uint64 { return p.Processed })
+	r.Counter("steelnet_pipeline_dropped_total", ls, "frames dropped by table verdict", func() uint64 { return p.Dropped })
+	r.Counter("steelnet_pipeline_packet_ins_total", ls, "frames punted to the control plane", func() uint64 { return p.PacketIns })
+	for _, port := range p.ports {
+		simnet.RegisterPortMetrics(r, port)
+	}
+}
 
 // AddTable appends a table with the given default action and returns it.
 func (p *Pipeline) AddTable(name string, def Action) *Table {
@@ -320,9 +342,15 @@ func (p *Pipeline) process(inPort int, f *frame.Frame) {
 			continue
 		case ActDrop:
 			p.Dropped++
+			if p.tr != nil {
+				p.tr.Drop(p.name, inPort, f, telemetry.CausePipeline)
+			}
 			return
 		case ActPacketIn:
 			p.PacketIns++
+			if p.tr != nil {
+				p.tr.PacketIn(p.name, inPort, f)
+			}
 			if p.OnPacketIn != nil {
 				p.OnPacketIn(PacketInEvent{Reason: act.Reason, Fields: fl, Frame: f})
 			}
@@ -334,6 +362,9 @@ func (p *Pipeline) process(inPort int, f *frame.Frame) {
 	}
 	// Fell off the last table: drop, like a pipeline with no verdict.
 	p.Dropped++
+	if p.tr != nil {
+		p.tr.Drop(p.name, inPort, f, telemetry.CausePipeline)
+	}
 }
 
 // emit sends the frame out each leg, applying egress rewrites to a copy.

@@ -1,6 +1,7 @@
 package dataplane
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"steelnet/internal/profinet"
 	"steelnet/internal/sim"
 	"steelnet/internal/simnet"
+	"steelnet/internal/telemetry"
 )
 
 // rig wires n hosts to an n-port pipeline and returns per-host receive
@@ -291,5 +293,59 @@ func TestOnMatchObservesFrames(t *testing.T) {
 	e.Run()
 	if seen != 3 {
 		t.Fatalf("OnMatch saw %d frames", seen)
+	}
+}
+
+// Telemetry surface: tracing the pipeline records the punt and the
+// forward, metrics registration exposes the verdict counters live, and
+// Entries returns a copy in match order.
+func TestPipelineTelemetryHooks(t *testing.T) {
+	e, p, hosts, counts := rig(t, 2)
+	if p.Name() != "dp" || p.NumPorts() != 2 {
+		t.Fatalf("identity: name=%q ports=%d", p.Name(), p.NumPorts())
+	}
+
+	tr := telemetry.NewTracer(nil)
+	tr.Bind(e)
+	p.SetTracer(tr)
+	r := telemetry.NewRegistry()
+	p.RegisterMetrics(r)
+
+	tbl := p.AddTable("t", Drop())
+	lo := Entry{Priority: 1, Match: Match{InPort: Ptr(0)}, Action: Output(1)}
+	hi := Entry{Priority: 2, Match: Match{InPort: Ptr(0)}, Action: Output(1)}
+	tbl.Insert(lo)
+	tbl.Insert(hi)
+	ents := tbl.Entries()
+	if len(ents) != 2 || ents[0].Priority != 2 {
+		t.Fatalf("Entries not in match order: %+v", ents)
+	}
+
+	hosts[0].Send(&frame.Frame{Dst: hosts[1].MAC(), Payload: make([]byte, 30)})
+	// No entry matches ingress port 1: the table's default Drop applies
+	// and must be traced with the pipeline cause.
+	hosts[1].Send(&frame.Frame{Dst: hosts[0].MAC(), Payload: make([]byte, 30)})
+	e.Run()
+	if *counts[1] != 1 {
+		t.Fatal("frame did not cross the traced pipeline")
+	}
+	var sawEgress, sawDrop bool
+	for _, ev := range tr.Events() {
+		if ev.Kind == telemetry.KindEnqueue && ev.Node == "dp" && ev.Port == 1 {
+			sawEgress = true
+		}
+		if ev.Kind == telemetry.KindDrop && ev.Node == "dp" && ev.Cause == telemetry.CausePipeline {
+			sawDrop = true
+		}
+	}
+	if !sawEgress || !sawDrop {
+		t.Fatalf("egress=%v drop=%v in %+v", sawEgress, sawDrop, tr.Events())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `steelnet_pipeline_processed_total{node="dp"} 2`) {
+		t.Fatalf("processed counter not live:\n%s", sb.String())
 	}
 }

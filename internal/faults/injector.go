@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"steelnet/internal/sim"
+	"steelnet/internal/telemetry"
 )
 
 // Injector binds plan target names to live simulation objects and
@@ -25,6 +26,10 @@ type Injector struct {
 	Injected int
 	// OnFault, when set, observes every executed phase.
 	OnFault func(Record)
+	// Tracer, when set, records every executed phase as a telemetry
+	// event; a chaos run's exported timeline then shows injection →
+	// degradation → recovery as spans next to the frame lifecycle.
+	Tracer *telemetry.Tracer
 }
 
 // NewInjector creates an injector scheduling on e.
@@ -147,6 +152,13 @@ func (in *Injector) inject(ev Event) {
 func (in *Injector) record(phase Phase, ev Event) {
 	r := Record{At: in.engine.Now(), Phase: phase, Event: ev}
 	in.Trace = append(in.Trace, r)
+	if in.Tracer != nil {
+		if phase == PhaseInject {
+			in.Tracer.FaultInject(ev.Target, ev.String(), int64(ev.Duration))
+		} else {
+			in.Tracer.FaultRecover(ev.Target, ev.String())
+		}
+	}
 	if in.OnFault != nil {
 		in.OnFault(r)
 	}

@@ -91,6 +91,10 @@ type Meta struct {
 	IngressPort int
 	CreatedAt   int64 // ns, set by the original sender
 	FlowID      uint32
+	// TraceID is the telemetry tracer's frame id, assigned lazily at the
+	// frame's first traced event; 0 means untraced. Clones keep the id,
+	// so flooded copies share one lifecycle line in the trace.
+	TraceID uint64
 }
 
 // headerLen returns the byte length of the L2 header.

@@ -14,6 +14,7 @@ import (
 	"steelnet/internal/profinet"
 	"steelnet/internal/sim"
 	"steelnet/internal/simnet"
+	"steelnet/internal/telemetry"
 )
 
 // ExperimentConfig parameterizes the Fig. 5 failover scenario.
@@ -45,6 +46,13 @@ type ExperimentConfig struct {
 	// "vplc1"/"vplc2"/"io" (host egress) and "dp.0"/"dp.1"/"dp.2"
 	// (pipeline egress toward vPLC1, vPLC2 and the device).
 	Faults *faults.Plan
+	// Trace, when non-nil, records the full frame lifecycle plus fault
+	// injection/recovery spans. The tracer is bound to the cell's engine
+	// before any traffic flows. Nil costs the run nothing.
+	Trace *telemetry.Tracer
+	// Metrics, when non-nil, receives every component counter (hosts,
+	// pipeline ports, links, engine internals) as func-backed metrics.
+	Metrics *telemetry.Registry
 }
 
 // DefaultExperimentConfig reproduces Fig. 5's setup.
@@ -91,6 +99,9 @@ type ExperimentResult struct {
 	InjectedFaults int
 	// FaultTrace lists the executed fault phases, one line each.
 	FaultTrace string
+	// Accounting is the frame-conservation ledger summed over every
+	// egress port in the cell at the horizon (forwarded+dropped==sent).
+	Accounting simnet.Accounting
 }
 
 // RunExperiment executes the Fig. 5 scenario: two vPLCs, one I/O
@@ -116,10 +127,29 @@ func RunExperiment(cfg ExperimentConfig) ExperimentResult {
 
 	links := wire(e, vplc1, vplc2, dev, pipe, cfg.LinkBps)
 
+	if cfg.Trace != nil {
+		cfg.Trace.Bind(e)
+		pipe.SetTracer(cfg.Trace)
+		vplc1.Host().SetTracer(cfg.Trace)
+		vplc2.Host().SetTracer(cfg.Trace)
+		dev.Host().SetTracer(cfg.Trace)
+	}
+	if cfg.Metrics != nil {
+		pipe.RegisterMetrics(cfg.Metrics)
+		simnet.RegisterHostMetrics(cfg.Metrics, vplc1.Host())
+		simnet.RegisterHostMetrics(cfg.Metrics, vplc2.Host())
+		simnet.RegisterHostMetrics(cfg.Metrics, dev.Host())
+		for _, l := range links {
+			simnet.RegisterLinkMetrics(cfg.Metrics, l)
+		}
+		telemetry.RegisterEngineMetrics(cfg.Metrics, e)
+	}
+
 	// The crash is a declarative fault plan: the default plan reproduces
 	// Fig. 5 (vPLC1 killed at FailAt, never restarted), and cfg.Faults
 	// swaps in any other scenario against the same registered targets.
 	in := faults.NewInjector(e)
+	in.Tracer = cfg.Trace
 	in.RegisterHost("vplc1", vplc1)
 	in.RegisterHost("vplc2", vplc2)
 	for _, l := range links {
@@ -177,6 +207,11 @@ func RunExperiment(cfg ExperimentConfig) ExperimentResult {
 	res.InjectedFaults = in.Injected
 	res.FaultTrace = in.TraceString()
 	res.IOAvailability = binAvailability(res.ToIO)
+	ports := []*simnet.Port{vplc1.Host().Port(), vplc2.Host().Port(), dev.Host().Port()}
+	for i := 0; i < pipe.NumPorts(); i++ {
+		ports = append(ports, pipe.Port(i))
+	}
+	res.Accounting = simnet.Account(ports...)
 	return res
 }
 

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// CDFTable's column order must come from the order slice, never from
+// map iteration: rendering the same series from two differently-built
+// maps must be byte-identical, with columns where order puts them.
+func TestCDFTableOrderingDeterministic(t *testing.T) {
+	build := func(perm []string) map[string]*Series {
+		m := make(map[string]*Series)
+		for _, name := range perm {
+			switch name {
+			case "a":
+				m[name] = seriesOf(1, 2, 3)
+			case "b":
+				m[name] = seriesOf(10, 20, 30)
+			case "c":
+				m[name] = seriesOf(100, 200, 300)
+			}
+		}
+		return m
+	}
+	order := []string{"c", "a", "b"}
+	first := CDFTable("t", "u", build([]string{"a", "b", "c"}), order)
+	for i := 0; i < 20; i++ {
+		got := CDFTable("t", "u", build([]string{"c", "b", "a"}), order)
+		if got != first {
+			t.Fatalf("render differs across map builds:\n%q\nvs\n%q", got, first)
+		}
+	}
+	header := strings.SplitN(first, "\n", 3)[1]
+	if ci, ai, bi := strings.Index(header, "c"), strings.Index(header, "a"), strings.Index(header, "b"); !(ci < ai && ai < bi) {
+		t.Fatalf("columns not in order-slice order: %q", header)
+	}
+}
+
+func TestSparklineScaling(t *testing.T) {
+	// The maximum maps to the full block, zero to a space, and half the
+	// maximum to a mid-level glyph — independent of absolute magnitude.
+	small := []rune(Sparkline([]int{0, 4, 8}))
+	big := []rune(Sparkline([]int{0, 4000, 8000}))
+	if string(small) != string(big) {
+		t.Fatalf("scaling not relative: %q vs %q", string(small), string(big))
+	}
+	if small[0] != ' ' || small[2] != '█' {
+		t.Fatalf("endpoints = %q", string(small))
+	}
+	if small[1] != '▄' {
+		t.Fatalf("midpoint = %q, want ▄", string(small[1]))
+	}
+	if got := Sparkline([]int{7}); got != "█" {
+		t.Fatalf("single sample = %q", got)
+	}
+}
+
+// A run of exactly minRun samples is a burst; one sample shorter is not.
+func TestBurstsRunExactlyMinRun(t *testing.T) {
+	j := seriesOf(0, 5, 5, 5, 0)
+	if got := Bursts(j, 1, 3); len(got) != 1 || got[0].Start != 1 || got[0].Length != 3 {
+		t.Fatalf("minRun-length run not reported: %+v", got)
+	}
+	if got := Bursts(j, 1, 4); len(got) != 0 {
+		t.Fatalf("sub-minRun run reported: %+v", got)
+	}
+}
+
+// A qualifying run that touches the final sample must be flushed even
+// though no below-threshold sample terminates it.
+func TestBurstsRunTouchingFinalSample(t *testing.T) {
+	j := seriesOf(0, 0, 5, 6, 7)
+	got := Bursts(j, 1, 3)
+	if len(got) != 1 {
+		t.Fatalf("trailing run not flushed: %+v", got)
+	}
+	if got[0].Start != 2 || got[0].Length != 3 || got[0].Peak != 7 {
+		t.Fatalf("trailing run = %+v", got[0])
+	}
+	// All samples above threshold: the entire series is one run.
+	all := seriesOf(5, 5)
+	if got := Bursts(all, 1, 2); len(got) != 1 || got[0].Start != 0 || got[0].Length != 2 {
+		t.Fatalf("whole-series run = %+v", got)
+	}
+}

@@ -33,13 +33,21 @@ func RunFigure6(cfg Figure6Config) []Result {
 			}
 		}
 	}
-	return sweep.Run(cfg.Workers, len(cells), func(i int) Result {
+	workers := cfg.Workers
+	if cfg.Trace != nil || cfg.Metrics != nil {
+		// A shared tracer or registry cannot be written from parallel
+		// cells; telemetry-attached sweeps run serially.
+		workers = 1
+	}
+	return sweep.Run(workers, len(cells), func(i int) Result {
 		c := cells[i]
 		sc := DefaultScenario(c.kind, c.app, c.clients)
 		sc.Seed = cfg.Seed
 		if cfg.Horizon > 0 {
 			sc.Horizon = cfg.Horizon
 		}
+		sc.Trace = cfg.Trace
+		sc.Metrics = cfg.Metrics
 		return Run(sc)
 	})
 }

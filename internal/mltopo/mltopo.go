@@ -18,6 +18,7 @@ import (
 	"steelnet/internal/mlwork"
 	"steelnet/internal/sim"
 	"steelnet/internal/simnet"
+	"steelnet/internal/telemetry"
 	"steelnet/internal/topo"
 )
 
@@ -67,6 +68,11 @@ type Scenario struct {
 	// 1 Gb/s attachments) — the ablation separating the two halves of
 	// the traffic-aware design.
 	PlacementOnly bool
+	// Trace, when non-nil, records the cell's frame lifecycle; Metrics,
+	// when non-nil, receives every component counter. A shared tracer or
+	// registry forces Fig. 6 sweeps serial (see RunFigure6).
+	Trace   *telemetry.Tracer
+	Metrics *telemetry.Registry
 }
 
 // DefaultScenario fills the Fig. 6 defaults for a kind/app/client cell.
@@ -266,6 +272,12 @@ func instantiate(e *sim.Engine, g *topo.Graph, sc Scenario, clientNode, serverNo
 	// fragmented camera frames and turn queueing into loss.
 	net.SetSwitchQueueDepth(4096)
 	net.InstallStaticRoutes()
+	if sc.Trace != nil {
+		net.SetTracer(sc.Trace)
+	}
+	if sc.Metrics != nil {
+		net.RegisterMetrics(sc.Metrics)
+	}
 	b := built{engine: e}
 	servers := make([]*mlwork.Server, len(serverNode))
 	for i, n := range serverNode {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"steelnet/internal/sim"
+	"steelnet/internal/telemetry"
 	"steelnet/internal/topo"
 )
 
@@ -204,6 +205,10 @@ type Figure6Config struct {
 	// Workers bounds the goroutines running sweep cells. <= 0 selects
 	// runtime.NumCPU(); 1 runs serially. Output is identical either way.
 	Workers int
+	// Trace and Metrics, when non-nil, are attached to every cell; a
+	// shared tracer or registry forces the sweep serial.
+	Trace   *telemetry.Tracer
+	Metrics *telemetry.Registry
 }
 
 // DefaultFigure6Config matches the paper's x-axis.

@@ -60,6 +60,16 @@ func TestNoFrameLeaksUnderLinkChaos(t *testing.T) {
 			out, cli.Pool().Outstanding(), srv.Pool().Outstanding(),
 			cp.Drops, cp.InjectedDrops, sp.Drops, sp.InjectedDrops, plan)
 	}
+	// The counter-level identity must agree with the pool-level one:
+	// forwarded + dropped (+ still queued/in flight: zero after a full
+	// drain) == sent, per run.
+	acct := simnet.Account(cp, sp)
+	if err := acct.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if acct.Queued != 0 || acct.InFlight != 0 {
+		t.Fatalf("network not drained: %+v", acct)
+	}
 	if cli.Completed == 0 {
 		t.Fatal("no request ever completed between faults")
 	}
@@ -98,5 +108,8 @@ func TestCorruptionBurstDoesNotLeakOrCrash(t *testing.T) {
 	}
 	if out := cli.Pool().Outstanding() + srv.Pool().Outstanding(); out != 0 {
 		t.Fatalf("%d frames leaked under corruption", out)
+	}
+	if err := simnet.Account(cli.Host().Port(), srv.Host().Port()).Check(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"steelnet/internal/profinet"
 	"steelnet/internal/sim"
 	"steelnet/internal/simnet"
+	"steelnet/internal/telemetry"
 )
 
 // RingExperimentConfig parameterizes a control loop over an MRP ring
@@ -39,6 +40,10 @@ type RingExperimentConfig struct {
 	// switches "sw0".."swN-1"; host "vplc"; ports "sw<i>.<j>" for every
 	// switch port plus "vplc"/"io" host egress.
 	Faults *faults.Plan
+	// Trace, when non-nil, records the frame lifecycle and fault spans.
+	Trace *telemetry.Tracer
+	// Metrics, when non-nil, receives every component counter.
+	Metrics *telemetry.Registry
 }
 
 // DefaultRingExperimentConfig mirrors the integration scenario: a
@@ -85,6 +90,8 @@ func RunRingExperiment(cfg RingExperimentConfig) RingExperimentResult {
 	e := sim.NewEngine(cfg.Seed)
 	n := cfg.Switches
 	in := faults.NewInjector(e)
+	in.Tracer = cfg.Trace
+	var links []*simnet.Link
 
 	sws := make([]*simnet.Switch, n)
 	for i := 0; i < n; i++ {
@@ -95,6 +102,7 @@ func RunRingExperiment(cfg RingExperimentConfig) RingExperimentResult {
 		l := simnet.Connect(e, fmt.Sprintf("ring%d", i),
 			sws[i].Port(1), sws[(i+1)%n].Port(0), cfg.LinkBps, 500*sim.Nanosecond)
 		in.RegisterLink(l.Name, l)
+		links = append(links, l)
 	}
 	for i, sw := range sws {
 		for j := 0; j < sw.NumPorts(); j++ {
@@ -110,12 +118,33 @@ func RunRingExperiment(cfg RingExperimentConfig) RingExperimentResult {
 	ctrl := plc.NewController(e, "vplc", frame.NewMAC(1), plc.ControllerConfig{})
 	dev := iodevice.New(e, "io", frame.NewMAC(2), nil, nil)
 	in.RegisterHost("vplc", ctrl)
-	in.RegisterLink("uplink-plc",
-		simnet.Connect(e, "uplink-plc", ctrl.Host().Port(), sws[0].Port(2), cfg.LinkBps, 0))
-	in.RegisterLink("uplink-dev",
-		simnet.Connect(e, "uplink-dev", dev.Host().Port(), sws[n/2].Port(2), cfg.LinkBps, 0))
+	upPLC := simnet.Connect(e, "uplink-plc", ctrl.Host().Port(), sws[0].Port(2), cfg.LinkBps, 0)
+	upDev := simnet.Connect(e, "uplink-dev", dev.Host().Port(), sws[n/2].Port(2), cfg.LinkBps, 0)
+	in.RegisterLink("uplink-plc", upPLC)
+	in.RegisterLink("uplink-dev", upDev)
+	links = append(links, upPLC, upDev)
 	in.RegisterPort("vplc", ctrl.Host().Port())
 	in.RegisterPort("io", dev.Host().Port())
+
+	if cfg.Trace != nil {
+		cfg.Trace.Bind(e)
+		for _, sw := range sws {
+			sw.SetTracer(cfg.Trace)
+		}
+		ctrl.Host().SetTracer(cfg.Trace)
+		dev.Host().SetTracer(cfg.Trace)
+	}
+	if cfg.Metrics != nil {
+		for _, sw := range sws {
+			simnet.RegisterSwitchMetrics(cfg.Metrics, sw)
+		}
+		simnet.RegisterHostMetrics(cfg.Metrics, ctrl.Host())
+		simnet.RegisterHostMetrics(cfg.Metrics, dev.Host())
+		for _, l := range links {
+			simnet.RegisterLinkMetrics(cfg.Metrics, l)
+		}
+		telemetry.RegisterEngineMetrics(cfg.Metrics, e)
+	}
 
 	ctrl.Connect(plc.ConnectSpec{
 		Device: dev.Host().MAC(),

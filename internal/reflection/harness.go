@@ -11,6 +11,7 @@ import (
 	"steelnet/internal/simnet"
 	"steelnet/internal/sweep"
 	"steelnet/internal/tap"
+	"steelnet/internal/telemetry"
 )
 
 // Reflector is the device under test: a host whose NIC runs an XDP
@@ -152,6 +153,11 @@ type Config struct {
 	// 1 runs serially. Results are identical for any value — each cell
 	// runs on its own engine and results merge in input order.
 	Workers int
+	// Trace, when non-nil, records the frame lifecycle of the run. A
+	// shared tracer forces multi-cell sweeps serial (Workers == 1).
+	Trace *telemetry.Tracer
+	// Metrics, when non-nil, receives the component counters.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig is the paper-like setup: 100 Mb/s industrial links, 2 ms
@@ -195,8 +201,25 @@ func Run(cfg Config, v Variant) Result {
 	refl := NewReflector(e, "reflector", frame.NewMAC(2), stk, v, &costs)
 	tp := tap.New(e, "tap", cfg.TapCfg)
 
-	simnet.Connect(e, "sender-tap", sender.Host().Port(), tp.PortA(), cfg.LinkBps, 500*sim.Nanosecond)
-	simnet.Connect(e, "tap-reflector", tp.PortB(), refl.Host().Port(), cfg.LinkBps, 500*sim.Nanosecond)
+	l1 := simnet.Connect(e, "sender-tap", sender.Host().Port(), tp.PortA(), cfg.LinkBps, 500*sim.Nanosecond)
+	l2 := simnet.Connect(e, "tap-reflector", tp.PortB(), refl.Host().Port(), cfg.LinkBps, 500*sim.Nanosecond)
+
+	if cfg.Trace != nil {
+		cfg.Trace.Bind(e)
+		sender.Host().SetTracer(cfg.Trace)
+		refl.Host().SetTracer(cfg.Trace)
+		tp.PortA().SetTracer(cfg.Trace)
+		tp.PortB().SetTracer(cfg.Trace)
+	}
+	if cfg.Metrics != nil {
+		simnet.RegisterHostMetrics(cfg.Metrics, sender.Host())
+		simnet.RegisterHostMetrics(cfg.Metrics, refl.Host())
+		simnet.RegisterPortMetrics(cfg.Metrics, tp.PortA())
+		simnet.RegisterPortMetrics(cfg.Metrics, tp.PortB())
+		simnet.RegisterLinkMetrics(cfg.Metrics, l1)
+		simnet.RegisterLinkMetrics(cfg.Metrics, l2)
+		telemetry.RegisterEngineMetrics(cfg.Metrics, e)
+	}
 
 	// Stagger flows across the cycle to avoid synchronized bursts, like
 	// a TSN schedule would.
@@ -247,11 +270,20 @@ func (r Result) WouldTripWatchdog(thresholdNS float64, watchdogCycles int) bool 
 	return metrics.WouldTripWatchdog(r.Jitter, thresholdNS, watchdogCycles)
 }
 
+// sweepWorkers is the effective pool size: a shared tracer or registry
+// cannot be written from parallel cells, so telemetry forces serial.
+func sweepWorkers(cfg Config) int {
+	if cfg.Trace != nil || cfg.Metrics != nil {
+		return 1
+	}
+	return cfg.Workers
+}
+
 // RunAllVariants reproduces Fig. 4 (left): the delay CDF of all six
 // variants under cfg. Cells run across cfg.Workers goroutines; the
 // result order (and thus every rendered table) matches a serial run.
 func RunAllVariants(cfg Config) []Result {
-	return sweep.Run(cfg.Workers, len(VariantNames), func(i int) Result {
+	return sweep.Run(sweepWorkers(cfg), len(VariantNames), func(i int) Result {
 		v, err := NewVariant(VariantNames[i])
 		if err != nil {
 			panic(err)
@@ -263,7 +295,7 @@ func RunAllVariants(cfg Config) []Result {
 // RunFlowSweep reproduces Fig. 4 (right): jitter CDFs of the Base
 // variant for each flow count, one sweep cell per count.
 func RunFlowSweep(cfg Config, flowCounts []int) []Result {
-	return sweep.Run(cfg.Workers, len(flowCounts), func(i int) Result {
+	return sweep.Run(sweepWorkers(cfg), len(flowCounts), func(i int) Result {
 		c := cfg
 		c.Flows = flowCounts[i]
 		return Run(c, NewBase())

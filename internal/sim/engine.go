@@ -99,6 +99,7 @@ type Engine struct {
 	dead   int // cancelled events awaiting lazy reap
 	chunks [][]slot
 	free   *slot
+	peak   int // heap high-water mark
 }
 
 // NewEngine returns an engine at time zero whose named RNG streams derive
@@ -119,6 +120,31 @@ func (e *Engine) EventsFired() uint64 { return e.fired }
 // Pending returns the number of live events currently queued. Cancelled
 // events awaiting lazy reap are not counted.
 func (e *Engine) Pending() int { return e.live }
+
+// EngineStats is a point-in-time snapshot of the engine's internals,
+// exposed for the telemetry registry and for capacity debugging.
+type EngineStats struct {
+	Now           Time
+	EventsFired   uint64
+	Live          int // pending events
+	Dead          int // cancelled events awaiting lazy reap
+	HeapLen       int
+	HeapHighWater int
+	ArenaChunks   int
+}
+
+// Stats returns a snapshot of the engine's internals.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Now:           e.now,
+		EventsFired:   e.fired,
+		Live:          e.live,
+		Dead:          e.dead,
+		HeapLen:       len(e.heap),
+		HeapHighWater: e.peak,
+		ArenaChunks:   len(e.chunks),
+	}
+}
 
 // alloc takes a slot from the free list (growing the arena by one chunk
 // when empty) and initializes it as pending.
@@ -175,6 +201,9 @@ func (e *Engine) heapPush(s *slot) {
 	}
 	h[i] = s
 	e.heap = h
+	if len(h) > e.peak {
+		e.peak = len(h)
+	}
 }
 
 // heapPop removes and returns the minimum slot.

@@ -3,6 +3,7 @@ package simnet
 import (
 	"steelnet/internal/frame"
 	"steelnet/internal/sim"
+	"steelnet/internal/telemetry"
 )
 
 // Host is a single-port endpoint: it owns a MAC address and hands
@@ -15,6 +16,7 @@ type Host struct {
 	mac     frame.MAC
 	port    *Port
 	handler func(*frame.Frame)
+	tr      *telemetry.Tracer
 
 	// RxCount counts frames delivered to the handler.
 	RxCount uint64
@@ -43,10 +45,17 @@ func (h *Host) Engine() *sim.Engine { return h.engine }
 // (unicast to another MAC) are filtered before the handler runs.
 func (h *Host) OnReceive(fn func(*frame.Frame)) { h.handler = fn }
 
+// SetTracer attaches a lifecycle tracer to the host and its port.
+func (h *Host) SetTracer(t *telemetry.Tracer) {
+	h.tr = t
+	h.port.SetTracer(t)
+}
+
 // Receive implements Node.
 func (h *Host) Receive(port *Port, f *frame.Frame) {
 	if !f.Dst.IsBroadcast() && !f.Dst.IsMulticast() && f.Dst != h.mac {
-		return // not for us (flooded frame)
+		port.reclaim(f) // not for us (flooded frame)
+		return
 	}
 	h.RxCount++
 	if h.handler != nil {
@@ -61,6 +70,9 @@ func (h *Host) Send(f *frame.Frame) bool {
 	f.Src = h.mac
 	if f.Meta.CreatedAt == 0 {
 		f.Meta.CreatedAt = int64(h.engine.Now())
+	}
+	if h.tr != nil {
+		h.tr.HostTx(h.name, f)
 	}
 	return h.port.Send(f)
 }

@@ -14,6 +14,7 @@ import (
 
 	"steelnet/internal/frame"
 	"steelnet/internal/sim"
+	"steelnet/internal/telemetry"
 )
 
 // Node is anything that can be attached to links through ports: switches,
@@ -38,6 +39,14 @@ type Port struct {
 	busy     bool
 	pausedTx sim.Event
 
+	// tr observes the port's frame lifecycle; nil (the default) keeps
+	// the egress path allocation-free. flights is the free list of
+	// transmission contexts; inFlight counts frames that left the queue
+	// and have not yet reached a terminal outcome.
+	tr       *telemetry.Tracer
+	flights  *flight
+	inFlight int
+
 	// Failure-injection surface (internal/faults). lossRate drops each
 	// frame leaving this port with the given probability once it has
 	// occupied the wire; corruptRate flips one payload byte at delivery.
@@ -49,8 +58,10 @@ type Port struct {
 
 	// OnDrop, when set, observes every frame the network destroys after
 	// accepting it: frames flushed by a link-down or switch crash, shaper
-	// never-eligible drops, and injected in-flight losses. Frames that
-	// Send refuses (returning false) stay the caller's and are NOT
+	// never-eligible drops, injected in-flight losses, and frames a
+	// switch destroys internally (blocked ports, hairpins, refused egress
+	// queues, flood leftovers). Frames that Send refuses (returning
+	// false) to an *external* caller stay that caller's and are NOT
 	// reported here — pooled transports reclaim those on the spot and
 	// reclaim network-owned frames through this hook, keeping every
 	// frame accounted for even under fault injection.
@@ -63,6 +74,25 @@ type Port struct {
 	// InjectedDrops counts frames destroyed by loss injection;
 	// CorruptedFrames counts frames damaged by corruption injection.
 	InjectedDrops, CorruptedFrames uint64
+
+	// Drop causes. Drops above keeps its historical meaning (refusals at
+	// Send plus shaper and flush destruction); these decompose it and add
+	// the causes Drops never counted, so conservation checks can account
+	// for every frame:
+	//
+	//	Drops == OverflowDrops + DownDrops + ShaperDrops + FlushedDrops
+	//
+	// OverflowDrops: Send refused, queue full. DownDrops: Send refused,
+	// link down or absent. ShaperDrops: never-eligible under the gate
+	// schedule. FlushedDrops: queued frames destroyed by link-down or
+	// switch crash. WireDrops: in-flight frames destroyed by a link dying
+	// under them. FailedDrops: frames a crashed switch destroyed on
+	// arrival at this port.
+	OverflowDrops, DownDrops, ShaperDrops, FlushedDrops uint64
+	WireDrops, FailedDrops                              uint64
+
+	// QueueHighWater is the deepest the egress queue has been.
+	QueueHighWater int
 }
 
 // NewPort creates a port owned by owner with the given index and a
@@ -82,6 +112,10 @@ func (p *Port) SetTAS(g *GateSchedule) { p.shaper = g }
 // shaper) on the port's egress.
 func (p *Port) SetShaper(s Shaper) { p.shaper = s }
 
+// SetTracer attaches a lifecycle tracer to the port. Passing nil (the
+// default state) disables tracing with zero overhead.
+func (p *Port) SetTracer(t *telemetry.Tracer) { p.tr = t }
+
 // Connected reports whether the port is attached to a link.
 func (p *Port) Connected() bool { return p.link != nil }
 
@@ -98,6 +132,29 @@ func (p *Port) Peer() *Port {
 
 // QueueDepth returns the number of frames waiting at the port.
 func (p *Port) QueueDepth() int { return p.queue.Len() }
+
+// InFlight returns frames that left the queue but have not yet reached
+// a terminal outcome (delivery or destruction).
+func (p *Port) InFlight() int { return p.inFlight }
+
+// Accepted returns the frames the egress queue has accepted — the
+// "sent" side of the port's conservation identity (see Account).
+func (p *Port) Accepted() uint64 {
+	var n uint64
+	for _, c := range p.queue.EnqueuedPerClass {
+		n += c
+	}
+	return n
+}
+
+// DeliveredFrames returns frames sent from this port that completed
+// traversal to the link's far end.
+func (p *Port) DeliveredFrames() uint64 {
+	if p.link == nil {
+		return 0
+	}
+	return p.link.Delivered[p.end]
+}
 
 // SetLossRate makes the port drop each departing frame with probability
 // rate once it has finished serializing (the frame occupies the wire,
@@ -125,6 +182,70 @@ func (p *Port) reclaim(f *frame.Frame) {
 	if p.OnDrop != nil {
 		p.OnDrop(f)
 	}
+}
+
+// dropFlush traces and reclaims one frame flushed from the queue by a
+// link-down or switch crash. The per-frame counters were already bumped
+// in bulk by failFlush.
+func (p *Port) dropFlush(f *frame.Frame) {
+	if p.tr != nil {
+		p.tr.Drop(p.Owner.Name(), p.Index, f, telemetry.CauseFlush)
+	}
+	p.reclaim(f)
+}
+
+// failFlush destroys everything volatile at the port — queued frames
+// and any paused transmission — the shared teardown of link-down and
+// switch-crash failures.
+func (p *Port) failFlush() {
+	n := uint64(p.queue.Len())
+	p.Drops += n
+	p.FlushedDrops += n
+	p.queue.Drain(p.dropFlush)
+	p.busy = false
+	p.pausedTx.Cancel()
+	p.pausedTx = sim.Event{}
+}
+
+// flight carries one frame's transmission state through the
+// serialization- and propagation-completion callbacks. Each flight owns
+// two prebuilt closures (the sim.Ticker pattern) and is recycled through
+// a per-port free list, so steady-state egress schedules its engine
+// events without allocating. A flight may outlive the port's busy window
+// — propagation overlaps the next frame's serialization — which is why
+// flights are pooled per frame rather than being a single port field.
+type flight struct {
+	p        *Port
+	f        *frame.Frame
+	lost     bool
+	serDone  func()
+	propDone func()
+	next     *flight // free-list link
+}
+
+// getFlight takes a flight from the free list, building one (with its
+// two closures) only on a miss.
+func (p *Port) getFlight() *flight {
+	fl := p.flights
+	if fl == nil {
+		fl = &flight{p: p}
+		fl.serDone = func() { fl.p.serDone(fl) }
+		fl.propDone = func() { fl.p.propDone(fl) }
+	} else {
+		p.flights = fl.next
+		fl.next = nil
+	}
+	return fl
+}
+
+// putFlight recycles a flight. Callers copy out the fields they still
+// need first: the flight may be reissued by a reentrant startNext before
+// the caller's frame finishes its journey.
+func (p *Port) putFlight(fl *flight) {
+	fl.f = nil
+	fl.lost = false
+	fl.next = p.flights
+	p.flights = fl
 }
 
 // Link is a full-duplex point-to-point cable. Each direction serializes
@@ -186,11 +307,7 @@ func (l *Link) SetUp(up bool) {
 	if !up {
 		for _, p := range l.ports {
 			if p != nil {
-				p.Drops += uint64(p.queue.Len())
-				p.queue.Drain(p.reclaim)
-				p.busy = false
-				p.pausedTx.Cancel()
-				p.pausedTx = sim.Event{}
+				p.failFlush()
 			}
 		}
 	}
@@ -210,11 +327,25 @@ func (l *Link) SerializationDelay(wireLen int) sim.Duration {
 func (p *Port) Send(f *frame.Frame) bool {
 	if p.link == nil || !p.link.up {
 		p.Drops++
+		p.DownDrops++
+		if p.tr != nil {
+			p.tr.Drop(p.Owner.Name(), p.Index, f, telemetry.CauseLinkDown)
+		}
 		return false
 	}
 	if !p.queue.Push(f) {
 		p.Drops++
+		p.OverflowDrops++
+		if p.tr != nil {
+			p.tr.Drop(p.Owner.Name(), p.Index, f, telemetry.CauseOverflow)
+		}
 		return false
+	}
+	if d := p.queue.Len(); d > p.QueueHighWater {
+		p.QueueHighWater = d
+	}
+	if p.tr != nil {
+		p.tr.Enqueue(p.Owner.Name(), p.Index, f, p.queue.Len())
 	}
 	// A port paused on a closed gate re-evaluates on arrival: TAS gates
 	// are per-queue, so a newly queued higher-priority frame whose gate
@@ -248,8 +379,13 @@ func (p *Port) startNext() {
 		if !ok {
 			// Never eligible (e.g. frame longer than any gate window):
 			// drop to avoid deadlock.
-			p.reclaim(p.queue.Pop())
+			dropped := p.queue.Pop()
 			p.Drops++
+			p.ShaperDrops++
+			if p.tr != nil {
+				p.tr.Drop(p.Owner.Name(), p.Index, dropped, telemetry.CauseShaper)
+			}
+			p.reclaim(dropped)
 			p.busy = false
 			if p.queue.Len() > 0 {
 				p.startNext()
@@ -273,38 +409,84 @@ func (p *Port) startNext() {
 	}
 	p.TxFrames++
 	p.TxBytes += uint64(f.WireLen())
-	end := p.end
 	lost := p.lossRate > 0 && p.rng().Bool(p.lossRate)
-	l.engine.After(ser, func() {
-		// Serialization done: wire is free for the next frame; the
-		// in-flight frame arrives after propagation.
-		switch {
-		case !l.up:
-			// Link died mid-serialization: the frame dies on the wire.
-			p.reclaim(f)
-		case lost:
-			p.InjectedDrops++
-			p.reclaim(f)
-		default:
-			l.engine.After(l.Prop+l.extra[end], func() {
-				if !l.up {
-					p.reclaim(f)
-					return
-				}
-				if p.corruptRate > 0 && len(f.Payload) > 0 && p.rng().Bool(p.corruptRate) {
-					f.Payload[p.rng().Intn(len(f.Payload))] ^= 0xff
-					p.CorruptedFrames++
-				}
-				dst := l.ports[1-end]
-				l.Delivered[end]++
-				dst.RxFrames++
-				dst.RxBytes += uint64(f.WireLen())
-				dst.Owner.Receive(dst, f)
-			})
+	if p.tr != nil {
+		p.tr.TxStart(p.Owner.Name(), p.Index, f, int64(ser))
+	}
+	fl := p.getFlight()
+	fl.f = f
+	fl.lost = lost
+	p.inFlight++
+	l.engine.After(ser, fl.serDone)
+}
+
+// serDone fires when a frame finishes serializing: the wire is free for
+// the next frame, and the in-flight frame either dies (link down, loss
+// injection) or starts propagating toward the far end.
+func (p *Port) serDone(fl *flight) {
+	l := p.link
+	switch {
+	case !l.up:
+		// Link died mid-serialization: the frame dies on the wire.
+		f := fl.f
+		p.putFlight(fl)
+		p.WireDrops++
+		p.inFlight--
+		if p.tr != nil {
+			p.tr.Drop(p.Owner.Name(), p.Index, f, telemetry.CauseWire)
 		}
-		p.busy = false
-		if p.queue.Len() > 0 {
-			p.startNext()
+		p.reclaim(f)
+	case fl.lost:
+		f := fl.f
+		p.putFlight(fl)
+		p.InjectedDrops++
+		p.inFlight--
+		if p.tr != nil {
+			p.tr.Drop(p.Owner.Name(), p.Index, f, telemetry.CauseInjected)
 		}
-	})
+		p.reclaim(f)
+	default:
+		l.engine.After(l.Prop+l.extra[p.end], fl.propDone)
+	}
+	p.busy = false
+	if p.queue.Len() > 0 {
+		p.startNext()
+	}
+}
+
+// propDone fires when a frame reaches the far end of the link: the last
+// chance for the link to have died or corruption to strike, then the
+// frame is counted delivered and handed to the receiving node.
+func (p *Port) propDone(fl *flight) {
+	l := p.link
+	f := fl.f
+	p.putFlight(fl)
+	if !l.up {
+		p.WireDrops++
+		p.inFlight--
+		if p.tr != nil {
+			p.tr.Drop(p.Owner.Name(), p.Index, f, telemetry.CauseWire)
+		}
+		p.reclaim(f)
+		return
+	}
+	if p.corruptRate > 0 && len(f.Payload) > 0 && p.rng().Bool(p.corruptRate) {
+		f.Payload[p.rng().Intn(len(f.Payload))] ^= 0xff
+		p.CorruptedFrames++
+		if p.tr != nil {
+			p.tr.Corrupt(p.Owner.Name(), p.Index, f)
+		}
+	}
+	dst := l.ports[1-p.end]
+	l.Delivered[p.end]++
+	dst.RxFrames++
+	dst.RxBytes += uint64(f.WireLen())
+	p.inFlight--
+	if dst.tr != nil {
+		// CreatedAt is stamped by the originating host; for frames
+		// injected straight into a port it is zero and the "latency"
+		// degenerates to the absolute delivery time.
+		dst.tr.Deliver(dst.Owner.Name(), dst.Index, f, int64(l.engine.Now())-f.Meta.CreatedAt)
+	}
+	dst.Owner.Receive(dst, f)
 }

@@ -5,6 +5,7 @@ import (
 
 	"steelnet/internal/frame"
 	"steelnet/internal/sim"
+	"steelnet/internal/telemetry"
 )
 
 // Switch is a store-and-forward Ethernet switch with MAC learning,
@@ -25,6 +26,12 @@ type Switch struct {
 	rng     *sim.RNG
 	failed  bool
 
+	// tr observes forwarding decisions; nil disables. fwdFree is the
+	// free list of pipeline-delay contexts, so the receive→forward hop
+	// does not allocate a closure per frame.
+	tr      *telemetry.Tracer
+	fwdFree *fwdCtx
+
 	// OnControlFrame, when set, sees every received frame before normal
 	// processing; returning true consumes it. Ring-redundancy managers
 	// and other switch-resident protocols hook in here.
@@ -38,6 +45,11 @@ type Switch struct {
 	// DroppedWhileFailed counts frames that arrived while the switch was
 	// crashed (including control frames — a dead switch hears nothing).
 	DroppedWhileFailed uint64
+	// BlockedDrops counts data frames dying at a blocked ingress or
+	// egress port; HairpinDrops counts frames whose FIB egress equals
+	// their ingress. Both are normal switch behavior, not faults, but a
+	// conservation audit needs them enumerated.
+	BlockedDrops, HairpinDrops uint64
 }
 
 // SwitchConfig sets a switch's forwarding-latency model.
@@ -83,6 +95,14 @@ func (s *Switch) Port(i int) *Port {
 
 // NumPorts returns the port count.
 func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// SetTracer attaches a lifecycle tracer to the switch and all its ports.
+func (s *Switch) SetTracer(t *telemetry.Tracer) {
+	s.tr = t
+	for _, p := range s.ports {
+		p.SetTracer(t)
+	}
+}
 
 // SetQueueDepth replaces every port's egress queue with one holding
 // perClassLimit frames per priority class. Call before traffic flows.
@@ -142,11 +162,7 @@ func (s *Switch) Fail() {
 	}
 	s.failed = true
 	for _, p := range s.ports {
-		p.pausedTx.Cancel()
-		p.pausedTx = sim.Event{}
-		p.busy = false
-		p.Drops += uint64(p.queue.Len())
-		p.queue.Drain(p.reclaim)
+		p.failFlush()
 	}
 	s.FlushDynamic()
 }
@@ -159,10 +175,51 @@ func (s *Switch) Restart() { s.failed = false }
 // Failed reports whether the switch is currently crashed.
 func (s *Switch) Failed() bool { return s.failed }
 
+// fwdCtx carries one frame across the switch's pipeline delay. Like the
+// port's flight, each context owns one prebuilt closure and recycles
+// through a free list, so the receive→forward hop allocates nothing in
+// steady state.
+type fwdCtx struct {
+	s    *Switch
+	f    *frame.Frame
+	in   int
+	run  func()
+	next *fwdCtx
+}
+
+func (s *Switch) getFwd() *fwdCtx {
+	c := s.fwdFree
+	if c == nil {
+		c = &fwdCtx{s: s}
+		c.run = func() { c.s.forwardCtx(c) }
+	} else {
+		s.fwdFree = c.next
+		c.next = nil
+	}
+	return c
+}
+
+func (s *Switch) putFwd(c *fwdCtx) {
+	c.f = nil
+	c.next = s.fwdFree
+	s.fwdFree = c
+}
+
+// forwardCtx unpacks and recycles the context, then forwards.
+func (s *Switch) forwardCtx(c *fwdCtx) {
+	in, f := c.in, c.f
+	s.putFwd(c)
+	s.forward(in, f)
+}
+
 // Receive implements Node: learn, then forward after the pipeline delay.
 func (s *Switch) Receive(port *Port, f *frame.Frame) {
 	if s.failed {
 		s.DroppedWhileFailed++
+		port.FailedDrops++
+		if s.tr != nil {
+			s.tr.Drop(s.name, port.Index, f, telemetry.CauseSwitchFailed)
+		}
 		port.reclaim(f)
 		return
 	}
@@ -170,7 +227,12 @@ func (s *Switch) Receive(port *Port, f *frame.Frame) {
 		return
 	}
 	if s.blocked[port.Index] {
-		return // data frames die at blocked ports
+		s.BlockedDrops++
+		if s.tr != nil {
+			s.tr.Drop(s.name, port.Index, f, telemetry.CauseBlocked)
+		}
+		port.reclaim(f) // data frames die at blocked ports
+		return
 	}
 	// Learn the source unless pinned statically.
 	if !f.Src.IsMulticast() && !s.static[f.Src] {
@@ -180,8 +242,10 @@ func (s *Switch) Receive(port *Port, f *frame.Frame) {
 	if s.jitter > 0 {
 		d = s.rng.NormDuration(s.latency, s.jitter, s.latency/2)
 	}
-	in := port.Index
-	s.engine.After(d, func() { s.forward(in, f) })
+	c := s.getFwd()
+	c.f = f
+	c.in = port.Index
+	s.engine.After(d, c.run)
 }
 
 func (s *Switch) forward(inPort int, f *frame.Frame) {
@@ -189,6 +253,10 @@ func (s *Switch) forward(inPort int, f *frame.Frame) {
 		// Crashed mid-pipeline: the frame was in the store-and-forward
 		// buffer and dies with the switch.
 		s.DroppedWhileFailed++
+		s.ports[inPort].FailedDrops++
+		if s.tr != nil {
+			s.tr.Drop(s.name, inPort, f, telemetry.CauseSwitchFailed)
+		}
 		s.ports[inPort].reclaim(f)
 		return
 	}
@@ -202,19 +270,53 @@ func (s *Switch) forward(inPort int, f *frame.Frame) {
 		return
 	}
 	if out == inPort || s.blocked[out] {
-		return // hairpin or blocked egress; drop like a real switch
+		// Hairpin or blocked egress; drop like a real switch.
+		if out == inPort {
+			s.HairpinDrops++
+			if s.tr != nil {
+				s.tr.Drop(s.name, inPort, f, telemetry.CauseHairpin)
+			}
+		} else {
+			s.BlockedDrops++
+			if s.tr != nil {
+				s.tr.Drop(s.name, out, f, telemetry.CauseBlocked)
+			}
+		}
+		s.ports[inPort].reclaim(f)
+		return
 	}
 	s.ForwardedFrames++
-	s.ports[out].Send(f)
+	if s.tr != nil {
+		s.tr.Forward(s.name, inPort, out, f)
+	}
+	if !s.ports[out].Send(f) {
+		// The egress queue refused the frame; the switch is its owner
+		// here, so it reclaims on the spot through the egress hook.
+		s.ports[out].reclaim(f)
+	}
 }
 
 func (s *Switch) flood(inPort int, f *frame.Frame) {
 	s.FloodedFrames++
+	if s.tr != nil {
+		legs := 0
+		for i, p := range s.ports {
+			if i != inPort && p.Connected() && !s.blocked[i] {
+				legs++
+			}
+		}
+		s.tr.Flood(s.name, inPort, f, legs)
+	}
 	for i, p := range s.ports {
 		if i == inPort || !p.Connected() || s.blocked[i] {
 			continue
 		}
 		s.ForwardedFrames++
-		p.Send(f.Clone())
+		g := f.Clone()
+		if !p.Send(g) {
+			p.reclaim(g)
+		}
 	}
+	// Every leg got a copy; the original dies at the ingress port.
+	s.ports[inPort].reclaim(f)
 }

@@ -1,0 +1,182 @@
+package simnet
+
+import (
+	"fmt"
+	"strconv"
+
+	"steelnet/internal/telemetry"
+)
+
+// Accounting is the frame-conservation ledger of a set of egress ports:
+// every frame a queue accepted must be delivered, destroyed for an
+// enumerated cause, or still be sitting in a queue or on a wire. It is
+// the observable-counter counterpart of the frame-pool Outstanding==0
+// invariant — strong enough to hold mid-run, at any horizon cut, not
+// just after a full drain.
+type Accounting struct {
+	// Accepted counts frames the egress queues accepted ("sent").
+	Accepted uint64
+	// Delivered counts frames that completed link traversal ("forwarded").
+	Delivered uint64
+	// Destroyed sums the terminal drop causes: shaper never-eligible,
+	// flushes (link-down/switch-crash), wire deaths, and injected losses.
+	Destroyed uint64
+	// Queued and InFlight count frames still in the network at the
+	// moment of the snapshot.
+	Queued   uint64
+	InFlight uint64
+
+	// Per-cause breakdown, for error messages and per-cause assertions.
+	ShaperDrops, FlushedDrops, WireDrops, InjectedDrops uint64
+	// Refusals at Send. These frames were never accepted, so they sit
+	// outside the conservation identity, but chaos assertions want them.
+	OverflowDrops, DownDrops uint64
+}
+
+// Add accumulates one port's counters into the ledger.
+func (a *Accounting) Add(p *Port) {
+	a.Accepted += p.Accepted()
+	a.Delivered += p.DeliveredFrames()
+	a.Destroyed += p.ShaperDrops + p.FlushedDrops + p.WireDrops + p.InjectedDrops
+	a.Queued += uint64(p.QueueDepth())
+	a.InFlight += uint64(p.InFlight())
+	a.ShaperDrops += p.ShaperDrops
+	a.FlushedDrops += p.FlushedDrops
+	a.WireDrops += p.WireDrops
+	a.InjectedDrops += p.InjectedDrops
+	a.OverflowDrops += p.OverflowDrops
+	a.DownDrops += p.DownDrops
+}
+
+// Check returns an error unless delivered + destroyed + queued + in-flight
+// frames exactly equal the frames accepted — the forwarded+dropped==sent
+// identity the chaos suites assert per run.
+func (a Accounting) Check() error {
+	got := a.Delivered + a.Destroyed + a.Queued + a.InFlight
+	if got != a.Accepted {
+		return fmt.Errorf("simnet: frame conservation violated: accepted=%d but delivered=%d + destroyed=%d + queued=%d + in-flight=%d = %d",
+			a.Accepted, a.Delivered, a.Destroyed, a.Queued, a.InFlight, got)
+	}
+	return nil
+}
+
+// Account builds the conservation ledger over the given ports.
+func Account(ports ...*Port) Accounting {
+	var a Accounting
+	for _, p := range ports {
+		a.Add(p)
+	}
+	return a
+}
+
+// portLabels builds the label set identifying one port.
+func portLabels(p *Port) telemetry.Labels {
+	return telemetry.L("node", p.Owner.Name(), "port", strconv.Itoa(p.Index))
+}
+
+// RegisterPortMetrics exposes a port's counters on r. All metrics are
+// func-backed reads of the live counters: registration costs the hot
+// path nothing.
+func RegisterPortMetrics(r *telemetry.Registry, p *Port) {
+	ls := portLabels(p)
+	r.Counter("steelnet_port_tx_frames_total", ls, "frames that began transmission", func() uint64 { return p.TxFrames })
+	r.Counter("steelnet_port_rx_frames_total", ls, "frames received", func() uint64 { return p.RxFrames })
+	r.Counter("steelnet_port_tx_bytes_total", ls, "bytes transmitted", func() uint64 { return p.TxBytes })
+	r.Counter("steelnet_port_rx_bytes_total", ls, "bytes received", func() uint64 { return p.RxBytes })
+	r.Counter("steelnet_port_corrupted_total", ls, "frames damaged by corruption injection", func() uint64 { return p.CorruptedFrames })
+	r.Gauge("steelnet_port_queue_depth", ls, "egress queue depth", func() float64 { return float64(p.QueueDepth()) })
+	r.Gauge("steelnet_port_queue_high_water", ls, "deepest egress queue depth seen", func() float64 { return float64(p.QueueHighWater) })
+	r.Gauge("steelnet_port_in_flight", ls, "frames on the wire from this port", func() float64 { return float64(p.InFlight()) })
+	for _, dc := range []struct {
+		cause string
+		read  func() uint64
+	}{
+		{"overflow", func() uint64 { return p.OverflowDrops }},
+		{"link-down", func() uint64 { return p.DownDrops }},
+		{"shaper", func() uint64 { return p.ShaperDrops }},
+		{"flush", func() uint64 { return p.FlushedDrops }},
+		{"wire", func() uint64 { return p.WireDrops }},
+		{"injected", func() uint64 { return p.InjectedDrops }},
+		{"switch-failed", func() uint64 { return p.FailedDrops }},
+	} {
+		cls := append(append(telemetry.Labels{}, ls...), telemetry.Label{K: "cause", V: dc.cause})
+		r.Counter("steelnet_port_drops_total", cls, "frames dropped, by cause", dc.read)
+	}
+}
+
+// RegisterSwitchMetrics exposes a switch's counters and those of all its
+// ports on r.
+func RegisterSwitchMetrics(r *telemetry.Registry, s *Switch) {
+	ls := telemetry.L("node", s.Name())
+	r.Counter("steelnet_switch_forwarded_total", ls, "frames forwarded (including floods)", func() uint64 { return s.ForwardedFrames })
+	r.Counter("steelnet_switch_flooded_total", ls, "frames flooded", func() uint64 { return s.FloodedFrames })
+	r.Counter("steelnet_switch_failed_drops_total", ls, "frames dropped while crashed", func() uint64 { return s.DroppedWhileFailed })
+	r.Counter("steelnet_switch_blocked_drops_total", ls, "frames dropped at blocked ports", func() uint64 { return s.BlockedDrops })
+	r.Counter("steelnet_switch_hairpin_drops_total", ls, "frames whose egress equals ingress", func() uint64 { return s.HairpinDrops })
+	for _, p := range s.ports {
+		RegisterPortMetrics(r, p)
+	}
+}
+
+// RegisterHostMetrics exposes a host's counters and its port's on r.
+func RegisterHostMetrics(r *telemetry.Registry, h *Host) {
+	ls := telemetry.L("node", h.Name())
+	r.Counter("steelnet_host_rx_total", ls, "frames delivered to the host handler", func() uint64 { return h.RxCount })
+	RegisterPortMetrics(r, h.port)
+}
+
+// RegisterLinkMetrics exposes a link's per-direction counters on r.
+func RegisterLinkMetrics(r *telemetry.Registry, l *Link) {
+	for end := 0; end < 2; end++ {
+		end := end
+		ls := telemetry.L("link", l.Name, "dir", strconv.Itoa(end))
+		r.Counter("steelnet_link_delivered_total", ls, "frames that completed traversal", func() uint64 { return l.Delivered[end] })
+	}
+	r.Gauge("steelnet_link_up", telemetry.L("link", l.Name), "1 when the link carries traffic", func() float64 {
+		if l.up {
+			return 1
+		}
+		return 0
+	})
+}
+
+// SetTracer attaches a lifecycle tracer to every switch, host and port
+// in the network and binds it to the network's engine.
+func (n *Network) SetTracer(t *telemetry.Tracer) {
+	t.Bind(n.Engine)
+	for _, sw := range n.switches {
+		sw.SetTracer(t)
+	}
+	for _, h := range n.hosts {
+		h.SetTracer(t)
+	}
+}
+
+// RegisterMetrics exposes every component's counters plus the engine's
+// internals on r. Output ordering is handled by the registry itself, so
+// map iteration order here is harmless.
+func (n *Network) RegisterMetrics(r *telemetry.Registry) {
+	for _, sw := range n.switches {
+		RegisterSwitchMetrics(r, sw)
+	}
+	for _, h := range n.hosts {
+		RegisterHostMetrics(r, h)
+	}
+	for _, l := range n.links {
+		RegisterLinkMetrics(r, l)
+	}
+	telemetry.RegisterEngineMetrics(r, n.Engine)
+}
+
+// Ports returns all ports of the network's switches and hosts — the
+// set Account needs for a whole-network conservation check.
+func (n *Network) Ports() []*Port {
+	var out []*Port
+	for _, sw := range n.switches {
+		out = append(out, sw.ports...)
+	}
+	for _, h := range n.hosts {
+		out = append(out, h.port)
+	}
+	return out
+}

@@ -9,8 +9,11 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -53,6 +56,7 @@ func Run[T any](workers, n int, fn func(i int) T) []T {
 	next.Store(-1)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		w := w
 		go func() {
 			defer wg.Done()
 			defer func() {
@@ -64,13 +68,21 @@ func Run[T any](workers, n int, fn func(i int) T) []T {
 					panicMu.Unlock()
 				}
 			}()
-			for {
-				i := int(next.Add(1))
-				if i >= n {
-					return
+			// Label the worker for CPU profiles (-cpuprofile on the
+			// CLIs): samples attribute to sweep workers and, per
+			// dispatched cell, to that cell's index — which is how one
+			// slow Fig. 6 cell shows up by name in pprof.
+			pprof.Do(context.Background(), pprof.Labels("sweep_worker", strconv.Itoa(w)), func(ctx context.Context) {
+				for {
+					i := int(next.Add(1))
+					if i >= n {
+						return
+					}
+					pprof.Do(ctx, pprof.Labels("sweep_cell", strconv.Itoa(i)), func(context.Context) {
+						out[i] = fn(i)
+					})
 				}
-				out[i] = fn(i)
-			}
+			})
 		}()
 	}
 	wg.Wait()

@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"steelnet/internal/metrics"
+)
+
+// jsonEvent is the JSONL wire form of Event: kinds and causes travel as
+// their stable string names, zero-valued fields are omitted, so traces
+// stay greppable and diff-friendly.
+type jsonEvent struct {
+	T      int64  `json:"t"`
+	Kind   string `json:"kind"`
+	Cause  string `json:"cause,omitempty"`
+	Node   string `json:"node,omitempty"`
+	Port   int32  `json:"port,omitempty"`
+	Frame  uint64 `json:"frame,omitempty"`
+	Prio   uint8  `json:"prio,omitempty"`
+	Aux    int64  `json:"aux,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// WriteJSONL writes one JSON object per event, one per line, in firing
+// order. ReadJSONL inverts it exactly.
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		je := jsonEvent{
+			T: e.T, Kind: e.Kind.String(), Cause: e.Cause.String(),
+			Node: e.Node, Port: e.Port, Frame: e.Frame, Prio: e.Prio,
+			Aux: e.Aux, Detail: e.Detail,
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSONL trace back into events. Unknown kinds or
+// causes are an error: a trace that cannot round-trip is corrupt.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for i := 0; ; i++ {
+		var je jsonEvent
+		if err := dec.Decode(&je); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", i+1, err)
+		}
+		k, ok := KindFromString(je.Kind)
+		if !ok {
+			return nil, fmt.Errorf("telemetry: trace line %d: unknown kind %q", i+1, je.Kind)
+		}
+		c, ok := CauseFromString(je.Cause)
+		if !ok {
+			return nil, fmt.Errorf("telemetry: trace line %d: unknown cause %q", i+1, je.Cause)
+		}
+		out = append(out, Event{
+			T: je.T, Kind: k, Cause: c, Node: je.Node, Port: je.Port,
+			Frame: je.Frame, Prio: je.Prio, Aux: je.Aux, Detail: je.Detail,
+		})
+	}
+}
+
+// chromeEvent is one entry of the Chrome trace-event format, the JSON
+// that chrome://tracing and ui.perfetto.dev load directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const faultTid = 0 // reserved lane for fault spans
+
+// WriteChromeTrace renders the events as a Chrome trace-event JSON
+// document: one timeline lane per node (in order of first appearance),
+// plus a dedicated "faults" lane where inject/recover pairs become
+// duration spans — a chaos run reads as injection → degradation →
+// recovery at a glance. Serialization occupancy (TxStart) renders as
+// duration slices; everything else as instants.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	tids := map[string]int{}
+	tid := func(node string) int {
+		id, ok := tids[node]
+		if !ok {
+			id = len(tids) + 1 // 0 is the fault lane
+			tids[node] = id
+		}
+		return id
+	}
+
+	// Pair each inject with the next recover for the same target+spec.
+	recoverAt := make([]int64, len(events))
+	pending := map[string][]int{}
+	for i, e := range events {
+		switch e.Kind {
+		case KindFaultInject:
+			recoverAt[i] = -1
+			key := e.Node + "\x00" + e.Detail
+			pending[key] = append(pending[key], i)
+		case KindFaultRecover:
+			key := e.Node + "\x00" + e.Detail
+			if q := pending[key]; len(q) > 0 {
+				recoverAt[q[0]] = e.T
+				pending[key] = q[1:]
+			}
+		}
+	}
+
+	out := chromeTrace{DisplayTimeUnit: "ns"}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": "steelnet"},
+	}, chromeEvent{
+		Name: "thread_name", Ph: "M", Pid: 1, Tid: faultTid,
+		Args: map[string]any{"name": "faults"},
+	})
+	seen := map[string]bool{}
+	for i, e := range events {
+		ts := float64(e.T) / 1e3
+		switch e.Kind {
+		case KindFaultInject:
+			ce := chromeEvent{Name: e.Detail, Ts: ts, Pid: 1, Tid: faultTid, Cat: "fault",
+				Args: map[string]any{"target": e.Node}}
+			if recoverAt[i] >= 0 {
+				ce.Ph = "X"
+				ce.Dur = float64(recoverAt[i]-e.T) / 1e3
+			} else {
+				ce.Ph = "i"
+				ce.S = "g"
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		case KindFaultRecover:
+			// Represented by the matching inject's span end; unmatched
+			// recoveries (inject predates the trace) become instants.
+			continue
+		default:
+			id := tid(e.Node)
+			if !seen[e.Node] {
+				seen[e.Node] = true
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: 1, Tid: id,
+					Args: map[string]any{"name": e.Node},
+				})
+			}
+			name := e.Kind.String()
+			if e.Cause != CauseNone {
+				name += ":" + e.Cause.String()
+			}
+			ce := chromeEvent{Name: name, Ts: ts, Pid: 1, Tid: id, Cat: "frame",
+				Args: map[string]any{"frame": e.Frame, "port": e.Port, "prio": e.Prio}}
+			if e.Kind == KindTxStart {
+				ce.Ph = "X"
+				ce.Dur = float64(e.Aux) / 1e3
+			} else {
+				ce.Ph = "i"
+				ce.S = "t"
+				if e.Aux != 0 {
+					ce.Args["aux"] = e.Aux
+				}
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// DeliveryRate rebuilds a packets-per-bin series from a trace's Deliver
+// events at the named node — the offline equivalent of the live counter
+// sampling behind Fig. 5, and the round-trip check that the trace is a
+// faithful record of the run.
+func DeliveryRate(events []Event, node string, start int64, bin time.Duration) *metrics.RateSeries {
+	r := metrics.NewRateSeries(start, bin)
+	for _, e := range events {
+		if e.Kind == KindDeliver && e.Node == node {
+			r.Record(e.T)
+		}
+	}
+	return r
+}
+
+// LatencyByClass aggregates Deliver events' end-to-end latencies (µs)
+// per 802.1Q priority class.
+func LatencyByClass(events []Event) map[uint8]*metrics.Series {
+	out := map[uint8]*metrics.Series{}
+	for _, e := range events {
+		if e.Kind != KindDeliver {
+			continue
+		}
+		s, ok := out[e.Prio]
+		if !ok {
+			s = metrics.NewSeries(0)
+			out[e.Prio] = s
+		}
+		s.Add(float64(e.Aux) / 1e3)
+	}
+	return out
+}

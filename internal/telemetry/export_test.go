@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleEvents exercises every kind at least once, with and without
+// causes, ports, frames and details.
+func sampleEvents() []Event {
+	return []Event{
+		{T: 0, Kind: KindHostTx, Node: "h1", Frame: 1, Prio: 6},
+		{T: 10, Kind: KindEnqueue, Node: "h1", Frame: 1, Prio: 6, Aux: 1},
+		{T: 20, Kind: KindTxStart, Node: "h1", Frame: 1, Prio: 6, Aux: 5120},
+		{T: 30, Kind: KindForward, Node: "sw0", Port: 2, Frame: 1, Aux: 1},
+		{T: 40, Kind: KindFlood, Node: "sw0", Port: 1, Frame: 2, Aux: 3},
+		{T: 50, Kind: KindPacketIn, Node: "dp", Port: 0, Frame: 3},
+		{T: 60, Kind: KindCorrupt, Node: "sw0", Port: 1, Frame: 4},
+		{T: 70, Kind: KindDrop, Cause: CauseOverflow, Node: "sw0", Port: 1, Frame: 5},
+		{T: 80, Kind: KindDrop, Cause: CauseInjected, Node: "h1", Frame: 6},
+		{T: 90, Kind: KindDeliver, Node: "h2", Frame: 1, Prio: 6, Aux: 90},
+		{T: 100, Kind: KindFaultInject, Port: -1, Node: "vplc1", Detail: "hoststall:vplc1@100ns+50ns", Aux: 50},
+		{T: 150, Kind: KindFaultRecover, Port: -1, Node: "vplc1", Detail: "hoststall:vplc1@100ns+50ns"},
+	}
+}
+
+func TestJSONLRoundTripExact(t *testing.T) {
+	want := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadJSONLRejectsCorruptTraces(t *testing.T) {
+	for _, tc := range []struct{ name, line, wantErr string }{
+		{"unknown kind", `{"t":1,"kind":"bogus"}`, `unknown kind "bogus"`},
+		{"unknown cause", `{"t":1,"kind":"drop","cause":"bogus"}`, `unknown cause "bogus"`},
+		{"bad json", `{"t":`, "trace line 1"},
+	} {
+		_, err := ReadJSONL(strings.NewReader(tc.line))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("%s: err = %v, want contains %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// decodeChrome parses a Chrome trace into generic maps for assertions.
+func decodeChrome(t *testing.T, events []Event) []map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	return doc.TraceEvents
+}
+
+func TestChromeTraceFaultSpansAndSlices(t *testing.T) {
+	tes := decodeChrome(t, sampleEvents())
+	var faultSpan, txSlice, metaFaults, instants int
+	for _, te := range tes {
+		switch {
+		case te["ph"] == "M" && te["name"] == "thread_name":
+			if args, _ := te["args"].(map[string]any); args["name"] == "faults" {
+				metaFaults++
+				if te["tid"].(float64) != 0 {
+					t.Fatalf("faults lane tid = %v, want 0", te["tid"])
+				}
+			}
+		case te["cat"] == "fault" && te["ph"] == "X":
+			faultSpan++
+			if te["dur"].(float64) != 0.05 { // 50 ns = 0.05 µs
+				t.Fatalf("fault span dur = %v µs", te["dur"])
+			}
+		case te["name"] == "tx-start":
+			if te["ph"] != "X" {
+				t.Fatalf("tx-start ph = %v, want X", te["ph"])
+			}
+			txSlice++
+			if te["dur"].(float64) != 5.12 { // 5120 ns = 5.12 µs
+				t.Fatalf("tx-start dur = %v µs", te["dur"])
+			}
+		case te["ph"] == "i":
+			instants++
+		}
+	}
+	if metaFaults != 1 || faultSpan != 1 || txSlice != 1 {
+		t.Fatalf("meta=%d spans=%d slices=%d", metaFaults, faultSpan, txSlice)
+	}
+	if instants == 0 {
+		t.Fatal("no instant events")
+	}
+	// Drop events carry their cause in the name.
+	var sawCause bool
+	for _, te := range tes {
+		if te["name"] == "drop:overflow" {
+			sawCause = true
+		}
+	}
+	if !sawCause {
+		t.Fatal("drop cause not rendered in event name")
+	}
+}
+
+func TestChromeTraceUnmatchedInjectBecomesInstant(t *testing.T) {
+	tes := decodeChrome(t, []Event{
+		{T: 100, Kind: KindFaultInject, Port: -1, Node: "l0", Detail: "linkflap:l0@100ns"},
+	})
+	var found bool
+	for _, te := range tes {
+		if te["cat"] == "fault" {
+			found = true
+			if te["ph"] != "i" || te["s"] != "g" {
+				t.Fatalf("unmatched inject = %+v", te)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no fault event emitted")
+	}
+}
+
+func TestDeliveryRateRebuildsBins(t *testing.T) {
+	ms := int64(time.Millisecond)
+	events := []Event{
+		{T: 0, Kind: KindDeliver, Node: "io"},
+		{T: 1 * ms, Kind: KindDeliver, Node: "io"},
+		{T: 1 * ms, Kind: KindDeliver, Node: "elsewhere"}, // filtered: wrong node
+		{T: 1 * ms, Kind: KindDrop, Node: "io"},           // filtered: wrong kind
+		{T: 10 * ms, Kind: KindDeliver, Node: "io"},       // bin edge: next bin
+		{T: 25 * ms, Kind: KindDeliver, Node: "io"},
+	}
+	r := DeliveryRate(events, "io", 0, 10*time.Millisecond)
+	got := r.Counts(29 * ms)
+	if want := []int{2, 1, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("counts = %v, want %v", got, want)
+	}
+}
+
+func TestLatencyByClass(t *testing.T) {
+	events := []Event{
+		{Kind: KindDeliver, Prio: 6, Aux: 2000},
+		{Kind: KindDeliver, Prio: 6, Aux: 4000},
+		{Kind: KindDeliver, Prio: 0, Aux: 1000},
+		{Kind: KindDrop, Prio: 0, Aux: 9000}, // not a delivery
+	}
+	by := LatencyByClass(events)
+	if len(by) != 2 {
+		t.Fatalf("classes = %d", len(by))
+	}
+	if by[6].Len() != 2 || by[6].Mean() != 3 { // µs
+		t.Fatalf("prio 6: len=%d mean=%v", by[6].Len(), by[6].Mean())
+	}
+	if by[0].Len() != 1 || by[0].Max() != 1 {
+		t.Fatalf("prio 0: %+v", by[0])
+	}
+}

@@ -1,0 +1,248 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"steelnet/internal/metrics"
+	"steelnet/internal/sim"
+)
+
+// Label is one metric dimension (e.g. {"port", "2"}).
+type Label struct {
+	K, V string
+}
+
+// Labels is an ordered label set. Order is preserved in output so a
+// registered metric renders the same way every run.
+type Labels []Label
+
+// L is shorthand for building a label set from alternating key/value
+// strings: L("node", "sw0", "port", "1").
+func L(kv ...string) Labels {
+	if len(kv)%2 != 0 {
+		panic("telemetry: odd label key/value count")
+	}
+	ls := make(Labels, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		ls = append(ls, Label{K: kv[i], V: kv[i+1]})
+	}
+	return ls
+}
+
+// String renders the label set in Prometheus brace form, "" when empty.
+func (ls Labels) String() string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.K, l.V)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// entry is one registered metric. Counters and gauges are func-backed —
+// they read live component counters at snapshot time, so registration
+// adds nothing to the simulation hot path.
+type entry struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels Labels
+	readU  func() uint64  // counters
+	readF  func() float64 // gauges
+	hist   *Histogram
+}
+
+// Registry holds the run's metrics. Output ordering is by (name, labels)
+// regardless of registration order, so snapshots are stable even when
+// components register from map iteration. Not safe for concurrent use.
+type Registry struct {
+	entries []entry
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers a monotonically increasing value read by fn at
+// snapshot time. Nil registries ignore registration, so components can
+// offer metrics unconditionally.
+func (r *Registry) Counter(name string, labels Labels, help string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.entries = append(r.entries, entry{name: name, help: help, kind: kindCounter, labels: labels, readU: fn})
+}
+
+// Gauge registers a point-in-time value read by fn at snapshot time.
+func (r *Registry) Gauge(name string, labels Labels, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.entries = append(r.entries, entry{name: name, help: help, kind: kindGauge, labels: labels, readF: fn})
+}
+
+// Histogram is a fixed-bucket distribution. Observe is allocation-free:
+// the bucket layout is fixed at registration.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; implicit +Inf last
+	counts []uint64  // len(bounds)+1
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram registers a histogram with the given ascending upper
+// bucket bounds (an implicit +Inf bucket is appended). A nil registry
+// still returns a working histogram so instrumentation points need no
+// guard; it just never renders.
+func (r *Registry) NewHistogram(name string, labels Labels, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds not ascending")
+		}
+	}
+	h := &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	if r != nil {
+		r.entries = append(r.entries, entry{name: name, help: help, kind: kindHistogram, labels: labels, hist: h})
+	}
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of observed samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// sorted returns the entries ordered by (name, labels).
+func (r *Registry) sorted() []entry {
+	es := make([]entry, len(r.entries))
+	copy(es, r.entries)
+	sort.SliceStable(es, func(i, j int) bool {
+		if es[i].name != es[j].name {
+			return es[i].name < es[j].name
+		}
+		return es[i].labels.String() < es[j].labels.String()
+	})
+	return es
+}
+
+// fmtBound renders a histogram bound the same way in both exports.
+func fmtBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", b)
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format. Only the first entry per metric name emits HELP/TYPE.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	lastName := ""
+	for _, e := range r.sorted() {
+		if e.name != lastName {
+			if e.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", e.name, e.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", e.name, [...]string{"counter", "gauge", "histogram"}[e.kind])
+			lastName = e.name
+		}
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s%s %d\n", e.name, e.labels.String(), e.readU())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s%s %g\n", e.name, e.labels.String(), e.readF())
+		case kindHistogram:
+			h := e.hist
+			cum := uint64(0)
+			for i := range h.counts {
+				cum += h.counts[i]
+				bound := math.Inf(1)
+				if i < len(h.bounds) {
+					bound = h.bounds[i]
+				}
+				le := append(append(Labels{}, e.labels...), Label{K: "le", V: fmtBound(bound)})
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", e.name, le.String(), cum)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %g\n", e.name, e.labels.String(), h.sum)
+			fmt.Fprintf(&b, "%s_count%s %d\n", e.name, e.labels.String(), h.count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Snapshot renders the registry as a stable ASCII table — the -stats
+// output of the CLIs. Histograms render one row per bucket plus a
+// count/sum summary row.
+func (r *Registry) Snapshot() string {
+	if r == nil {
+		return ""
+	}
+	t := metrics.NewTable("metrics", "metric", "labels", "value")
+	for _, e := range r.sorted() {
+		labels := e.labels.String()
+		switch e.kind {
+		case kindCounter:
+			t.AddRow(e.name, labels, fmt.Sprintf("%d", e.readU()))
+		case kindGauge:
+			t.AddRow(e.name, labels, fmt.Sprintf("%g", e.readF()))
+		case kindHistogram:
+			h := e.hist
+			cum := uint64(0)
+			for i := range h.counts {
+				cum += h.counts[i]
+				bound := math.Inf(1)
+				if i < len(h.bounds) {
+					bound = h.bounds[i]
+				}
+				t.AddRow(e.name+"_le_"+fmtBound(bound), labels, fmt.Sprintf("%d", cum))
+			}
+			t.AddRow(e.name+"_count", labels, fmt.Sprintf("%d", h.count))
+			t.AddRow(e.name+"_sum", labels, fmt.Sprintf("%g", h.sum))
+		}
+	}
+	return t.String()
+}
+
+// RegisterEngineMetrics exposes the engine's internals (events fired,
+// heap depth and high-water, live event handles, arena footprint) on r.
+func RegisterEngineMetrics(r *Registry, e *sim.Engine) {
+	if r == nil || e == nil {
+		return
+	}
+	r.Counter("sim_events_fired_total", nil, "events executed by the engine", func() uint64 { return e.Stats().EventsFired })
+	r.Gauge("sim_heap_len", nil, "pending events in the scheduler heap", func() float64 { return float64(e.Stats().HeapLen) })
+	r.Gauge("sim_heap_high_water", nil, "maximum scheduler heap depth seen", func() float64 { return float64(e.Stats().HeapHighWater) })
+	r.Gauge("sim_arena_chunks", nil, "event arena chunks allocated", func() float64 { return float64(e.Stats().ArenaChunks) })
+	r.Gauge("sim_now_ns", nil, "current simulated time", func() float64 { return float64(e.Now()) })
+}

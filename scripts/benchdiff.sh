@@ -6,10 +6,11 @@
 #
 # The report is a JSON array of {name, ns_per_op, bytes_per_op,
 # allocs_per_op} rows parsed from `go test -bench -benchmem` output.
-# The script fails if BenchmarkEngineScheduleAndRun reports any
-# steady-state allocations: the pooled-event arena contract is
-# 0 allocs/op, and a regression there silently re-introduces GC churn
-# into every figure sweep.
+# The script fails if BenchmarkEngineScheduleAndRun or
+# BenchmarkSwitchForwarding report any steady-state allocations: the
+# pooled-event arena and the telemetry layer's zero-overhead contract
+# are both 0 allocs/op with tracing disabled, and a regression there
+# silently re-introduces GC churn into every figure sweep.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,5 +36,10 @@ echo "wrote $out"
 
 if echo "$raw" | awk '/^BenchmarkEngineScheduleAndRun/ { exit ($7 != 0) ? 0 : 1 }'; then
     echo "FAIL: BenchmarkEngineScheduleAndRun allocates in steady state" >&2
+    exit 1
+fi
+
+if echo "$raw" | awk '/^BenchmarkSwitchForwarding/ { exit ($7 != 0) ? 0 : 1 }'; then
+    echo "FAIL: BenchmarkSwitchForwarding allocates in steady state (telemetry disabled must be 0 allocs/op)" >&2
     exit 1
 fi
