@@ -5,42 +5,113 @@
 //
 // Usage:
 //
-//	gapminer [-seed N] [-requirements] [-trace FILE] [-stats] [-cpuprofile FILE]
+//	gapminer [-seed N] [-requirements] [-checkpoint FILE] [-resume FILE]
+//	         [-trace FILE] [-stats] [-cpuprofile FILE]
 //
-// The telemetry flags are accepted for CLI uniformity: gapminer's
-// analyses move no frames through the simulated network, so -trace
-// yields an empty (but valid) timeline and -stats an empty snapshot,
-// while -cpuprofile profiles the mining itself.
+// -checkpoint caches the mined Fig. 1 counts; -resume reprints from
+// the cache without re-mining the corpus (the mining is the command's
+// only substantial work). The telemetry flags are accepted for CLI
+// uniformity: gapminer's analyses move no frames through the simulated
+// network, so -trace yields an empty (but valid) timeline and -stats
+// an empty snapshot, while -cpuprofile profiles the mining itself.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
+	"steelnet/internal/checkpoint"
 	"steelnet/internal/cli"
 	"steelnet/internal/core"
 	"steelnet/internal/corpus"
 	"steelnet/internal/host"
+	"steelnet/internal/sweep"
 	"steelnet/internal/trafficgen"
 )
 
-func main() {
-	seed := flag.Uint64("seed", 1, "corpus shuffle seed (counts are seed-invariant)")
-	requirements := flag.Bool("requirements", false, "also print the §2.1-§2.3 requirement checks")
-	tel := cli.RegisterTelemetryFlags()
-	flag.Parse()
-	cli.Must(tel.Begin("gapminer"))
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-	table, counts := core.Figure1(*seed)
-	fmt.Print(table)
-	fmt.Printf("research gap: smallest IT-side bar is %.0fx the largest OT-side bar\n\n", corpus.GapRatio(counts))
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gapminer", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 1, "corpus shuffle seed (counts are seed-invariant)")
+	requirements := fs.Bool("requirements", false, "also print the §2.1-§2.3 requirement checks")
+	res := cli.RegisterResumeFlagsOn(fs)
+	tel := cli.RegisterTelemetryFlagsOn(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	tel.Out = stdout
+	if err := tel.Begin("gapminer"); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	ckptPath, err := res.Path()
+	if err != nil {
+		fmt.Fprintf(stderr, "gapminer: %v\n", err)
+		return 2
+	}
+
+	table, counts, err := figure1(*seed, ckptPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "gapminer: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(stdout, table)
+	fmt.Fprintf(stdout, "research gap: smallest IT-side bar is %.0fx the largest OT-side bar\n\n", corpus.GapRatio(counts))
 
 	if *requirements {
-		fmt.Print(core.RenderTimingCheck(core.Section21TimingCheck(host.PreemptRT, *seed, 20000)))
-		fmt.Println()
-		fmt.Print(core.RenderAvailability(core.RunAvailabilityComparison(core.DefaultAvailabilityConfig())))
-		fmt.Println()
-		fmt.Print(core.RenderTrafficMix(core.Section23TrafficMix(*seed, trafficgen.DefaultMix)))
+		fmt.Fprint(stdout, core.RenderTimingCheck(core.Section21TimingCheck(host.PreemptRT, *seed, 20000)))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, core.RenderAvailability(core.RunAvailabilityComparison(core.DefaultAvailabilityConfig())))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, core.RenderTrafficMix(core.Section23TrafficMix(*seed, trafficgen.DefaultMix)))
 	}
-	cli.Must(tel.End())
+	if err := tel.End(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	return 0
+}
+
+// figure1Result is the cached form of the mined figure.
+type figure1Result struct {
+	Table  string
+	Counts []corpus.Count
+}
+
+// figure1 mines Fig. 1, optionally through a one-cell resumable sweep:
+// with a checkpoint path the mined counts persist, and a resumed run
+// reprints without re-mining.
+func figure1(seed uint64, ckptPath string) (string, []corpus.Count, error) {
+	ck := sweep.Checkpointer[figure1Result]{
+		Path: ckptPath,
+		Kind: "figure1",
+		Encode: func(e *checkpoint.Encoder, r figure1Result) {
+			e.Str(r.Table)
+			e.Int(len(r.Counts))
+			for _, c := range r.Counts {
+				e.Str(c.Label)
+				e.Int(c.Occurrences)
+			}
+		},
+		Decode: func(d *checkpoint.Decoder) figure1Result {
+			r := figure1Result{Table: d.Str()}
+			n := d.Int()
+			for i := 0; i < n && d.Err() == nil; i++ {
+				r.Counts = append(r.Counts, corpus.Count{Label: d.Str(), Occurrences: d.Int()})
+			}
+			return r
+		},
+	}
+	out, err := sweep.RunResumable(1, 1, ck, func(int) figure1Result {
+		table, counts := core.Figure1(seed)
+		return figure1Result{Table: table, Counts: counts}
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	return out[0].Table, out[0].Counts, nil
 }

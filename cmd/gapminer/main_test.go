@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the full main path in-process and asserts the
+// figure reaches stdout with a clean exit.
+func TestRunSmoke(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want []string // substrings that must appear on stdout
+	}{
+		{
+			name: "default",
+			args: []string{"-seed", "1"},
+			want: []string{"research gap"},
+		},
+		{
+			name: "requirements",
+			args: []string{"-seed", "1", "-requirements"},
+			want: []string{"research gap"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(c.args, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+			}
+			if stdout.Len() == 0 {
+				t.Fatal("no figure output on stdout")
+			}
+			for _, w := range c.want {
+				if !strings.Contains(stdout.String(), w) {
+					t.Errorf("stdout missing %q:\n%s", w, stdout.String())
+				}
+			}
+		})
+	}
+}
+
+// TestRunCheckpointResume mines once into a checkpoint and reprints
+// from it; both runs must produce identical stdout.
+func TestRunCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "fig1.ckpt")
+	var first, second, stderr bytes.Buffer
+	if code := run([]string{"-checkpoint", ckpt}, &first, &stderr); code != 0 {
+		t.Fatalf("checkpoint run: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if code := run([]string{"-resume", ckpt}, &second, &stderr); code != 0 {
+		t.Fatalf("resume run: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if first.String() != second.String() {
+		t.Errorf("resumed output differs from original:\n--- first\n%s--- second\n%s", first.String(), second.String())
+	}
+}
+
+func TestRunBadUsage(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-resume", filepath.Join(t.TempDir(), "missing.ckpt")},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

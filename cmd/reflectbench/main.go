@@ -6,35 +6,55 @@
 //
 //	reflectbench [-seed N] [-cycles N] [-cycle D] [-flows list]
 //	             [-workers N] [-jitter-only] [-delay-only]
+//	             [-checkpoint FILE] [-resume FILE]
 //	             [-trace FILE] [-stats] [-cpuprofile FILE]
 //
 // -trace exports the probe frames' lifecycle as JSONL plus a
 // Chrome/Perfetto timeline; -stats prints the component metrics
-// snapshot. Both force the sweeps serial.
+// snapshot. Both force the sweeps serial. -checkpoint persists each
+// completed sweep cell; -resume restarts an interrupted sweep from
+// such a file, skipping finished cells (the delay and jitter sweeps
+// use FILE and FILE.jitter respectively).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"steelnet/internal/cli"
-	"steelnet/internal/core"
 	"steelnet/internal/reflection"
 )
 
-func main() {
-	seed := flag.Uint64("seed", 1, "experiment seed")
-	cycles := flag.Int("cycles", 2000, "probe cycles per flow")
-	cycle := flag.Duration("cycle", 2*time.Millisecond, "probe cycle time")
-	flows := flag.String("flows", "1,25", "comma-separated flow counts for the jitter sweep")
-	delayOnly := flag.Bool("delay-only", false, "run only the Fig. 4 (left) delay experiment")
-	jitterOnly := flag.Bool("jitter-only", false, "run only the Fig. 4 (right) jitter sweep")
-	workers := flag.Int("workers", 0, "parallel sweep workers (0 = NumCPU, 1 = serial)")
-	tel := cli.RegisterTelemetryFlags()
-	flag.Parse()
-	cli.Must(tel.Begin("reflectbench"))
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reflectbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	cycles := fs.Int("cycles", 2000, "probe cycles per flow")
+	cycle := fs.Duration("cycle", 2*time.Millisecond, "probe cycle time")
+	flows := fs.String("flows", "1,25", "comma-separated flow counts for the jitter sweep")
+	delayOnly := fs.Bool("delay-only", false, "run only the Fig. 4 (left) delay experiment")
+	jitterOnly := fs.Bool("jitter-only", false, "run only the Fig. 4 (right) jitter sweep")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = NumCPU, 1 = serial)")
+	res := cli.RegisterResumeFlagsOn(fs)
+	tel := cli.RegisterTelemetryFlagsOn(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	tel.Out = stdout
+	if err := tel.Begin("reflectbench"); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	ckptPath, err := res.Path()
+	if err != nil {
+		fmt.Fprintf(stderr, "reflectbench: %v\n", err)
+		return 2
+	}
 
 	cfg := reflection.DefaultConfig()
 	cfg.Seed = *seed
@@ -45,23 +65,40 @@ func main() {
 	cfg.Metrics = tel.Registry
 
 	if !*jitterOnly {
-		table, results := core.Figure4Delay(cfg)
-		fmt.Print(table)
+		results, err := reflection.RunAllVariantsResumable(cfg, ckptPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "reflectbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, reflection.DelayTable(results))
 		for _, r := range results {
 			if r.RingRecords > 0 {
-				fmt.Printf("  %s emitted %d ring-buffer records\n", r.Variant, r.RingRecords)
+				fmt.Fprintf(stdout, "  %s emitted %d ring-buffer records\n", r.Variant, r.RingRecords)
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if !*delayOnly {
 		counts, err := cli.ParseInts(*flows)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "reflectbench: bad -flows: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "reflectbench: bad -flows: %v\n", err)
+			return 2
 		}
-		results := reflection.RunFlowSweep(cfg, counts)
-		fmt.Print(reflection.JitterTable(results))
+		jitterPath := ckptPath
+		if jitterPath != "" && !*jitterOnly {
+			// Both sweeps checkpoint: keep their files apart.
+			jitterPath += ".jitter"
+		}
+		results, err := reflection.RunFlowSweepResumable(cfg, counts, jitterPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "reflectbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, reflection.JitterTable(results))
 	}
-	cli.Must(tel.End())
+	if err := tel.End(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	return 0
 }

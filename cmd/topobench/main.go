@@ -6,51 +6,78 @@
 // Usage:
 //
 //	topobench [-seed N] [-clients list] [-horizon D] [-workers N]
+//	          [-checkpoint FILE] [-resume FILE]
 //	          [-trace FILE] [-stats] [-cpuprofile FILE]
 //
 // -trace exports the frame lifecycle of every cell as JSONL plus a
 // Chrome/Perfetto timeline; -stats prints the component metrics
 // snapshot. Both force the grid serial (large with default counts —
-// prefer a single small cell, e.g. -clients 32).
+// prefer a single small cell, e.g. -clients 32). -checkpoint persists
+// each completed grid cell; -resume restarts an interrupted grid from
+// such a file, skipping finished cells.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"steelnet/internal/cli"
-	"steelnet/internal/core"
 	"steelnet/internal/mltopo"
 )
 
-func main() {
-	seed := flag.Uint64("seed", 1, "experiment seed")
-	clients := flag.String("clients", "32,64,128,256", "comma-separated client counts")
-	horizon := flag.Duration("horizon", 2*time.Second, "simulated time per cell")
-	workers := flag.Int("workers", 0, "parallel sweep workers (0 = NumCPU, 1 = serial)")
-	tel := cli.RegisterTelemetryFlags()
-	flag.Parse()
-	cli.Must(tel.Begin("topobench"))
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("topobench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	clients := fs.String("clients", "32,64,128,256", "comma-separated client counts")
+	horizon := fs.Duration("horizon", 2*time.Second, "simulated time per cell")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = NumCPU, 1 = serial)")
+	res := cli.RegisterResumeFlagsOn(fs)
+	tel := cli.RegisterTelemetryFlagsOn(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	tel.Out = stdout
+	if err := tel.Begin("topobench"); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	ckptPath, err := res.Path()
+	if err != nil {
+		fmt.Fprintf(stderr, "topobench: %v\n", err)
+		return 2
+	}
 
 	counts, err := cli.ParseInts(*clients)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "topobench: bad -clients: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "topobench: bad -clients: %v\n", err)
+		return 2
 	}
 	cfg := mltopo.Figure6Config{
 		Seed: *seed, ClientCounts: counts, Horizon: *horizon, Workers: *workers,
 		Trace: tel.Tracer, Metrics: tel.Registry,
 	}
-	table, results := core.Figure6(cfg)
-	fmt.Print(table)
+	results, err := mltopo.RunFigure6Resumable(cfg, ckptPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "topobench: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(stdout, mltopo.RenderFigure6(results))
 	var worst float64
 	for _, r := range results {
 		if r.LossRate > worst {
 			worst = r.LossRate
 		}
 	}
-	fmt.Printf("worst-case request loss across cells: %.3f\n", worst)
-	cli.Must(tel.End())
+	fmt.Fprintf(stdout, "worst-case request loss across cells: %.3f\n", worst)
+	if err := tel.End(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	return 0
 }

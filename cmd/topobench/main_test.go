@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tiny keeps the Fig. 6 grid to its smallest useful shape: one client
+// count, a short horizon, one worker.
+func tiny(extra ...string) []string {
+	return append([]string{"-clients", "4", "-horizon", "100ms", "-workers", "1"}, extra...)
+}
+
+func TestRunSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(tiny(), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if out == "" {
+		t.Fatal("no figure output on stdout")
+	}
+	if !strings.Contains(out, "worst-case request loss") {
+		t.Errorf("stdout missing loss summary:\n%s", out)
+	}
+}
+
+// TestRunCheckpointResume completes the grid into a checkpoint, then
+// resumes: all cells are skipped and the table must come out identical.
+func TestRunCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "fig6.ckpt")
+	var first, second, stderr bytes.Buffer
+	if code := run(tiny("-checkpoint", ckpt), &first, &stderr); code != 0 {
+		t.Fatalf("checkpoint run: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if code := run(tiny("-resume", ckpt), &second, &stderr); code != 0 {
+		t.Fatalf("resume run: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if first.String() != second.String() {
+		t.Errorf("resumed output differs from original:\n--- first\n%s--- second\n%s", first.String(), second.String())
+	}
+}
+
+func TestRunBadUsage(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-resume", filepath.Join(t.TempDir(), "missing.ckpt")},
+		{"-clients", "none"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

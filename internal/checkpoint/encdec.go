@@ -1,0 +1,213 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encoder builds a deterministic binary payload: fixed-width
+// little-endian primitives, length-prefixed strings and slices, no
+// reflection and no map-order dependence. The same value sequence always
+// produces the same bytes — the property the golden-corpus compatibility
+// test and the byte-identical resume contract both rest on.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Data returns the encoded bytes.
+func (e *Encoder) Data() []byte { return e.buf }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U16 appends a little-endian uint16.
+func (e *Encoder) U16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (e *Encoder) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends a little-endian int64.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int as int64.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// Bool appends a boolean byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// F64 appends a float64 by its IEEE-754 bits.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bytes appends a u32 length prefix and the bytes.
+func (e *Encoder) Bytes(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// F64Slice appends a length-prefixed []float64.
+func (e *Encoder) F64Slice(vs []float64) {
+	e.U32(uint32(len(vs)))
+	for _, v := range vs {
+		e.F64(v)
+	}
+}
+
+// IntSlice appends a length-prefixed []int.
+func (e *Encoder) IntSlice(vs []int) {
+	e.U32(uint32(len(vs)))
+	for _, v := range vs {
+		e.Int(v)
+	}
+}
+
+// Decoder reads what Encoder wrote. Errors are sticky: after the first
+// short read every accessor returns the zero value and Err() reports the
+// failure, so decode sequences read linearly without per-call checks.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first decode error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("checkpoint: truncated payload: need %d bytes at offset %d of %d", n, d.off, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a little-endian uint16.
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a little-endian int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Int reads an int64-encoded int.
+func (d *Decoder) Int() int { return int(d.I64()) }
+
+// Bool reads a boolean byte.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// F64 reads an IEEE-754 float64.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// BytesVal reads a length-prefixed byte slice (copied).
+func (d *Decoder) BytesVal() []byte {
+	n := int(d.U32())
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() string {
+	n := int(d.U32())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// F64Slice reads a length-prefixed []float64.
+func (d *Decoder) F64Slice() []float64 {
+	n := int(d.U32())
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.F64())
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// IntSlice reads a length-prefixed []int.
+func (d *Decoder) IntSlice() []int {
+	n := int(d.U32())
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.Int())
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}

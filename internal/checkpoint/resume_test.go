@@ -1,0 +1,242 @@
+package checkpoint_test
+
+// Differential-replay verification: for every experiment harness, run
+// straight to 2N with a checkpoint taken at N, then separately restore
+// that checkpoint and run to 2N. The restored run must be
+// byte-identical — rendered figures, telemetry JSONL timelines,
+// metrics snapshots and frame-conservation accounts. This is the
+// strongest determinism test in the repo: any hidden state the
+// checkpoint digest misses, any RNG stream the rebuild wires
+// differently, any iteration-order dependence shows up as a diff here.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"steelnet/internal/checkpoint"
+	"steelnet/internal/core"
+	"steelnet/internal/instaplc"
+	"steelnet/internal/mltopo"
+	"steelnet/internal/mlwork"
+	"steelnet/internal/mrp"
+	"steelnet/internal/reflection"
+	"steelnet/internal/sim"
+	"steelnet/internal/telemetry"
+)
+
+// resumable is what every experiment harness offers the verifier.
+type resumable interface {
+	AdvanceTo(t sim.Time)
+	Horizon() sim.Time
+	Digest() uint64
+	Save(w io.Writer) error
+}
+
+// resumeCase builds one harness kind with telemetry attached and knows
+// how to restore it and render its observable output.
+type resumeCase struct {
+	name    string
+	build   func(tr *telemetry.Tracer, reg *telemetry.Registry) resumable
+	restore func(r io.Reader, tr *telemetry.Tracer, reg *telemetry.Registry) (resumable, error)
+	render  func(h resumable) string
+}
+
+func smallInstaplcConfig() instaplc.ExperimentConfig {
+	cfg := instaplc.DefaultExperimentConfig()
+	cfg.SecondaryJoinAt = 100 * time.Millisecond
+	cfg.FailAt = 300 * time.Millisecond
+	cfg.Horizon = 800 * time.Millisecond
+	return cfg
+}
+
+func resumeCases() []resumeCase {
+	reflCfg := reflection.DefaultConfig()
+	reflCfg.Cycles = 120
+
+	mrpCfg := mrp.DefaultRingExperimentConfig()
+	mrpCfg.Horizon = 1200 * time.Millisecond
+
+	mlSc := mltopo.DefaultScenario(mltopo.Ring, mlwork.ObjectIdentification, 8)
+	mlSc.Horizon = 400 * time.Millisecond
+
+	chaosCfg := core.DefaultChaosConfig()
+	chaosCfg.Base = smallInstaplcConfig()
+
+	return []resumeCase{
+		{
+			name: "instaplc",
+			build: func(tr *telemetry.Tracer, reg *telemetry.Registry) resumable {
+				cfg := smallInstaplcConfig()
+				cfg.Trace = tr
+				cfg.Metrics = reg
+				return instaplc.NewHarness(cfg)
+			},
+			restore: func(r io.Reader, tr *telemetry.Tracer, reg *telemetry.Registry) (resumable, error) {
+				return instaplc.Restore(r, tr, reg)
+			},
+			render: func(h resumable) string {
+				res := h.(*instaplc.Harness).Result()
+				return instaplc.RenderFigure5(res) +
+					fmt.Sprintf("%+v\n", res.Accounting) +
+					res.FaultTrace
+			},
+		},
+		{
+			name: "reflection",
+			build: func(tr *telemetry.Tracer, reg *telemetry.Registry) resumable {
+				cfg := reflCfg
+				cfg.Trace = tr
+				cfg.Metrics = reg
+				return reflection.NewHarness(cfg, reflection.NewBase())
+			},
+			restore: func(r io.Reader, tr *telemetry.Tracer, reg *telemetry.Registry) (resumable, error) {
+				return reflection.Restore(r, tr, reg)
+			},
+			render: func(h resumable) string {
+				res := h.(*reflection.Harness).Result()
+				return reflection.DelayTable([]reflection.Result{res}) +
+					reflection.JitterTable([]reflection.Result{res})
+			},
+		},
+		{
+			name: "mrp",
+			build: func(tr *telemetry.Tracer, reg *telemetry.Registry) resumable {
+				cfg := mrpCfg
+				cfg.Trace = tr
+				cfg.Metrics = reg
+				return mrp.NewHarness(cfg)
+			},
+			restore: func(r io.Reader, tr *telemetry.Tracer, reg *telemetry.Registry) (resumable, error) {
+				return mrp.Restore(r, tr, reg)
+			},
+			render: func(h resumable) string {
+				return fmt.Sprintf("%+v", h.(*mrp.Harness).Result())
+			},
+		},
+		{
+			name: "mltopo",
+			build: func(tr *telemetry.Tracer, reg *telemetry.Registry) resumable {
+				sc := mlSc
+				sc.Trace = tr
+				sc.Metrics = reg
+				return mltopo.NewHarness(sc)
+			},
+			restore: func(r io.Reader, tr *telemetry.Tracer, reg *telemetry.Registry) (resumable, error) {
+				return mltopo.Restore(r, tr, reg)
+			},
+			render: func(h resumable) string {
+				return fmt.Sprintf("%+v", h.(*mltopo.Harness).Result())
+			},
+		},
+		{
+			// A chaos cell is the instaplc harness under a generated fault
+			// plan; its checkpoint carries the whole plan, so it restores
+			// through the instaplc codec.
+			name: "chaos",
+			build: func(tr *telemetry.Tracer, reg *telemetry.Registry) resumable {
+				cfg := core.ChaosCellConfig(chaosCfg, 7) // intensity 4, trial 1
+				cfg.Trace = tr
+				cfg.Metrics = reg
+				return instaplc.NewHarness(cfg)
+			},
+			restore: func(r io.Reader, tr *telemetry.Tracer, reg *telemetry.Registry) (resumable, error) {
+				return instaplc.Restore(r, tr, reg)
+			},
+			render: func(h resumable) string {
+				res := h.(*instaplc.Harness).Result()
+				return instaplc.RenderFigure5(res) +
+					fmt.Sprintf("%+v\n", res.Accounting) +
+					res.FaultTrace
+			},
+		},
+	}
+}
+
+// observe renders everything the run can show a user: the figure, the
+// telemetry JSONL timeline, and the metrics snapshot.
+func observe(t *testing.T, c resumeCase, h resumable, tr *telemetry.Tracer, reg *telemetry.Registry) (figure, jsonl, snapshot string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSONL(&buf, tr.Events()); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	return c.render(h), buf.String(), reg.Snapshot()
+}
+
+func TestResumeEquivalence(t *testing.T) {
+	for _, c := range resumeCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+
+			// Straight run: advance to N, checkpoint, keep going to 2N.
+			trA := telemetry.NewTracer(nil)
+			regA := telemetry.NewRegistry()
+			a := c.build(trA, regA)
+			n := a.Horizon() / 2
+			a.AdvanceTo(n)
+			var ckpt bytes.Buffer
+			if err := a.Save(&ckpt); err != nil {
+				t.Fatalf("Save at N: %v", err)
+			}
+			a.AdvanceTo(a.Horizon())
+			digestA := a.Digest()
+			figA, jsonlA, snapA := observe(t, c, a, trA, regA)
+
+			// Restored run: rebuild from the checkpoint (which replays
+			// 0..N and verifies the digest), then run N..2N.
+			trB := telemetry.NewTracer(nil)
+			regB := telemetry.NewRegistry()
+			b, err := c.restore(bytes.NewReader(ckpt.Bytes()), trB, regB)
+			if err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			b.AdvanceTo(b.Horizon())
+			if got := b.Digest(); got != digestA {
+				t.Fatalf("state digest diverged after resume: straight %#x, resumed %#x", digestA, got)
+			}
+			figB, jsonlB, snapB := observe(t, c, b, trB, regB)
+
+			if figA != figB {
+				t.Errorf("rendered figure diverged after resume:\nstraight:\n%s\nresumed:\n%s", figA, figB)
+			}
+			if jsonlA != jsonlB {
+				t.Errorf("telemetry JSONL diverged after resume (straight %d bytes, resumed %d bytes)",
+					len(jsonlA), len(jsonlB))
+			}
+			if snapA != snapB {
+				t.Errorf("metrics snapshot diverged after resume:\nstraight:\n%s\nresumed:\n%s", snapA, snapB)
+			}
+		})
+	}
+}
+
+// TestRestoreDetectsDivergence rewrites a checkpoint with a wrong
+// recorded digest and asserts the restore fails loudly with a
+// DivergenceError rather than silently resuming a different run.
+func TestRestoreDetectsDivergence(t *testing.T) {
+	cfg := smallInstaplcConfig()
+	h := instaplc.NewHarness(cfg)
+	h.AdvanceTo(h.Horizon() / 2)
+	var orig bytes.Buffer
+	if err := h.Save(&orig); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	cfgBytes, at, _, err := checkpoint.ReadHarness(bytes.NewReader(orig.Bytes()), instaplc.CheckpointKind)
+	if err != nil {
+		t.Fatalf("ReadHarness: %v", err)
+	}
+	var forged bytes.Buffer
+	if err := checkpoint.WriteHarness(&forged, instaplc.CheckpointKind, cfgBytes, at, h.Digest()^1); err != nil {
+		t.Fatalf("WriteHarness: %v", err)
+	}
+	_, err = instaplc.Restore(&forged, nil, nil)
+	var div *checkpoint.DivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("Restore with wrong digest: got %v, want DivergenceError", err)
+	}
+}

@@ -8,6 +8,7 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/pprof"
 	"strconv"
@@ -33,6 +34,10 @@ type Telemetry struct {
 	Tracer   *telemetry.Tracer
 	Registry *telemetry.Registry
 
+	// Out receives the -stats snapshot (default os.Stdout); commands
+	// running in-process under test point it at their own writer.
+	Out io.Writer
+
 	cmd     string
 	cpuFile *os.File
 }
@@ -40,14 +45,52 @@ type Telemetry struct {
 // RegisterTelemetryFlags installs -trace, -stats and -cpuprofile on the
 // default flag set. Call it before flag.Parse.
 func RegisterTelemetryFlags() *Telemetry {
+	return RegisterTelemetryFlagsOn(flag.CommandLine)
+}
+
+// RegisterTelemetryFlagsOn installs the telemetry flag trio on an
+// explicit flag set — the form the commands use so their main paths can
+// run in-process under test.
+func RegisterTelemetryFlagsOn(fs *flag.FlagSet) *Telemetry {
 	t := &Telemetry{}
-	flag.StringVar(&t.TracePath, "trace", "",
+	fs.StringVar(&t.TracePath, "trace", "",
 		"write a JSONL frame-lifecycle trace to this `file` (plus file.chrome.json for chrome://tracing / Perfetto)")
-	flag.BoolVar(&t.Stats, "stats", false,
+	fs.BoolVar(&t.Stats, "stats", false,
 		"collect component metrics and print the registry snapshot after the run")
-	flag.StringVar(&t.CPUProfilePath, "cpuprofile", "",
+	fs.StringVar(&t.CPUProfilePath, "cpuprofile", "",
 		"write a CPU profile to this `file` (sweep workers carry pprof labels)")
 	return t
+}
+
+// Resume is the checkpoint/resume flag pair shared by the commands:
+// -checkpoint names the file periodic checkpoints are written to, and
+// -resume additionally requires the file to exist (a typo'd resume
+// path must not silently start a fresh run).
+type Resume struct {
+	CheckpointPath string
+	ResumePath     string
+}
+
+// RegisterResumeFlagsOn installs -checkpoint and -resume on fs.
+func RegisterResumeFlagsOn(fs *flag.FlagSet) *Resume {
+	r := &Resume{}
+	fs.StringVar(&r.CheckpointPath, "checkpoint", "",
+		"write periodic checkpoints to this `file` (resume later with -resume)")
+	fs.StringVar(&r.ResumePath, "resume", "",
+		"resume from this checkpoint `file` and keep checkpointing to it")
+	return r
+}
+
+// Path resolves the two flags to the single checkpoint path ("" when
+// neither was given). With -resume the file must already exist.
+func (r *Resume) Path() (string, error) {
+	if r.ResumePath != "" {
+		if _, err := os.Stat(r.ResumePath); err != nil {
+			return "", fmt.Errorf("-resume: %w", err)
+		}
+		return r.ResumePath, nil
+	}
+	return r.CheckpointPath, nil
 }
 
 // Begin materializes what the parsed flags asked for: the tracer, the
@@ -94,7 +137,11 @@ func (t *Telemetry) End() error {
 		}
 	}
 	if t.Registry != nil {
-		fmt.Print(t.Registry.Snapshot())
+		w := t.Out
+		if w == nil {
+			w = os.Stdout
+		}
+		fmt.Fprint(w, t.Registry.Snapshot())
 	}
 	return nil
 }

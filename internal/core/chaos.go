@@ -73,9 +73,9 @@ func chaosSeed(seed uint64, i int) uint64 {
 	return seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15
 }
 
-// RunChaosSweep runs the ladder and returns cells in (intensity, trial)
-// order.
-func RunChaosSweep(cfg ChaosConfig) []ChaosCell {
+// normalizeChaosConfig fills defaults so cell construction is
+// deterministic regardless of where it happens (sweep or harness).
+func normalizeChaosConfig(cfg ChaosConfig) ChaosConfig {
 	if len(cfg.Intensities) == 0 {
 		cfg.Intensities = DefaultChaosConfig().Intensities
 	}
@@ -88,6 +88,39 @@ func RunChaosSweep(cfg ChaosConfig) []ChaosCell {
 	if cfg.MeanOutage <= 0 {
 		cfg.MeanOutage = 100 * time.Millisecond
 	}
+	return cfg
+}
+
+// ChaosCellConfig derives the instaplc configuration for cell i of the
+// sweep: the base scenario with the cell's seed and its generated fault
+// plan. The plan is a pure function of (cfg.Seed, i), so the cell can
+// be rebuilt from a checkpoint that recorded only the config.
+func ChaosCellConfig(cfg ChaosConfig, i int) instaplc.ExperimentConfig {
+	cfg = normalizeChaosConfig(cfg)
+	seed := chaosSeed(cfg.Seed, i)
+	gen := chaosTargets
+	gen.Horizon = cfg.Base.Horizon
+	gen.Events = cfg.Intensities[i/cfg.Trials]
+	gen.MeanOutage = cfg.MeanOutage
+	plan := faults.Generate(seed, gen)
+	ecfg := cfg.Base
+	ecfg.Seed = seed
+	ecfg.Faults = &plan
+	return ecfg
+}
+
+// NewChaosCellHarness builds the resumable harness for cell i of the
+// sweep — an instaplc harness under the cell's generated fault plan.
+// Its Save/Restore carry the full plan, so a chaos cell checkpoints
+// and resumes exactly like the plain Fig. 5 run.
+func NewChaosCellHarness(cfg ChaosConfig, i int) *instaplc.Harness {
+	return instaplc.NewHarness(ChaosCellConfig(cfg, i))
+}
+
+// RunChaosSweep runs the ladder and returns cells in (intensity, trial)
+// order.
+func RunChaosSweep(cfg ChaosConfig) []ChaosCell {
+	cfg = normalizeChaosConfig(cfg)
 	n := len(cfg.Intensities) * cfg.Trials
 	workers := cfg.Workers
 	if cfg.Base.Trace != nil || cfg.Base.Metrics != nil {
@@ -101,16 +134,9 @@ func RunChaosSweep(cfg ChaosConfig) []ChaosCell {
 			Trial:     i % cfg.Trials,
 			Seed:      chaosSeed(cfg.Seed, i),
 		}
-		gen := chaosTargets
-		gen.Horizon = cfg.Base.Horizon
-		gen.Events = cell.Intensity
-		gen.MeanOutage = cfg.MeanOutage
-		plan := faults.Generate(cell.Seed, gen)
-		ecfg := cfg.Base
-		ecfg.Seed = cell.Seed
-		ecfg.Faults = &plan
+		ecfg := ChaosCellConfig(cfg, i)
 		res := instaplc.RunExperiment(ecfg)
-		cell.Plan = plan.String()
+		cell.Plan = ecfg.Faults.String()
 		cell.InjectedFaults = res.InjectedFaults
 		cell.Switchovers = res.Switchovers
 		cell.FailsafeEvents = res.FailsafeEvents

@@ -1,0 +1,538 @@
+package ebpf
+
+// Differential testing of the VM against an independent reference
+// interpreter. The reference below is deliberately written in a
+// different style — table-driven ALU/jump dispatch, loop-assembled
+// big-endian memory access, its own map and ring models — so that a
+// bug in vm.go's switch or bounds arithmetic cannot be mirrored by
+// construction. Every verifier-accepted program from the committed
+// fuzz corpus (plus the seed programs) runs through both machines
+// with cost noise disabled; verdict, cost, step count, trap-ness,
+// final packet bytes, map contents and ring records must agree.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"steelnet/internal/sim"
+)
+
+// --- reference interpreter -------------------------------------------------
+
+var refALUImm = map[Op]func(a, b uint64) uint64{
+	OpMovImm: func(a, b uint64) uint64 { return b },
+	OpAddImm: func(a, b uint64) uint64 { return a + b },
+	OpSubImm: func(a, b uint64) uint64 { return a - b },
+	OpMulImm: func(a, b uint64) uint64 { return a * b },
+	OpDivImm: func(a, b uint64) uint64 { return a / b }, // imm != 0 per verifier
+	OpAndImm: func(a, b uint64) uint64 { return a & b },
+	OpOrImm:  func(a, b uint64) uint64 { return a | b },
+	OpXorImm: func(a, b uint64) uint64 { return a ^ b },
+	OpLshImm: func(a, b uint64) uint64 { return a << (b & 63) },
+	OpRshImm: func(a, b uint64) uint64 { return a >> (b & 63) },
+	OpNeg:    func(a, _ uint64) uint64 { return -a },
+}
+
+var refALUReg = map[Op]func(a, b uint64) uint64{
+	OpMovReg: func(a, b uint64) uint64 { return b },
+	OpAddReg: func(a, b uint64) uint64 { return a + b },
+	OpSubReg: func(a, b uint64) uint64 { return a - b },
+	OpMulReg: func(a, b uint64) uint64 { return a * b },
+	OpDivReg: func(a, b uint64) uint64 {
+		if b == 0 {
+			return 0 // BPF: runtime div-by-zero yields 0
+		}
+		return a / b
+	},
+	OpAndReg: func(a, b uint64) uint64 { return a & b },
+	OpOrReg:  func(a, b uint64) uint64 { return a | b },
+	OpXorReg: func(a, b uint64) uint64 { return a ^ b },
+}
+
+var refJumpImm = map[Op]func(a, b uint64) bool{
+	OpJEqImm: func(a, b uint64) bool { return a == b },
+	OpJNeImm: func(a, b uint64) bool { return a != b },
+	OpJGtImm: func(a, b uint64) bool { return a > b },
+	OpJLtImm: func(a, b uint64) bool { return a < b },
+	OpJGeImm: func(a, b uint64) bool { return a >= b },
+}
+
+var refJumpReg = map[Op]func(a, b uint64) bool{
+	OpJEqReg: func(a, b uint64) bool { return a == b },
+	OpJNeReg: func(a, b uint64) bool { return a != b },
+	OpJGtReg: func(a, b uint64) bool { return a > b },
+}
+
+// refMap / refRing model map and ring-buffer state independently of
+// maps.go; counters included so helper traffic accounting is compared.
+type refMap struct {
+	kind             MapKind
+	size             int
+	arr              []uint64
+	hash             map[uint64]uint64
+	lookups, updates uint64
+}
+
+type refRing struct {
+	capacity                    int
+	records                     [][]byte
+	produced, consumed, dropped uint64
+}
+
+type refEnv struct {
+	maps  []*refMap
+	rings []*refRing
+}
+
+// newRefEnv mirrors the shapes (kind, size, capacity) of freshly
+// created real objects; both sides must start from zero state.
+func newRefEnv(maps []*Map, rings []*RingBuf) *refEnv {
+	env := &refEnv{}
+	for _, m := range maps {
+		rm := &refMap{kind: m.Kind, size: m.MaxSize}
+		if m.Kind == MapArray {
+			rm.arr = make([]uint64, m.MaxSize)
+		} else {
+			rm.hash = make(map[uint64]uint64)
+		}
+		env.maps = append(env.maps, rm)
+	}
+	for _, r := range rings {
+		env.rings = append(env.rings, &refRing{capacity: r.capacity})
+	}
+	return env
+}
+
+// refLoad reads size big-endian bytes, assembling them in a loop; the
+// bound check is phrased without off+size so it cannot wrap.
+func refLoad(mem []byte, off int64, size int) (uint64, bool) {
+	switch size {
+	case 1, 2, 4, 8:
+	default:
+		return 0, false
+	}
+	if off < 0 || off > int64(len(mem)) || int64(len(mem))-off < int64(size) {
+		return 0, false
+	}
+	var v uint64
+	for i := int64(0); i < int64(size); i++ {
+		v = v<<8 | uint64(mem[off+i])
+	}
+	return v, true
+}
+
+func refStore(mem []byte, off int64, size int, v uint64) bool {
+	switch size {
+	case 1, 2, 4, 8:
+	default:
+		return false
+	}
+	if off < 0 || off > int64(len(mem)) || int64(len(mem))-off < int64(size) {
+		return false
+	}
+	for i := int64(size) - 1; i >= 0; i-- {
+		mem[off+i] = byte(v)
+		v >>= 8
+	}
+	return true
+}
+
+// refRun executes insns over packet (mutated in place) and returns
+// (verdict, cost, steps, trapped). Noise paths are never taken: the
+// differential harness always disables RunNoiseSD/RingbufWakeProb.
+func refRun(insns []Insn, packet []byte, now sim.Time, c *CostModel, env *refEnv) (uint64, sim.Duration, int, bool) {
+	var r [numRegs]uint64
+	var stack [StackSize]byte
+	r[R10] = StackSize
+	var cost sim.Duration
+	pc, steps := 0, 0
+	for {
+		if steps >= maxSteps {
+			return XDPAborted, cost, steps, true
+		}
+		if pc < 0 || pc >= len(insns) {
+			return XDPAborted, cost, steps, true
+		}
+		in := insns[pc]
+		steps++
+		if fn, ok := refALUImm[in.Op]; ok {
+			r[in.Dst] = fn(r[in.Dst], uint64(in.Imm))
+			cost += c.ALU
+			pc++
+			continue
+		}
+		if fn, ok := refALUReg[in.Op]; ok {
+			r[in.Dst] = fn(r[in.Dst], r[in.Src])
+			cost += c.ALU
+			pc++
+			continue
+		}
+		if pred, ok := refJumpImm[in.Op]; ok {
+			cost += c.ALU
+			if pred(r[in.Dst], uint64(in.Imm)) {
+				pc += 1 + int(in.Off)
+			} else {
+				pc++
+			}
+			continue
+		}
+		if pred, ok := refJumpReg[in.Op]; ok {
+			cost += c.ALU
+			if pred(r[in.Dst], r[in.Src]) {
+				pc += 1 + int(in.Off)
+			} else {
+				pc++
+			}
+			continue
+		}
+		switch in.Op {
+		case OpJa:
+			cost += c.ALU
+			pc += 1 + int(in.Off)
+		case OpPktLen:
+			r[in.Dst] = uint64(len(packet))
+			cost += c.ALU
+			pc++
+		case OpLdPkt:
+			v, ok := refLoad(packet, int64(r[in.Src])+int64(in.Off), int(in.Size))
+			if !ok {
+				return XDPAborted, cost, steps, true
+			}
+			r[in.Dst] = v
+			cost += c.PktMem
+			pc++
+		case OpStPkt:
+			if !refStore(packet, int64(r[in.Dst])+int64(in.Off), int(in.Size), r[in.Src]) {
+				return XDPAborted, cost, steps, true
+			}
+			cost += c.PktMem
+			pc++
+		case OpLdStack:
+			v, _ := refLoad(stack[:], int64(in.Off), int(in.Size))
+			r[in.Dst] = v
+			cost += c.StackMem
+			pc++
+		case OpStStack:
+			refStore(stack[:], int64(in.Off), int(in.Size), r[in.Src])
+			cost += c.StackMem
+			pc++
+		case OpCall:
+			cost += c.CallBase
+			switch in.Imm {
+			case HelperKtime:
+				r[R0] = uint64(now) + uint64(cost)
+				cost += c.Ktime
+			case HelperMapLookup, HelperMapUpdate:
+				if r[R1] >= uint64(len(env.maps)) {
+					return XDPAborted, cost, steps, true
+				}
+				m := env.maps[r[R1]]
+				if in.Imm == HelperMapLookup {
+					m.lookups++
+					var v uint64
+					if m.kind == MapArray {
+						if r[R2] < uint64(m.size) {
+							v = m.arr[r[R2]]
+						}
+					} else {
+						v = m.hash[r[R2]]
+					}
+					r[R0] = v
+					cost += c.MapLookup
+				} else {
+					m.updates++
+					r[R0] = 0
+					if m.kind == MapArray {
+						if r[R2] < uint64(m.size) {
+							m.arr[r[R2]] = r[R3]
+							r[R0] = 1
+						}
+					} else {
+						_, exists := m.hash[r[R2]]
+						if exists || len(m.hash) < m.size {
+							m.hash[r[R2]] = r[R3]
+							r[R0] = 1
+						}
+					}
+					cost += c.MapUpdate
+				}
+			case HelperRingbufOutput:
+				if r[R1] >= uint64(len(env.rings)) {
+					return XDPAborted, cost, steps, true
+				}
+				off, n := r[R2], r[R3]
+				if n == 0 || off > StackSize || n > StackSize-off {
+					return XDPAborted, cost, steps, true
+				}
+				rb := env.rings[r[R1]]
+				if len(rb.records) < rb.capacity {
+					rb.records = append(rb.records, append([]byte(nil), stack[off:off+n]...))
+					rb.produced++
+					r[R0] = 1
+				} else {
+					rb.dropped++
+					r[R0] = 0
+				}
+				cost += c.RingbufOutput
+			default:
+				return XDPAborted, cost, steps, true
+			}
+			pc++
+		case OpExit:
+			return r[R0], cost, steps, false
+		default:
+			return XDPAborted, cost, steps, true
+		}
+	}
+}
+
+// --- differential driver ---------------------------------------------------
+
+// runDifferential runs p (already verified, with fresh zero-state maps
+// and rings) and the reference over the same packet and asserts every
+// observable agrees.
+func runDifferential(t *testing.T, p *Program, packet []byte) {
+	t.Helper()
+	costs := DefaultCosts
+	costs.RunNoiseSD = 0
+	costs.RingbufWakeProb = 0
+	const now = sim.Time(12345) // fixed, nonzero: exercises Ktime = now + cost-so-far
+
+	env := newRefEnv(p.Maps, p.Rings)
+	pktVM := append([]byte(nil), packet...)
+	pktRef := append([]byte(nil), packet...)
+
+	res, err := p.Run(pktVM, now, &costs, nil)
+	if err != nil {
+		if _, ok := err.(*Trap); !ok {
+			t.Fatalf("VM returned non-trap error: %v", err)
+		}
+	}
+	verdict, cost, steps, trapped := refRun(p.Insns, pktRef, now, &costs, env)
+
+	if (err != nil) != trapped {
+		t.Fatalf("trap disagreement: VM err=%v, reference trapped=%v", err, trapped)
+	}
+	if res.Verdict != verdict {
+		t.Errorf("verdict: VM %d, reference %d", res.Verdict, verdict)
+	}
+	if res.Cost != cost {
+		t.Errorf("cost: VM %v, reference %v", res.Cost, cost)
+	}
+	if res.Steps != steps {
+		t.Errorf("steps: VM %d, reference %d", res.Steps, steps)
+	}
+	if !bytes.Equal(pktVM, pktRef) {
+		t.Errorf("final packet bytes diverged:\nVM:  %x\nref: %x", pktVM, pktRef)
+	}
+	assertSameState(t, p, env)
+}
+
+func assertSameState(t *testing.T, p *Program, env *refEnv) {
+	t.Helper()
+	for i, m := range p.Maps {
+		rm := env.maps[i]
+		if m.Lookups != rm.lookups || m.Updates != rm.updates {
+			t.Errorf("map %d counters: VM lookups=%d updates=%d, reference lookups=%d updates=%d",
+				i, m.Lookups, m.Updates, rm.lookups, rm.updates)
+		}
+		if m.Kind == MapArray {
+			for k, v := range m.arr {
+				if rm.arr[k] != v {
+					t.Errorf("array map %d key %d: VM %d, reference %d", i, k, v, rm.arr[k])
+				}
+			}
+			continue
+		}
+		if len(m.hash) != len(rm.hash) {
+			t.Errorf("hash map %d size: VM %d, reference %d", i, len(m.hash), len(rm.hash))
+		}
+		for k, v := range m.hash {
+			if rv, ok := rm.hash[k]; !ok || rv != v {
+				t.Errorf("hash map %d key %d: VM %d, reference %d (present=%v)", i, k, v, rv, ok)
+			}
+		}
+	}
+	for i, rb := range p.Rings {
+		rr := env.rings[i]
+		if rb.Produced != rr.produced || rb.Dropped != rr.dropped {
+			t.Errorf("ring %d counters: VM produced=%d dropped=%d, reference produced=%d dropped=%d",
+				i, rb.Produced, rb.Dropped, rr.produced, rr.dropped)
+		}
+		if rb.Len() != len(rr.records) {
+			t.Fatalf("ring %d record count: VM %d, reference %d", i, rb.Len(), len(rr.records))
+		}
+		for j, want := range rr.records {
+			if got := rb.Read(); !bytes.Equal(got, want) {
+				t.Errorf("ring %d record %d: VM %x, reference %x", i, j, got, want)
+			}
+		}
+	}
+}
+
+// verifierFuzzEnv builds the same program shape FuzzVerifier uses, with
+// fresh maps and rings per invocation.
+func verifierFuzzEnv(insns []Insn) *Program {
+	return &Program{
+		Name:  "diff",
+		Insns: insns,
+		Maps:  []*Map{NewArrayMap("m0", 4), NewHashMap("m1", 4)},
+		Rings: []*RingBuf{NewRingBuf("r0", 4)},
+	}
+}
+
+// --- corpus loading --------------------------------------------------------
+
+// loadFuzzCorpus parses the Go fuzzing corpus files under dir: a
+// "go test fuzz v1" header followed by one []byte("...") line per
+// fuzz argument. Returns file name → decoded argument list.
+func loadFuzzCorpus(t *testing.T, dir string, nargs int) map[string][][]byte {
+	t.Helper()
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading corpus dir: %v", err)
+	}
+	entries := make(map[string][][]byte)
+	for _, f := range files {
+		if f.IsDir() {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+		if len(lines) == 0 || lines[0] != "go test fuzz v1" {
+			t.Fatalf("%s: not a go fuzz corpus file", f.Name())
+		}
+		var args [][]byte
+		for _, line := range lines[1:] {
+			if line == "" {
+				continue
+			}
+			if !strings.HasPrefix(line, "[]byte(") || !strings.HasSuffix(line, ")") {
+				t.Fatalf("%s: unexpected corpus line %q", f.Name(), line)
+			}
+			s, err := strconv.Unquote(line[len("[]byte(") : len(line)-1])
+			if err != nil {
+				t.Fatalf("%s: unquoting %q: %v", f.Name(), line, err)
+			}
+			args = append(args, []byte(s))
+		}
+		if len(args) != nargs {
+			t.Fatalf("%s: %d fuzz args, want %d", f.Name(), len(args), nargs)
+		}
+		entries[f.Name()] = args
+	}
+	if len(entries) == 0 {
+		t.Fatalf("no corpus files under %s", dir)
+	}
+	return entries
+}
+
+func sortedKeys(m map[string][][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// --- tests -----------------------------------------------------------------
+
+// TestDifferentialSeeds runs every seed program over a spread of
+// packets through both machines.
+func TestDifferentialSeeds(t *testing.T) {
+	long := make([]byte, 64)
+	for i := range long {
+		long[i] = byte(i * 7)
+	}
+	packets := [][]byte{
+		nil,
+		{0x01},
+		{0x02, 0x5e, 0, 0, 0, 1, 0x88, 0x92, 0, 0, 0, 0, 0, 0},
+		long,
+	}
+	accepted := 0
+	for pi, insns := range seedPrograms() {
+		for qi, pkt := range packets {
+			p := verifierFuzzEnv(insns)
+			if p.Verify() != nil {
+				continue // differential testing covers accepted programs only
+			}
+			accepted++
+			t.Run(strconv.Itoa(pi)+"/"+strconv.Itoa(qi), func(t *testing.T) {
+				runDifferential(t, p, pkt)
+			})
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("no seed program passed the verifier")
+	}
+}
+
+// TestDifferentialVerifierCorpus replays the committed FuzzVerifier
+// corpus: each entry is a (program, packet) pair; accepted programs
+// must behave identically in both machines.
+func TestDifferentialVerifierCorpus(t *testing.T) {
+	entries := loadFuzzCorpus(t, filepath.Join("testdata", "fuzz", "FuzzVerifier"), 2)
+	accepted := 0
+	for _, name := range sortedKeys(entries) {
+		args := entries[name]
+		p := verifierFuzzEnv(decodeInsns(args[0]))
+		if p.Verify() != nil {
+			continue
+		}
+		accepted++
+		t.Run(name, func(t *testing.T) {
+			runDifferential(t, p, args[1])
+		})
+	}
+	t.Logf("%d/%d corpus programs accepted by the verifier", accepted, len(entries))
+}
+
+// TestDifferentialVMCorpus replays the committed FuzzVM corpus (plus
+// the FuzzVM seed packets) against the fixed data-dependent parser
+// program, which steers every bounds check in the VM from packet bytes.
+func TestDifferentialVMCorpus(t *testing.T) {
+	be := func(hi, lo uint64) []byte {
+		b := make([]byte, 32)
+		for i := 7; i >= 0; i-- {
+			b[i] = byte(hi)
+			b[8+i] = byte(lo)
+			hi >>= 8
+			lo >>= 8
+		}
+		return b
+	}
+	packets := map[string][]byte{
+		"seed-0-8":     be(0, 8),
+		"seed-16-16":   be(16, 16),
+		"seed-sign":    be(1<<63, 1),
+		"seed-wrap":    be(0xffffffffffffffff, 2),
+		"seed-maxint":  be(0x7fffffffffffffff, 0),
+		"seed-stack":   be(uint64(StackSize), uint64(StackSize)),
+		"seed-tiny":    {0x01},
+		"seed-nil-pkt": nil,
+	}
+	for name, args := range loadFuzzCorpus(t, filepath.Join("testdata", "fuzz", "FuzzVM"), 1) {
+		packets[name] = args[0]
+	}
+	names := make([]string, 0, len(packets))
+	for n := range packets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pkt := packets[name]
+		t.Run(name, func(t *testing.T) {
+			runDifferential(t, fuzzParserProgram(), pkt)
+		})
+	}
+}

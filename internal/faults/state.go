@@ -1,0 +1,20 @@
+package faults
+
+import "steelnet/internal/checkpoint"
+
+// FoldState folds the injector's execution record: every fired phase in
+// firing order plus the inject counter. Pending phases are engine
+// events and fold with the engine.
+func (i *Injector) FoldState(d *checkpoint.Digest) {
+	d.Int(i.Injected)
+	d.Int(len(i.Trace))
+	for _, r := range i.Trace {
+		d.I64(int64(r.At))
+		d.Int(int(r.Phase))
+		d.I64(int64(r.Event.At))
+		d.Int(int(r.Event.Kind))
+		d.Str(r.Event.Target)
+		d.I64(int64(r.Event.Duration))
+		d.F64(r.Event.Magnitude)
+	}
+}

@@ -1,0 +1,13 @@
+package frame
+
+import "steelnet/internal/checkpoint"
+
+// FoldState folds the pool's allocation accounting — the basis of the
+// frame-conservation identity (Outstanding == frames alive in the
+// network).
+func (p *Pool) FoldState(d *checkpoint.Digest) {
+	d.U64(p.News)
+	d.U64(p.Reused)
+	d.U64(p.Puts)
+	d.Int(len(p.free))
+}

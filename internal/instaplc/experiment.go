@@ -106,113 +106,11 @@ type ExperimentResult struct {
 
 // RunExperiment executes the Fig. 5 scenario: two vPLCs, one I/O
 // device, an InstaPLC pipeline between them; the primary is killed
-// mid-run.
+// mid-run. It is the straight-through form of the Harness.
 func RunExperiment(cfg ExperimentConfig) ExperimentResult {
-	e := sim.NewEngine(cfg.Seed)
-
-	pipe := dataplane.New(e, "instaplc-switch", 3, dataplane.DefaultConfig)
-	var app *App
-	if cfg.DisableInstaPLC {
-		installPlainL2(pipe)
-	} else {
-		app = New(e, pipe, Config{WatchdogCycles: cfg.InstaWatchdogCycles})
-	}
-
-	vplc1 := plc.NewController(e, "vplc1", frame.NewMAC(1), plc.ControllerConfig{Primary: true})
-	vplc2 := plc.NewController(e, "vplc2", frame.NewMAC(2), plc.ControllerConfig{})
-	dev := iodevice.New(e, "io", frame.NewMAC(3), nil, nil)
-
-	connect(e, vplc1, 0, cfg, 1)
-	connect(e, vplc2, cfg.SecondaryJoinAt, cfg, 2)
-
-	links := wire(e, vplc1, vplc2, dev, pipe, cfg.LinkBps)
-
-	if cfg.Trace != nil {
-		cfg.Trace.Bind(e)
-		pipe.SetTracer(cfg.Trace)
-		vplc1.Host().SetTracer(cfg.Trace)
-		vplc2.Host().SetTracer(cfg.Trace)
-		dev.Host().SetTracer(cfg.Trace)
-	}
-	if cfg.Metrics != nil {
-		pipe.RegisterMetrics(cfg.Metrics)
-		simnet.RegisterHostMetrics(cfg.Metrics, vplc1.Host())
-		simnet.RegisterHostMetrics(cfg.Metrics, vplc2.Host())
-		simnet.RegisterHostMetrics(cfg.Metrics, dev.Host())
-		for _, l := range links {
-			simnet.RegisterLinkMetrics(cfg.Metrics, l)
-		}
-		telemetry.RegisterEngineMetrics(cfg.Metrics, e)
-	}
-
-	// The crash is a declarative fault plan: the default plan reproduces
-	// Fig. 5 (vPLC1 killed at FailAt, never restarted), and cfg.Faults
-	// swaps in any other scenario against the same registered targets.
-	in := faults.NewInjector(e)
-	in.Tracer = cfg.Trace
-	in.RegisterHost("vplc1", vplc1)
-	in.RegisterHost("vplc2", vplc2)
-	for _, l := range links {
-		in.RegisterLink(l.Name, l)
-	}
-	in.RegisterPort("vplc1", vplc1.Host().Port())
-	in.RegisterPort("vplc2", vplc2.Host().Port())
-	in.RegisterPort("io", dev.Host().Port())
-	for i := 0; i < pipe.NumPorts(); i++ {
-		in.RegisterPort(fmt.Sprintf("dp.%d", i), pipe.Port(i))
-	}
-	plan := faults.Plan{Name: "fig5", Events: []faults.Event{
-		{At: cfg.FailAt, Kind: faults.KindHostStall, Target: "vplc1"},
-	}}
-	if cfg.Faults != nil {
-		plan = *cfg.Faults
-	}
-	if err := in.Apply(plan); err != nil {
-		panic(fmt.Sprintf("instaplc: bad fault plan: %v", err))
-	}
-
-	res := ExperimentResult{Bin: cfg.Bin, FailAt: sim.Time(cfg.FailAt)}
-	if app != nil {
-		app.OnSwitchover = func(device, promoted frame.MAC) {
-			if res.SwitchoverAt == 0 {
-				res.SwitchoverAt = e.Now()
-			}
-		}
-	}
-
-	// Sample cumulative counters at each bin edge and diff them into
-	// per-bin rates (exact: counters are integers).
-	bins := int(cfg.Horizon/cfg.Bin) + 1
-	res.FromVPLC1 = make([]int, 0, bins)
-	res.FromVPLC2 = make([]int, 0, bins)
-	res.ToIO = make([]int, 0, bins)
-	var p1, p2, pio uint64
-	e.Every(sim.Time(cfg.Bin), cfg.Bin, func() {
-		t1 := vplc1.Host().Port().TxFrames
-		t2 := vplc2.Host().Port().TxFrames
-		tio := dev.Host().Port().RxFrames
-		res.FromVPLC1 = append(res.FromVPLC1, int(t1-p1))
-		res.FromVPLC2 = append(res.FromVPLC2, int(t2-p2))
-		res.ToIO = append(res.ToIO, int(tio-pio))
-		p1, p2, pio = t1, t2, tio
-	})
-
-	e.RunUntil(sim.Time(cfg.Horizon))
-	res.FailsafeEvents = dev.FailsafeEvents
-	res.DeviceState = dev.State()
-	if app != nil {
-		res.AbsorbedFrames = app.AbsorbedFrames(dev.Host().MAC())
-		res.Switchovers = app.Switchovers
-	}
-	res.InjectedFaults = in.Injected
-	res.FaultTrace = in.TraceString()
-	res.IOAvailability = binAvailability(res.ToIO)
-	ports := []*simnet.Port{vplc1.Host().Port(), vplc2.Host().Port(), dev.Host().Port()}
-	for i := 0; i < pipe.NumPorts(); i++ {
-		ports = append(ports, pipe.Port(i))
-	}
-	res.Accounting = simnet.Account(ports...)
-	return res
+	h := NewHarness(cfg)
+	h.AdvanceTo(h.Horizon())
+	return h.Result()
 }
 
 // binAvailability is the fraction of non-empty bins from the first bin

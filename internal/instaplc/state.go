@@ -1,0 +1,61 @@
+package instaplc
+
+import (
+	"bytes"
+	"sort"
+
+	"steelnet/internal/checkpoint"
+	"steelnet/internal/frame"
+)
+
+// FoldState folds the app's control-plane state: learned station
+// locations and per-device cells in sorted MAC order, including each
+// cell's digital-twin mirror and failover status.
+func (a *App) FoldState(d *checkpoint.Digest) {
+	d.U64(a.Switchovers)
+
+	macs := make([]frame.MAC, 0, len(a.macPort))
+	for mac := range a.macPort {
+		macs = append(macs, mac)
+	}
+	sortMACs(macs)
+	d.Int(len(macs))
+	for _, mac := range macs {
+		d.Bytes(mac[:])
+		d.Int(a.macPort[mac])
+	}
+
+	devs := make([]frame.MAC, 0, len(a.cells))
+	for mac := range a.cells {
+		devs = append(devs, mac)
+	}
+	sortMACs(devs)
+	d.Int(len(devs))
+	for _, mac := range devs {
+		c := a.cells[mac]
+		d.Bytes(mac[:])
+		d.Int(c.devicePort)
+		d.Bool(c.switched)
+		d.U64(c.absorbed)
+		d.Bytes(c.twin.Device[:])
+		d.Bytes(c.twin.LastInput)
+		d.I64(int64(c.twin.LastSeen))
+		foldRef(d, c.primary)
+		foldRef(d, c.secondary)
+	}
+}
+
+func foldRef(d *checkpoint.Digest, r *controllerRef) {
+	d.Bool(r != nil)
+	if r != nil {
+		d.Bytes(r.mac[:])
+		d.Int(r.port)
+		d.U64(uint64(r.arid))
+	}
+}
+
+func sortMACs(macs []frame.MAC) {
+	sort.Slice(macs, func(i, j int) bool {
+		return bytes.Compare(macs[i][:], macs[j][:]) < 0
+	})
+}

@@ -1,0 +1,21 @@
+package iodevice
+
+import "steelnet/internal/checkpoint"
+
+// FoldState folds the device's application-relation state machine,
+// process data and event counters.
+func (dev *Device) FoldState(d *checkpoint.Digest) {
+	d.Int(int(dev.state))
+	d.Bytes(dev.controller[:])
+	d.U64(uint64(dev.arid))
+	d.I64(int64(dev.cycle))
+	d.Bytes(dev.inputs)
+	d.Bytes(dev.outputs)
+	d.U64(uint64(dev.counter))
+	d.U64(dev.TxCyclic)
+	d.U64(dev.RxCyclic)
+	d.U64(dev.FailsafeEvents)
+	d.U64(dev.RejectedConnects)
+	d.U64(dev.OutputUpdates)
+	dev.hst.FoldState(d)
+}

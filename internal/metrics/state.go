@@ -1,0 +1,24 @@
+package metrics
+
+import "steelnet/internal/checkpoint"
+
+// FoldState folds the series' samples in insertion order. Sum and
+// extrema are derived from the samples, so they are not folded
+// separately.
+func (s *Series) FoldState(d *checkpoint.Digest) {
+	d.Int(len(s.samples))
+	for _, v := range s.samples {
+		d.F64(v)
+	}
+}
+
+// NewSeriesFrom rebuilds a series from raw samples in insertion order —
+// the decode half of the checkpoint codecs. The result is
+// indistinguishable from adding each sample with Add.
+func NewSeriesFrom(samples []float64) *Series {
+	s := NewSeries(len(samples))
+	for _, v := range samples {
+		s.Add(v)
+	}
+	return s
+}

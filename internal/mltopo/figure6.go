@@ -11,25 +11,24 @@ import (
 // Apps are the two Fig. 6 applications in panel order.
 var Apps = []mlwork.Profile{mlwork.ObjectIdentification, mlwork.DefectDetection}
 
-// RunFigure6 sweeps apps × topologies × client counts and returns all
-// cells, in app-major, kind-minor order. Each cell is an independent
-// scenario with its own engine, so the grid runs across cfg.Workers
-// goroutines; results merge in the same order as a serial sweep, and
-// the rendered panels are byte-identical for any worker count.
-func RunFigure6(cfg Figure6Config) []Result {
+// figure6Cell is one grid coordinate of the sweep.
+type figure6Cell struct {
+	app     mlwork.Profile
+	clients int
+	kind    Kind
+}
+
+// figure6Grid expands the config into the cell list (app-major,
+// kind-minor order) and the effective worker count.
+func figure6Grid(cfg Figure6Config) ([]figure6Cell, int) {
 	if len(cfg.ClientCounts) == 0 {
 		cfg.ClientCounts = DefaultFigure6Config().ClientCounts
 	}
-	type cell struct {
-		app     mlwork.Profile
-		clients int
-		kind    Kind
-	}
-	cells := make([]cell, 0, len(Apps)*len(cfg.ClientCounts)*len(Kinds))
+	cells := make([]figure6Cell, 0, len(Apps)*len(cfg.ClientCounts)*len(Kinds))
 	for _, app := range Apps {
 		for _, clients := range cfg.ClientCounts {
 			for _, kind := range Kinds {
-				cells = append(cells, cell{app: app, clients: clients, kind: kind})
+				cells = append(cells, figure6Cell{app: app, clients: clients, kind: kind})
 			}
 		}
 	}
@@ -39,7 +38,12 @@ func RunFigure6(cfg Figure6Config) []Result {
 		// cells; telemetry-attached sweeps run serially.
 		workers = 1
 	}
-	return sweep.Run(workers, len(cells), func(i int) Result {
+	return cells, workers
+}
+
+// figure6Fn is the cell body: one independent scenario per index.
+func figure6Fn(cfg Figure6Config, cells []figure6Cell) func(i int) Result {
+	return func(i int) Result {
 		c := cells[i]
 		sc := DefaultScenario(c.kind, c.app, c.clients)
 		sc.Seed = cfg.Seed
@@ -49,7 +53,25 @@ func RunFigure6(cfg Figure6Config) []Result {
 		sc.Trace = cfg.Trace
 		sc.Metrics = cfg.Metrics
 		return Run(sc)
-	})
+	}
+}
+
+// RunFigure6 sweeps apps × topologies × client counts and returns all
+// cells, in app-major, kind-minor order. Each cell is an independent
+// scenario with its own engine, so the grid runs across cfg.Workers
+// goroutines; results merge in the same order as a serial sweep, and
+// the rendered panels are byte-identical for any worker count.
+func RunFigure6(cfg Figure6Config) []Result {
+	cells, workers := figure6Grid(cfg)
+	return sweep.Run(workers, len(cells), figure6Fn(cfg, cells))
+}
+
+// RunFigure6Resumable is RunFigure6 with sweep-level checkpointing:
+// completed cells persist to path and are skipped when the sweep is
+// restarted with the same configuration.
+func RunFigure6Resumable(cfg Figure6Config, path string) ([]Result, error) {
+	cells, workers := figure6Grid(cfg)
+	return sweep.RunResumable(workers, len(cells), figure6Checkpointer(path), figure6Fn(cfg, cells))
 }
 
 // Cell finds the result for (app, kind, clients), or false.

@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"time"
 
-	"steelnet/internal/metrics"
 	"steelnet/internal/mlwork"
 	"steelnet/internal/sim"
 	"steelnet/internal/simnet"
@@ -114,71 +113,17 @@ type Result struct {
 // built is the instantiated simulation: hosts wired, ready to start.
 type built struct {
 	engine  *sim.Engine
+	net     *simnet.Network
 	clients []*mlwork.Client
 	servers []*mlwork.Server
 }
 
-// Run executes one scenario and returns its measurements.
+// Run executes one scenario and returns its measurements. It is the
+// straight-through form of the Harness.
 func Run(sc Scenario) Result {
-	if sc.Clients < 1 {
-		panic("mltopo: need at least one client")
-	}
-	if sc.ClientsPerServer < 1 {
-		sc.ClientsPerServer = 16
-	}
-	if sc.Deg.CompressionRatio < 1 {
-		sc.Deg.CompressionRatio = 1
-	}
-	var b built
-	switch sc.Kind {
-	case Ring:
-		b = buildRing(sc)
-	case LeafSpine:
-		b = buildLeafSpine(sc)
-	case MLAware:
-		b = buildMLAware(sc)
-	default:
-		panic(fmt.Sprintf("mltopo: unknown kind %d", sc.Kind))
-	}
-	// Desynchronize clients across the period, as independent cameras
-	// would be.
-	rng := b.engine.RNG("phase")
-	for _, c := range b.clients {
-		c.Start(sim.Time(rng.DurationRange(0, sc.Profile.Period)))
-	}
-	b.engine.RunUntil(sim.Time(sc.Horizon))
-
-	lat := metrics.NewSeries(1024)
-	var completed, issued uint64
-	for _, c := range b.clients {
-		for _, v := range c.Latencies.Samples() {
-			lat.Add(v)
-		}
-		completed += c.Completed
-		issued += c.Completed + uint64(float64(c.Completed)*c.LossRate()/(1-minf(c.LossRate(), 0.99)))
-	}
-	res := Result{
-		Kind:          sc.Kind,
-		App:           sc.Profile.Name,
-		Clients:       sc.Clients,
-		MeanLatencyMS: lat.Mean(),
-		P99LatencyMS:  lat.P99(),
-		Requests:      completed,
-	}
-	var lost, total float64
-	for _, c := range b.clients {
-		lost += c.LossRate()
-		total++
-	}
-	res.LossRate = lost / total
-	return res
-}
-
-func minf(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
+	h := NewHarness(sc)
+	h.AdvanceTo(h.Horizon())
+	return h.Result()
 }
 
 func serverCount(sc Scenario) int {
@@ -278,7 +223,7 @@ func instantiate(e *sim.Engine, g *topo.Graph, sc Scenario, clientNode, serverNo
 	if sc.Metrics != nil {
 		net.RegisterMetrics(sc.Metrics)
 	}
-	b := built{engine: e}
+	b := built{engine: e, net: net}
 	servers := make([]*mlwork.Server, len(serverNode))
 	for i, n := range serverNode {
 		servers[i] = mlwork.AttachServer(e, net.Host(n), sc.Profile)

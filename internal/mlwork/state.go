@@ -1,0 +1,49 @@
+package mlwork
+
+import (
+	"sort"
+
+	"steelnet/internal/checkpoint"
+)
+
+// FoldState folds the client's request-tracking state: in-flight
+// requests in sorted order, the latency series so far, and the
+// completion counters.
+func (c *Client) FoldState(d *checkpoint.Digest) {
+	d.U64(uint64(c.id))
+	d.U64(uint64(c.nextReq))
+	reqs := make([]uint32, 0, len(c.sentAt))
+	for r := range c.sentAt {
+		reqs = append(reqs, r)
+	}
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i] < reqs[j] })
+	d.Int(len(reqs))
+	for _, r := range reqs {
+		d.U64(uint64(r))
+		d.I64(int64(c.sentAt[r]))
+	}
+	c.Latencies.FoldState(d)
+	d.U64(c.Completed)
+	d.U64(c.Missed)
+	c.host.FoldState(d)
+}
+
+// FoldState folds the server's inference state: backlog, reassembly
+// buffers in sorted order, and the service counters.
+func (s *Server) FoldState(d *checkpoint.Digest) {
+	d.Int(s.queue)
+	d.Bool(s.busy)
+	keys := make([]uint64, 0, len(s.parts))
+	for k := range s.parts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	d.Int(len(keys))
+	for _, k := range keys {
+		d.U64(k)
+		d.U64(uint64(s.parts[k]))
+	}
+	d.U64(s.Served)
+	d.Int(s.MaxQueue)
+	s.host.FoldState(d)
+}

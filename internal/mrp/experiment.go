@@ -1,16 +1,11 @@
 package mrp
 
 import (
-	"fmt"
 	"time"
 
 	"steelnet/internal/faults"
-	"steelnet/internal/frame"
 	"steelnet/internal/iodevice"
-	"steelnet/internal/plc"
-	"steelnet/internal/profinet"
 	"steelnet/internal/sim"
-	"steelnet/internal/simnet"
 	"steelnet/internal/telemetry"
 )
 
@@ -82,109 +77,9 @@ type RingExperimentResult struct {
 }
 
 // RunRingExperiment builds the ring, applies the fault plan and runs to
-// the horizon.
+// the horizon. It is the straight-through form of the Harness.
 func RunRingExperiment(cfg RingExperimentConfig) RingExperimentResult {
-	if cfg.Switches < 3 {
-		cfg.Switches = 4
-	}
-	e := sim.NewEngine(cfg.Seed)
-	n := cfg.Switches
-	in := faults.NewInjector(e)
-	in.Tracer = cfg.Trace
-	var links []*simnet.Link
-
-	sws := make([]*simnet.Switch, n)
-	for i := 0; i < n; i++ {
-		sws[i] = simnet.NewSwitch(e, fmt.Sprintf("sw%d", i), 3, simnet.SwitchConfig{Latency: sim.Microsecond})
-		in.RegisterSwitch(sws[i].Name(), sws[i])
-	}
-	for i := 0; i < n; i++ {
-		l := simnet.Connect(e, fmt.Sprintf("ring%d", i),
-			sws[i].Port(1), sws[(i+1)%n].Port(0), cfg.LinkBps, 500*sim.Nanosecond)
-		in.RegisterLink(l.Name, l)
-		links = append(links, l)
-	}
-	for i, sw := range sws {
-		for j := 0; j < sw.NumPorts(); j++ {
-			in.RegisterPort(fmt.Sprintf("sw%d.%d", i, j), sw.Port(j))
-		}
-	}
-
-	mgr := Attach(e, sws[0], 0, 1, cfg.Ring)
-	for i := 1; i < n; i++ {
-		AttachClient(sws[i], 0, 1)
-	}
-
-	ctrl := plc.NewController(e, "vplc", frame.NewMAC(1), plc.ControllerConfig{})
-	dev := iodevice.New(e, "io", frame.NewMAC(2), nil, nil)
-	in.RegisterHost("vplc", ctrl)
-	upPLC := simnet.Connect(e, "uplink-plc", ctrl.Host().Port(), sws[0].Port(2), cfg.LinkBps, 0)
-	upDev := simnet.Connect(e, "uplink-dev", dev.Host().Port(), sws[n/2].Port(2), cfg.LinkBps, 0)
-	in.RegisterLink("uplink-plc", upPLC)
-	in.RegisterLink("uplink-dev", upDev)
-	links = append(links, upPLC, upDev)
-	in.RegisterPort("vplc", ctrl.Host().Port())
-	in.RegisterPort("io", dev.Host().Port())
-
-	if cfg.Trace != nil {
-		cfg.Trace.Bind(e)
-		for _, sw := range sws {
-			sw.SetTracer(cfg.Trace)
-		}
-		ctrl.Host().SetTracer(cfg.Trace)
-		dev.Host().SetTracer(cfg.Trace)
-	}
-	if cfg.Metrics != nil {
-		for _, sw := range sws {
-			simnet.RegisterSwitchMetrics(cfg.Metrics, sw)
-		}
-		simnet.RegisterHostMetrics(cfg.Metrics, ctrl.Host())
-		simnet.RegisterHostMetrics(cfg.Metrics, dev.Host())
-		for _, l := range links {
-			simnet.RegisterLinkMetrics(cfg.Metrics, l)
-		}
-		telemetry.RegisterEngineMetrics(cfg.Metrics, e)
-	}
-
-	ctrl.Connect(plc.ConnectSpec{
-		Device: dev.Host().MAC(),
-		Req: profinet.ConnectRequest{
-			ARID:           1,
-			CycleUS:        uint32(cfg.Cycle / time.Microsecond),
-			WatchdogFactor: uint16(cfg.WatchdogFactor),
-			InputLen:       20,
-			OutputLen:      20,
-		},
-	})
-
-	res := RingExperimentResult{}
-	mgr.OnStateChange = func(s RingState) {
-		if s == RingOpen && res.FirstOpenAt == 0 {
-			res.FirstOpenAt = e.Now()
-		}
-		if s == RingClosed {
-			res.LastCloseAt = e.Now()
-		}
-	}
-
-	plan := faults.Plan{Name: "ring-cut", Events: []faults.Event{
-		{At: 500 * time.Millisecond, Kind: faults.KindLinkFlap, Target: "ring2"},
-	}}
-	if cfg.Faults != nil {
-		plan = *cfg.Faults
-	}
-	if err := in.Apply(plan); err != nil {
-		panic(fmt.Sprintf("mrp: bad fault plan: %v", err))
-	}
-
-	e.RunUntil(sim.Time(cfg.Horizon))
-	res.FinalRingState = mgr.State()
-	res.Transitions = mgr.Transitions
-	res.TestsSent = mgr.TestsSent
-	res.TestsReturned = mgr.TestsReturned
-	res.FailsafeEvents = dev.FailsafeEvents
-	res.DeviceState = dev.State()
-	res.InjectedFaults = in.Injected
-	res.FaultTrace = in.TraceString()
-	return res
+	h := NewHarness(cfg)
+	h.AdvanceTo(h.Horizon())
+	return h.Result()
 }

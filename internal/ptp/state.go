@@ -1,0 +1,25 @@
+package ptp
+
+import "steelnet/internal/checkpoint"
+
+// FoldState folds the master's sequence counter, sync count and host.
+func (m *Master) FoldState(d *checkpoint.Digest) {
+	d.U64(uint64(m.seq))
+	d.U64(m.SyncsSent)
+	m.host.FoldState(d)
+}
+
+// FoldState folds the slave's servo state: the correction applied to
+// the oscillator, the in-progress exchange timestamps, the completed
+// round count, every recorded offset sample, and the host.
+func (s *Slave) FoldState(d *checkpoint.Digest) {
+	d.I64(s.corr)
+	d.I64(s.t1)
+	d.I64(s.t2)
+	d.I64(s.t3)
+	d.Bool(s.haveSync)
+	d.U64(uint64(s.curSeq))
+	d.U64(s.Rounds)
+	s.OffsetSamples.FoldState(d)
+	s.host.FoldState(d)
+}

@@ -190,68 +190,12 @@ type Result struct {
 }
 
 // Run executes one experiment with the given variant and returns the
-// tap-derived delay and jitter distributions.
+// tap-derived delay and jitter distributions. It is the
+// straight-through form of the Harness.
 func Run(cfg Config, v Variant) Result {
-	e := sim.NewEngine(cfg.Seed)
-	stk := host.NewStack(cfg.Profile, e.RNG("stack"))
-	stk.SetActiveFlows(cfg.Flows)
-
-	sender := NewSender(e, "sender", frame.NewMAC(1), frame.NewMAC(2), cfg.ProbeSize)
-	costs := cfg.Costs
-	refl := NewReflector(e, "reflector", frame.NewMAC(2), stk, v, &costs)
-	tp := tap.New(e, "tap", cfg.TapCfg)
-
-	l1 := simnet.Connect(e, "sender-tap", sender.Host().Port(), tp.PortA(), cfg.LinkBps, 500*sim.Nanosecond)
-	l2 := simnet.Connect(e, "tap-reflector", tp.PortB(), refl.Host().Port(), cfg.LinkBps, 500*sim.Nanosecond)
-
-	if cfg.Trace != nil {
-		cfg.Trace.Bind(e)
-		sender.Host().SetTracer(cfg.Trace)
-		refl.Host().SetTracer(cfg.Trace)
-		tp.PortA().SetTracer(cfg.Trace)
-		tp.PortB().SetTracer(cfg.Trace)
-	}
-	if cfg.Metrics != nil {
-		simnet.RegisterHostMetrics(cfg.Metrics, sender.Host())
-		simnet.RegisterHostMetrics(cfg.Metrics, refl.Host())
-		simnet.RegisterPortMetrics(cfg.Metrics, tp.PortA())
-		simnet.RegisterPortMetrics(cfg.Metrics, tp.PortB())
-		simnet.RegisterLinkMetrics(cfg.Metrics, l1)
-		simnet.RegisterLinkMetrics(cfg.Metrics, l2)
-		telemetry.RegisterEngineMetrics(cfg.Metrics, e)
-	}
-
-	// Stagger flows across the cycle to avoid synchronized bursts, like
-	// a TSN schedule would.
-	for fl := 0; fl < cfg.Flows; fl++ {
-		offset := sim.Duration(fl) * cfg.Cycle / sim.Duration(cfg.Flows+1)
-		sender.StartFlow(uint32(fl+1), sim.Time(offset), cfg.Cycle)
-	}
-	horizon := sim.Time(cfg.Cycle) * sim.Time(cfg.Cycles+1)
-	e.RunUntil(horizon)
-	sender.Stop()
-	e.Run() // drain in-flight probes
-
-	delays := metrics.NewSeries(cfg.Cycles * cfg.Flows)
-	for fl := 0; fl < cfg.Flows; fl++ {
-		for _, rtt := range tp.RoundTrip(uint32(fl + 1)) {
-			delays.Add(float64(rtt.Delay) / 1e3) // µs
-		}
-	}
-	jitter := metrics.NewSeries(delays.Len())
-	med := delays.Median()
-	for _, d := range delays.Samples() {
-		dev := (d - med) * 1e3 // ns
-		if dev < 0 {
-			dev = -dev
-		}
-		jitter.Add(dev)
-	}
-	res := Result{Variant: v.Name, Flows: cfg.Flows, Delays: delays, Jitter: jitter}
-	if v.Ring != nil {
-		res.RingRecords = v.Ring.Produced
-	}
-	return res
+	h := NewHarness(cfg, v)
+	h.AdvanceTo(h.Horizon())
+	return h.Result()
 }
 
 // ConsecutiveJitterEvents scans the per-cycle jitter series for runs of

@@ -1,0 +1,167 @@
+package simnet
+
+import (
+	"sort"
+
+	"steelnet/internal/checkpoint"
+	"steelnet/internal/frame"
+	"steelnet/internal/topo"
+)
+
+// This file folds the network's live state into a checkpoint.Digest.
+// Fold order is part of the checkpoint format: changing what is folded
+// or in which order makes old digests incomparable, which the restore
+// path reports as divergence — bump checkpoint.FormatVersion when that
+// is intended.
+
+// foldFrame folds one frame's wire-visible content plus the metadata
+// that influences future behavior (CreatedAt feeds latency samples).
+func foldFrame(d *checkpoint.Digest, f *frame.Frame) {
+	d.Bytes(f.Dst[:])
+	d.Bytes(f.Src[:])
+	d.Bool(f.Tagged)
+	d.U64(uint64(f.Priority))
+	d.U64(uint64(f.VID))
+	d.U64(uint64(f.Type))
+	d.Bytes(f.Payload)
+	d.I64(f.Meta.CreatedAt)
+	d.U64(uint64(f.Meta.FlowID))
+}
+
+// FoldState folds the queue's contents in drain order (highest class
+// first, FIFO within a class) plus its accept/drop counters.
+func (q *PriorityQueue) FoldState(d *checkpoint.Digest) {
+	d.Int(q.length)
+	for c := 7; c >= 0; c-- {
+		r := &q.classes[c]
+		d.Int(r.n)
+		for i := 0; i < r.n; i++ {
+			foldFrame(d, r.buf[(r.head+i)&(len(r.buf)-1)])
+		}
+	}
+	for c := range q.EnqueuedPerClass {
+		d.U64(q.EnqueuedPerClass[c])
+		d.U64(q.DroppedPerClass[c])
+	}
+}
+
+// FoldState folds the port's queue, transmission state and every
+// counter that feeds figures or conservation accounting.
+func (p *Port) FoldState(d *checkpoint.Digest) {
+	p.queue.FoldState(d)
+	d.Bool(p.busy)
+	d.Bool(p.pausedTx.Pending())
+	d.Int(p.inFlight)
+	d.U64(p.TxFrames)
+	d.U64(p.RxFrames)
+	d.U64(p.TxBytes)
+	d.U64(p.RxBytes)
+	d.U64(p.Drops)
+	d.U64(p.InjectedDrops)
+	d.U64(p.CorruptedFrames)
+	d.U64(p.OverflowDrops)
+	d.U64(p.DownDrops)
+	d.U64(p.ShaperDrops)
+	d.U64(p.FlushedDrops)
+	d.U64(p.WireDrops)
+	d.U64(p.FailedDrops)
+	d.Int(p.QueueHighWater)
+	d.F64(p.lossRate)
+	d.F64(p.corruptRate)
+}
+
+// FoldState folds the switch's forwarding state: FIB and static entries
+// in sorted MAC order, blocked ports in sorted index order, failure
+// flag, forwarding counters, then every port.
+func (s *Switch) FoldState(d *checkpoint.Digest) {
+	macs := make([]frame.MAC, 0, len(s.fib))
+	for mac := range s.fib {
+		macs = append(macs, mac)
+	}
+	sort.Slice(macs, func(i, j int) bool {
+		a, b := macs[i], macs[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	d.Int(len(macs))
+	for _, mac := range macs {
+		d.Bytes(mac[:])
+		d.Int(s.fib[mac])
+		d.Bool(s.static[mac])
+	}
+	blocked := make([]int, 0, len(s.blocked))
+	for i, b := range s.blocked {
+		if b {
+			blocked = append(blocked, i)
+		}
+	}
+	sort.Ints(blocked)
+	d.Int(len(blocked))
+	for _, i := range blocked {
+		d.Int(i)
+	}
+	d.Bool(s.failed)
+	d.U64(s.FloodedFrames)
+	d.U64(s.ForwardedFrames)
+	d.U64(s.DroppedWhileFailed)
+	d.U64(s.BlockedDrops)
+	d.U64(s.HairpinDrops)
+	for _, p := range s.ports {
+		p.FoldState(d)
+	}
+}
+
+// FoldState folds the host's delivery count and its single port.
+func (h *Host) FoldState(d *checkpoint.Digest) {
+	d.Bytes(h.mac[:])
+	d.U64(h.RxCount)
+	h.port.FoldState(d)
+}
+
+// FoldState folds the link's carrier state and per-direction delivery
+// counters. Frames in flight on the link are engine events; their
+// timing is covered by the engine fold and their content by the sending
+// port's counters.
+func (l *Link) FoldState(d *checkpoint.Digest) {
+	d.Bool(l.up)
+	d.U64(l.Delivered[0])
+	d.U64(l.Delivered[1])
+	d.I64(int64(l.extra[0]))
+	d.I64(int64(l.extra[1]))
+}
+
+// FoldState folds every switch, host and link in the network in sorted
+// graph-id order.
+func (n *Network) FoldState(d *checkpoint.Digest) {
+	swIDs := make([]int, 0, len(n.switches))
+	for id := range n.switches {
+		swIDs = append(swIDs, int(id))
+	}
+	sort.Ints(swIDs)
+	for _, id := range swIDs {
+		d.Int(id)
+		n.switches[topo.NodeID(id)].FoldState(d)
+	}
+	hostIDs := make([]int, 0, len(n.hosts))
+	for id := range n.hosts {
+		hostIDs = append(hostIDs, int(id))
+	}
+	sort.Ints(hostIDs)
+	for _, id := range hostIDs {
+		d.Int(id)
+		n.hosts[topo.NodeID(id)].FoldState(d)
+	}
+	linkIDs := make([]int, 0, len(n.links))
+	for id := range n.links {
+		linkIDs = append(linkIDs, int(id))
+	}
+	sort.Ints(linkIDs)
+	for _, id := range linkIDs {
+		d.Int(id)
+		n.links[topo.EdgeID(id)].FoldState(d)
+	}
+}

@@ -1,0 +1,161 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"steelnet/internal/checkpoint"
+)
+
+// Checkpointer describes how a sweep persists completed cells so an
+// interrupted run can resume without recomputing them. The file is a
+// standard checkpoint container (see internal/checkpoint) whose single
+// section holds every finished cell's index and encoded result.
+type Checkpointer[T any] struct {
+	// Path is the checkpoint file. Empty disables checkpointing
+	// entirely (RunResumable degenerates to Run).
+	Path string
+	// Every saves the file after this many newly computed cells
+	// (default 1: after every cell). The file is always saved once more
+	// when the sweep completes.
+	Every int
+	// Kind tags the file ("figure4-delay", "figure6", …); resuming
+	// with a mismatched kind or cell count fails loudly rather than
+	// silently mixing results from different sweeps.
+	Kind string
+	// Encode and Decode serialize one cell result deterministically.
+	Encode func(e *checkpoint.Encoder, v T)
+	Decode func(d *checkpoint.Decoder) T
+}
+
+const sweepKindPrefix = "sweep/"
+
+// RunResumable evaluates fn(0) … fn(n-1) like Run, but first loads any
+// cells already recorded in ck.Path and skips recomputing them, and
+// periodically rewrites ck.Path (atomically, via a temp file) as new
+// cells finish. Results are identical to Run for any worker count and
+// any resume point — cells are pure functions of their index.
+func RunResumable[T any](workers, n int, ck Checkpointer[T], fn func(i int) T) ([]T, error) {
+	if ck.Path == "" {
+		return Run(workers, n, fn), nil
+	}
+	if ck.Encode == nil || ck.Decode == nil {
+		return nil, errors.New("sweep: Checkpointer needs Encode and Decode")
+	}
+	done, err := loadCells(ck, n)
+	if err != nil {
+		return nil, err
+	}
+	every := ck.Every
+	if every <= 0 {
+		every = 1
+	}
+
+	// One mutex serializes the done-map and the file writes: cells
+	// complete on sweep worker goroutines, and an atomic rename alone
+	// would not stop an older snapshot overwriting a newer one.
+	var (
+		mu      sync.Mutex
+		fresh   int
+		saveErr error
+	)
+	results := Run(workers, n, func(i int) T {
+		mu.Lock()
+		if v, ok := done[i]; ok {
+			mu.Unlock()
+			return v
+		}
+		mu.Unlock()
+		v := fn(i)
+		mu.Lock()
+		done[i] = v
+		fresh++
+		if fresh%every == 0 {
+			if err := saveCells(ck, n, done); err != nil && saveErr == nil {
+				saveErr = err
+			}
+		}
+		mu.Unlock()
+		return v
+	})
+	if saveErr != nil {
+		return nil, saveErr
+	}
+	if err := saveCells(ck, n, done); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// loadCells reads the completed-cell map from ck.Path. A missing file
+// is an empty map (a fresh run); a file from a different sweep shape is
+// an error.
+func loadCells[T any](ck Checkpointer[T], n int) (map[int]T, error) {
+	f, err := os.Open(ck.Path)
+	if errors.Is(err, os.ErrNotExist) {
+		return map[int]T{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	file, err := checkpoint.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: reading %s: %w", ck.Path, err)
+	}
+	if want := sweepKindPrefix + ck.Kind; file.Kind != want {
+		return nil, fmt.Errorf("sweep: %s is a %q checkpoint, want %q", ck.Path, file.Kind, want)
+	}
+	sec, ok := file.Section("cells")
+	if !ok {
+		return nil, fmt.Errorf("sweep: %s has no cells section", ck.Path)
+	}
+	d := checkpoint.NewDecoder(sec)
+	if cells := d.Int(); cells != n {
+		return nil, fmt.Errorf("sweep: %s records a %d-cell sweep, this run has %d", ck.Path, cells, n)
+	}
+	count := d.Int()
+	done := make(map[int]T, count)
+	for i := 0; i < count && d.Err() == nil; i++ {
+		idx := d.Int()
+		done[idx] = ck.Decode(d)
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: %s: %w", ck.Path, err)
+	}
+	return done, nil
+}
+
+// saveCells atomically rewrites ck.Path with every completed cell.
+func saveCells[T any](ck Checkpointer[T], n int, done map[int]T) error {
+	idx := make([]int, 0, len(done))
+	for i := range done {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	e := checkpoint.NewEncoder()
+	e.Int(n)
+	e.Int(len(idx))
+	for _, i := range idx {
+		e.Int(i)
+		ck.Encode(e, done[i])
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(ck.Path), filepath.Base(ck.Path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	werr := checkpoint.Write(tmp, sweepKindPrefix+ck.Kind, []checkpoint.Section{{Name: "cells", Data: e.Data()}})
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	return os.Rename(tmp.Name(), ck.Path)
+}

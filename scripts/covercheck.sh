@@ -1,19 +1,69 @@
 #!/usr/bin/env bash
 # covercheck.sh — fail CI when total statement coverage drops below the
-# committed baseline. The baseline is a floor, not a target: raise it
+# committed floor. The floor is exactly that, not a target: raise it
 # when a PR meaningfully improves coverage, never lower it to make a
 # red build green.
+#
+# Coverage is measured with -coverpkg across internal/ and cmd/, so a
+# statement counts as covered no matter which package's tests reach it
+# (the checkpoint codecs, for example, are driven mostly by
+# internal/checkpoint's differential-replay tests and the cmd smoke
+# tests). Every package is included — new packages are not exempt.
+#
+# scripts/coverage_baseline.txt holds the enforced total floor plus
+# per-package reference points; on failure the script prints a
+# per-package delta table against those references so the regression
+# is attributable without re-running anything.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-baseline=$(cat scripts/coverage_baseline.txt)
-go test -count=1 -coverprofile=coverage.out ./... >/dev/null
-total=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+baseline=scripts/coverage_baseline.txt
+floor=$(awk '$1 == "total" {print $2}' "$baseline")
+if [ -z "$floor" ]; then
+    echo "FAIL: no 'total' floor in $baseline" >&2
+    exit 1
+fi
+
+go test -count=1 -coverpkg=./internal/...,./cmd/... -coverprofile=coverage.out ./... >/dev/null
+
+# Aggregate the profile per package. Blocks appear once per test
+# package that instruments them, so dedupe by position and call a
+# block covered when any run hit it.
+current=$(awk 'NR>1 {
+    pos = $1; stmts = $2; cnt = $3
+    if (!(pos in S)) S[pos] = stmts
+    if (cnt > 0) H[pos] = 1
+}
+END {
+    for (k in S) {
+        file = k; sub(/:.*/, "", file)
+        pkg = file; sub(/\/[^\/]*$/, "", pkg)
+        tot[pkg] += S[k]; T += S[k]
+        if (k in H) { cov[pkg] += S[k]; C += S[k] }
+    }
+    for (p in tot) printf "%s %.1f\n", p, 100 * cov[p] / tot[p]
+    printf "total %.1f\n", 100 * C / T
+}' coverage.out)
 rm -f coverage.out
 
-echo "total coverage: ${total}% (baseline: ${baseline}%)"
-awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t+0 < b+0) }' && {
-    echo "FAIL: coverage ${total}% fell below the ${baseline}% baseline" >&2
+total=$(echo "$current" | awk '$1 == "total" {print $2}')
+echo "total coverage: ${total}% (floor: ${floor}%)"
+
+if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t + 0 < f + 0) }'; then
+    echo "FAIL: coverage ${total}% fell below the ${floor}% floor" >&2
+    echo >&2
+    echo "per-package delta against $baseline:" >&2
+    printf '%-42s %9s %9s %8s\n' "package" "baseline" "current" "delta" >&2
+    echo "$current" | sort | while read -r pkg pct; do
+        [ "$pkg" = total ] && continue
+        base=$(awk -v p="$pkg" '$1 == p {print $2}' "$baseline")
+        if [ -z "$base" ]; then
+            printf '%-42s %9s %8.1f%% %8s\n' "$pkg" "(new)" "$pct" "-" >&2
+        else
+            printf '%-42s %8.1f%% %8.1f%% %+7.1f%%\n' "$pkg" "$base" "$pct" \
+                "$(awk -v a="$pct" -v b="$base" 'BEGIN {printf "%.1f", a - b}')" >&2
+        fi
+    done
     exit 1
-}
+fi
 exit 0
