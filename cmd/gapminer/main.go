@@ -7,13 +7,16 @@
 //
 //	gapminer [-seed N] [-requirements] [-checkpoint FILE] [-resume FILE]
 //	         [-trace FILE] [-stats] [-cpuprofile FILE]
+//	         [-int FILE] [-slo SPEC] [-flightrec FILE]
 //
 // -checkpoint caches the mined Fig. 1 counts; -resume reprints from
 // the cache without re-mining the corpus (the mining is the command's
 // only substantial work). The telemetry flags are accepted for CLI
 // uniformity: gapminer's analyses move no frames through the simulated
-// network, so -trace yields an empty (but valid) timeline and -stats
-// an empty snapshot, while -cpuprofile profiles the mining itself.
+// network, so -trace yields an empty (but valid) timeline, -stats an
+// empty snapshot, and -int/-slo/-flightrec empty (but valid) digest,
+// breach-log and flight-recorder files, while -cpuprofile profiles the
+// mining itself.
 package main
 
 import (

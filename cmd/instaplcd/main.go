@@ -8,6 +8,7 @@
 //	          [-faults SPEC] [-chaos] [-workers N]
 //	          [-checkpoint FILE] [-checkpoint-every D] [-resume FILE]
 //	          [-trace FILE] [-stats] [-cpuprofile FILE]
+//	          [-int FILE] [-slo SPEC] [-flightrec FILE]
 //
 // -faults replaces the default crash with a declarative fault plan,
 // e.g. "hoststall:vplc1@1.3s+400ms,loss:dp.2@0.5s+1s*0.2"; the run
@@ -18,7 +19,14 @@
 // recording completed sweep cells); -resume restarts from such a file.
 // -trace exports the frame lifecycle (and fault spans) as JSONL plus a
 // Chrome/Perfetto timeline; -stats prints the component metrics
-// snapshot. Both force -chaos sweeps serial.
+// snapshot. -int stamps vPLC heartbeats with in-band telemetry at the
+// data plane and exports the per-path digests (failover appears as a
+// path change with its gap measured in-band); -slo watches objectives
+// like "latency:dp.out2<1ms" over those observations and logs
+// breaches; -flightrec dumps the bounded flight recorder after the
+// run. -stats forces -chaos sweeps serial; -trace and -int merge
+// per-cell buffers and stay parallel (resumable chaos sweeps remain
+// serial under any of the three).
 package main
 
 import (
@@ -75,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.DisableInstaPLC = *baseline
 	cfg.Trace = tel.Tracer
 	cfg.Metrics = tel.Registry
+	cfg.INT = tel.Collector != nil
+	cfg.Collector = tel.Collector
 
 	if *chaos {
 		ccfg := core.DefaultChaosConfig()
@@ -108,6 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "instaplcd: %v\n", err)
 		return 1
 	}
+	tel.AdoptCollector(h.Collector())
 	if err := advanceWithCheckpoints(h, ckptPath, *every); err != nil {
 		fmt.Fprintf(stderr, "instaplcd: -checkpoint: %v\n", err)
 		return 1
@@ -120,6 +131,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "\nswitchovers=%d absorbed-by-twin=%d failsafe-events=%d final-device-state=%v io-availability=%.4f\n",
 		r.Switchovers, r.AbsorbedFrames, r.FailsafeEvents, r.DeviceState, r.IOAvailability)
+	if cfg.INT {
+		fmt.Fprintf(stdout, "int: %d in-band observations, %d path change(s)\n", r.INTObservations, len(r.PathChanges))
+		for _, pc := range r.PathChanges {
+			if pc.From == "" {
+				continue // a flow's first path is not a failover
+			}
+			fmt.Fprintf(stdout, "int: flow %d re-routed %s -> %s at t=%v (gap %v, %d silent)\n",
+				pc.Flow, pc.From, pc.To, time.Duration(pc.AtNS), time.Duration(pc.GapNS), pc.Silent)
+		}
+	}
 	if r.SwitchoverAt > 0 {
 		if *faultSpec != "" {
 			// A user plan may contain several failures; the delta against
@@ -155,7 +176,7 @@ func buildHarness(cfg instaplc.ExperimentConfig, resumePath string, tel *cli.Tel
 			return nil, err
 		}
 		defer f.Close()
-		return instaplc.Restore(f, tel.Tracer, tel.Registry)
+		return instaplc.RestoreWithCollector(f, tel.Tracer, tel.Registry, tel.Collector)
 	}
 	return instaplc.NewHarness(cfg), nil
 }

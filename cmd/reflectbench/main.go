@@ -8,13 +8,20 @@
 //	             [-workers N] [-jitter-only] [-delay-only]
 //	             [-checkpoint FILE] [-resume FILE]
 //	             [-trace FILE] [-stats] [-cpuprofile FILE]
+//	             [-int FILE] [-slo SPEC] [-flightrec FILE]
 //
 // -trace exports the probe frames' lifecycle as JSONL plus a
 // Chrome/Perfetto timeline; -stats prints the component metrics
-// snapshot. Both force the sweeps serial. -checkpoint persists each
-// completed sweep cell; -resume restarts an interrupted sweep from
-// such a file, skipping finished cells (the delay and jitter sweeps
-// use FILE and FILE.jitter respectively).
+// snapshot. -int stamps probe frames with in-band telemetry, exports
+// the per-path digests and prints the per-hop latency-decomposition
+// table; -slo watches objectives ("latency:refl<250us") over the
+// in-band observations; -flightrec dumps the bounded flight recorder
+// after the run. -stats forces the sweeps serial; -trace and -int
+// merge per-cell buffers and stay parallel (checkpointed sweeps remain
+// serial under any of the three). -checkpoint persists each completed
+// sweep cell; -resume restarts an interrupted sweep from such a file,
+// skipping finished cells (the delay and jitter sweeps use FILE and
+// FILE.jitter respectively).
 package main
 
 import (
@@ -63,6 +70,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Workers = *workers
 	cfg.Trace = tel.Tracer
 	cfg.Metrics = tel.Registry
+	cfg.INT = tel.Collector != nil
+	cfg.Collector = tel.Collector
 
 	if !*jitterOnly {
 		results, err := reflection.RunAllVariantsResumable(cfg, ckptPath)
@@ -95,6 +104,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprint(stdout, reflection.JitterTable(results))
+	}
+	if cfg.INT {
+		fmt.Fprint(stdout, reflection.DecompositionTable(tel.Collector.Digests()))
 	}
 	if err := tel.End(); err != nil {
 		fmt.Fprintln(stderr, err)

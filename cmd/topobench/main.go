@@ -8,13 +8,19 @@
 //	topobench [-seed N] [-clients list] [-horizon D] [-workers N]
 //	          [-checkpoint FILE] [-resume FILE]
 //	          [-trace FILE] [-stats] [-cpuprofile FILE]
+//	          [-int FILE] [-slo SPEC] [-flightrec FILE]
 //
 // -trace exports the frame lifecycle of every cell as JSONL plus a
 // Chrome/Perfetto timeline; -stats prints the component metrics
-// snapshot. Both force the grid serial (large with default counts —
-// prefer a single small cell, e.g. -clients 32). -checkpoint persists
-// each completed grid cell; -resume restarts an interrupted grid from
-// such a file, skipping finished cells.
+// snapshot. -int stamps camera requests with in-band telemetry and
+// exports per-path digests; -slo watches objectives over those
+// observations; -flightrec dumps the bounded flight recorder after
+// the run. -stats forces the grid serial (large with default counts —
+// prefer a single small cell, e.g. -clients 32); -trace and -int merge
+// per-cell buffers and stay parallel, but checkpointed grids remain
+// serial under any of the three. -checkpoint persists each completed
+// grid cell; -resume restarts an interrupted grid from such a file,
+// skipping finished cells.
 package main
 
 import (
@@ -61,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := mltopo.Figure6Config{
 		Seed: *seed, ClientCounts: counts, Horizon: *horizon, Workers: *workers,
 		Trace: tel.Tracer, Metrics: tel.Registry,
+		INT: tel.Collector != nil, Collector: tel.Collector,
 	}
 	results, err := mltopo.RunFigure6Resumable(cfg, ckptPath)
 	if err != nil {

@@ -28,7 +28,16 @@ var magic = [8]byte{'S', 'T', 'E', 'E', 'L', 'C', 'K', 'P'}
 // migration path: readers reject any other version, and the golden
 // corpus under testdata/ pins the byte-level encoding of every
 // experiment's checkpoint against accidental drift.
-const FormatVersion = 1
+//
+// History:
+//
+//	1: initial format.
+//	2: in-band telemetry. Scenario codecs gained the INT enable bit
+//	   (instaplc, reflection, mltopo) and chaos cells persist
+//	   INTObservations; state digests fold INT counters (per-port and
+//	   per-switch INTDrops, host INT sequence numbers), so v1 digests
+//	   no longer verify against replayed v2 state.
+const FormatVersion = 2
 
 // ErrVersion wraps version-mismatch failures for errors.Is.
 var ErrVersion = errors.New("checkpoint: format version mismatch")

@@ -4,10 +4,12 @@ package checkpoint_test
 // straight to 2N with a checkpoint taken at N, then separately restore
 // that checkpoint and run to 2N. The restored run must be
 // byte-identical — rendered figures, telemetry JSONL timelines,
-// metrics snapshots and frame-conservation accounts. This is the
-// strongest determinism test in the repo: any hidden state the
-// checkpoint digest misses, any RNG stream the rebuild wires
-// differently, any iteration-order dependence shows up as a diff here.
+// metrics snapshots, frame-conservation accounts, and (where the
+// harness supports in-band telemetry) INT path digests, SLO breach logs
+// and flight-recorder dumps. This is the strongest determinism test in
+// the repo: any hidden state the checkpoint digest misses, any RNG
+// stream the rebuild wires differently, any iteration-order dependence
+// shows up as a diff here.
 
 import (
 	"bytes"
@@ -20,6 +22,7 @@ import (
 	"steelnet/internal/checkpoint"
 	"steelnet/internal/core"
 	"steelnet/internal/instaplc"
+	intnet "steelnet/internal/int"
 	"steelnet/internal/mltopo"
 	"steelnet/internal/mlwork"
 	"steelnet/internal/mrp"
@@ -37,11 +40,15 @@ type resumable interface {
 }
 
 // resumeCase builds one harness kind with telemetry attached and knows
-// how to restore it and render its observable output.
+// how to restore it and render its observable output. Harnesses with
+// in-band telemetry set int and take a collector in build/restore (the
+// restore path hands it to RestoreWithCollector so the replayed window
+// feeds the collector — and the watchdog chained on it — from t=0).
 type resumeCase struct {
 	name    string
-	build   func(tr *telemetry.Tracer, reg *telemetry.Registry) resumable
-	restore func(r io.Reader, tr *telemetry.Tracer, reg *telemetry.Registry) (resumable, error)
+	int     bool
+	build   func(tr *telemetry.Tracer, reg *telemetry.Registry, coll *intnet.Collector) resumable
+	restore func(r io.Reader, tr *telemetry.Tracer, reg *telemetry.Registry, coll *intnet.Collector) (resumable, error)
 	render  func(h resumable) string
 }
 
@@ -69,32 +76,39 @@ func resumeCases() []resumeCase {
 	return []resumeCase{
 		{
 			name: "instaplc",
-			build: func(tr *telemetry.Tracer, reg *telemetry.Registry) resumable {
+			int:  true,
+			build: func(tr *telemetry.Tracer, reg *telemetry.Registry, coll *intnet.Collector) resumable {
 				cfg := smallInstaplcConfig()
 				cfg.Trace = tr
 				cfg.Metrics = reg
+				cfg.INT = coll != nil
+				cfg.Collector = coll
 				return instaplc.NewHarness(cfg)
 			},
-			restore: func(r io.Reader, tr *telemetry.Tracer, reg *telemetry.Registry) (resumable, error) {
-				return instaplc.Restore(r, tr, reg)
+			restore: func(r io.Reader, tr *telemetry.Tracer, reg *telemetry.Registry, coll *intnet.Collector) (resumable, error) {
+				return instaplc.RestoreWithCollector(r, tr, reg, coll)
 			},
 			render: func(h resumable) string {
 				res := h.(*instaplc.Harness).Result()
 				return instaplc.RenderFigure5(res) +
 					fmt.Sprintf("%+v\n", res.Accounting) +
+					fmt.Sprintf("int=%d changes=%+v\n", res.INTObservations, res.PathChanges) +
 					res.FaultTrace
 			},
 		},
 		{
 			name: "reflection",
-			build: func(tr *telemetry.Tracer, reg *telemetry.Registry) resumable {
+			int:  true,
+			build: func(tr *telemetry.Tracer, reg *telemetry.Registry, coll *intnet.Collector) resumable {
 				cfg := reflCfg
 				cfg.Trace = tr
 				cfg.Metrics = reg
+				cfg.INT = coll != nil
+				cfg.Collector = coll
 				return reflection.NewHarness(cfg, reflection.NewBase())
 			},
-			restore: func(r io.Reader, tr *telemetry.Tracer, reg *telemetry.Registry) (resumable, error) {
-				return reflection.Restore(r, tr, reg)
+			restore: func(r io.Reader, tr *telemetry.Tracer, reg *telemetry.Registry, coll *intnet.Collector) (resumable, error) {
+				return reflection.RestoreWithCollector(r, tr, reg, coll)
 			},
 			render: func(h resumable) string {
 				res := h.(*reflection.Harness).Result()
@@ -104,13 +118,13 @@ func resumeCases() []resumeCase {
 		},
 		{
 			name: "mrp",
-			build: func(tr *telemetry.Tracer, reg *telemetry.Registry) resumable {
+			build: func(tr *telemetry.Tracer, reg *telemetry.Registry, _ *intnet.Collector) resumable {
 				cfg := mrpCfg
 				cfg.Trace = tr
 				cfg.Metrics = reg
 				return mrp.NewHarness(cfg)
 			},
-			restore: func(r io.Reader, tr *telemetry.Tracer, reg *telemetry.Registry) (resumable, error) {
+			restore: func(r io.Reader, tr *telemetry.Tracer, reg *telemetry.Registry, _ *intnet.Collector) (resumable, error) {
 				return mrp.Restore(r, tr, reg)
 			},
 			render: func(h resumable) string {
@@ -119,14 +133,17 @@ func resumeCases() []resumeCase {
 		},
 		{
 			name: "mltopo",
-			build: func(tr *telemetry.Tracer, reg *telemetry.Registry) resumable {
+			int:  true,
+			build: func(tr *telemetry.Tracer, reg *telemetry.Registry, coll *intnet.Collector) resumable {
 				sc := mlSc
 				sc.Trace = tr
 				sc.Metrics = reg
+				sc.INT = coll != nil
+				sc.Collector = coll
 				return mltopo.NewHarness(sc)
 			},
-			restore: func(r io.Reader, tr *telemetry.Tracer, reg *telemetry.Registry) (resumable, error) {
-				return mltopo.Restore(r, tr, reg)
+			restore: func(r io.Reader, tr *telemetry.Tracer, reg *telemetry.Registry, coll *intnet.Collector) (resumable, error) {
+				return mltopo.RestoreWithCollector(r, tr, reg, coll)
 			},
 			render: func(h resumable) string {
 				return fmt.Sprintf("%+v", h.(*mltopo.Harness).Result())
@@ -137,23 +154,85 @@ func resumeCases() []resumeCase {
 			// plan; its checkpoint carries the whole plan, so it restores
 			// through the instaplc codec.
 			name: "chaos",
-			build: func(tr *telemetry.Tracer, reg *telemetry.Registry) resumable {
+			int:  true,
+			build: func(tr *telemetry.Tracer, reg *telemetry.Registry, coll *intnet.Collector) resumable {
 				cfg := core.ChaosCellConfig(chaosCfg, 7) // intensity 4, trial 1
 				cfg.Trace = tr
 				cfg.Metrics = reg
+				cfg.INT = coll != nil
+				cfg.Collector = coll
 				return instaplc.NewHarness(cfg)
 			},
-			restore: func(r io.Reader, tr *telemetry.Tracer, reg *telemetry.Registry) (resumable, error) {
-				return instaplc.Restore(r, tr, reg)
+			restore: func(r io.Reader, tr *telemetry.Tracer, reg *telemetry.Registry, coll *intnet.Collector) (resumable, error) {
+				return instaplc.RestoreWithCollector(r, tr, reg, coll)
 			},
 			render: func(h resumable) string {
 				res := h.(*instaplc.Harness).Result()
 				return instaplc.RenderFigure5(res) +
 					fmt.Sprintf("%+v\n", res.Accounting) +
+					fmt.Sprintf("int=%d changes=%+v\n", res.INTObservations, res.PathChanges) +
 					res.FaultTrace
 			},
 		},
 	}
+}
+
+// intAttachments is the full observability stack one run carries: the
+// collector, an SLO watchdog chained on its observation stream, and a
+// flight recorder riding the tracer. The 1µs bound is deliberately
+// unattainable so every INT-capable case records real breaches.
+type intAttachments struct {
+	coll *intnet.Collector
+	wd   *intnet.Watchdog
+	rec  *intnet.Recorder
+}
+
+// sidedTest gives the straight and resumed runs' flight-recorder dumps
+// distinct file names under $STEELNET_FLIGHTREC_DIR on failure.
+type sidedTest struct {
+	*testing.T
+	side string
+}
+
+func (s sidedTest) Name() string { return s.T.Name() + "/" + s.side }
+
+func attachObservability(t *testing.T, c resumeCase, side string, tr *telemetry.Tracer) intAttachments {
+	t.Helper()
+	var a intAttachments
+	a.rec = intnet.NewRecorder(0)
+	a.rec.Attach(tr)
+	t.Cleanup(func() { intnet.DumpOnFailure(sidedTest{t, side}, a.rec) })
+	if !c.int {
+		return a
+	}
+	a.coll = intnet.NewCollector()
+	plan, err := intnet.ParseSLOPlan("latency:*<1µs")
+	if err != nil {
+		t.Fatalf("ParseSLOPlan: %v", err)
+	}
+	a.wd = intnet.NewWatchdog(plan, 0, tr)
+	a.wd.Attach(a.coll)
+	return a
+}
+
+// renderINT serializes every in-band artifact for byte comparison.
+func renderINT(t *testing.T, a intAttachments) (digests, breaches, flightrec string) {
+	t.Helper()
+	var d, b, f bytes.Buffer
+	if a.coll != nil {
+		if err := a.coll.WriteJSONL(&d); err != nil {
+			t.Fatalf("collector WriteJSONL: %v", err)
+		}
+	}
+	if a.wd != nil {
+		if err := a.wd.WriteBreachLog(&b); err != nil {
+			t.Fatalf("WriteBreachLog: %v", err)
+		}
+	}
+	if err := a.rec.WriteJSONL(&f); err != nil {
+		t.Fatalf("recorder WriteJSONL: %v", err)
+	}
+	return d.String(), b.String(), f.String()
 }
 
 // observe renders everything the run can show a user: the figure, the
@@ -176,7 +255,8 @@ func TestResumeEquivalence(t *testing.T) {
 			// Straight run: advance to N, checkpoint, keep going to 2N.
 			trA := telemetry.NewTracer(nil)
 			regA := telemetry.NewRegistry()
-			a := c.build(trA, regA)
+			attA := attachObservability(t, c, "straight", trA)
+			a := c.build(trA, regA, attA.coll)
 			n := a.Horizon() / 2
 			a.AdvanceTo(n)
 			var ckpt bytes.Buffer
@@ -186,12 +266,16 @@ func TestResumeEquivalence(t *testing.T) {
 			a.AdvanceTo(a.Horizon())
 			digestA := a.Digest()
 			figA, jsonlA, snapA := observe(t, c, a, trA, regA)
+			intA, breachA, recA := renderINT(t, attA)
 
 			// Restored run: rebuild from the checkpoint (which replays
-			// 0..N and verifies the digest), then run N..2N.
+			// 0..N and verifies the digest), then run N..2N. The fresh
+			// collector/watchdog/recorder see the replayed window too, so
+			// every artifact must come out byte-identical.
 			trB := telemetry.NewTracer(nil)
 			regB := telemetry.NewRegistry()
-			b, err := c.restore(bytes.NewReader(ckpt.Bytes()), trB, regB)
+			attB := attachObservability(t, c, "resumed", trB)
+			b, err := c.restore(bytes.NewReader(ckpt.Bytes()), trB, regB, attB.coll)
 			if err != nil {
 				t.Fatalf("Restore: %v", err)
 			}
@@ -200,6 +284,7 @@ func TestResumeEquivalence(t *testing.T) {
 				t.Fatalf("state digest diverged after resume: straight %#x, resumed %#x", digestA, got)
 			}
 			figB, jsonlB, snapB := observe(t, c, b, trB, regB)
+			intB, breachB, recB := renderINT(t, attB)
 
 			if figA != figB {
 				t.Errorf("rendered figure diverged after resume:\nstraight:\n%s\nresumed:\n%s", figA, figB)
@@ -210,6 +295,30 @@ func TestResumeEquivalence(t *testing.T) {
 			}
 			if snapA != snapB {
 				t.Errorf("metrics snapshot diverged after resume:\nstraight:\n%s\nresumed:\n%s", snapA, snapB)
+			}
+			if intA != intB {
+				t.Errorf("INT digest JSONL diverged after resume (straight %d bytes, resumed %d bytes)",
+					len(intA), len(intB))
+			}
+			if breachA != breachB {
+				t.Errorf("SLO breach log diverged after resume:\nstraight:\n%s\nresumed:\n%s", breachA, breachB)
+			}
+			if recA != recB {
+				t.Errorf("flight-recorder dump diverged after resume (straight %d bytes, resumed %d bytes)",
+					len(recA), len(recB))
+			}
+			if c.int {
+				// The comparisons must compare something real: traffic was
+				// collected and the unattainable objective breached.
+				if attA.coll.Observations == 0 {
+					t.Error("INT-capable case collected no observations")
+				}
+				if len(attA.wd.Breaches()) == 0 {
+					t.Error("1µs objective never breached; breach-log equality is vacuous")
+				}
+				if attA.rec.Empty() {
+					t.Error("flight recorder stayed empty")
+				}
 			}
 		})
 	}

@@ -1,8 +1,9 @@
 // Package cli carries the flag plumbing shared by the steelnet
-// commands: the uniform -trace/-stats/-cpuprofile observability flag
-// trio and the comma-separated integer-list parser every sweep CLI
-// needs. Keeping it in one place means every command spells the flags
-// the same way and produces the same artifact layout.
+// commands: the uniform observability flag set
+// (-trace/-stats/-cpuprofile/-int/-slo/-flightrec) and the
+// comma-separated integer-list parser every sweep CLI needs. Keeping
+// it in one place means every command spells the flags the same way
+// and produces the same artifact layout.
 package cli
 
 import (
@@ -14,13 +15,14 @@ import (
 	"strconv"
 	"strings"
 
+	intnet "steelnet/internal/int"
 	"steelnet/internal/telemetry"
 )
 
 // Telemetry is the observability flag set. When no flag is given the
-// Tracer and Registry stay nil, every instrumentation call site
-// short-circuits, and the run is byte- and allocation-identical to an
-// uninstrumented binary.
+// Tracer, Registry and Collector stay nil, every instrumentation call
+// site short-circuits, and the run is byte- and allocation-identical
+// to an uninstrumented binary.
 type Telemetry struct {
 	// TracePath receives -trace ("" disables tracing).
 	TracePath string
@@ -28,14 +30,36 @@ type Telemetry struct {
 	Stats bool
 	// CPUProfilePath receives -cpuprofile ("" disables profiling).
 	CPUProfilePath string
+	// INTPath receives -int: collect in-band telemetry and write the
+	// collector's path digests to this file as JSONL ("" disables).
+	INTPath string
+	// SLOSpec receives -slo: a comma-joined objective list in
+	// "kind:target<bound" grammar (see intnet.ParseObjective). A
+	// non-empty spec implies INT collection even without -int.
+	SLOSpec string
+	// FlightRecPath receives -flightrec: keep a bounded flight recorder
+	// on the trace stream and dump it to this file after the run.
+	FlightRecPath string
 
 	// Tracer and Registry are allocated by Begin when the matching flag
 	// was set; pass them into experiment configs.
 	Tracer   *telemetry.Tracer
 	Registry *telemetry.Registry
+	// Collector is allocated by Begin when -int or -slo was set; pass
+	// it (with INT=true) into experiment configs. Resume paths that
+	// rebuild their own collector must hand it back via AdoptCollector.
+	Collector *intnet.Collector
+	// Watchdog is allocated by Begin when -slo was set and is attached
+	// to Collector; breaches land in the trace (when tracing) and in
+	// the breach log End writes.
+	Watchdog *intnet.Watchdog
+	// Recorder is allocated by Begin when -flightrec was set and rides
+	// the Tracer's observer hook.
+	Recorder *intnet.Recorder
 
-	// Out receives the -stats snapshot (default os.Stdout); commands
-	// running in-process under test point it at their own writer.
+	// Out receives the -stats snapshot and the -slo summary line
+	// (default os.Stdout); commands running in-process under test point
+	// it at their own writer.
 	Out io.Writer
 
 	cmd     string
@@ -59,6 +83,12 @@ func RegisterTelemetryFlagsOn(fs *flag.FlagSet) *Telemetry {
 		"collect component metrics and print the registry snapshot after the run")
 	fs.StringVar(&t.CPUProfilePath, "cpuprofile", "",
 		"write a CPU profile to this `file` (sweep workers carry pprof labels)")
+	fs.StringVar(&t.INTPath, "int", "",
+		"collect in-band network telemetry and write per-path digests to this `file` as JSONL (plus file.slo.jsonl when -slo is set)")
+	fs.StringVar(&t.SLOSpec, "slo", "",
+		"watch SLO `objectives` (comma-joined \"kind:target<bound\", e.g. latency:refl<250us,loss:refl<0.01); implies INT collection")
+	fs.StringVar(&t.FlightRecPath, "flightrec", "",
+		"keep a bounded flight recorder on the trace stream and dump it to this `file` as JSONL after the run")
 	return t
 }
 
@@ -94,13 +124,39 @@ func (r *Resume) Path() (string, error) {
 }
 
 // Begin materializes what the parsed flags asked for: the tracer, the
-// registry, and CPU profiling. cmd names the command in errors.
+// registry, INT collection, the SLO watchdog, the flight recorder and
+// CPU profiling. cmd names the command in errors.
 func (t *Telemetry) Begin(cmd string) error {
 	t.cmd = cmd
+	var plan intnet.SLOPlan
+	if t.SLOSpec != "" {
+		var err error
+		plan, err = intnet.ParseSLOPlan(t.SLOSpec)
+		if err != nil {
+			return fmt.Errorf("%s: -slo: %w", cmd, err)
+		}
+	}
 	if t.TracePath != "" {
 		// Unbound until an experiment adopts it (experiments Bind the
 		// tracer to their engine before traffic flows).
 		t.Tracer = telemetry.NewTracer(nil)
+	}
+	if t.FlightRecPath != "" {
+		if t.Tracer == nil {
+			// Flight recording without -trace: the tracer is a pure event
+			// bus — nothing retained, only the recorder's bounded rings.
+			t.Tracer = telemetry.NewTracer(nil)
+			t.Tracer.SetRetain(false)
+		}
+		t.Recorder = intnet.NewRecorder(0)
+		t.Recorder.Attach(t.Tracer)
+	}
+	if t.INTPath != "" || t.SLOSpec != "" {
+		t.Collector = intnet.NewCollector()
+		if t.SLOSpec != "" {
+			t.Watchdog = intnet.NewWatchdog(plan, 0, t.Tracer)
+			t.Watchdog.Attach(t.Collector)
+		}
 	}
 	if t.Stats {
 		t.Registry = telemetry.NewRegistry()
@@ -119,9 +175,24 @@ func (t *Telemetry) Begin(cmd string) error {
 	return nil
 }
 
+// AdoptCollector swaps in a collector built elsewhere and re-attaches
+// the watchdog to it. Resume paths need it: a restored harness that
+// was not handed the CLI collector (RestoreWithCollector) builds its
+// own, and End must export that one.
+func (t *Telemetry) AdoptCollector(c *intnet.Collector) {
+	if c == nil || c == t.Collector {
+		return
+	}
+	t.Collector = c
+	if t.Watchdog != nil {
+		t.Watchdog.Attach(c)
+	}
+}
+
 // End flushes everything Begin started: it stops the CPU profile,
-// writes the JSONL trace plus its Chrome/Perfetto twin, and prints the
-// registry snapshot to stdout when -stats was set.
+// writes the JSONL trace plus its Chrome/Perfetto twin, exports the
+// INT digests, the SLO breach log and the flight-recorder dump, and
+// prints the registry snapshot to stdout when -stats was set.
 func (t *Telemetry) End() error {
 	if t.cpuFile != nil {
 		pprof.StopCPUProfile()
@@ -131,19 +202,58 @@ func (t *Telemetry) End() error {
 			return fmt.Errorf("%s: -cpuprofile: %w", t.cmd, err)
 		}
 	}
-	if t.Tracer != nil {
+	if t.TracePath != "" && t.Tracer != nil {
 		if err := writeTraces(t.TracePath, t.Tracer.Events()); err != nil {
 			return fmt.Errorf("%s: -trace: %w", t.cmd, err)
 		}
 	}
-	if t.Registry != nil {
-		w := t.Out
-		if w == nil {
-			w = os.Stdout
+	if t.INTPath != "" && t.Collector != nil {
+		if err := writeFile(t.INTPath, t.Collector.WriteJSONL); err != nil {
+			return fmt.Errorf("%s: -int: %w", t.cmd, err)
 		}
+	}
+	w := t.Out
+	if w == nil {
+		w = os.Stdout
+	}
+	if t.Watchdog != nil {
+		if t.INTPath != "" {
+			if err := writeFile(t.INTPath+".slo.jsonl", t.Watchdog.WriteBreachLog); err != nil {
+				return fmt.Errorf("%s: -slo: %w", t.cmd, err)
+			}
+		}
+		fmt.Fprintf(w, "slo: %d breach(es) recorded\n", len(t.Watchdog.Breaches()))
+	}
+	if t.FlightRecPath != "" && t.Recorder != nil {
+		// Merge-based parallel sweeps trace into per-cell buffers that
+		// bypass the live observer; feed the merged log through the
+		// recorder before dumping so -flightrec composes with -workers.
+		if t.Recorder.Empty() && t.Tracer.Len() > 0 {
+			for _, e := range t.Tracer.Events() {
+				t.Recorder.Observe(e)
+			}
+		}
+		if err := t.Recorder.DumpToFile(t.FlightRecPath); err != nil {
+			return fmt.Errorf("%s: -flightrec: %w", t.cmd, err)
+		}
+	}
+	if t.Registry != nil {
 		fmt.Fprint(w, t.Registry.Snapshot())
 	}
 	return nil
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTraces writes the JSONL trace to path and the Chrome trace to

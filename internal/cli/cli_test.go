@@ -6,9 +6,11 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"steelnet/internal/frame"
+	intnet "steelnet/internal/int"
 	"steelnet/internal/telemetry"
 )
 
@@ -136,4 +138,163 @@ func TestBeginReportsUnwritableProfilePath(t *testing.T) {
 
 func TestMustNilIsNoOp(t *testing.T) {
 	Must(nil) // must not exit
+}
+
+// sinkOne feeds one INT-stamped frame into the collector, e2eNS after
+// its source stamp — the shape experiments hand the CLI's collector.
+func sinkOne(c *intnet.Collector, seq uint32, e2eNS int64) {
+	f := &frame.Frame{}
+	f.AttachINT("src", 1, seq, 1000, 4)
+	c.SinkINT("dst", f, 1000+e2eNS)
+}
+
+// -slo alone implies INT collection, chains the watchdog on the
+// collector, and End prints the breach summary without writing files.
+func TestBeginSLOImpliesINTCollection(t *testing.T) {
+	var out strings.Builder
+	tel := &Telemetry{SLOSpec: "latency:*<1µs", Out: &out}
+	if err := tel.Begin("test"); err != nil {
+		t.Fatal(err)
+	}
+	if tel.Collector == nil || tel.Watchdog == nil {
+		t.Fatalf("Begin with -slo: collector=%v watchdog=%v", tel.Collector, tel.Watchdog)
+	}
+	if tel.Tracer != nil || tel.Recorder != nil || tel.Registry != nil {
+		t.Fatal("Begin materialized more than -slo asked for")
+	}
+	for seq := uint32(1); seq <= 3; seq++ { // 3 consecutive over-bound = breach
+		sinkOne(tel.Collector, seq, 2000)
+	}
+	if err := tel.End(); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != "slo: 1 breach(es) recorded\n" {
+		t.Fatalf("summary = %q", got)
+	}
+}
+
+func TestBeginRejectsBadSLOSpec(t *testing.T) {
+	tel := &Telemetry{SLOSpec: "latency:*>1µs"}
+	err := tel.Begin("test")
+	if err == nil || !strings.Contains(err.Error(), "-slo") {
+		t.Fatalf("Begin with bad spec: %v", err)
+	}
+}
+
+// The full in-band trio: -int writes the path digests, -slo adds the
+// breach log next to them, -flightrec dumps the recorder (which rode
+// the retain-off tracer Begin allocated just for it).
+func TestEndWritesINTArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	tel := &Telemetry{
+		INTPath:       filepath.Join(dir, "run.int.jsonl"),
+		SLOSpec:       "latency:*<1µs",
+		FlightRecPath: filepath.Join(dir, "run.rec.jsonl"),
+		Out:           &out,
+	}
+	if err := tel.Begin("test"); err != nil {
+		t.Fatal(err)
+	}
+	if tel.Tracer == nil {
+		t.Fatal("-flightrec did not allocate its event-bus tracer")
+	}
+	if tel.Tracer.Len() != 0 {
+		t.Fatal("flightrec-only tracer retains events")
+	}
+	for seq := uint32(1); seq <= 3; seq++ {
+		sinkOne(tel.Collector, seq, 2000)
+	}
+	if err := tel.End(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct{ path, want string }{
+		{tel.INTPath, `"type":"path"`},
+		{tel.INTPath + ".slo.jsonl", `"objective":"latency:*\u003c1µs"`},
+		{tel.FlightRecPath, "slo-breach"}, // breach trigger reached the recorder via the tracer
+	} {
+		b, err := os.ReadFile(tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+			if !json.Valid([]byte(line)) {
+				t.Fatalf("%s line %d is not JSON: %s", tc.path, i+1, line)
+			}
+		}
+		if !strings.Contains(string(b), tc.want) {
+			t.Fatalf("%s missing %q:\n%s", tc.path, tc.want, b)
+		}
+	}
+	if !strings.Contains(out.String(), "slo: 1 breach(es) recorded") {
+		t.Fatalf("summary = %q", out.String())
+	}
+}
+
+// AdoptCollector re-points the watchdog at a collector built elsewhere
+// (the resume path's RestoreWithCollector shape).
+func TestAdoptCollectorReattachesWatchdog(t *testing.T) {
+	tel := &Telemetry{SLOSpec: "latency:*<1µs", Out: &strings.Builder{}}
+	if err := tel.Begin("test"); err != nil {
+		t.Fatal(err)
+	}
+	tel.AdoptCollector(nil)           // no-op
+	tel.AdoptCollector(tel.Collector) // no-op
+	fresh := intnet.NewCollector()
+	tel.AdoptCollector(fresh)
+	if tel.Collector != fresh {
+		t.Fatal("collector not adopted")
+	}
+	for seq := uint32(1); seq <= 3; seq++ {
+		sinkOne(fresh, seq, 2000)
+	}
+	if len(tel.Watchdog.Breaches()) != 1 {
+		t.Fatalf("watchdog not re-attached: %d breaches", len(tel.Watchdog.Breaches()))
+	}
+}
+
+// Merge-based parallel sweeps bypass the live observer; End must feed
+// the merged trace through the recorder so -flightrec still dumps it.
+func TestEndFlightRecCatchesUpFromMergedTrace(t *testing.T) {
+	dir := t.TempDir()
+	tel := &Telemetry{
+		TracePath:     filepath.Join(dir, "run.jsonl"),
+		FlightRecPath: filepath.Join(dir, "run.rec.jsonl"),
+	}
+	if err := tel.Begin("test"); err != nil {
+		t.Fatal(err)
+	}
+	cell := telemetry.NewTracer(nil)
+	cell.HostTx("h", &frame.Frame{})
+	tel.Tracer.MergeFrom(cell)
+	if err := tel.End(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(tel.FlightRecPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "host-tx") {
+		t.Fatalf("merged event did not reach the flight recorder:\n%s", b)
+	}
+}
+
+func TestEndReportsUnwritableINTArtifacts(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tel  Telemetry
+		want string
+	}{
+		{"int", Telemetry{INTPath: filepath.Join(t.TempDir(), "no-such-dir", "x.jsonl")}, "-int"},
+		{"flightrec", Telemetry{FlightRecPath: filepath.Join(t.TempDir(), "no-such-dir", "x.jsonl")}, "-flightrec"},
+	} {
+		if err := tc.tel.Begin("test"); err != nil {
+			t.Fatal(err)
+		}
+		err := tc.tel.End()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: End into missing dir: %v", tc.name, err)
+		}
+	}
 }

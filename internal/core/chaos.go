@@ -6,10 +6,12 @@ import (
 
 	"steelnet/internal/faults"
 	"steelnet/internal/instaplc"
+	intnet "steelnet/internal/int"
 	"steelnet/internal/iodevice"
 	"steelnet/internal/metrics"
 	"steelnet/internal/simnet"
 	"steelnet/internal/sweep"
+	"steelnet/internal/telemetry"
 )
 
 // ChaosConfig parameterizes RunChaosSweep: the Fig. 5 InstaPLC scenario
@@ -57,6 +59,9 @@ type ChaosCell struct {
 	// Accounting is the cell's frame-conservation ledger; chaos tests
 	// assert Accounting.Check() == nil (forwarded+dropped==sent) per run.
 	Accounting simnet.Accounting
+	// INTObservations counts INT stacks sunk at pipeline egress (zero
+	// unless cfg.Base.INT).
+	INTObservations uint64
 }
 
 // chaosTargets lists the Fig. 5 scenario's registered fault targets
@@ -118,33 +123,59 @@ func NewChaosCellHarness(cfg ChaosConfig, i int) *instaplc.Harness {
 }
 
 // RunChaosSweep runs the ladder and returns cells in (intensity, trial)
-// order.
+// order. A shared tracer or INT collector on cfg.Base no longer forces
+// the sweep serial: each cell writes into private buffers that merge in
+// cell order afterwards. Only a shared metrics registry serializes it.
 func RunChaosSweep(cfg ChaosConfig) []ChaosCell {
 	cfg = normalizeChaosConfig(cfg)
 	n := len(cfg.Intensities) * cfg.Trials
 	workers := cfg.Workers
-	if cfg.Base.Trace != nil || cfg.Base.Metrics != nil {
-		// A shared tracer or registry cannot be written from parallel
-		// cells; telemetry-attached sweeps run serially.
+	if cfg.Base.Metrics != nil {
 		workers = 1
 	}
-	return sweep.Run(workers, n, func(i int) ChaosCell {
-		cell := ChaosCell{
+	type cellOut struct {
+		cell ChaosCell
+		tr   *telemetry.Tracer
+		coll *intnet.Collector
+	}
+	outs := sweep.Run(workers, n, func(i int) cellOut {
+		var o cellOut
+		o.cell = ChaosCell{
 			Intensity: cfg.Intensities[i/cfg.Trials],
 			Trial:     i % cfg.Trials,
 			Seed:      chaosSeed(cfg.Seed, i),
 		}
 		ecfg := ChaosCellConfig(cfg, i)
+		if cfg.Base.Trace != nil {
+			o.tr = telemetry.NewTracer(nil) // bound to the cell's engine by NewHarness
+			ecfg.Trace = o.tr
+		}
+		if cfg.Base.INT {
+			o.coll = intnet.NewCollector()
+			ecfg.Collector = o.coll
+		}
 		res := instaplc.RunExperiment(ecfg)
-		cell.Plan = ecfg.Faults.String()
-		cell.InjectedFaults = res.InjectedFaults
-		cell.Switchovers = res.Switchovers
-		cell.FailsafeEvents = res.FailsafeEvents
-		cell.IOAvailability = res.IOAvailability
-		cell.DeviceState = res.DeviceState
-		cell.Accounting = res.Accounting
-		return cell
+		o.cell.Plan = ecfg.Faults.String()
+		o.cell.InjectedFaults = res.InjectedFaults
+		o.cell.Switchovers = res.Switchovers
+		o.cell.FailsafeEvents = res.FailsafeEvents
+		o.cell.IOAvailability = res.IOAvailability
+		o.cell.DeviceState = res.DeviceState
+		o.cell.Accounting = res.Accounting
+		o.cell.INTObservations = res.INTObservations
+		return o
 	})
+	cells := make([]ChaosCell, n)
+	for i, o := range outs {
+		cells[i] = o.cell
+		if o.tr != nil {
+			cfg.Base.Trace.MergeFrom(o.tr)
+		}
+		if o.coll != nil && cfg.Base.Collector != nil {
+			cfg.Base.Collector.Absorb(o.coll)
+		}
+	}
+	return cells
 }
 
 // RenderChaosSweep renders the ladder: availability and failover

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"steelnet/internal/faults"
 	"steelnet/internal/instaplc"
+	intnet "steelnet/internal/int"
 	"steelnet/internal/iodevice"
 )
 
@@ -82,6 +85,52 @@ func replayCell(t *testing.T, cfg ChaosConfig, c ChaosCell) instaplc.ExperimentR
 	ecfg.Seed = c.Seed
 	ecfg.Faults = &plan
 	return instaplc.RunExperiment(ecfg)
+}
+
+// TestChaosSweepINTConservation runs the ladder with in-band telemetry
+// on: conservation must hold in every cell while frames carry stamp
+// bytes, the collector must see traffic, and the merged collector must
+// be byte-identical at any worker count.
+func TestChaosSweepINTConservation(t *testing.T) {
+	mk := func(workers int) ([]ChaosCell, *intnet.Collector) {
+		cfg := DefaultChaosConfig()
+		cfg.Intensities = []int{0, 4}
+		cfg.Trials = 1
+		cfg.Workers = workers
+		cfg.Base.SecondaryJoinAt = 100 * time.Millisecond
+		cfg.Base.FailAt = 300 * time.Millisecond
+		cfg.Base.Horizon = 800 * time.Millisecond
+		cfg.Base.INT = true
+		cfg.Base.Collector = intnet.NewCollector()
+		return RunChaosSweep(cfg), cfg.Base.Collector
+	}
+
+	cells, coll := mk(2)
+	var total uint64
+	for _, c := range cells {
+		if err := c.Accounting.Check(); err != nil {
+			t.Errorf("cell (%d,%d) with INT on: %v\nplan: %s", c.Intensity, c.Trial, err, c.Plan)
+		}
+		if c.INTObservations == 0 {
+			t.Errorf("cell (%d,%d) sank no INT stacks", c.Intensity, c.Trial)
+		}
+		total += c.INTObservations
+	}
+	if coll.Observations != total {
+		t.Fatalf("merged collector saw %d observations, cells report %d", coll.Observations, total)
+	}
+
+	_, serial := mk(1)
+	var par, ser bytes.Buffer
+	if err := coll.WriteJSONL(&par); err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.WriteJSONL(&ser); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(par.Bytes(), ser.Bytes()) {
+		t.Fatal("parallel and serial chaos sweeps merged different INT digests")
+	}
 }
 
 func TestRenderChaosSweep(t *testing.T) {

@@ -25,19 +25,21 @@ func chaosCheckpointer(path string) sweep.Checkpointer[ChaosCell] {
 			e.F64(c.IOAvailability)
 			e.Int(int(c.DeviceState))
 			encodeAccounting(e, c.Accounting)
+			e.U64(c.INTObservations)
 		},
 		Decode: func(d *checkpoint.Decoder) ChaosCell {
 			return ChaosCell{
-				Intensity:      d.Int(),
-				Trial:          d.Int(),
-				Seed:           d.U64(),
-				Plan:           d.Str(),
-				InjectedFaults: d.Int(),
-				Switchovers:    d.U64(),
-				FailsafeEvents: d.U64(),
-				IOAvailability: d.F64(),
-				DeviceState:    iodevice.State(d.Int()),
-				Accounting:     decodeAccounting(d),
+				Intensity:       d.Int(),
+				Trial:           d.Int(),
+				Seed:            d.U64(),
+				Plan:            d.Str(),
+				InjectedFaults:  d.Int(),
+				Switchovers:     d.U64(),
+				FailsafeEvents:  d.U64(),
+				IOAvailability:  d.F64(),
+				DeviceState:     iodevice.State(d.Int()),
+				Accounting:      decodeAccounting(d),
+				INTObservations: d.U64(),
 			}
 		},
 	}
@@ -55,6 +57,7 @@ func encodeAccounting(e *checkpoint.Encoder, a simnet.Accounting) {
 	e.U64(a.InjectedDrops)
 	e.U64(a.OverflowDrops)
 	e.U64(a.DownDrops)
+	e.U64(a.INTDrops)
 }
 
 func decodeAccounting(d *checkpoint.Decoder) simnet.Accounting {
@@ -70,6 +73,7 @@ func decodeAccounting(d *checkpoint.Decoder) simnet.Accounting {
 		InjectedDrops: d.U64(),
 		OverflowDrops: d.U64(),
 		DownDrops:     d.U64(),
+		INTDrops:      d.U64(),
 	}
 }
 
@@ -80,7 +84,9 @@ func RunChaosSweepResumable(cfg ChaosConfig, path string) ([]ChaosCell, error) {
 	cfg = normalizeChaosConfig(cfg)
 	n := len(cfg.Intensities) * cfg.Trials
 	workers := cfg.Workers
-	if cfg.Base.Trace != nil || cfg.Base.Metrics != nil {
+	if cfg.Base.Trace != nil || cfg.Base.Metrics != nil || cfg.Base.INT {
+		// Resumable sweeps keep the serial-under-telemetry behavior: a
+		// shared tracer/collector on Base is written by cells directly.
 		workers = 1
 	}
 	return sweep.RunResumable(workers, n, chaosCheckpointer(path), func(i int) ChaosCell {
@@ -98,6 +104,7 @@ func RunChaosSweepResumable(cfg ChaosConfig, path string) ([]ChaosCell, error) {
 		cell.IOAvailability = res.IOAvailability
 		cell.DeviceState = res.DeviceState
 		cell.Accounting = res.Accounting
+		cell.INTObservations = res.INTObservations
 		return cell
 	})
 }

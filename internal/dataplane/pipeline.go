@@ -106,14 +106,33 @@ const (
 	ActPacketIn
 	// ActContinue falls through to the next table.
 	ActContinue
+	// ActINTSource attaches an in-band telemetry stack to the frame
+	// (P4 INT source role), then continues to the next table. The
+	// stack's source label is the pipeline's ingress-port label, so
+	// sink-side path digests distinguish which port traffic entered on
+	// — the failover observable.
+	ActINTSource
+	// ActINTSink terminates the frame's INT stack mid-pipeline (hands
+	// it to the action's collector and strips it), then continues.
+	ActINTSink
 )
 
-// PortAction is one output leg with optional egress rewrites.
+// INTCollector consumes terminated INT stacks. It is structurally
+// identical to simnet.INTSink, so one intnet.Collector serves host
+// sinks and data-plane sink actions alike.
+type INTCollector interface {
+	SinkINT(node string, f *frame.Frame, nowNS int64)
+}
+
+// PortAction is one output leg with optional egress rewrites. INTSink,
+// when set, terminates the clone's INT stack at egress (P4-faithful:
+// the sink strips telemetry before the frame leaves toward a host).
 type PortAction struct {
 	Port    int
 	SetDst  *frame.MAC
 	SetSrc  *frame.MAC
 	SetARID *uint32
+	INTSink INTCollector
 }
 
 // Action is what a matching entry performs.
@@ -121,6 +140,13 @@ type Action struct {
 	Kind    ActionKind
 	Outputs []PortAction
 	Reason  string // packet-in annotation
+
+	// INT source parameters (ActINTSource).
+	INTFlow    uint32
+	INTMaxHops int
+	INTStrict  bool
+	// INT sink collector (ActINTSink).
+	INTSink INTCollector
 }
 
 // Drop is the drop action.
@@ -139,6 +165,15 @@ func PacketIn(reason string) Action { return Action{Kind: ActPacketIn, Reason: r
 
 // Continue falls through to the next table.
 func Continue() Action { return Action{Kind: ActContinue} }
+
+// INTSource builds a source action: matching frames gain a telemetry
+// stack for flow with room for maxHops records (<=0 = default).
+func INTSource(flow uint32, maxHops int, strict bool) Action {
+	return Action{Kind: ActINTSource, INTFlow: flow, INTMaxHops: maxHops, INTStrict: strict}
+}
+
+// INTSinkTo builds a mid-pipeline sink action feeding c.
+func INTSinkTo(c INTCollector) Action { return Action{Kind: ActINTSink, INTSink: c} }
 
 // Entry is one table row.
 type Entry struct {
@@ -252,18 +287,30 @@ type Pipeline struct {
 	rng    *sim.RNG
 	tr     *telemetry.Tracer
 
+	// inLabels/outLabels are per-port node labels ("name.inN" /
+	// "name.outN"), prebuilt so INT stamping never constructs strings.
+	inLabels, outLabels []string
+	// intSeq is the per-flow sequence counter behind ActINTSource.
+	intSeq map[uint32]uint32
+
 	// OnPacketIn receives punted frames (the control-plane channel).
 	OnPacketIn func(PacketInEvent)
 
 	// Processed, Dropped, PacketIns count pipeline verdicts.
 	Processed, Dropped, PacketIns uint64
+	// INTDrops counts frames destroyed because a strict INT stack was
+	// full when the pipeline tried to stamp its transit record.
+	INTDrops uint64
 }
 
 // New creates a pipeline with nports ports.
 func New(engine *sim.Engine, name string, nports int, cfg Config) *Pipeline {
-	p := &Pipeline{name: name, engine: engine, cfg: cfg, rng: engine.RNG("dataplane/" + name)}
+	p := &Pipeline{name: name, engine: engine, cfg: cfg, rng: engine.RNG("dataplane/" + name),
+		intSeq: make(map[uint32]uint32)}
 	for i := 0; i < nports; i++ {
 		p.ports = append(p.ports, simnet.NewPort(p, i))
+		p.inLabels = append(p.inLabels, fmt.Sprintf("%s.in%d", name, i))
+		p.outLabels = append(p.outLabels, fmt.Sprintf("%s.out%d", name, i))
 	}
 	return p
 }
@@ -297,6 +344,7 @@ func (p *Pipeline) RegisterMetrics(r *telemetry.Registry) {
 	r.Counter("steelnet_pipeline_processed_total", ls, "frames that entered the pipeline", func() uint64 { return p.Processed })
 	r.Counter("steelnet_pipeline_dropped_total", ls, "frames dropped by table verdict", func() uint64 { return p.Dropped })
 	r.Counter("steelnet_pipeline_packet_ins_total", ls, "frames punted to the control plane", func() uint64 { return p.PacketIns })
+	r.Counter("steelnet_pipeline_int_drops_total", ls, "frames dropped on strict INT stack overflow", func() uint64 { return p.INTDrops })
 	for _, port := range p.ports {
 		simnet.RegisterPortMetrics(r, port)
 	}
@@ -309,17 +357,20 @@ func (p *Pipeline) AddTable(name string, def Action) *Table {
 	return t
 }
 
-// Receive implements simnet.Node: parse, walk tables, act.
+// Receive implements simnet.Node: parse, walk tables, act. The receive
+// instant is carried to process so INT transit records can report the
+// frame's true pipeline residence time.
 func (p *Pipeline) Receive(port *simnet.Port, f *frame.Frame) {
 	d := p.cfg.Latency
 	if p.cfg.Jitter > 0 {
 		d = p.rng.NormDuration(p.cfg.Latency, p.cfg.Jitter, p.cfg.Latency/2)
 	}
 	in := port.Index
-	p.engine.After(d, func() { p.process(in, f) })
+	rxNS := int64(p.engine.Now())
+	p.engine.After(d, func() { p.process(in, rxNS, f) })
 }
 
-func (p *Pipeline) process(inPort int, f *frame.Frame) {
+func (p *Pipeline) process(inPort int, rxNS int64, f *frame.Frame) {
 	p.Processed++
 	fl := Parse(inPort, f)
 	for _, t := range p.tables {
@@ -340,6 +391,22 @@ func (p *Pipeline) process(inPort int, f *frame.Frame) {
 		switch act.Kind {
 		case ActContinue:
 			continue
+		case ActINTSource:
+			// Idempotent: a frame that already carries a stack (e.g. one
+			// re-walked after a control-plane detour) keeps its original
+			// source record.
+			if f.INT == nil {
+				p.intSeq[act.INTFlow]++
+				st := f.AttachINT(p.inLabels[inPort], act.INTFlow, p.intSeq[act.INTFlow], rxNS, act.INTMaxHops)
+				st.Strict = act.INTStrict
+			}
+			continue
+		case ActINTSink:
+			if f.INT != nil && act.INTSink != nil {
+				act.INTSink.SinkINT(p.inLabels[inPort], f, int64(p.engine.Now()))
+				f.INT = nil
+			}
+			continue
 		case ActDrop:
 			p.Dropped++
 			if p.tr != nil {
@@ -351,12 +418,17 @@ func (p *Pipeline) process(inPort int, f *frame.Frame) {
 			if p.tr != nil {
 				p.tr.PacketIn(p.name, inPort, f)
 			}
+			// In-band telemetry ends where the data plane ends: a punted
+			// frame sheds its INT stack before the control plane sees it,
+			// so slow-path reinjections never leak telemetry bytes onto
+			// the wire.
+			f.INT = nil
 			if p.OnPacketIn != nil {
 				p.OnPacketIn(PacketInEvent{Reason: act.Reason, Fields: fl, Frame: f})
 			}
 			return
 		case ActOutput:
-			p.emit(act.Outputs, f)
+			p.emit(act.Outputs, rxNS, f)
 			return
 		}
 	}
@@ -368,7 +440,9 @@ func (p *Pipeline) process(inPort int, f *frame.Frame) {
 }
 
 // emit sends the frame out each leg, applying egress rewrites to a copy.
-func (p *Pipeline) emit(legs []PortAction, f *frame.Frame) {
+// INT-bearing clones get the pipeline's transit record stamped per leg;
+// legs with an INTSink terminate the clone's stack at egress.
+func (p *Pipeline) emit(legs []PortAction, rxNS int64, f *frame.Frame) {
 	for _, leg := range legs {
 		if leg.Port < 0 || leg.Port >= len(p.ports) {
 			continue
@@ -383,8 +457,40 @@ func (p *Pipeline) emit(legs []PortAction, f *frame.Frame) {
 		if leg.SetARID != nil {
 			rewriteARID(g, *leg.SetARID)
 		}
+		if g.INT != nil {
+			if !p.stampINT(g, rxNS, leg.Port) {
+				p.INTDrops++
+				p.ports[leg.Port].INTDrops++
+				if p.tr != nil {
+					p.tr.Drop(p.name, leg.Port, g, telemetry.CauseINT)
+				}
+				continue
+			}
+			if leg.INTSink != nil {
+				leg.INTSink.SinkINT(p.outLabels[leg.Port], g, int64(p.engine.Now()))
+				g.INT = nil
+			}
+		}
 		p.ports[leg.Port].Send(g)
 	}
+}
+
+// stampINT pushes the pipeline's transit record onto g's stack. A frame
+// the pipeline itself sourced this pass has IngressNS == SourceNS, so
+// its transit hop degenerates to the residual in-pipeline time — never
+// negative. It reports false when a strict stack is full.
+func (p *Pipeline) stampINT(g *frame.Frame, rxNS int64, out int) bool {
+	in := rxNS
+	if g.INT.SourceNS > in {
+		in = g.INT.SourceNS
+	}
+	ok := g.INT.PushHop(frame.INTHop{
+		Node:       p.name,
+		IngressNS:  in,
+		EgressNS:   int64(p.engine.Now()),
+		QueueDepth: int32(p.ports[out].QueueDepth()),
+	})
+	return ok || !g.INT.Strict
 }
 
 // rewriteARID patches the AR id of a PROFINET payload in place (egress

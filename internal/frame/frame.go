@@ -80,6 +80,12 @@ type Frame struct {
 	// mirroring how real metadata lives in descriptors, not packets.
 	Meta Meta
 
+	// INT is the optional in-band telemetry stack (see int.go). Unlike
+	// Meta it IS byte-accounted — WireLen grows with every stamped hop —
+	// but like Meta it rides in the descriptor: marshaling strips it,
+	// the way an INT sink strips the stack before host delivery.
+	INT *INTStack
+
 	// pooled marks a frame currently sitting in a Pool free list, so a
 	// double Put panics at the release site instead of corrupting the
 	// list and surfacing as aliased payloads much later.
@@ -108,11 +114,21 @@ func (f *Frame) headerLen() int {
 // WireLen returns the total serialized length in bytes, before any
 // minimum-size padding. Ethernet's 64-byte minimum (incl. FCS) is applied
 // by the link model, not here, so tiny industrial payloads stay visible.
-func (f *Frame) WireLen() int { return f.headerLen() + len(f.Payload) }
+// An attached INT stack counts: telemetry-bearing frames pay real
+// serialization and bandwidth for every stamped hop.
+func (f *Frame) WireLen() int {
+	n := f.headerLen() + len(f.Payload)
+	if f.INT != nil {
+		n += f.INT.WireBytes()
+	}
+	return n
+}
 
-// Marshal serializes the frame to wire bytes.
+// Marshal serializes the frame to wire bytes. The INT stack is not
+// serialized — it lives in the descriptor and is read by sinks before
+// any marshal/unmarshal boundary.
 func (f *Frame) Marshal() []byte {
-	buf := make([]byte, f.WireLen())
+	buf := make([]byte, f.headerLen()+len(f.Payload))
 	copy(buf[0:6], f.Dst[:])
 	copy(buf[6:12], f.Src[:])
 	off := 12
@@ -164,6 +180,9 @@ func (f *Frame) Clone() *Frame {
 	g.pooled = false
 	g.Payload = make([]byte, len(f.Payload))
 	copy(g.Payload, f.Payload)
+	if f.INT != nil {
+		g.INT = f.INT.Clone()
+	}
 	return &g
 }
 

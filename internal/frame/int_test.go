@@ -1,0 +1,103 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAttachINTDefaults(t *testing.T) {
+	f := &Frame{Payload: []byte{1, 2, 3}}
+	st := f.AttachINT("src", 7, 1, 100, 0)
+	if st == nil || f.INT != st {
+		t.Fatal("AttachINT did not install the stack on the frame")
+	}
+	if st.Source != "src" || st.FlowID != 7 || st.Seq != 1 || st.SourceNS != 100 {
+		t.Fatalf("stack identity = %+v", st)
+	}
+	if st.MaxHops != DefaultINTMaxHops {
+		t.Fatalf("MaxHops = %d, want default %d", st.MaxHops, DefaultINTMaxHops)
+	}
+
+	// Re-attaching replaces the stack (a source restamping a recycled
+	// descriptor must not inherit stale hops).
+	st.PushHop(INTHop{Node: "sw"})
+	st2 := f.AttachINT("src2", 8, 2, 200, 4)
+	if f.INT != st2 || st2.Source != "src2" || st2.MaxHops != 4 || len(st2.Hops) != 0 {
+		t.Fatalf("re-attach left stale state: %+v", st2)
+	}
+}
+
+func TestINTPushHopBound(t *testing.T) {
+	f := &Frame{}
+	st := f.AttachINT("src", 1, 1, 0, 2)
+	if !st.PushHop(INTHop{Node: "a"}) || !st.PushHop(INTHop{Node: "b"}) {
+		t.Fatal("PushHop refused within MaxHops")
+	}
+	if st.PushHop(INTHop{Node: "c"}) {
+		t.Fatal("PushHop accepted past MaxHops")
+	}
+	if len(st.Hops) != 2 {
+		t.Fatalf("got %d hops, want 2", len(st.Hops))
+	}
+}
+
+func TestINTWireAccounting(t *testing.T) {
+	f := &Frame{Payload: make([]byte, 46)}
+	base := f.WireLen()
+	st := f.AttachINT("src", 1, 1, 0, 8)
+	if got, want := f.WireLen(), base+INTShimBytes; got != want {
+		t.Fatalf("WireLen with empty stack = %d, want %d", got, want)
+	}
+	st.PushHop(INTHop{Node: "sw1"})
+	st.PushHop(INTHop{Node: "sw2"})
+	if got, want := f.WireLen(), base+INTShimBytes+2*INTHopBytes; got != want {
+		t.Fatalf("WireLen with 2 hops = %d, want %d", got, want)
+	}
+	if got, want := st.WireBytes(), INTShimBytes+2*INTHopBytes; got != want {
+		t.Fatalf("WireBytes = %d, want %d", got, want)
+	}
+
+	// Marshal carries only the L2 bytes: the INT stack lives in the
+	// descriptor and is stripped by sinks, never serialized.
+	withINT := f.Marshal()
+	f.INT = nil
+	if !bytes.Equal(withINT, f.Marshal()) {
+		t.Fatal("Marshal output changed with INT attached")
+	}
+	if len(withINT) != base {
+		t.Fatalf("Marshal length = %d, want header+payload %d", len(withINT), base)
+	}
+}
+
+func TestINTHopLatency(t *testing.T) {
+	h := INTHop{Node: "sw", IngressNS: 100, EgressNS: 450}
+	if got := h.HopLatencyNS(); got != 350 {
+		t.Fatalf("HopLatencyNS = %d, want 350", got)
+	}
+}
+
+func TestINTCloneIndependence(t *testing.T) {
+	f := &Frame{Payload: []byte{1}}
+	st := f.AttachINT("src", 1, 5, 10, 4)
+	st.PushHop(INTHop{Node: "sw1", IngressNS: 1, EgressNS: 2})
+
+	g := f.Clone()
+	if g.INT == f.INT {
+		t.Fatal("Clone aliased the INT stack")
+	}
+	if g.INT.Seq != 5 || len(g.INT.Hops) != 1 || g.INT.Hops[0].Node != "sw1" {
+		t.Fatalf("clone stack = %+v", g.INT)
+	}
+	// The clone keeps headroom: flooded copies are stamped independently.
+	if !g.INT.PushHop(INTHop{Node: "sw2"}) {
+		t.Fatal("clone lost MaxHops capacity")
+	}
+	if len(f.INT.Hops) != 1 {
+		t.Fatalf("pushing on the clone mutated the original: %d hops", len(f.INT.Hops))
+	}
+
+	// Cloning a plain frame must stay INT-free.
+	if (&Frame{}).Clone().INT != nil {
+		t.Fatal("clone of INT-free frame grew a stack")
+	}
+}

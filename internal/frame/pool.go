@@ -57,6 +57,9 @@ func (p *Pool) Clone(f *Frame) *Frame {
 	g.pooled = false
 	g.Payload = pl
 	copy(g.Payload, f.Payload)
+	if f.INT != nil {
+		g.INT = f.INT.Clone()
+	}
 	return g
 }
 

@@ -8,6 +8,7 @@ import (
 	"steelnet/internal/dataplane"
 	"steelnet/internal/faults"
 	"steelnet/internal/frame"
+	intnet "steelnet/internal/int"
 	"steelnet/internal/iodevice"
 	"steelnet/internal/metrics"
 	"steelnet/internal/plc"
@@ -53,6 +54,15 @@ type ExperimentConfig struct {
 	// Metrics, when non-nil, receives every component counter (hosts,
 	// pipeline ports, links, engine internals) as func-backed metrics.
 	Metrics *telemetry.Registry
+	// INT runs the pipeline with in-band telemetry: frames are INT-sourced
+	// at ingress, transit-stamped, and sunk at egress into the collector,
+	// making the failover observable through the data plane. Ignored when
+	// DisableInstaPLC is set (the plain-L2 baseline has no fast path).
+	INT bool
+	// Collector receives terminated INT stacks. Nil with INT set means
+	// the harness creates one (retrieve it via Harness.Collector). Like
+	// Trace/Metrics it is an attachment, supplied fresh at Restore.
+	Collector *intnet.Collector
 }
 
 // DefaultExperimentConfig reproduces Fig. 5's setup.
@@ -102,6 +112,14 @@ type ExperimentResult struct {
 	// Accounting is the frame-conservation ledger summed over every
 	// egress port in the cell at the horizon (forwarded+dropped==sent).
 	Accounting simnet.Accounting
+	// INTObservations counts INT stacks terminated at pipeline egress
+	// (zero unless cfg.INT).
+	INTObservations uint64
+	// PathChanges lists sink-observed path transitions; with INT on, the
+	// entry at the device-facing sink is the failover as the data plane
+	// itself measured it (GapNS spans the last pre-fail frame to the
+	// first post-promotion frame).
+	PathChanges []intnet.PathChange
 }
 
 // RunExperiment executes the Fig. 5 scenario: two vPLCs, one I/O

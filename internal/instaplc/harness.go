@@ -9,6 +9,7 @@ import (
 	"steelnet/internal/dataplane"
 	"steelnet/internal/faults"
 	"steelnet/internal/frame"
+	intnet "steelnet/internal/int"
 	"steelnet/internal/iodevice"
 	"steelnet/internal/plc"
 	"steelnet/internal/sim"
@@ -35,6 +36,7 @@ type Harness struct {
 	dev    *iodevice.Device
 	links  []*simnet.Link
 	in     *faults.Injector
+	coll   *intnet.Collector
 
 	switchoverAt               sim.Time
 	fromVPLC1, fromVPLC2, toIO []int
@@ -48,10 +50,20 @@ func NewHarness(cfg ExperimentConfig) *Harness {
 	h := &Harness{cfg: cfg, engine: e}
 
 	h.pipe = dataplane.New(e, "instaplc-switch", 3, dataplane.DefaultConfig)
+	if cfg.INT && !cfg.DisableInstaPLC {
+		h.coll = cfg.Collector
+		if h.coll == nil {
+			h.coll = intnet.NewCollector()
+		}
+	}
 	if cfg.DisableInstaPLC {
 		installPlainL2(h.pipe)
 	} else {
-		h.app = New(e, h.pipe, Config{WatchdogCycles: cfg.InstaWatchdogCycles})
+		h.app = New(e, h.pipe, Config{
+			WatchdogCycles: cfg.InstaWatchdogCycles,
+			INT:            h.coll != nil,
+			INTSink:        h.coll,
+		})
 	}
 
 	h.vplc1 = plc.NewController(e, "vplc1", frame.NewMAC(1), plc.ControllerConfig{Primary: true})
@@ -136,6 +148,9 @@ func NewHarness(cfg ExperimentConfig) *Harness {
 // Engine returns the harness's engine (for scheduling periodic saves).
 func (h *Harness) Engine() *sim.Engine { return h.engine }
 
+// Collector returns the INT collector (nil unless cfg.INT).
+func (h *Harness) Collector() *intnet.Collector { return h.coll }
+
 // Horizon returns the configured end of the run.
 func (h *Harness) Horizon() sim.Time { return sim.Time(h.cfg.Horizon) }
 
@@ -165,6 +180,10 @@ func (h *Harness) Result() ExperimentResult {
 	res.FaultTrace = h.in.TraceString()
 	res.IOAvailability = binAvailability(res.ToIO)
 	res.Accounting = simnet.Account(h.ports()...)
+	if h.coll != nil {
+		res.INTObservations = h.coll.Observations
+		res.PathChanges = h.coll.PathChanges()
+	}
 	return res
 }
 
@@ -201,6 +220,9 @@ func (h *Harness) FoldState(d *checkpoint.Digest) {
 			d.Int(v)
 		}
 	}
+	if h.coll != nil {
+		h.coll.FoldState(d)
+	}
 }
 
 // Digest returns the state digest at the current instant.
@@ -224,6 +246,16 @@ func (h *Harness) Save(w io.Writer) error {
 // from time zero, a freshly attached tracer or registry reproduces the
 // original run's full timeline.
 func Restore(r io.Reader, tracer *telemetry.Tracer, registry *telemetry.Registry) (*Harness, error) {
+	return RestoreWithCollector(r, tracer, registry, nil)
+}
+
+// RestoreWithCollector is Restore with an INT collector attachment:
+// when the checkpointed config has INT enabled and coll is non-nil, the
+// replay feeds coll (and anything chained on its OnSink — the SLO
+// watchdog) instead of a private collector, so observation-driven state
+// is rebuilt exactly as a straight run would have built it. coll must
+// be empty; replay repopulates it from instant zero.
+func RestoreWithCollector(r io.Reader, tracer *telemetry.Tracer, registry *telemetry.Registry, coll *intnet.Collector) (*Harness, error) {
 	cfgBytes, at, digest, err := checkpoint.ReadHarness(r, CheckpointKind)
 	if err != nil {
 		return nil, err
@@ -235,6 +267,7 @@ func Restore(r io.Reader, tracer *telemetry.Tracer, registry *telemetry.Registry
 	}
 	cfg.Trace = tracer
 	cfg.Metrics = registry
+	cfg.Collector = coll
 	h := NewHarness(cfg)
 	h.AdvanceTo(sim.Time(at))
 	if got := h.Digest(); got != digest {
@@ -257,6 +290,7 @@ func encodeExperimentConfig(e *checkpoint.Encoder, cfg ExperimentConfig) {
 	e.F64(cfg.LinkBps)
 	e.Bool(cfg.DisableInstaPLC)
 	faults.EncodePlan(e, cfg.Faults)
+	e.Bool(cfg.INT)
 }
 
 func decodeExperimentConfig(d *checkpoint.Decoder) ExperimentConfig {
@@ -272,5 +306,6 @@ func decodeExperimentConfig(d *checkpoint.Decoder) ExperimentConfig {
 		LinkBps:              d.F64(),
 		DisableInstaPLC:      d.Bool(),
 		Faults:               faults.DecodePlan(d),
+		INT:                  d.Bool(),
 	}
 }

@@ -90,12 +90,29 @@ type cell struct {
 	entAbsorb *dataplane.Entry // standby vPLC -> twin (drop)
 }
 
+// INTFlowID is the flow label InstaPLC stamps on sourced INT stacks.
+// One shared flow across all ingress ports keeps the sink-side sequence
+// space continuous across a failover, which is exactly what lets the
+// collector's path-change detector measure the switchover gap.
+const INTFlowID uint32 = 1
+
 // Config parameterizes the app.
 type Config struct {
 	// WatchdogCycles is the number of silent I/O cycles after which the
 	// data plane fails over. It must undercut the device's own watchdog
 	// factor for a seamless switchover.
 	WatchdogCycles int
+
+	// INT enables in-band telemetry: every frame entering the pipeline's
+	// fast path is INT-sourced (labeled by ingress port), transit-stamped,
+	// and sunk at egress into INTSink — the vPLC pair's failover becomes
+	// observable through the data plane itself.
+	INT bool
+	// INTSink receives terminated stacks at pipeline egress. Required
+	// when INT is set.
+	INTSink dataplane.INTCollector
+	// INTMaxHops bounds sourced stacks (<= 0 selects the frame default).
+	INTMaxHops int
 }
 
 // DefaultConfig fails over after 2 silent cycles (device watchdogs are
@@ -134,9 +151,24 @@ func New(engine *sim.Engine, pl *dataplane.Pipeline, cfg Config) *App {
 		macPort: make(map[frame.MAC]int),
 		cells:   make(map[frame.MAC]*cell),
 	}
+	if cfg.INT && cfg.INTSink != nil {
+		// The source table runs before the app's own table so every
+		// fast-path frame carries a stack from its first instant in the
+		// pipeline. Non-strict: telemetry must never cost a frame here.
+		pl.AddTable("int-source", dataplane.INTSource(INTFlowID, cfg.INTMaxHops, false))
+	}
 	a.table = pl.AddTable("instaplc", dataplane.PacketIn("default"))
 	pl.OnPacketIn = a.packetIn
 	return a
+}
+
+// intSink returns the egress sink for installed legs (nil when INT is
+// off, which makes the PortAction field a no-op).
+func (a *App) intSink() dataplane.INTCollector {
+	if !a.cfg.INT {
+		return nil
+	}
+	return a.cfg.INTSink
 }
 
 // Role reports the role of the controller mac for device dev.
@@ -330,9 +362,11 @@ func (a *App) installEntries(c *cell) {
 
 	// Rule 3: device inputs to both controllers; the standby's copy is
 	// retargeted (dst MAC + AR id) so its stack accepts it as its own CR.
-	legs := []dataplane.PortAction{{Port: active.port, SetARID: &active.arid, SetDst: &active.mac}}
+	// INT stacks terminate at egress — hosts never see telemetry bytes.
+	sink := a.intSink()
+	legs := []dataplane.PortAction{{Port: active.port, SetARID: &active.arid, SetDst: &active.mac, INTSink: sink}}
 	if standby != nil {
-		legs = append(legs, dataplane.PortAction{Port: standby.port, SetARID: &standby.arid, SetDst: &standby.mac})
+		legs = append(legs, dataplane.PortAction{Port: standby.port, SetARID: &standby.arid, SetDst: &standby.mac, INTSink: sink})
 	}
 	c.entMirror = a.table.Insert(dataplane.Entry{
 		Priority: 100,
@@ -362,7 +396,7 @@ func (a *App) installEntries(c *cell) {
 			FrameID: dataplane.Ptr(profinet.FrameIDCyclic),
 		},
 		Action: dataplane.Action{Kind: dataplane.ActOutput, Outputs: []dataplane.PortAction{
-			{Port: c.devicePort, SetARID: &c.twin.Req.ARID, SetDst: &c.device},
+			{Port: c.devicePort, SetARID: &c.twin.Req.ARID, SetDst: &c.device, INTSink: sink},
 		}},
 		IdleTimeout: time.Duration(a.cfg.WatchdogCycles) * cycle,
 		OnIdle:      func(*dataplane.Entry) { a.switchover(c) },

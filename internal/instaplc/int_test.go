@@ -1,0 +1,88 @@
+package instaplc
+
+import (
+	"testing"
+	"time"
+)
+
+// intExperimentConfig is the Fig. 5 scenario shrunk for test time, with
+// in-band telemetry on.
+func intExperimentConfig() ExperimentConfig {
+	cfg := DefaultExperimentConfig()
+	cfg.SecondaryJoinAt = 100 * time.Millisecond
+	cfg.FailAt = 300 * time.Millisecond
+	cfg.Horizon = 800 * time.Millisecond
+	cfg.INT = true
+	return cfg
+}
+
+// TestINTObservesFailover is the tentpole claim end to end: InstaPLC's
+// failover is visible through the data plane itself. The device-facing
+// INT sink sees the flow's path flip from the vPLC1 leg to the vPLC2
+// leg, and the change's gap is the blackout the device actually lived
+// through.
+func TestINTObservesFailover(t *testing.T) {
+	res := RunExperiment(intExperimentConfig())
+
+	if res.Switchovers != 1 {
+		t.Fatalf("scenario ran %d switchovers, want 1", res.Switchovers)
+	}
+	if res.INTObservations == 0 {
+		t.Fatal("INT run terminated no stacks")
+	}
+	var failovers int
+	for _, pc := range res.PathChanges {
+		if pc.From == "" || pc.From == pc.To {
+			continue
+		}
+		failovers++
+		if pc.GapNS <= 0 {
+			t.Fatalf("path change %+v has no positive gap", pc)
+		}
+		// The re-route happens at or after the fault, never before.
+		if pc.AtNS < int64(res.FailAt) {
+			t.Fatalf("path change at %dns precedes the fault at %dns", pc.AtNS, int64(res.FailAt))
+		}
+	}
+	if failovers == 0 {
+		t.Fatalf("no path change observed in-band across the failover; changes: %+v", res.PathChanges)
+	}
+	// Telemetry must not break the ledger: conservation holds with every
+	// frame carrying stamp bytes.
+	if err := res.Accounting.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if res.FailsafeEvents != 0 {
+		t.Fatalf("device went failsafe %d times under InstaPLC", res.FailsafeEvents)
+	}
+}
+
+// TestINTOffCollectsNothing pins the disabled half: without cfg.INT the
+// result carries no observations and no path changes.
+func TestINTOffCollectsNothing(t *testing.T) {
+	cfg := intExperimentConfig()
+	cfg.INT = false
+	res := RunExperiment(cfg)
+	if res.INTObservations != 0 || len(res.PathChanges) != 0 {
+		t.Fatalf("INT-off run collected %d observations, %d path changes",
+			res.INTObservations, len(res.PathChanges))
+	}
+}
+
+// TestINTDeterministic pins that two identical INT runs agree on every
+// in-band artifact — the base property resume equivalence builds on.
+func TestINTDeterministic(t *testing.T) {
+	r1 := RunExperiment(intExperimentConfig())
+	r2 := RunExperiment(intExperimentConfig())
+	if r1.INTObservations != r2.INTObservations {
+		t.Fatalf("observations diverged: %d vs %d", r1.INTObservations, r2.INTObservations)
+	}
+	if len(r1.PathChanges) != len(r2.PathChanges) {
+		t.Fatalf("path changes diverged: %d vs %d", len(r1.PathChanges), len(r2.PathChanges))
+	}
+	for i := range r1.PathChanges {
+		if r1.PathChanges[i] != r2.PathChanges[i] {
+			t.Fatalf("path change %d diverged: %+v vs %+v", i, r1.PathChanges[i], r2.PathChanges[i])
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package intnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"steelnet/internal/checkpoint"
+	"steelnet/internal/telemetry"
+)
+
+// Recorder is the always-on flight recorder: a fixed-size ring of the
+// most recent trace events per component, fed live off a Tracer's
+// observer hook. Unlike the tracer's full log it is bounded — a
+// multi-hour run costs the same memory as a short one — and its job is
+// the post-mortem dump: when a fault fires, an SLO breaches, a
+// checkpoint diverges or a test fails, Dump writes the last moments of
+// every component's life, deterministically, to JSONL.
+type Recorder struct {
+	cap   int
+	rings map[string]*eventRing
+	order []string // first-seen node order
+
+	// triggers lists dump-worthy moments in occurrence order.
+	triggers []Trigger
+
+	// OnTrigger, when set, fires on every automatic or manual trigger —
+	// the CLI hooks dump-file writing here.
+	OnTrigger func(Trigger)
+}
+
+// Trigger is one dump-worthy moment.
+type Trigger struct {
+	Reason string `json:"reason"`
+	Node   string `json:"node,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	AtNS   int64  `json:"at_ns"`
+}
+
+// eventRing holds one node's most recent events.
+type eventRing struct {
+	buf  []telemetry.Event
+	head int
+	n    int
+}
+
+func (r *eventRing) push(e telemetry.Event) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = e
+		r.n++
+		return
+	}
+	r.buf[r.head] = e
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// events returns the ring's contents oldest-first.
+func (r *eventRing) events() []telemetry.Event {
+	out := make([]telemetry.Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	return out
+}
+
+// DefaultRecorderDepth is the per-node ring size when the caller
+// passes 0: enough to cover several control cycles of every experiment
+// without the recorder's memory mattering.
+const DefaultRecorderDepth = 256
+
+// NewRecorder creates a recorder keeping the last perNodeCap events per
+// component (<= 0 selects DefaultRecorderDepth).
+func NewRecorder(perNodeCap int) *Recorder {
+	if perNodeCap <= 0 {
+		perNodeCap = DefaultRecorderDepth
+	}
+	return &Recorder{cap: perNodeCap, rings: make(map[string]*eventRing)}
+}
+
+// Attach installs the recorder as tr's event observer. Fault
+// injections and SLO breaches auto-trigger.
+func (r *Recorder) Attach(tr *telemetry.Tracer) {
+	if tr == nil {
+		return
+	}
+	tr.SetObserver(r.Observe)
+}
+
+// Observe routes one event into its node's ring and fires automatic
+// triggers. It is the telemetry observer the recorder installs, but can
+// also be called directly when composing observers by hand.
+func (r *Recorder) Observe(e telemetry.Event) {
+	ring := r.rings[e.Node]
+	if ring == nil {
+		ring = &eventRing{buf: make([]telemetry.Event, r.cap)}
+		r.rings[e.Node] = ring
+		r.order = append(r.order, e.Node)
+	}
+	ring.push(e)
+	switch e.Kind {
+	case telemetry.KindFaultInject:
+		r.fire(Trigger{Reason: "fault-inject", Node: e.Node, Detail: e.Detail, AtNS: e.T})
+	case telemetry.KindSLOBreach:
+		r.fire(Trigger{Reason: "slo-breach", Node: e.Node, Detail: e.Detail, AtNS: e.T})
+	}
+}
+
+// Trigger records a manual dump-worthy moment (checkpoint divergence,
+// test failure).
+func (r *Recorder) Trigger(reason, detail string, atNS int64) {
+	r.fire(Trigger{Reason: reason, Detail: detail, AtNS: atNS})
+}
+
+func (r *Recorder) fire(t Trigger) {
+	r.triggers = append(r.triggers, t)
+	if r.OnTrigger != nil {
+		r.OnTrigger(t)
+	}
+}
+
+// Triggers returns the recorded triggers in occurrence order.
+func (r *Recorder) Triggers() []Trigger { return r.triggers }
+
+// Empty reports whether the recorder has seen no events and no
+// triggers — the CLI uses it to decide whether a merge-based sweep
+// needs a catch-up feed from the retained trace.
+func (r *Recorder) Empty() bool { return len(r.order) == 0 && len(r.triggers) == 0 }
+
+// jsonTrigger is the dump wire form of a trigger line.
+type jsonTrigger struct {
+	Type string `json:"type"` // "trigger"
+	Trigger
+}
+
+// jsonRecorded is the dump wire form of one recorded event.
+type jsonRecorded struct {
+	Type  string `json:"type"` // "event"
+	T     int64  `json:"t"`
+	Kind  string `json:"kind"`
+	Cause string `json:"cause,omitempty"`
+	Node  string `json:"node,omitempty"`
+	Port  int32  `json:"port,omitempty"`
+	Frame uint64 `json:"frame,omitempty"`
+	Prio  uint8  `json:"prio,omitempty"`
+	Aux   int64  `json:"aux,omitempty"`
+	// Detail carries fault specs / SLO specs for those event kinds.
+	Detail string `json:"detail,omitempty"`
+}
+
+// WriteJSONL dumps the recorder: every trigger in occurrence order,
+// then every node's ring (sorted by node name) oldest event first. The
+// output is deterministic — resume-equivalence demands byte identity.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, t := range r.triggers {
+		if err := enc.Encode(jsonTrigger{Type: "trigger", Trigger: t}); err != nil {
+			return err
+		}
+	}
+	nodes := append([]string(nil), r.order...)
+	sort.Strings(nodes)
+	for _, node := range nodes {
+		for _, e := range r.rings[node].events() {
+			if err := enc.Encode(jsonRecorded{
+				Type: "event", T: e.T, Kind: e.Kind.String(), Cause: e.Cause.String(),
+				Node: e.Node, Port: e.Port, Frame: e.Frame, Prio: e.Prio,
+				Aux: e.Aux, Detail: e.Detail,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DumpToFile writes the recorder to path (atomically enough for CI:
+// full write then close).
+func (r *Recorder) DumpToFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// FoldState folds every ring (first-seen node order, oldest event
+// first) and the trigger log, so a restored run must rebuild the
+// recorder exactly.
+func (r *Recorder) FoldState(d *checkpoint.Digest) {
+	d.Int(r.cap)
+	d.Int(len(r.order))
+	for _, node := range r.order {
+		ring := r.rings[node]
+		d.Str(node)
+		d.Int(ring.n)
+		for i := 0; i < ring.n; i++ {
+			e := ring.buf[(ring.head+i)%len(ring.buf)]
+			d.I64(e.T)
+			d.U64(uint64(e.Kind))
+			d.U64(uint64(e.Cause))
+			d.U64(uint64(e.Prio))
+			d.I64(int64(e.Port))
+			d.U64(e.Frame)
+			d.I64(e.Aux)
+			d.Str(e.Node)
+			d.Str(e.Detail)
+		}
+	}
+	d.Int(len(r.triggers))
+	for _, t := range r.triggers {
+		d.Str(t.Reason)
+		d.Str(t.Node)
+		d.Str(t.Detail)
+		d.I64(t.AtNS)
+	}
+}
+
+// FailingTest is the subset of testing.TB the dump-on-failure helper
+// needs (kept as an interface so the package does not import testing).
+type FailingTest interface {
+	Failed() bool
+	Name() string
+}
+
+// FlightRecDirEnv names the environment variable CI sets to collect
+// flight-recorder dumps from failing tests as artifacts.
+const FlightRecDirEnv = "STEELNET_FLIGHTREC_DIR"
+
+// DumpOnFailure writes the recorder to $STEELNET_FLIGHTREC_DIR when the
+// test has failed (no-op otherwise, or when the variable is unset).
+// Call it from a defer:
+//
+//	rec := intnet.NewRecorder(0)
+//	rec.Attach(tr)
+//	defer intnet.DumpOnFailure(t, rec)
+func DumpOnFailure(t FailingTest, r *Recorder) {
+	dir := os.Getenv(FlightRecDirEnv)
+	if dir == "" || !t.Failed() {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	name := strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			return c
+		default:
+			return '_'
+		}
+	}, t.Name())
+	r.Trigger("test-failure", t.Name(), -1)
+	_ = r.DumpToFile(filepath.Join(dir, fmt.Sprintf("flightrec-%s.jsonl", name)))
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"steelnet/internal/checkpoint"
+	intnet "steelnet/internal/int"
 	"steelnet/internal/metrics"
 	"steelnet/internal/mlwork"
 	"steelnet/internal/sim"
@@ -58,6 +59,9 @@ func NewHarness(sc Scenario) *Harness {
 // Engine returns the harness's engine.
 func (h *Harness) Engine() *sim.Engine { return h.b.engine }
 
+// Collector returns the INT collector (nil unless sc.INT).
+func (h *Harness) Collector() *intnet.Collector { return h.b.coll }
+
 // Horizon returns the configured end of the run.
 func (h *Harness) Horizon() sim.Time { return sim.Time(h.sc.Horizon) }
 
@@ -105,6 +109,9 @@ func (h *Harness) FoldState(d *checkpoint.Digest) {
 	for _, s := range h.b.servers {
 		s.FoldState(d)
 	}
+	if h.b.coll != nil {
+		h.b.coll.FoldState(d)
+	}
 }
 
 // Digest returns the state digest at the current instant.
@@ -124,6 +131,15 @@ func (h *Harness) Save(w io.Writer) error {
 // Restore reads a checkpoint, rebuilds the cell and replays to the
 // checkpointed instant, verifying the state digest.
 func Restore(r io.Reader, tracer *telemetry.Tracer, registry *telemetry.Registry) (*Harness, error) {
+	return RestoreWithCollector(r, tracer, registry, nil)
+}
+
+// RestoreWithCollector is Restore with an INT collector attachment:
+// when the checkpointed scenario has INT enabled and coll is non-nil,
+// the replay feeds coll (and anything chained on its OnSink — the SLO
+// watchdog) instead of a private collector. coll must be empty; replay
+// repopulates it from instant zero.
+func RestoreWithCollector(r io.Reader, tracer *telemetry.Tracer, registry *telemetry.Registry, coll *intnet.Collector) (*Harness, error) {
 	cfgBytes, at, digest, err := checkpoint.ReadHarness(r, CheckpointKind)
 	if err != nil {
 		return nil, err
@@ -135,6 +151,7 @@ func Restore(r io.Reader, tracer *telemetry.Tracer, registry *telemetry.Registry
 	}
 	sc.Trace = tracer
 	sc.Metrics = registry
+	sc.Collector = coll
 	h := NewHarness(sc)
 	h.AdvanceTo(sim.Time(at))
 	if got := h.Digest(); got != digest {
@@ -192,6 +209,7 @@ func encodeScenario(e *checkpoint.Encoder, sc Scenario) {
 	e.I64(int64(sc.Horizon))
 	e.Int(sc.ClientsPerServer)
 	e.Bool(sc.PlacementOnly)
+	e.Bool(sc.INT)
 }
 
 func decodeScenario(d *checkpoint.Decoder) Scenario {
@@ -219,5 +237,6 @@ func decodeScenario(d *checkpoint.Decoder) Scenario {
 		Horizon:          time.Duration(d.I64()),
 		ClientsPerServer: d.Int(),
 		PlacementOnly:    d.Bool(),
+		INT:              d.Bool(),
 	}
 }

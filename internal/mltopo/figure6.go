@@ -3,9 +3,11 @@ package mltopo
 import (
 	"fmt"
 
+	intnet "steelnet/internal/int"
 	"steelnet/internal/metrics"
 	"steelnet/internal/mlwork"
 	"steelnet/internal/sweep"
+	"steelnet/internal/telemetry"
 )
 
 // Apps are the two Fig. 6 applications in panel order.
@@ -33,9 +35,10 @@ func figure6Grid(cfg Figure6Config) ([]figure6Cell, int) {
 		}
 	}
 	workers := cfg.Workers
-	if cfg.Trace != nil || cfg.Metrics != nil {
-		// A shared tracer or registry cannot be written from parallel
-		// cells; telemetry-attached sweeps run serially.
+	if cfg.Trace != nil || cfg.Metrics != nil || cfg.INT {
+		// A shared tracer, registry, or INT collector cannot be written
+		// from parallel cells; telemetry-attached resumable sweeps run
+		// serially (RunFigure6 merges per-cell buffers instead).
 		workers = 1
 	}
 	return cells, workers
@@ -52,6 +55,8 @@ func figure6Fn(cfg Figure6Config, cells []figure6Cell) func(i int) Result {
 		}
 		sc.Trace = cfg.Trace
 		sc.Metrics = cfg.Metrics
+		sc.INT = cfg.INT
+		sc.Collector = cfg.Collector
 		return Run(sc)
 	}
 }
@@ -60,10 +65,46 @@ func figure6Fn(cfg Figure6Config, cells []figure6Cell) func(i int) Result {
 // cells, in app-major, kind-minor order. Each cell is an independent
 // scenario with its own engine, so the grid runs across cfg.Workers
 // goroutines; results merge in the same order as a serial sweep, and
-// the rendered panels are byte-identical for any worker count.
+// the rendered panels are byte-identical for any worker count. Tracing
+// and INT collection stay parallel: each cell writes private buffers
+// that merge into cfg.Trace / cfg.Collector in cell order afterwards.
+// Only a shared metrics registry forces the sweep serial.
 func RunFigure6(cfg Figure6Config) []Result {
-	cells, workers := figure6Grid(cfg)
-	return sweep.Run(workers, len(cells), figure6Fn(cfg, cells))
+	cells, _ := figure6Grid(cfg)
+	workers := cfg.Workers
+	if cfg.Metrics != nil {
+		workers = 1
+	}
+	type cellOut struct {
+		res  Result
+		tr   *telemetry.Tracer
+		coll *intnet.Collector
+	}
+	outs := sweep.Run(workers, len(cells), func(i int) cellOut {
+		c := cfg
+		var o cellOut
+		if cfg.Trace != nil {
+			o.tr = telemetry.NewTracer(nil) // bound to the cell's engine by NewHarness
+			c.Trace = o.tr
+		}
+		if cfg.INT {
+			o.coll = intnet.NewCollector()
+			c.Collector = o.coll
+		}
+		o.res = figure6Fn(c, cells)(i)
+		return o
+	})
+	results := make([]Result, len(outs))
+	for i, o := range outs {
+		results[i] = o.res
+		if o.tr != nil {
+			cfg.Trace.MergeFrom(o.tr)
+		}
+		if o.coll != nil && cfg.Collector != nil {
+			cfg.Collector.Absorb(o.coll)
+		}
+	}
+	return results
 }
 
 // RunFigure6Resumable is RunFigure6 with sweep-level checkpointing:

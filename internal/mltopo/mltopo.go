@@ -14,12 +14,17 @@ import (
 	"fmt"
 	"time"
 
+	intnet "steelnet/internal/int"
 	"steelnet/internal/mlwork"
 	"steelnet/internal/sim"
 	"steelnet/internal/simnet"
 	"steelnet/internal/telemetry"
 	"steelnet/internal/topo"
 )
+
+// intMaxHops bounds mltopo INT stacks: ring topologies can cross far
+// more than the frame-level default of 8 switches.
+const intMaxHops = 16
 
 // Kind selects one of the three compared topologies.
 type Kind int
@@ -68,10 +73,18 @@ type Scenario struct {
 	// the traffic-aware design.
 	PlacementOnly bool
 	// Trace, when non-nil, records the cell's frame lifecycle; Metrics,
-	// when non-nil, receives every component counter. A shared tracer or
-	// registry forces Fig. 6 sweeps serial (see RunFigure6).
+	// when non-nil, receives every component counter. A shared registry
+	// forces Fig. 6 sweeps serial; tracing merges per-cell (see
+	// RunFigure6).
 	Trace   *telemetry.Tracer
 	Metrics *telemetry.Registry
+	// INT makes every camera an INT source (flow = client id) and every
+	// inference server a sink: request frames arrive carrying the per-
+	// switch residence times of their actual path through the fabric.
+	INT bool
+	// Collector receives terminated stacks (nil with INT set means the
+	// harness creates one; see Harness.Collector).
+	Collector *intnet.Collector
 }
 
 // DefaultScenario fills the Fig. 6 defaults for a kind/app/client cell.
@@ -116,6 +129,7 @@ type built struct {
 	net     *simnet.Network
 	clients []*mlwork.Client
 	servers []*mlwork.Server
+	coll    *intnet.Collector
 }
 
 // Run executes one scenario and returns its measurements. It is the
@@ -224,9 +238,18 @@ func instantiate(e *sim.Engine, g *topo.Graph, sc Scenario, clientNode, serverNo
 		net.RegisterMetrics(sc.Metrics)
 	}
 	b := built{engine: e, net: net}
+	if sc.INT {
+		b.coll = sc.Collector
+		if b.coll == nil {
+			b.coll = intnet.NewCollector()
+		}
+	}
 	servers := make([]*mlwork.Server, len(serverNode))
 	for i, n := range serverNode {
 		servers[i] = mlwork.AttachServer(e, net.Host(n), sc.Profile)
+		if b.coll != nil {
+			net.Host(n).SetINTSink(b.coll)
+		}
 	}
 	clients := make([]*mlwork.Client, len(clientNode))
 	for i, n := range clientNode {
@@ -235,6 +258,11 @@ func instantiate(e *sim.Engine, g *topo.Graph, sc Scenario, clientNode, serverNo
 			sIdx = assignFn(i)
 		}
 		clients[i] = mlwork.AttachClient(e, net.Host(n), uint32(i+1), net.Host(serverNode[sIdx]).MAC(), sc.Profile, sc.Deg)
+		if b.coll != nil {
+			// Flow = client id, matching mlwork's request flow labels.
+			// Non-strict: telemetry must never cost a camera frame.
+			net.Host(n).SetINTSource(uint32(i+1), intMaxHops, false)
+		}
 	}
 	b.clients = clients
 	b.servers = servers

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	intnet "steelnet/internal/int"
 	"steelnet/internal/sim"
 	"steelnet/internal/telemetry"
 	"steelnet/internal/topo"
@@ -205,10 +206,16 @@ type Figure6Config struct {
 	// Workers bounds the goroutines running sweep cells. <= 0 selects
 	// runtime.NumCPU(); 1 runs serially. Output is identical either way.
 	Workers int
-	// Trace and Metrics, when non-nil, are attached to every cell; a
-	// shared tracer or registry forces the sweep serial.
+	// Trace and Metrics, when non-nil, are attached to every cell. A
+	// shared registry forces the sweep serial; tracing stays parallel
+	// (cells trace privately and merge in cell order). Resumable sweeps
+	// still force serial under either.
 	Trace   *telemetry.Tracer
 	Metrics *telemetry.Registry
+	// INT attaches in-band telemetry to every cell; per-cell collectors
+	// are absorbed into Collector (when non-nil) in cell order.
+	INT       bool
+	Collector *intnet.Collector
 }
 
 // DefaultFigure6Config matches the paper's x-axis.

@@ -8,6 +8,7 @@ import (
 	"steelnet/internal/ebpf"
 	"steelnet/internal/frame"
 	"steelnet/internal/host"
+	intnet "steelnet/internal/int"
 	"steelnet/internal/metrics"
 	"steelnet/internal/sim"
 	"steelnet/internal/simnet"
@@ -31,6 +32,7 @@ type Harness struct {
 	refl    *Reflector
 	tp      *tap.Tap
 	links   []*simnet.Link
+	coll    *intnet.Collector
 
 	finished bool
 	result   Result
@@ -51,6 +53,15 @@ func NewHarness(cfg Config, v Variant) *Harness {
 	l1 := simnet.Connect(e, "sender-tap", h.sender.Host().Port(), h.tp.PortA(), cfg.LinkBps, 500*sim.Nanosecond)
 	l2 := simnet.Connect(e, "tap-reflector", h.tp.PortB(), h.refl.Host().Port(), cfg.LinkBps, 500*sim.Nanosecond)
 	h.links = []*simnet.Link{l1, l2}
+
+	if cfg.INT {
+		h.coll = cfg.Collector
+		if h.coll == nil {
+			h.coll = intnet.NewCollector()
+		}
+		h.sender.EnableINT()
+		h.refl.SetINTSink(h.coll)
+	}
 
 	if cfg.Trace != nil {
 		cfg.Trace.Bind(e)
@@ -80,6 +91,9 @@ func NewHarness(cfg Config, v Variant) *Harness {
 
 // Engine returns the harness's engine.
 func (h *Harness) Engine() *sim.Engine { return h.engine }
+
+// Collector returns the INT collector (nil unless cfg.INT).
+func (h *Harness) Collector() *intnet.Collector { return h.coll }
 
 // Horizon returns the probing end time (after it, Result drains).
 func (h *Harness) Horizon() sim.Time {
@@ -139,6 +153,9 @@ func (h *Harness) FoldState(d *checkpoint.Digest) {
 		l.FoldState(d)
 	}
 	d.Bool(h.finished)
+	if h.coll != nil {
+		h.coll.FoldState(d)
+	}
 }
 
 // Digest returns the state digest at the current instant.
@@ -165,6 +182,15 @@ func (h *Harness) Save(w io.Writer) error {
 // by name from the registry) and replays to the checkpointed instant,
 // verifying the state digest.
 func Restore(r io.Reader, tracer *telemetry.Tracer, registry *telemetry.Registry) (*Harness, error) {
+	return RestoreWithCollector(r, tracer, registry, nil)
+}
+
+// RestoreWithCollector is Restore with an INT collector attachment:
+// when the checkpointed config has INT enabled and coll is non-nil, the
+// replay feeds coll (and anything chained on its OnSink — the SLO
+// watchdog) instead of a private collector. coll must be empty; replay
+// repopulates it from instant zero.
+func RestoreWithCollector(r io.Reader, tracer *telemetry.Tracer, registry *telemetry.Registry, coll *intnet.Collector) (*Harness, error) {
 	cfgBytes, at, digest, err := checkpoint.ReadHarness(r, CheckpointKind)
 	if err != nil {
 		return nil, err
@@ -181,6 +207,7 @@ func Restore(r io.Reader, tracer *telemetry.Tracer, registry *telemetry.Registry
 	}
 	cfg.Trace = tracer
 	cfg.Metrics = registry
+	cfg.Collector = coll
 	h := NewHarness(cfg, v)
 	h.AdvanceTo(sim.Time(at))
 	if got := h.Digest(); got != digest {
@@ -248,6 +275,7 @@ func encodeConfig(e *checkpoint.Encoder, cfg Config) {
 	e.I64(int64(cfg.TapCfg.TimestampStep))
 	e.I64(int64(cfg.TapCfg.PassThrough))
 	e.I64(int64(cfg.TapCfg.ClockOffset))
+	e.Bool(cfg.INT)
 }
 
 func decodeConfig(d *checkpoint.Decoder) Config {
@@ -265,6 +293,7 @@ func decodeConfig(d *checkpoint.Decoder) Config {
 			PassThrough:   sim.Duration(d.I64()),
 			ClockOffset:   sim.Duration(d.I64()),
 		},
+		INT: d.Bool(),
 	}
 }
 

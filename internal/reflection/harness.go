@@ -6,6 +6,7 @@ import (
 	"steelnet/internal/ebpf"
 	"steelnet/internal/frame"
 	"steelnet/internal/host"
+	intnet "steelnet/internal/int"
 	"steelnet/internal/metrics"
 	"steelnet/internal/sim"
 	"steelnet/internal/simnet"
@@ -26,6 +27,7 @@ type Reflector struct {
 	costs   *ebpf.CostModel
 	rng     *sim.RNG
 	pool    frame.Pool // recycles consumed probes into reflected frames
+	intSink simnet.INTSink
 
 	// Reflected, Passed and Aborted count program verdicts.
 	Reflected, Passed, Aborted uint64
@@ -47,8 +49,21 @@ func NewReflector(e *sim.Engine, name string, mac frame.MAC, stk *host.Stack, v 
 // Host returns the underlying simnet host (for wiring).
 func (r *Reflector) Host() *simnet.Host { return r.host }
 
+// SetINTSink terminates probe INT stacks at the reflector's ingress.
+func (r *Reflector) SetINTSink(s simnet.INTSink) { r.intSink = s }
+
 func (r *Reflector) onFrame(f *frame.Frame) {
 	e := r.host.Engine()
+	// INT must terminate here: Marshal below serializes only the wire
+	// bytes, so a stack surviving past this point would silently vanish
+	// in the marshal/unmarshal round trip. Strip even without a sink so
+	// pool recycling can never resurrect a stale stack.
+	if f.INT != nil {
+		if r.intSink != nil {
+			r.intSink.SinkINT(r.host.Name(), f, int64(e.Now()))
+		}
+		f.INT = nil
+	}
 	size := f.WireLen()
 	rx := r.stack.RxToXDP(size)
 	e.After(rx, func() {
@@ -90,6 +105,7 @@ type Sender struct {
 	seqs   map[uint32]uint32
 	ticker []*sim.Ticker
 	pool   frame.Pool // recycles reflected probes into fresh ones
+	intOn  bool
 }
 
 // NewSender creates a probe source addressed at dst with the given probe
@@ -110,6 +126,10 @@ func NewSender(e *sim.Engine, name string, mac, dst frame.MAC, size int) *Sender
 // Host returns the underlying simnet host (for wiring).
 func (s *Sender) Host() *simnet.Host { return s.host }
 
+// EnableINT makes every probe carry an INT stack whose flow and
+// sequence mirror the probe's own identifiers.
+func (s *Sender) EnableINT() { s.intOn = true }
+
 // StartFlow begins emitting flowID probes every cycle, first at start.
 func (s *Sender) StartFlow(flowID uint32, start sim.Time, cycle sim.Duration) {
 	e := s.host.Engine()
@@ -123,6 +143,11 @@ func (s *Sender) StartFlow(flowID uint32, start sim.Time, cycle sim.Duration) {
 		f.Dst = s.dst
 		f.Type = frame.TypeBenchEcho
 		f.Meta = frame.Meta{FlowID: flowID}
+		if s.intOn {
+			// Seq is 1-based on the wire: the collector reads sequence 0
+			// as "no predecessor" when tracking loss.
+			f.AttachINT(s.host.Name(), flowID, seq+1, int64(e.Now()), 0)
+		}
 		if !s.host.Send(f) {
 			s.pool.Put(f) // egress drop: safe to recycle immediately
 		}
@@ -153,11 +178,23 @@ type Config struct {
 	// 1 runs serially. Results are identical for any value — each cell
 	// runs on its own engine and results merge in input order.
 	Workers int
-	// Trace, when non-nil, records the frame lifecycle of the run. A
-	// shared tracer forces multi-cell sweeps serial (Workers == 1).
+	// Trace, when non-nil, records the frame lifecycle of the run.
+	// Multi-cell sweeps stay parallel: each cell traces into a private
+	// buffer, merged into Trace in cell order after the sweep.
 	Trace *telemetry.Tracer
-	// Metrics, when non-nil, receives the component counters.
+	// Metrics, when non-nil, receives the component counters. A shared
+	// registry cannot be written from parallel cells, so it forces
+	// multi-cell sweeps serial (Workers == 1).
 	Metrics *telemetry.Registry
+	// INT attaches an in-band telemetry stack to every probe at the
+	// sender; the tap transit-stamps it and the reflector's ingress
+	// terminates it into Collector — the per-hop decomposition of the
+	// one-way latency the tap can otherwise only measure end to end.
+	INT bool
+	// Collector receives terminated INT stacks. Nil with INT set means
+	// the harness creates one (Harness.Collector). Multi-cell sweeps
+	// give each cell a private collector and Absorb them in cell order.
+	Collector *intnet.Collector
 }
 
 // DefaultConfig is the paper-like setup: 100 Mb/s industrial links, 2 ms
@@ -214,33 +251,78 @@ func (r Result) WouldTripWatchdog(thresholdNS float64, watchdogCycles int) bool 
 	return metrics.WouldTripWatchdog(r.Jitter, thresholdNS, watchdogCycles)
 }
 
-// sweepWorkers is the effective pool size: a shared tracer or registry
-// cannot be written from parallel cells, so telemetry forces serial.
+// sweepWorkers is the effective pool size for resumable sweeps: a
+// shared tracer or registry cannot be written from parallel cells, so
+// telemetry forces serial there.
 func sweepWorkers(cfg Config) int {
-	if cfg.Trace != nil || cfg.Metrics != nil {
+	if cfg.Trace != nil || cfg.Metrics != nil || cfg.INT {
 		return 1
 	}
 	return cfg.Workers
+}
+
+// cellOut carries one sweep cell's result plus its private telemetry
+// buffers, pending the in-order merge.
+type cellOut struct {
+	res  Result
+	tr   *telemetry.Tracer
+	coll *intnet.Collector
+}
+
+// runCells executes n sweep cells. Tracing and INT collection no longer
+// force the sweep serial: each cell writes into a private tracer and
+// collector, and the buffers merge into cfg.Trace / cfg.Collector in
+// input cell order after the sweep — byte-identical to a serial run. A
+// shared metrics registry still serializes the sweep.
+func runCells(cfg Config, n int, run func(i int, c Config) Result) []Result {
+	workers := cfg.Workers
+	if cfg.Metrics != nil {
+		workers = 1
+	}
+	outs := sweep.Run(workers, n, func(i int) cellOut {
+		c := cfg
+		var o cellOut
+		if cfg.Trace != nil {
+			o.tr = telemetry.NewTracer(nil) // bound to the cell's engine by NewHarness
+			c.Trace = o.tr
+		}
+		if cfg.INT {
+			o.coll = intnet.NewCollector()
+			c.Collector = o.coll
+		}
+		o.res = run(i, c)
+		return o
+	})
+	results := make([]Result, n)
+	for i, o := range outs {
+		results[i] = o.res
+		if o.tr != nil {
+			cfg.Trace.MergeFrom(o.tr)
+		}
+		if o.coll != nil && cfg.Collector != nil {
+			cfg.Collector.Absorb(o.coll)
+		}
+	}
+	return results
 }
 
 // RunAllVariants reproduces Fig. 4 (left): the delay CDF of all six
 // variants under cfg. Cells run across cfg.Workers goroutines; the
 // result order (and thus every rendered table) matches a serial run.
 func RunAllVariants(cfg Config) []Result {
-	return sweep.Run(sweepWorkers(cfg), len(VariantNames), func(i int) Result {
+	return runCells(cfg, len(VariantNames), func(i int, c Config) Result {
 		v, err := NewVariant(VariantNames[i])
 		if err != nil {
 			panic(err)
 		}
-		return Run(cfg, v)
+		return Run(c, v)
 	})
 }
 
 // RunFlowSweep reproduces Fig. 4 (right): jitter CDFs of the Base
 // variant for each flow count, one sweep cell per count.
 func RunFlowSweep(cfg Config, flowCounts []int) []Result {
-	return sweep.Run(sweepWorkers(cfg), len(flowCounts), func(i int) Result {
-		c := cfg
+	return runCells(cfg, len(flowCounts), func(i int, c Config) Result {
 		c.Flows = flowCounts[i]
 		return Run(c, NewBase())
 	})
@@ -255,6 +337,33 @@ func DelayTable(results []Result) string {
 		order = append(order, r.Variant)
 	}
 	return metrics.CDFTable("Figure 4 (left): reflection delay CDF by eBPF variant", "µs", series, order)
+}
+
+// DecompositionTable renders the INT per-hop latency decomposition: for
+// every observed path, each hop's residence-time statistics next to the
+// end-to-end figures, with the unattributed remainder (wire serialization,
+// propagation and host ingress — everything between the stamped hops)
+// made explicit. This is the view the tap alone cannot give: the tap
+// sees one number per round trip, INT splits it per device.
+func DecompositionTable(digests []*intnet.PathDigest) string {
+	t := metrics.NewTable("INT per-hop latency decomposition (µs)",
+		"path", "hop", "frames", "mean", "min", "max", "maxQ")
+	us := func(ns float64) string { return fmt.Sprintf("%.3f", ns/1e3) }
+	for _, p := range digests {
+		label := fmt.Sprintf("%s->%s/%d", p.Source, p.Sink, p.Flow)
+		var attributed float64
+		for _, h := range p.HopAggs {
+			attributed += h.MeanNS()
+			t.AddRow(label, h.Node, fmt.Sprintf("%d", h.Count),
+				us(h.MeanNS()), us(float64(h.MinNS)), us(float64(h.MaxNS)),
+				fmt.Sprintf("%d", h.QueueMax))
+		}
+		t.AddRow(label, "(unattributed)", fmt.Sprintf("%d", p.Count),
+			us(p.MeanNS()-attributed), "", "", "")
+		t.AddRow(label, "end-to-end", fmt.Sprintf("%d", p.Count),
+			us(p.MeanNS()), us(float64(p.MinNS)), us(float64(p.MaxNS)), "")
+	}
+	return t.String()
 }
 
 // JitterTable renders Fig. 4 (right) as a percentile table (ns).

@@ -6,6 +6,15 @@ import (
 	"steelnet/internal/telemetry"
 )
 
+// INTSink consumes terminated in-band telemetry stacks at a sink node.
+// internal/int's Collector is the canonical implementation; the
+// interface is declared here so simnet does not depend on it.
+type INTSink interface {
+	// SinkINT observes f's INT stack at sink node at simulated time
+	// nowNS. The stack is still attached; the caller strips it after.
+	SinkINT(node string, f *frame.Frame, nowNS int64)
+}
+
 // Host is a single-port endpoint: it owns a MAC address and hands
 // received frames to a pluggable handler. The PLC runtime, I/O devices,
 // traffic generators and ML clients are all Hosts with different
@@ -17,6 +26,15 @@ type Host struct {
 	port    *Port
 	handler func(*frame.Frame)
 	tr      *telemetry.Tracer
+
+	// INT source/sink roles (see SetINTSource/SetINTSink). intSeq is the
+	// source's per-flow sequence counter, folded into checkpoints.
+	intSource  bool
+	intFlow    uint32
+	intMaxHops int
+	intStrict  bool
+	intSeq     uint32
+	intSink    INTSink
 
 	// RxCount counts frames delivered to the handler.
 	RxCount uint64
@@ -51,11 +69,31 @@ func (h *Host) SetTracer(t *telemetry.Tracer) {
 	h.port.SetTracer(t)
 }
 
+// SetINTSource makes the host an INT source: every Send attaches a
+// fresh telemetry stack carrying flow, a per-host sequence number, and
+// room for maxHops transit records (<=0 selects the default). strict
+// selects the stack's hop-exceeded policy (see frame.INTStack).
+func (h *Host) SetINTSource(flow uint32, maxHops int, strict bool) {
+	h.intSource = true
+	h.intFlow = flow
+	h.intMaxHops = maxHops
+	h.intStrict = strict
+}
+
+// SetINTSink makes the host an INT sink: received stacks are handed to
+// sink and stripped before the frame reaches the handler, the way a
+// hardware sink strips the stack before host delivery. Nil disables.
+func (h *Host) SetINTSink(sink INTSink) { h.intSink = sink }
+
 // Receive implements Node.
 func (h *Host) Receive(port *Port, f *frame.Frame) {
 	if !f.Dst.IsBroadcast() && !f.Dst.IsMulticast() && f.Dst != h.mac {
 		port.reclaim(f) // not for us (flooded frame)
 		return
+	}
+	if f.INT != nil && h.intSink != nil {
+		h.intSink.SinkINT(h.name, f, int64(h.engine.Now()))
+		f.INT = nil
 	}
 	h.RxCount++
 	if h.handler != nil {
@@ -70,6 +108,11 @@ func (h *Host) Send(f *frame.Frame) bool {
 	f.Src = h.mac
 	if f.Meta.CreatedAt == 0 {
 		f.Meta.CreatedAt = int64(h.engine.Now())
+	}
+	if h.intSource {
+		h.intSeq++
+		st := f.AttachINT(h.name, h.intFlow, h.intSeq, int64(h.engine.Now()), h.intMaxHops)
+		st.Strict = h.intStrict
 	}
 	if h.tr != nil {
 		h.tr.HostTx(h.name, f)

@@ -87,9 +87,12 @@ type Port struct {
 	// schedule. FlushedDrops: queued frames destroyed by link-down or
 	// switch crash. WireDrops: in-flight frames destroyed by a link dying
 	// under them. FailedDrops: frames a crashed switch destroyed on
-	// arrival at this port.
+	// arrival at this port. INTDrops: frames a strict INT stack-overflow
+	// destroyed when the switch chose this port as egress (the frame died
+	// inside the switch, before the queue saw it — like FailedDrops it
+	// sits outside the port's conservation identity).
 	OverflowDrops, DownDrops, ShaperDrops, FlushedDrops uint64
-	WireDrops, FailedDrops                              uint64
+	WireDrops, FailedDrops, INTDrops                    uint64
 
 	// QueueHighWater is the deepest the egress queue has been.
 	QueueHighWater int

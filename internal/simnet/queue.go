@@ -131,6 +131,9 @@ func (q *PriorityQueue) Len() int { return q.length }
 // ClassLen returns the depth of one priority class.
 func (q *PriorityQueue) ClassLen(c frame.PCP) int { return q.classes[int(c&7)].n }
 
+// Limit returns the per-class depth bound.
+func (q *PriorityQueue) Limit() int { return q.limit }
+
 // Clear drops all queued frames. Ring capacity is retained so the next
 // burst does not reallocate.
 func (q *PriorityQueue) Clear() {

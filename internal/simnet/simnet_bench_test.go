@@ -30,6 +30,42 @@ func BenchmarkSwitchForwarding(b *testing.B) {
 	}
 }
 
+// BenchmarkSwitchForwardingINT is the same journey with the hosts as
+// INT source and sink: the delta against BenchmarkSwitchForwarding is
+// the whole price of in-band telemetry (stack attach, one transit
+// stamp, sink strip), asserted separately by TestINTEnabledAllocBudget.
+func BenchmarkSwitchForwardingINT(b *testing.B) {
+	e := sim.NewEngine(1)
+	sw := NewSwitch(e, "sw", 2, SwitchConfig{Latency: sim.Microsecond})
+	src := NewHost(e, "src", frame.NewMAC(1))
+	dst := NewHost(e, "dst", frame.NewMAC(2))
+	Connect(e, "a", src.Port(), sw.Port(0), 10e9, 0)
+	Connect(e, "b", dst.Port(), sw.Port(1), 10e9, 0)
+	sw.AddStatic(dst.MAC(), 1)
+	src.SetINTSource(1, 8, false)
+	dst.SetINTSink(discardSink{})
+	pool := &frame.Pool{}
+	dst.OnReceive(pool.Put)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := pool.Get(64)
+		f.Dst = dst.MAC()
+		src.Send(f)
+		e.Run()
+	}
+}
+
+// discardSink reads the stack without retaining it, like a collector
+// that folds observations into aggregates.
+type discardSink struct{}
+
+func (discardSink) SinkINT(node string, f *frame.Frame, nowNS int64) {
+	for _, h := range f.INT.Hops {
+		_ = h.HopLatencyNS()
+	}
+}
+
 func BenchmarkPriorityQueue(b *testing.B) {
 	q := NewPriorityQueue(1 << 16)
 	frames := make([]*frame.Frame, 8)

@@ -26,6 +26,30 @@ func foldFrame(d *checkpoint.Digest, f *frame.Frame) {
 	d.Bytes(f.Payload)
 	d.I64(f.Meta.CreatedAt)
 	d.U64(uint64(f.Meta.FlowID))
+	d.Bool(f.INT != nil)
+	if f.INT != nil {
+		foldINT(d, f.INT)
+	}
+}
+
+// foldINT folds a frame's in-band telemetry stack: the stamped hops
+// change WireLen and the sink-side digests, so a queued INT frame's
+// stack is part of the state that must replay identically.
+func foldINT(d *checkpoint.Digest, s *frame.INTStack) {
+	d.Str(s.Source)
+	d.I64(s.SourceNS)
+	d.U64(uint64(s.FlowID))
+	d.U64(uint64(s.Seq))
+	d.Int(s.MaxHops)
+	d.Bool(s.Strict)
+	d.Int(len(s.Hops))
+	for _, h := range s.Hops {
+		d.Str(h.Node)
+		d.I64(h.IngressNS)
+		d.I64(h.EgressNS)
+		d.I64(int64(h.QueueDepth))
+		d.Bool(h.DropRisk)
+	}
 }
 
 // FoldState folds the queue's contents in drain order (highest class
@@ -65,6 +89,7 @@ func (p *Port) FoldState(d *checkpoint.Digest) {
 	d.U64(p.FlushedDrops)
 	d.U64(p.WireDrops)
 	d.U64(p.FailedDrops)
+	d.U64(p.INTDrops)
 	d.Int(p.QueueHighWater)
 	d.F64(p.lossRate)
 	d.F64(p.corruptRate)
@@ -110,15 +135,18 @@ func (s *Switch) FoldState(d *checkpoint.Digest) {
 	d.U64(s.DroppedWhileFailed)
 	d.U64(s.BlockedDrops)
 	d.U64(s.HairpinDrops)
+	d.U64(s.INTDrops)
 	for _, p := range s.ports {
 		p.FoldState(d)
 	}
 }
 
-// FoldState folds the host's delivery count and its single port.
+// FoldState folds the host's delivery count, INT source sequence and
+// its single port.
 func (h *Host) FoldState(d *checkpoint.Digest) {
 	d.Bytes(h.mac[:])
 	d.U64(h.RxCount)
+	d.U64(uint64(h.intSeq))
 	h.port.FoldState(d)
 }
 

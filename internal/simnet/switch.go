@@ -50,6 +50,10 @@ type Switch struct {
 	// their ingress. Both are normal switch behavior, not faults, but a
 	// conservation audit needs them enumerated.
 	BlockedDrops, HairpinDrops uint64
+	// INTDrops counts frames destroyed because a strict INT stack was
+	// already at MaxHops when this switch tried to stamp its transit
+	// record.
+	INTDrops uint64
 }
 
 // SwitchConfig sets a switch's forwarding-latency model.
@@ -180,11 +184,14 @@ func (s *Switch) Failed() bool { return s.failed }
 // through a free list, so the receive→forward hop allocates nothing in
 // steady state.
 type fwdCtx struct {
-	s    *Switch
-	f    *frame.Frame
-	in   int
-	run  func()
-	next *fwdCtx
+	s *Switch
+	f *frame.Frame
+	// intIn is the ingress timestamp for the frame's INT transit record,
+	// captured at Receive; meaningful only when f carries a stack.
+	intIn int64
+	in    int
+	run   func()
+	next  *fwdCtx
 }
 
 func (s *Switch) getFwd() *fwdCtx {
@@ -201,15 +208,16 @@ func (s *Switch) getFwd() *fwdCtx {
 
 func (s *Switch) putFwd(c *fwdCtx) {
 	c.f = nil
+	c.intIn = 0
 	c.next = s.fwdFree
 	s.fwdFree = c
 }
 
 // forwardCtx unpacks and recycles the context, then forwards.
 func (s *Switch) forwardCtx(c *fwdCtx) {
-	in, f := c.in, c.f
+	in, f, intIn := c.in, c.f, c.intIn
 	s.putFwd(c)
-	s.forward(in, f)
+	s.forward(in, f, intIn)
 }
 
 // Receive implements Node: learn, then forward after the pipeline delay.
@@ -245,10 +253,45 @@ func (s *Switch) Receive(port *Port, f *frame.Frame) {
 	c := s.getFwd()
 	c.f = f
 	c.in = port.Index
+	if f.INT != nil {
+		c.intIn = int64(s.engine.Now())
+	}
 	s.engine.After(d, c.run)
 }
 
-func (s *Switch) forward(inPort int, f *frame.Frame) {
+// stampINT pushes this switch's transit record onto f's INT stack:
+// the ingress/egress pipeline instants, the depth of the chosen egress
+// queue in the frame's priority class, and a drop-risk flag when that
+// class sits at or above 3/4 of its bound. It reports false when the
+// frame must die (strict stack already full); lenient stacks forward
+// unstamped.
+func (s *Switch) stampINT(f *frame.Frame, intIn int64, out int) bool {
+	q := s.ports[out].queue
+	depth := q.ClassLen(f.EffectivePriority())
+	ok := f.INT.PushHop(frame.INTHop{
+		Node:       s.name,
+		IngressNS:  intIn,
+		EgressNS:   int64(s.engine.Now()),
+		QueueDepth: int32(depth),
+		DropRisk:   depth*4 >= q.Limit()*3,
+	})
+	return ok || !f.INT.Strict
+}
+
+// dropINT destroys a frame whose strict INT stack overflowed at egress
+// port out. The frame dies inside the switch — after the upstream link
+// counted it delivered — so, like FailedDrops, these sit outside the
+// egress-port conservation identity by construction.
+func (s *Switch) dropINT(inPort, out int, f *frame.Frame) {
+	s.INTDrops++
+	s.ports[out].INTDrops++
+	if s.tr != nil {
+		s.tr.Drop(s.name, out, f, telemetry.CauseINT)
+	}
+	s.ports[inPort].reclaim(f)
+}
+
+func (s *Switch) forward(inPort int, f *frame.Frame, intIn int64) {
 	if s.failed {
 		// Crashed mid-pipeline: the frame was in the store-and-forward
 		// buffer and dies with the switch.
@@ -261,12 +304,12 @@ func (s *Switch) forward(inPort int, f *frame.Frame) {
 		return
 	}
 	if f.Dst.IsBroadcast() || f.Dst.IsMulticast() {
-		s.flood(inPort, f)
+		s.flood(inPort, f, intIn)
 		return
 	}
 	out, ok := s.fib[f.Dst]
 	if !ok {
-		s.flood(inPort, f)
+		s.flood(inPort, f, intIn)
 		return
 	}
 	if out == inPort || s.blocked[out] {
@@ -285,6 +328,10 @@ func (s *Switch) forward(inPort int, f *frame.Frame) {
 		s.ports[inPort].reclaim(f)
 		return
 	}
+	if f.INT != nil && !s.stampINT(f, intIn, out) {
+		s.dropINT(inPort, out, f)
+		return
+	}
 	s.ForwardedFrames++
 	if s.tr != nil {
 		s.tr.Forward(s.name, inPort, out, f)
@@ -296,7 +343,7 @@ func (s *Switch) forward(inPort int, f *frame.Frame) {
 	}
 }
 
-func (s *Switch) flood(inPort int, f *frame.Frame) {
+func (s *Switch) flood(inPort int, f *frame.Frame, intIn int64) {
 	s.FloodedFrames++
 	if s.tr != nil {
 		legs := 0
@@ -311,8 +358,14 @@ func (s *Switch) flood(inPort int, f *frame.Frame) {
 		if i == inPort || !p.Connected() || s.blocked[i] {
 			continue
 		}
-		s.ForwardedFrames++
 		g := f.Clone()
+		// Each leg stamps its own copy: the clones carry independent
+		// stacks, so per-leg egress queue depths stay distinguishable.
+		if g.INT != nil && !s.stampINT(g, intIn, i) {
+			s.dropINT(inPort, i, g)
+			continue
+		}
+		s.ForwardedFrames++
 		if !p.Send(g) {
 			p.reclaim(g)
 		}

@@ -31,6 +31,15 @@ type Accounting struct {
 	// Refusals at Send. These frames were never accepted, so they sit
 	// outside the conservation identity, but chaos assertions want them.
 	OverflowDrops, DownDrops uint64
+	// INTDrops counts frames a strict INT stack-overflow destroyed
+	// inside a switch. The upstream link already counted those frames
+	// Delivered (delivery is the identity's terminal state), so they
+	// need no Destroyed term — the identity holds with INT on because
+	// INT-bearing frames change only WireLen, never ownership, and
+	// INT-caused deaths happen strictly between one port's Delivered
+	// and the next port's Accepted. The counter is here so chaos
+	// assertions can still demand the deaths be enumerated.
+	INTDrops uint64
 }
 
 // Add accumulates one port's counters into the ledger.
@@ -46,6 +55,7 @@ func (a *Accounting) Add(p *Port) {
 	a.InjectedDrops += p.InjectedDrops
 	a.OverflowDrops += p.OverflowDrops
 	a.DownDrops += p.DownDrops
+	a.INTDrops += p.INTDrops
 }
 
 // Check returns an error unless delivered + destroyed + queued + in-flight
@@ -98,6 +108,7 @@ func RegisterPortMetrics(r *telemetry.Registry, p *Port) {
 		{"wire", func() uint64 { return p.WireDrops }},
 		{"injected", func() uint64 { return p.InjectedDrops }},
 		{"switch-failed", func() uint64 { return p.FailedDrops }},
+		{"int-overflow", func() uint64 { return p.INTDrops }},
 	} {
 		cls := append(append(telemetry.Labels{}, ls...), telemetry.Label{K: "cause", V: dc.cause})
 		r.Counter("steelnet_port_drops_total", cls, "frames dropped, by cause", dc.read)
@@ -113,6 +124,7 @@ func RegisterSwitchMetrics(r *telemetry.Registry, s *Switch) {
 	r.Counter("steelnet_switch_failed_drops_total", ls, "frames dropped while crashed", func() uint64 { return s.DroppedWhileFailed })
 	r.Counter("steelnet_switch_blocked_drops_total", ls, "frames dropped at blocked ports", func() uint64 { return s.BlockedDrops })
 	r.Counter("steelnet_switch_hairpin_drops_total", ls, "frames whose egress equals ingress", func() uint64 { return s.HairpinDrops })
+	r.Counter("steelnet_switch_int_drops_total", ls, "frames dropped on strict INT stack overflow", func() uint64 { return s.INTDrops })
 	for _, p := range s.ports {
 		RegisterPortMetrics(r, p)
 	}

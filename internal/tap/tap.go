@@ -129,7 +129,32 @@ func (t *Tap) Receive(port *simnet.Port, f *frame.Frame) {
 	if t.OnCapture != nil {
 		t.OnCapture(c)
 	}
-	t.engine.After(t.latency, func() { out.Send(f) })
+	var intIn int64
+	if f.INT != nil {
+		intIn = int64(t.engine.Now())
+	}
+	t.engine.After(t.latency, func() {
+		if f.INT != nil {
+			t.stampINT(f, intIn, out)
+		}
+		out.Send(f)
+	})
+}
+
+// stampINT pushes the tap's transit record onto f's INT stack. Unlike a
+// switch, a passive tap never destroys frames for telemetry: when the
+// stack is full the frame forwards unstamped even under strict policy.
+// Hop instants are raw engine time (the tap's quantized clock applies
+// only to its own captures), which is what lets the cross-validation
+// test compare INT hops against capture timestamps to within one
+// TimestampStep tick.
+func (t *Tap) stampINT(f *frame.Frame, intIn int64, out *simnet.Port) {
+	f.INT.PushHop(frame.INTHop{
+		Node:       t.name,
+		IngressNS:  intIn,
+		EgressNS:   int64(t.engine.Now()),
+		QueueDepth: int32(out.QueueDepth()),
+	})
 }
 
 // Captures returns all observations in capture order.

@@ -87,36 +87,49 @@ type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
-const faultTid = 0 // reserved lane for fault spans
+// Reserved lanes: fault spans and SLO breach spans. Node lanes start
+// after them.
+const (
+	faultTid = 0
+	sloTid   = 1
+)
 
 // WriteChromeTrace renders the events as a Chrome trace-event JSON
 // document: one timeline lane per node (in order of first appearance),
 // plus a dedicated "faults" lane where inject/recover pairs become
 // duration spans — a chaos run reads as injection → degradation →
-// recovery at a glance. Serialization occupancy (TxStart) renders as
-// duration slices; everything else as instants.
+// recovery at a glance — and an "slo" lane where watchdog breach/clear
+// pairs become spans the same way. Serialization occupancy (TxStart)
+// renders as duration slices; everything else as instants.
 func WriteChromeTrace(w io.Writer, events []Event) error {
 	tids := map[string]int{}
 	tid := func(node string) int {
 		id, ok := tids[node]
 		if !ok {
-			id = len(tids) + 1 // 0 is the fault lane
+			id = len(tids) + 2 // 0 is the fault lane, 1 the SLO lane
 			tids[node] = id
 		}
 		return id
 	}
 
-	// Pair each inject with the next recover for the same target+spec.
+	// Pair each inject with the next recover for the same target+spec,
+	// and each SLO breach with the next clear the same way.
 	recoverAt := make([]int64, len(events))
 	pending := map[string][]int{}
 	for i, e := range events {
 		switch e.Kind {
-		case KindFaultInject:
+		case KindFaultInject, KindSLOBreach:
 			recoverAt[i] = -1
-			key := e.Node + "\x00" + e.Detail
+			key := e.Kind.String() + "\x00" + e.Node + "\x00" + e.Detail
 			pending[key] = append(pending[key], i)
 		case KindFaultRecover:
-			key := e.Node + "\x00" + e.Detail
+			key := KindFaultInject.String() + "\x00" + e.Node + "\x00" + e.Detail
+			if q := pending[key]; len(q) > 0 {
+				recoverAt[q[0]] = e.T
+				pending[key] = q[1:]
+			}
+		case KindSLOClear:
+			key := KindSLOBreach.String() + "\x00" + e.Node + "\x00" + e.Detail
 			if q := pending[key]; len(q) > 0 {
 				recoverAt[q[0]] = e.T
 				pending[key] = q[1:]
@@ -131,6 +144,9 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	}, chromeEvent{
 		Name: "thread_name", Ph: "M", Pid: 1, Tid: faultTid,
 		Args: map[string]any{"name": "faults"},
+	}, chromeEvent{
+		Name: "thread_name", Ph: "M", Pid: 1, Tid: sloTid,
+		Args: map[string]any{"name": "slo"},
 	})
 	seen := map[string]bool{}
 	for i, e := range events {
@@ -147,9 +163,20 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 				ce.S = "g"
 			}
 			out.TraceEvents = append(out.TraceEvents, ce)
-		case KindFaultRecover:
-			// Represented by the matching inject's span end; unmatched
-			// recoveries (inject predates the trace) become instants.
+		case KindSLOBreach:
+			ce := chromeEvent{Name: e.Detail, Ts: ts, Pid: 1, Tid: sloTid, Cat: "slo",
+				Args: map[string]any{"target": e.Node, "measured": e.Aux}}
+			if recoverAt[i] >= 0 {
+				ce.Ph = "X"
+				ce.Dur = float64(recoverAt[i]-e.T) / 1e3
+			} else {
+				ce.Ph = "i"
+				ce.S = "g"
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		case KindFaultRecover, KindSLOClear:
+			// Represented by the matching inject/breach span end;
+			// unmatched clears (breach predates the trace) are elided.
 			continue
 		default:
 			id := tid(e.Node)

@@ -25,6 +25,9 @@ func sampleEvents() []Event {
 		{T: 90, Kind: KindDeliver, Node: "h2", Frame: 1, Prio: 6, Aux: 90},
 		{T: 100, Kind: KindFaultInject, Port: -1, Node: "vplc1", Detail: "hoststall:vplc1@100ns+50ns", Aux: 50},
 		{T: 150, Kind: KindFaultRecover, Port: -1, Node: "vplc1", Detail: "hoststall:vplc1@100ns+50ns"},
+		{T: 160, Kind: KindDrop, Cause: CauseINT, Node: "sw0", Port: 1, Frame: 7},
+		{T: 170, Kind: KindSLOBreach, Port: -1, Node: "io", Detail: "latency:io<250µs", Aux: 300_000},
+		{T: 180, Kind: KindSLOClear, Port: -1, Node: "io", Detail: "latency:io<250µs"},
 	}
 }
 
@@ -117,6 +120,59 @@ func TestChromeTraceFaultSpansAndSlices(t *testing.T) {
 	}
 	if !sawCause {
 		t.Fatal("drop cause not rendered in event name")
+	}
+}
+
+// The watchdog's breach/clear pairs must render exactly like fault
+// spans, in their own "slo" lane (tid 1), carrying the measured value.
+func TestChromeTraceSLOLane(t *testing.T) {
+	tes := decodeChrome(t, sampleEvents())
+	var metaSLO, spans int
+	for _, te := range tes {
+		switch {
+		case te["ph"] == "M" && te["name"] == "thread_name":
+			if args, _ := te["args"].(map[string]any); args["name"] == "slo" {
+				metaSLO++
+				if te["tid"].(float64) != 1 {
+					t.Fatalf("slo lane tid = %v, want 1", te["tid"])
+				}
+			}
+		case te["cat"] == "slo":
+			spans++
+			if te["ph"] != "X" {
+				t.Fatalf("matched breach ph = %v, want X span", te["ph"])
+			}
+			if te["dur"].(float64) != 0.01 { // 170ns..180ns = 0.01 µs
+				t.Fatalf("breach span dur = %v µs", te["dur"])
+			}
+			args := te["args"].(map[string]any)
+			if args["measured"].(float64) != 300_000 {
+				t.Fatalf("breach span measured = %v", args["measured"])
+			}
+		case te["name"] == "slo-clear":
+			t.Fatal("slo-clear leaked as its own event; it is the span end")
+		}
+	}
+	if metaSLO != 1 || spans != 1 {
+		t.Fatalf("slo meta=%d spans=%d, want 1/1", metaSLO, spans)
+	}
+}
+
+func TestChromeTraceUnmatchedBreachBecomesInstant(t *testing.T) {
+	tes := decodeChrome(t, []Event{
+		{T: 100, Kind: KindSLOBreach, Port: -1, Node: "io", Detail: "jitter:io<50µs", Aux: 60000},
+	})
+	var found bool
+	for _, te := range tes {
+		if te["cat"] == "slo" {
+			found = true
+			if te["ph"] != "i" || te["s"] != "g" {
+				t.Fatalf("unmatched breach = %+v", te)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no slo event emitted")
 	}
 }
 

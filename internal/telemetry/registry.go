@@ -33,6 +33,50 @@ func L(kv ...string) Labels {
 	return ls
 }
 
+// escapeLabelValue applies Prometheus label-value escaping: backslash,
+// double quote, and newline are escaped; everything else (including
+// UTF-8) passes through verbatim. Go's %q is NOT equivalent — it also
+// escapes tabs and non-ASCII, which Prometheus treats as literal bytes.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp applies Prometheus HELP-text escaping: backslash and
+// newline only (quotes are literal in HELP lines).
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, "\\\n") {
+		return h
+	}
+	var b strings.Builder
+	for _, r := range h {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 // String renders the label set in Prometheus brace form, "" when empty.
 func (ls Labels) String() string {
 	if len(ls) == 0 {
@@ -44,7 +88,10 @@ func (ls Labels) String() string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l.K, l.V)
+		b.WriteString(l.K)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.V))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -171,7 +218,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, e := range r.sorted() {
 		if e.name != lastName {
 			if e.help != "" {
-				fmt.Fprintf(&b, "# HELP %s %s\n", e.name, e.help)
+				fmt.Fprintf(&b, "# HELP %s %s\n", e.name, escapeHelp(e.help))
 			}
 			fmt.Fprintf(&b, "# TYPE %s %s\n", e.name, [...]string{"counter", "gauge", "histogram"}[e.kind])
 			lastName = e.name

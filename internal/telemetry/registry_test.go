@@ -68,6 +68,68 @@ func TestSnapshotOrderIndependentOfRegistration(t *testing.T) {
 	}
 }
 
+// Prometheus text-format escaping: label values escape backslash, quote
+// and newline — and nothing else (Go's %q would also mangle tabs and
+// UTF-8, which Prometheus treats as literal bytes).
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", L("path", `a\b`, "msg", "line1\nline2", "q", `say "hi"`, "raw", "täb\there"),
+		"", func() uint64 { return 1 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `c_total{path="a\\b",msg="line1\nline2",q="say \"hi\"",raw="täb	here"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaped series missing.\nwant %s\ngot:\n%s", want, out)
+	}
+	if strings.Count(out, "\n") != 2 { // TYPE line + the one series line
+		t.Fatalf("escaping leaked a raw newline into the exposition:\n%q", out)
+	}
+}
+
+func TestPrometheusHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", nil, "first\nsecond with \\ and \"quotes\"", func() uint64 { return 1 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// HELP escapes backslash and newline; quotes stay literal.
+	want := `# HELP c_total first\nsecond with \\ and "quotes"`
+	if !strings.Contains(out, want) {
+		t.Fatalf("help line wrong.\nwant %s\ngot:\n%s", want, out)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat", nil, "", []float64{0, 0.5, 10})
+	// One sample per region: below-first (negative), exactly on each
+	// bound, between bounds, and past the last bound.
+	for _, v := range []float64{-1, 0, 0.25, 0.5, 3, 10, 11} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lat_bucket{le="0"} 2`,   // -1 and the exact 0
+		`lat_bucket{le="0.5"} 4`, // + 0.25 and the exact 0.5
+		`lat_bucket{le="10"} 6`,  // + 3 and the exact 10
+		`lat_bucket{le="+Inf"} 7`,
+		`lat_count 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestHistogramBuckets(t *testing.T) {
 	r := NewRegistry()
 	h := r.NewHistogram("lat", nil, "latency", []float64{10, 100})

@@ -37,12 +37,15 @@ const (
 	KindDeliver
 	KindFaultInject
 	KindFaultRecover
+	KindSLOBreach
+	KindSLOClear
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"host-tx", "enqueue", "tx-start", "forward", "flood", "packet-in",
 	"corrupt", "drop", "deliver", "fault-inject", "fault-recover",
+	"slo-breach", "slo-clear",
 }
 
 // String returns the stable wire name of the kind (used in JSONL).
@@ -81,12 +84,14 @@ const (
 	CauseBlocked            // blocked ingress/egress port (ring redundancy)
 	CauseHairpin            // egress == ingress
 	CausePipeline           // programmable data plane verdict: drop
+	CauseINT                // strict INT stack full at a transit node
 	numCauses
 )
 
 var causeNames = [numCauses]string{
 	"", "overflow", "link-down", "flush", "shaper", "wire",
 	"injected", "switch-failed", "blocked", "hairpin", "pipeline",
+	"int-overflow",
 }
 
 // String returns the stable wire name of the cause ("" for CauseNone).
@@ -144,10 +149,18 @@ type Tracer struct {
 	engine *sim.Engine
 	events []Event
 	nextID uint64
+	// retain controls whether emitted events are appended to the
+	// in-memory log. NewTracer retains; a flight-recorder-only tracer
+	// sets retain false so long runs stay bounded while the observer
+	// still sees every event.
+	retain bool
+	// observer, when set, sees every event as it is emitted — the hook
+	// the flight recorder rides on.
+	observer func(Event)
 }
 
 // NewTracer creates a tracer bound to e (which may be nil until Bind).
-func NewTracer(e *sim.Engine) *Tracer { return &Tracer{engine: e} }
+func NewTracer(e *sim.Engine) *Tracer { return &Tracer{engine: e, retain: true} }
 
 // Bind points the tracer at an engine's clock. Experiments call this at
 // build time so one tracer handed in via a config can follow the cell's
@@ -156,6 +169,52 @@ func (t *Tracer) Bind(e *sim.Engine) {
 	if t != nil {
 		t.engine = e
 	}
+}
+
+// SetRetain controls whether emitted events accumulate in Events().
+// Turning retention off keeps the tracer usable as a pure event bus
+// (e.g. feeding only a flight recorder's bounded rings).
+func (t *Tracer) SetRetain(on bool) {
+	if t != nil {
+		t.retain = on
+	}
+}
+
+// SetObserver installs fn as the live event observer (nil removes it).
+// The observer runs synchronously at emit time, in event order.
+func (t *Tracer) SetObserver(fn func(Event)) {
+	if t != nil {
+		t.observer = fn
+	}
+}
+
+// emit is the single point every record method funnels through.
+func (t *Tracer) emit(e Event) {
+	if t.retain {
+		t.events = append(t.events, e)
+	}
+	if t.observer != nil {
+		t.observer(e)
+	}
+}
+
+// MergeFrom appends src's events to t, remapping src's dense frame ids
+// past t's so the merged log keeps ids unique. Parallel sweeps give each
+// cell a private tracer and merge them back in deterministic cell order;
+// because ids are per-tracer and dense, the merged log is byte-identical
+// to what any fixed worker count produces. src is left untouched.
+func (t *Tracer) MergeFrom(src *Tracer) {
+	if t == nil || src == nil {
+		return
+	}
+	base := t.nextID
+	for _, e := range src.events {
+		if e.Frame != 0 {
+			e.Frame += base
+		}
+		t.events = append(t.events, e)
+	}
+	t.nextID += src.nextID
 }
 
 // Events returns the recorded events in firing order. The slice is the
@@ -202,7 +261,7 @@ func (t *Tracer) frameEvent(kind Kind, cause Cause, node string, port int, f *fr
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, Event{
+	t.emit(Event{
 		T:     t.now(),
 		Kind:  kind,
 		Cause: cause,
@@ -268,7 +327,7 @@ func (t *Tracer) FaultInject(target, spec string, dur int64) {
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, Event{T: t.now(), Kind: KindFaultInject, Port: -1, Aux: dur, Node: target, Detail: spec})
+	t.emit(Event{T: t.now(), Kind: KindFaultInject, Port: -1, Aux: dur, Node: target, Detail: spec})
 }
 
 // FaultRecover records a fault's recovery phase firing on target.
@@ -276,5 +335,23 @@ func (t *Tracer) FaultRecover(target, spec string) {
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, Event{T: t.now(), Kind: KindFaultRecover, Port: -1, Node: target, Detail: spec})
+	t.emit(Event{T: t.now(), Kind: KindFaultRecover, Port: -1, Node: target, Detail: spec})
+}
+
+// SLOBreach records the watchdog entering breach on an objective. Node
+// is the objective's path/target, Detail its spec string, measured the
+// observed value (ns for latency/jitter, lost-per-million for loss).
+func (t *Tracer) SLOBreach(target, spec string, measured int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{T: t.now(), Kind: KindSLOBreach, Port: -1, Aux: measured, Node: target, Detail: spec})
+}
+
+// SLOClear records the watchdog leaving breach on an objective.
+func (t *Tracer) SLOClear(target, spec string) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{T: t.now(), Kind: KindSLOClear, Port: -1, Node: target, Detail: spec})
 }

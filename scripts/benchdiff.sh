@@ -10,7 +10,11 @@
 # BenchmarkSwitchForwarding report any steady-state allocations: the
 # pooled-event arena and the telemetry layer's zero-overhead contract
 # are both 0 allocs/op with tracing disabled, and a regression there
-# silently re-introduces GC churn into every figure sweep.
+# silently re-introduces GC churn into every figure sweep. The
+# INT-enabled path (BenchmarkSwitchForwardingINT) has its own budget,
+# asserted separately: 2 allocs/op (the stack header and its hop
+# slice), so in-band telemetry stays cheap without pretending to be
+# free.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,7 +43,14 @@ if echo "$raw" | awk '/^BenchmarkEngineScheduleAndRun/ { exit ($7 != 0) ? 0 : 1 
     exit 1
 fi
 
-if echo "$raw" | awk '/^BenchmarkSwitchForwarding/ { exit ($7 != 0) ? 0 : 1 }'; then
+# The disabled-path pattern must not also match the INT variant: the
+# name is followed by either the -GOMAXPROCS suffix or whitespace.
+if echo "$raw" | awk '/^BenchmarkSwitchForwarding(-[0-9]+)?[[:space:]]/ { exit ($7 != 0) ? 0 : 1 }'; then
     echo "FAIL: BenchmarkSwitchForwarding allocates in steady state (telemetry disabled must be 0 allocs/op)" >&2
+    exit 1
+fi
+
+if echo "$raw" | awk '/^BenchmarkSwitchForwardingINT/ { exit ($7 > 2) ? 0 : 1 }'; then
+    echo "FAIL: BenchmarkSwitchForwardingINT exceeds its 2 allocs/op budget (INT stack + hop slice)" >&2
     exit 1
 fi
