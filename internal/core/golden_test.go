@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"steelnet/internal/instaplc"
 	"steelnet/internal/mltopo"
 	"steelnet/internal/reflection"
 )
@@ -96,6 +97,59 @@ func TestChaosSweepTableIdenticalAcrossWorkerCounts(t *testing.T) {
 	for i := range wantCells {
 		if gotCells[i] != wantCells[i] {
 			t.Errorf("cell %d differs:\nserial:   %+v\nparallel: %+v", i, wantCells[i], gotCells[i])
+		}
+	}
+}
+
+// TestFigure6TableIdenticalAcrossSeedsAndWorkers extends the worker
+// contract across seeds: the engine's batched dequeue must not perturb
+// any seed's rendered table, serial or parallel. Seed 1 is covered (at
+// a longer horizon) by TestFigure6TableIdenticalAcrossWorkerCounts.
+func TestFigure6TableIdenticalAcrossSeedsAndWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping topology sweep in -short mode")
+	}
+	for _, seed := range []uint64{2, 7} {
+		base := mltopo.Figure6Config{
+			Seed:         seed,
+			ClientCounts: []int{8},
+			Horizon:      60 * time.Millisecond,
+		}
+
+		serial := base
+		serial.Workers = 1
+		wantTable, _ := Figure6(serial)
+
+		par := base
+		par.Workers = parallelWorkers()
+		gotTable, _ := Figure6(par)
+
+		if gotTable != wantTable {
+			t.Errorf("seed %d: Figure6 table differs between workers=1 and workers=%d:\n--- serial ---\n%s--- parallel ---\n%s",
+				seed, par.Workers, wantTable, gotTable)
+		}
+	}
+}
+
+// TestFigure5TableStableAcrossSeeds reruns the single-cell InstaPLC
+// experiment per seed and requires byte-identical renders: Figure 5
+// exercises deep ticker chains and same-instant control/IO bursts, the
+// exact shapes the batched dequeue restages, so any batching
+// nondeterminism shows up here as a table diff.
+func TestFigure5TableStableAcrossSeeds(t *testing.T) {
+	for _, seed := range []uint64{1, 3, 9} {
+		cfg := instaplc.DefaultExperimentConfig()
+		cfg.Seed = seed
+		cfg.Horizon = 400 * time.Millisecond
+		cfg.FailAt = 250 * time.Millisecond
+		want, _ := Figure5(cfg)
+		got, _ := Figure5(cfg)
+		if got != want {
+			t.Errorf("seed %d: Figure5 table not reproducible:\n--- first ---\n%s--- second ---\n%s",
+				seed, want, got)
+		}
+		if want == "" {
+			t.Errorf("seed %d: Figure5 rendered empty", seed)
 		}
 	}
 }

@@ -149,6 +149,9 @@ func (p *Program) Verify() error {
 	}
 
 	p.verified = true
+	// Load-time compilation: lower the accepted program to straight-line
+	// closures once, here, the way the kernel JITs after verification.
+	p.compile()
 	return nil
 }
 

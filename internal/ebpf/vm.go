@@ -91,6 +91,8 @@ type Program struct {
 	Rings []*RingBuf
 
 	verified bool
+	compiled []compiledStep // built by Verify; nil falls back to Interpret
+	scratch  vmCtx          // per-program machine state, reset each run
 }
 
 // Result reports one program invocation.
@@ -117,7 +119,25 @@ const maxSteps = 1 << 16
 // at virtual time now, charging costs per the model and drawing noise
 // from rng (which may be nil for fully deterministic cost). Unverified
 // programs panic: the kernel will not attach them either.
+//
+// Verified programs execute their compiled form (see compile.go); the
+// interpreter below remains as the differential oracle and the fallback
+// for programs whose verified flag was restored without recompiling.
 func (p *Program) Run(packet []byte, now sim.Time, costs *CostModel, rng *sim.RNG) (Result, error) {
+	if !p.verified {
+		panic(fmt.Sprintf("ebpf: program %q not verified", p.Name))
+	}
+	if p.compiled != nil {
+		return p.runCompiled(packet, now, costs, rng)
+	}
+	return p.Interpret(packet, now, costs, rng)
+}
+
+// Interpret executes the program in the per-instruction dispatch loop.
+// It is semantically identical to the compiled form and kept as the
+// reference implementation the compiler is differentially tested
+// against. Unverified programs panic, as with Run.
+func (p *Program) Interpret(packet []byte, now sim.Time, costs *CostModel, rng *sim.RNG) (Result, error) {
 	if !p.verified {
 		panic(fmt.Sprintf("ebpf: program %q not verified", p.Name))
 	}

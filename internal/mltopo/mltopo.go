@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"steelnet/internal/frame"
 	intnet "steelnet/internal/int"
 	"steelnet/internal/mlwork"
 	"steelnet/internal/sim"
@@ -238,17 +239,30 @@ func instantiate(e *sim.Engine, g *topo.Graph, sc Scenario, clientNode, serverNo
 		net.RegisterMetrics(sc.Metrics)
 	}
 	b := built{engine: e, net: net}
+	var intPool *frame.INTPool
 	if sc.INT {
 		b.coll = sc.Collector
 		if b.coll == nil {
 			b.coll = intnet.NewCollector()
 		}
+		// One stack free list per cell: camera sources Get, server
+		// sinks Put — telemetry stacks recycle like frames do.
+		intPool = &frame.INTPool{}
 	}
+	// One frame pool per cell: request fragments die at the server and
+	// responses die at the client, so per-endpoint pools leave every
+	// client allocating fresh ~MTU payloads forever while the server
+	// free list grows. A shared pool closes that loop; recycled payload
+	// bodies are zero either way (only the 13-byte header is written),
+	// so frame bytes — and digests — are unchanged.
+	pool := &frame.Pool{}
 	servers := make([]*mlwork.Server, len(serverNode))
 	for i, n := range serverNode {
 		servers[i] = mlwork.AttachServer(e, net.Host(n), sc.Profile)
+		servers[i].UsePool(pool)
 		if b.coll != nil {
 			net.Host(n).SetINTSink(b.coll)
+			net.Host(n).SetINTPool(intPool)
 		}
 	}
 	clients := make([]*mlwork.Client, len(clientNode))
@@ -258,10 +272,12 @@ func instantiate(e *sim.Engine, g *topo.Graph, sc Scenario, clientNode, serverNo
 			sIdx = assignFn(i)
 		}
 		clients[i] = mlwork.AttachClient(e, net.Host(n), uint32(i+1), net.Host(serverNode[sIdx]).MAC(), sc.Profile, sc.Deg)
+		clients[i].UsePool(pool)
 		if b.coll != nil {
 			// Flow = client id, matching mlwork's request flow labels.
 			// Non-strict: telemetry must never cost a camera frame.
 			net.Host(n).SetINTSource(uint32(i+1), intMaxHops, false)
+			net.Host(n).SetINTPool(intPool)
 		}
 	}
 	b.clients = clients

@@ -75,7 +75,7 @@ type Server struct {
 	queue   int
 	busy    bool
 	parts   map[uint64]uint16 // (client,req) -> fragments seen
-	pool    frame.Pool        // recycles consumed requests into responses
+	pool    *frame.Pool       // recycles consumed requests into responses
 
 	// Served counts completed inferences; MaxQueue the worst backlog.
 	Served   uint64
@@ -95,6 +95,7 @@ func AttachServer(e *sim.Engine, h *simnet.Host, p Profile) *Server {
 		engine:  e,
 		profile: p,
 		parts:   make(map[uint64]uint16),
+		pool:    &frame.Pool{},
 	}
 	s.host.OnReceive(s.onFrame)
 	return s
@@ -105,7 +106,13 @@ func (s *Server) Host() *simnet.Host { return s.host }
 
 // Pool exposes the server's frame pool for accounting (the chaos
 // suite's no-leak invariant sums Outstanding across all pools).
-func (s *Server) Pool() *frame.Pool { return &s.pool }
+func (s *Server) Pool() *frame.Pool { return s.pool }
+
+// UsePool replaces the server's frame pool, letting several endpoints
+// in one experiment cell share a free list. Client fragments otherwise
+// migrate permanently into the server's pool, leaving the client to
+// allocate a fresh payload per fragment. Call before traffic starts.
+func (s *Server) UsePool(p *frame.Pool) { s.pool = p }
 
 // ReclaimNetworkDrops wires the host port's OnDrop hook to the pool:
 // frames the network destroys after accepting them (downed links,
@@ -182,7 +189,7 @@ type Client struct {
 	nextReq uint32
 	sentAt  map[uint32]sim.Time
 	ticker  *sim.Ticker
-	pool    frame.Pool // recycles consumed responses into request fragments
+	pool    *frame.Pool // recycles consumed responses into request fragments
 
 	// Latencies collects request->response times in milliseconds.
 	Latencies *metrics.Series
@@ -206,6 +213,7 @@ func AttachClient(e *sim.Engine, h *simnet.Host, id uint32, server frame.MAC, p 
 		server:    server,
 		sentAt:    make(map[uint32]sim.Time),
 		Latencies: metrics.NewSeries(256),
+		pool:      &frame.Pool{},
 	}
 	c.host.OnReceive(c.onFrame)
 	return c
@@ -215,7 +223,10 @@ func AttachClient(e *sim.Engine, h *simnet.Host, id uint32, server frame.MAC, p 
 func (c *Client) Host() *simnet.Host { return c.host }
 
 // Pool exposes the client's frame pool for accounting.
-func (c *Client) Pool() *frame.Pool { return &c.pool }
+func (c *Client) Pool() *frame.Pool { return c.pool }
+
+// UsePool replaces the client's frame pool (see Server.UsePool).
+func (c *Client) UsePool(p *frame.Pool) { c.pool = p }
 
 // ReclaimNetworkDrops wires the host port's OnDrop hook to the pool
 // (see Server.ReclaimNetworkDrops).

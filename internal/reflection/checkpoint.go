@@ -61,6 +61,11 @@ func NewHarness(cfg Config, v Variant) *Harness {
 		}
 		h.sender.EnableINT()
 		h.refl.SetINTSink(h.coll)
+		// Source and sink share one stack free list, so the INT-enabled
+		// probe path is allocation-free in steady state.
+		intPool := &frame.INTPool{}
+		h.sender.SetINTPool(intPool)
+		h.refl.SetINTPool(intPool)
 	}
 
 	if cfg.Trace != nil {
@@ -245,21 +250,19 @@ func resultCheckpointer(path, kind string) sweep.Checkpointer[Result] {
 // checkpointing: completed variants persist to path and are skipped on
 // restart.
 func RunAllVariantsResumable(cfg Config, path string) ([]Result, error) {
-	return sweep.RunResumable(sweepWorkers(cfg), len(VariantNames), resultCheckpointer(path, "figure4-delay"), func(i int) Result {
-		v, err := NewVariant(VariantNames[i])
-		if err != nil {
-			panic(err)
-		}
-		return Run(cfg, v)
+	protos := AllVariants()
+	return sweep.RunResumable(sweepWorkers(cfg), len(protos), resultCheckpointer(path, "figure4-delay"), func(i int) Result {
+		return Run(cfg, protos[i].CloneFresh())
 	})
 }
 
 // RunFlowSweepResumable is RunFlowSweep with sweep-level checkpointing.
 func RunFlowSweepResumable(cfg Config, flowCounts []int, path string) ([]Result, error) {
+	proto := NewBase()
 	return sweep.RunResumable(sweepWorkers(cfg), len(flowCounts), resultCheckpointer(path, "figure4-jitter"), func(i int) Result {
 		c := cfg
 		c.Flows = flowCounts[i]
-		return Run(c, NewBase())
+		return Run(c, proto.CloneFresh())
 	})
 }
 

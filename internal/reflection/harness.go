@@ -28,6 +28,7 @@ type Reflector struct {
 	rng     *sim.RNG
 	pool    frame.Pool // recycles consumed probes into reflected frames
 	intSink simnet.INTSink
+	intPool *frame.INTPool
 
 	// Reflected, Passed and Aborted count program verdicts.
 	Reflected, Passed, Aborted uint64
@@ -52,6 +53,10 @@ func (r *Reflector) Host() *simnet.Host { return r.host }
 // SetINTSink terminates probe INT stacks at the reflector's ingress.
 func (r *Reflector) SetINTSink(s simnet.INTSink) { r.intSink = s }
 
+// SetINTPool recycles terminated stacks into p (shared with the
+// sender, which Gets its per-probe stacks from the same free list).
+func (r *Reflector) SetINTPool(p *frame.INTPool) { r.intPool = p }
+
 func (r *Reflector) onFrame(f *frame.Frame) {
 	e := r.host.Engine()
 	// INT must terminate here: Marshal below serializes only the wire
@@ -61,6 +66,9 @@ func (r *Reflector) onFrame(f *frame.Frame) {
 	if f.INT != nil {
 		if r.intSink != nil {
 			r.intSink.SinkINT(r.host.Name(), f, int64(e.Now()))
+		}
+		if r.intPool != nil {
+			r.intPool.Put(f.INT)
 		}
 		f.INT = nil
 	}
@@ -99,13 +107,14 @@ func (r *Reflector) onFrame(f *frame.Frame) {
 
 // Sender emits cyclic probe flows through its single port.
 type Sender struct {
-	host   *simnet.Host
-	dst    frame.MAC
-	size   int
-	seqs   map[uint32]uint32
-	ticker []*sim.Ticker
-	pool   frame.Pool // recycles reflected probes into fresh ones
-	intOn  bool
+	host    *simnet.Host
+	dst     frame.MAC
+	size    int
+	seqs    map[uint32]uint32
+	ticker  []*sim.Ticker
+	pool    frame.Pool // recycles reflected probes into fresh ones
+	intOn   bool
+	intPool *frame.INTPool
 }
 
 // NewSender creates a probe source addressed at dst with the given probe
@@ -130,6 +139,10 @@ func (s *Sender) Host() *simnet.Host { return s.host }
 // sequence mirror the probe's own identifiers.
 func (s *Sender) EnableINT() { s.intOn = true }
 
+// SetINTPool sources probe stacks from p instead of allocating one per
+// probe (see Reflector.SetINTPool for the matching sink side).
+func (s *Sender) SetINTPool(p *frame.INTPool) { s.intPool = p }
+
 // StartFlow begins emitting flowID probes every cycle, first at start.
 func (s *Sender) StartFlow(flowID uint32, start sim.Time, cycle sim.Duration) {
 	e := s.host.Engine()
@@ -146,7 +159,11 @@ func (s *Sender) StartFlow(flowID uint32, start sim.Time, cycle sim.Duration) {
 		if s.intOn {
 			// Seq is 1-based on the wire: the collector reads sequence 0
 			// as "no predecessor" when tracking loss.
-			f.AttachINT(s.host.Name(), flowID, seq+1, int64(e.Now()), 0)
+			if s.intPool != nil {
+				f.INT = s.intPool.Get(s.host.Name(), flowID, seq+1, int64(e.Now()), 0)
+			} else {
+				f.AttachINT(s.host.Name(), flowID, seq+1, int64(e.Now()), 0)
+			}
 		}
 		if !s.host.Send(f) {
 			s.pool.Put(f) // egress drop: safe to recycle immediately
@@ -309,22 +326,22 @@ func runCells(cfg Config, n int, run func(i int, c Config) Result) []Result {
 // RunAllVariants reproduces Fig. 4 (left): the delay CDF of all six
 // variants under cfg. Cells run across cfg.Workers goroutines; the
 // result order (and thus every rendered table) matches a serial run.
+// Each variant is assembled, verified and compiled exactly once; cells
+// get fresh-state clones sharing the compiled code.
 func RunAllVariants(cfg Config) []Result {
-	return runCells(cfg, len(VariantNames), func(i int, c Config) Result {
-		v, err := NewVariant(VariantNames[i])
-		if err != nil {
-			panic(err)
-		}
-		return Run(c, v)
+	protos := AllVariants()
+	return runCells(cfg, len(protos), func(i int, c Config) Result {
+		return Run(c, protos[i].CloneFresh())
 	})
 }
 
 // RunFlowSweep reproduces Fig. 4 (right): jitter CDFs of the Base
 // variant for each flow count, one sweep cell per count.
 func RunFlowSweep(cfg Config, flowCounts []int) []Result {
+	proto := NewBase()
 	return runCells(cfg, len(flowCounts), func(i int, c Config) Result {
 		c.Flows = flowCounts[i]
-		return Run(c, NewBase())
+		return Run(c, proto.CloneFresh())
 	})
 }
 

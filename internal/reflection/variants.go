@@ -154,6 +154,23 @@ func NewTSDRB() Variant {
 	return Variant{Name: VariantTSDRB, Program: a.MustProgram(), Ring: rb}
 }
 
+// CloneFresh returns a variant that shares v's verified, compiled
+// program code but carries fresh map and ring state. Sweeps build each
+// variant once and clone it per cell, paying assemble/verify/compile
+// once per sweep instead of once per cell.
+func (v Variant) CloneFresh() Variant {
+	c := Variant{Name: v.Name, Program: v.Program.CloneFresh()}
+	if v.Ring != nil {
+		for i, r := range v.Program.Rings {
+			if r == v.Ring {
+				c.Ring = c.Program.Rings[i]
+				break
+			}
+		}
+	}
+	return c
+}
+
 // NewVariant builds a variant by its Fig. 4 name.
 func NewVariant(name string) (Variant, error) {
 	switch name {

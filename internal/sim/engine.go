@@ -18,12 +18,16 @@ type slot struct {
 	eng   *Engine
 }
 
-// slot states. The zero value is idle (never scheduled).
+// slot states. The zero value is idle (never scheduled). Staged is a
+// transient batch state: the slot has been popped from the heap as part
+// of a same-instant batch but its callback has not yet run, so it can
+// still be cancelled by an earlier member of the same batch.
 const (
 	stateIdle uint8 = iota
 	statePending
 	stateFired
 	stateCancelled
+	stateStaged
 )
 
 // Event is a handle to a scheduled callback. The zero value is inert:
@@ -46,19 +50,29 @@ func (h Event) At() Time {
 }
 
 // Cancel prevents a pending event from firing. Cancelling an already
-// fired, already cancelled, or stale event is a no-op. The cancelled
-// slot stays in the heap and is reaped lazily.
+// fired, already cancelled, or stale event is a no-op. A cancelled
+// slot still in the heap is reaped lazily; one staged in the current
+// same-instant batch is released when the batch reaches it.
 func (h Event) Cancel() {
 	s := h.s
-	if s == nil || s.gen != h.gen || s.state != statePending {
+	if s == nil || s.gen != h.gen {
 		return
 	}
-	s.state = stateCancelled
-	s.fn = nil
-	e := s.eng
-	e.live--
-	e.dead++
-	e.maybeReap()
+	switch s.state {
+	case statePending:
+		s.state = stateCancelled
+		s.fn = nil
+		e := s.eng
+		e.live--
+		e.dead++
+		e.maybeReap()
+	case stateStaged:
+		// Not in the heap anymore: no dead++ and no reap — the batch
+		// loop skips and releases it.
+		s.state = stateCancelled
+		s.fn = nil
+		s.eng.live--
+	}
 }
 
 // Cancelled reports whether Cancel took effect on this event (false for
@@ -67,9 +81,12 @@ func (h Event) Cancelled() bool {
 	return h.s != nil && h.s.gen == h.gen && h.s.state == stateCancelled
 }
 
-// Pending reports whether the event is still queued and live.
+// Pending reports whether the event is still queued and live (including
+// staged in the currently firing batch: it has not fired yet and Cancel
+// still works).
 func (h Event) Pending() bool {
-	return h.s != nil && h.s.gen == h.gen && h.s.state == statePending
+	return h.s != nil && h.s.gen == h.gen &&
+		(h.s.state == statePending || h.s.state == stateStaged)
 }
 
 // arenaChunk is the number of event slots allocated at once. Steady
@@ -89,7 +106,7 @@ const reapMinDead = 64
 // goroutines — see internal/sweep.
 type Engine struct {
 	now    Time
-	heap   []*slot // inlined 4-ary min-heap ordered by (at, seq)
+	heap   []heapEntry // inlined 4-ary min-heap ordered by (at, seq)
 	seq    uint64
 	seed   uint64
 	rngs   map[string]*RNG
@@ -99,7 +116,25 @@ type Engine struct {
 	dead   int // cancelled events awaiting lazy reap
 	chunks [][]slot
 	free   *slot
-	peak   int // heap high-water mark
+	peak   int     // heap high-water mark
+	batch  []*slot // reusable staging buffer for same-instant batches
+}
+
+// heapEntry carries the ordering key inline so sift comparisons read
+// contiguous heap memory instead of chasing a *slot per comparison.
+// The slot keeps the same (at, seq) for Event.At and checkpoint folds.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	s   *slot
+}
+
+// before orders entries by time, then FIFO by schedule order.
+func (a heapEntry) before(b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
 
 // NewEngine returns an engine at time zero whose named RNG streams derive
@@ -179,27 +214,20 @@ func (e *Engine) release(s *slot) {
 	e.free = s
 }
 
-// less orders the heap by time, then FIFO by schedule order.
-func less(a, b *slot) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
 // heapPush appends s and sifts it up the 4-ary heap.
 func (e *Engine) heapPush(s *slot) {
-	h := append(e.heap, s)
+	ent := heapEntry{at: s.at, seq: s.seq, s: s}
+	h := append(e.heap, ent)
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) >> 2
-		if !less(s, h[p]) {
+		if !ent.before(h[p]) {
 			break
 		}
 		h[i] = h[p]
 		i = p
 	}
-	h[i] = s
+	h[i] = ent
 	e.heap = h
 	if len(h) > e.peak {
 		e.peak = len(h)
@@ -210,9 +238,9 @@ func (e *Engine) heapPush(s *slot) {
 func (e *Engine) heapPop() *slot {
 	h := e.heap
 	n := len(h) - 1
-	top := h[0]
+	top := h[0].s
 	last := h[n]
-	h[n] = nil
+	h[n] = heapEntry{}
 	h = h[:n]
 	if n > 0 {
 		siftDown(h, 0, last)
@@ -221,9 +249,9 @@ func (e *Engine) heapPop() *slot {
 	return top
 }
 
-// siftDown places s at index i, moving smaller children up. h[i] is
+// siftDown places ent at index i, moving smaller children up. h[i] is
 // treated as a hole.
-func siftDown(h []*slot, i int, s *slot) {
+func siftDown(h []heapEntry, i int, ent heapEntry) {
 	n := len(h)
 	for {
 		c := i<<2 + 1
@@ -236,17 +264,17 @@ func siftDown(h []*slot, i int, s *slot) {
 			end = n
 		}
 		for j := c + 1; j < end; j++ {
-			if less(h[j], h[m]) {
+			if h[j].before(h[m]) {
 				m = j
 			}
 		}
-		if !less(h[m], s) {
+		if !h[m].before(ent) {
 			break
 		}
 		h[i] = h[m]
 		i = m
 	}
-	h[i] = s
+	h[i] = ent
 }
 
 // maybeReap compacts the heap when cancelled events dominate it, so a
@@ -258,16 +286,16 @@ func (e *Engine) maybeReap() {
 	}
 	h := e.heap
 	w := 0
-	for _, s := range h {
-		if s.state == statePending {
-			h[w] = s
+	for _, ent := range h {
+		if ent.s.state == statePending {
+			h[w] = ent
 			w++
 		} else {
-			e.release(s)
+			e.release(ent.s)
 		}
 	}
 	for i := w; i < len(h); i++ {
-		h[i] = nil
+		h[i] = heapEntry{}
 	}
 	h = h[:w]
 	for i := (w - 2) >> 2; i >= 0; i-- {
@@ -328,21 +356,91 @@ func (e *Engine) Step() bool {
 			panic("sim: time went backwards")
 		}
 		e.now = s.at
-		e.fired++
-		e.live--
-		fn := s.fn
-		s.state = stateFired
-		e.release(s)
-		fn()
+		e.fire(s)
 		return true
 	}
 	return false
 }
 
+// fire runs one pending slot's callback, releasing the slot first so a
+// reschedule from inside the callback reuses the same allocation.
+func (e *Engine) fire(s *slot) {
+	e.fired++
+	e.live--
+	fn := s.fn
+	s.state = stateFired
+	e.release(s)
+	fn()
+}
+
+// stepBatch advances to the earliest live event (if any, and if it is
+// not past deadline when bounded) and fires every event scheduled for
+// that instant as one batch: same-instant events are adjacent pops in
+// (at, seq) order, so they are staged into a reusable slice with one
+// sequence of heap operations and then fired in exactly the order the
+// one-at-a-time loop would have used. Events a batch callback schedules
+// for the same instant carry later seqs, so they correctly fire after
+// the staged batch — the caller's loop picks them up as the next batch
+// at the same timestamp.
+func (e *Engine) stepBatch(deadline Time, bounded bool) bool {
+	// Reap cancelled tops so the peek sees the earliest *live* event;
+	// firing blind would skip past the deadline on dead entries.
+	for len(e.heap) > 0 && e.heap[0].s.state != statePending {
+		e.dead--
+		e.release(e.heapPop())
+	}
+	if len(e.heap) == 0 {
+		return false
+	}
+	at := e.heap[0].at
+	if bounded && at > deadline {
+		return false
+	}
+	if at < e.now {
+		panic("sim: time went backwards")
+	}
+	e.now = at
+	s := e.heapPop()
+	if len(e.heap) == 0 || e.heap[0].at != at {
+		e.fire(s) // common fast path: the instant holds a single event
+		return true
+	}
+	batch := append(e.batch[:0], s)
+	s.state = stateStaged
+	for len(e.heap) > 0 && e.heap[0].at == at {
+		s2 := e.heapPop()
+		if s2.state != statePending {
+			e.dead--
+			e.release(s2)
+			continue
+		}
+		s2.state = stateStaged
+		batch = append(batch, s2)
+	}
+	e.batch = batch
+	for i, s := range batch {
+		batch[i] = nil
+		switch {
+		case s.state != stateStaged:
+			// Cancelled by an earlier member of this batch.
+			e.release(s)
+		case e.halted:
+			// Halt mid-batch: the in-flight event completed; unfired
+			// ones return to the heap with their keys intact.
+			s.state = statePending
+			e.heapPush(s)
+		default:
+			e.fire(s)
+		}
+	}
+	e.batch = batch[:0]
+	return true
+}
+
 // Run executes events until the queue drains or Halt is called.
 func (e *Engine) Run() {
 	e.halted = false
-	for !e.halted && e.Step() {
+	for !e.halted && e.stepBatch(0, false) {
 	}
 }
 
@@ -350,20 +448,7 @@ func (e *Engine) Run() {
 // clock to deadline. Events beyond the deadline stay queued.
 func (e *Engine) RunUntil(deadline Time) {
 	e.halted = false
-	for !e.halted {
-		// Reap cancelled events so the peek below sees the earliest
-		// *live* event; Step would otherwise skip past the deadline.
-		for len(e.heap) > 0 && e.heap[0].state != statePending {
-			e.dead--
-			e.release(e.heapPop())
-		}
-		if len(e.heap) == 0 {
-			break
-		}
-		if e.heap[0].at > deadline {
-			break
-		}
-		e.Step()
+	for !e.halted && e.stepBatch(deadline, true) {
 	}
 	if e.now < deadline {
 		e.now = deadline

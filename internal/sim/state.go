@@ -26,9 +26,9 @@ func (e *Engine) FoldState(d *checkpoint.Digest) {
 	d.Int(e.live)
 
 	pending := make([]*slot, 0, e.live)
-	for _, s := range e.heap {
-		if s.state == statePending {
-			pending = append(pending, s)
+	for _, ent := range e.heap {
+		if ent.s.state == statePending {
+			pending = append(pending, ent.s)
 		}
 	}
 	sort.Slice(pending, func(i, j int) bool { return pending[i].seq < pending[j].seq })

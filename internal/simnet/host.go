@@ -35,6 +35,7 @@ type Host struct {
 	intStrict  bool
 	intSeq     uint32
 	intSink    INTSink
+	intPool    *frame.INTPool
 
 	// RxCount counts frames delivered to the handler.
 	RxCount uint64
@@ -85,6 +86,13 @@ func (h *Host) SetINTSource(flow uint32, maxHops int, strict bool) {
 // hardware sink strips the stack before host delivery. Nil disables.
 func (h *Host) SetINTSink(sink INTSink) { h.intSink = sink }
 
+// SetINTPool gives the host a free list for telemetry stacks: sources
+// Get their per-frame stack from it and sinks Put terminated stacks
+// back. Sharing one pool across a cell's sources and sinks makes the
+// INT-enabled path allocation-free in steady state. Nil (the default)
+// falls back to per-frame allocation.
+func (h *Host) SetINTPool(p *frame.INTPool) { h.intPool = p }
+
 // Receive implements Node.
 func (h *Host) Receive(port *Port, f *frame.Frame) {
 	if !f.Dst.IsBroadcast() && !f.Dst.IsMulticast() && f.Dst != h.mac {
@@ -93,6 +101,9 @@ func (h *Host) Receive(port *Port, f *frame.Frame) {
 	}
 	if f.INT != nil && h.intSink != nil {
 		h.intSink.SinkINT(h.name, f, int64(h.engine.Now()))
+		if h.intPool != nil {
+			h.intPool.Put(f.INT)
+		}
 		f.INT = nil
 	}
 	h.RxCount++
@@ -111,7 +122,13 @@ func (h *Host) Send(f *frame.Frame) bool {
 	}
 	if h.intSource {
 		h.intSeq++
-		st := f.AttachINT(h.name, h.intFlow, h.intSeq, int64(h.engine.Now()), h.intMaxHops)
+		var st *frame.INTStack
+		if h.intPool != nil {
+			st = h.intPool.Get(h.name, h.intFlow, h.intSeq, int64(h.engine.Now()), h.intMaxHops)
+			f.INT = st
+		} else {
+			st = f.AttachINT(h.name, h.intFlow, h.intSeq, int64(h.engine.Now()), h.intMaxHops)
+		}
 		st.Strict = h.intStrict
 	}
 	if h.tr != nil {

@@ -224,3 +224,41 @@ func TestINTEnabledAllocBudget(t *testing.T) {
 		t.Fatalf("INT-enabled path allocates %.1f allocs/op; budget is 3 (stack + hops + sink clone)", allocs)
 	}
 }
+
+// TestINTPooledPathZeroAllocs is the pooled half of the telemetry cost
+// contract: with source and sink sharing an INTPool (as the mltopo and
+// reflection harnesses wire them) and a sink that folds without
+// retaining, the whole INT-enabled journey allocates nothing in steady
+// state — telemetry stacks recycle exactly like frames.
+func TestINTPooledPathZeroAllocs(t *testing.T) {
+	e := sim.NewEngine(1)
+	sw := NewSwitch(e, "sw", 2, SwitchConfig{Latency: sim.Microsecond})
+	src := NewHost(e, "src", frame.NewMAC(1))
+	dst := NewHost(e, "dst", frame.NewMAC(2))
+	Connect(e, "a", src.Port(), sw.Port(0), 10e9, 0)
+	Connect(e, "b", dst.Port(), sw.Port(1), 10e9, 0)
+	sw.AddStatic(dst.MAC(), 1)
+	src.SetINTSource(7, 8, false)
+	dst.SetINTSink(discardSink{})
+	intPool := &frame.INTPool{}
+	src.SetINTPool(intPool)
+	dst.SetINTPool(intPool)
+	pool := &frame.Pool{}
+	dst.OnReceive(pool.Put)
+	send := func() {
+		f := pool.Get(64)
+		f.Dst = dst.MAC()
+		src.Send(f)
+		e.Run()
+	}
+	for i := 0; i < 64; i++ {
+		send() // warm the frame and stack pools
+	}
+	if allocs := testing.AllocsPerRun(200, send); allocs != 0 {
+		t.Fatalf("pooled INT path allocates %.1f allocs/op; want 0", allocs)
+	}
+	if intPool.Reused == 0 || intPool.News > intPool.Reused {
+		t.Fatalf("stack pool not recycling: news=%d reused=%d puts=%d",
+			intPool.News, intPool.Reused, intPool.Puts)
+	}
+}

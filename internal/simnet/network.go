@@ -130,12 +130,10 @@ func (n *Network) InstallStaticRoutes() {
 	r := topo.NewRouter(n.Graph, topo.HopCount)
 	for hostID, h := range n.hosts {
 		for swID, sw := range n.switches {
-			p, err := r.Path(swID, hostID)
+			firstEdge, err := r.NextHop(swID, hostID)
 			if err != nil {
 				continue
 			}
-			// First edge on the path determines the egress port.
-			firstEdge := p.Edges[0]
 			for i, eid := range n.Graph.Incident(swID) {
 				if eid == firstEdge {
 					sw.AddStatic(h.MAC(), i)

@@ -169,6 +169,32 @@ func (r *Router) Path(src, dst NodeID) (Path, error) {
 	return p, nil
 }
 
+// NextHop returns the first edge on the shortest path from src to dst,
+// making the same deterministic lowest-edge-id choice at every step as
+// Path, without materializing the node and edge slices. It is the
+// allocation-free form FIB installation wants: only the egress edge at
+// src matters there.
+func (r *Router) NextHop(src, dst NodeID) (EdgeID, error) {
+	r.run(src)
+	if math.IsInf(r.dist[src][dst], 1) {
+		return 0, ErrNoPath{src, dst}
+	}
+	cur := dst
+	var last EdgeID
+	for cur != src {
+		options := r.via[src][cur]
+		best := options[0]
+		for _, o := range options[1:] {
+			if o < best {
+				best = o
+			}
+		}
+		last = best
+		cur = r.g.Edge(best).Other(cur)
+	}
+	return last, nil
+}
+
 // ECMPPath returns the shortest path selected by hashing flowKey over the
 // equal-cost predecessor sets — deterministic per flow, diverse across
 // flows, like switch ECMP.
