@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	gapminer [-seed N] [-requirements] [-checkpoint FILE] [-resume FILE]
+//	gapminer [-seed N] [-requirements] [-shards N]
+//	         [-checkpoint FILE] [-resume FILE]
 //	         [-trace FILE] [-stats] [-cpuprofile FILE]
 //	         [-int FILE] [-slo SPEC] [-flightrec FILE]
 //
@@ -16,7 +17,8 @@
 // network, so -trace yields an empty (but valid) timeline, -stats an
 // empty snapshot, and -int/-slo/-flightrec empty (but valid) digest,
 // breach-log and flight-recorder files, while -cpuprofile profiles the
-// mining itself.
+// mining itself. -shards is likewise accepted for uniformity: the mining
+// is a single sweep cell, so any value leaves the output unchanged.
 package main
 
 import (
@@ -41,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	seed := fs.Uint64("seed", 1, "corpus shuffle seed (counts are seed-invariant)")
 	requirements := fs.Bool("requirements", false, "also print the §2.1-§2.3 requirement checks")
+	shards := cli.RegisterShardsFlagOn(fs)
 	res := cli.RegisterResumeFlagsOn(fs)
 	tel := cli.RegisterTelemetryFlagsOn(fs)
 	if err := fs.Parse(args); err != nil {
@@ -57,7 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	table, counts, err := figure1(*seed, ckptPath)
+	table, counts, err := figure1(*seed, ckptPath, cli.Workers(1, *shards))
 	if err != nil {
 		fmt.Fprintf(stderr, "gapminer: %v\n", err)
 		return 1
@@ -88,7 +91,7 @@ type figure1Result struct {
 // figure1 mines Fig. 1, optionally through a one-cell resumable sweep:
 // with a checkpoint path the mined counts persist, and a resumed run
 // reprints without re-mining.
-func figure1(seed uint64, ckptPath string) (string, []corpus.Count, error) {
+func figure1(seed uint64, ckptPath string, workers int) (string, []corpus.Count, error) {
 	ck := sweep.Checkpointer[figure1Result]{
 		Path: ckptPath,
 		Kind: "figure1",
@@ -109,7 +112,7 @@ func figure1(seed uint64, ckptPath string) (string, []corpus.Count, error) {
 			return r
 		},
 	}
-	out, err := sweep.RunResumable(1, 1, ck, func(int) figure1Result {
+	out, err := sweep.RunResumable(workers, 1, ck, func(int) figure1Result {
 		table, counts := core.Figure1(seed)
 		return figure1Result{Table: table, Counts: counts}
 	})

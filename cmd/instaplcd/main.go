@@ -5,7 +5,7 @@
 // Usage:
 //
 //	instaplcd [-seed N] [-cycle D] [-fail D] [-horizon D] [-baseline]
-//	          [-faults SPEC] [-chaos] [-workers N]
+//	          [-faults SPEC] [-chaos] [-workers N] [-shards N]
 //	          [-checkpoint FILE] [-checkpoint-every D] [-resume FILE]
 //	          [-trace FILE] [-stats] [-cpuprofile FILE]
 //	          [-int FILE] [-slo SPEC] [-flightrec FILE]
@@ -26,7 +26,9 @@
 // breaches; -flightrec dumps the bounded flight recorder after the
 // run. -stats forces -chaos sweeps serial; -trace and -int merge
 // per-cell buffers and stay parallel (resumable chaos sweeps remain
-// serial under any of the three).
+// serial under any of the three). -shards is the shared parallelism
+// knob across the steelnet commands and, when set, overrides -workers;
+// either way the output is byte-identical for any value.
 package main
 
 import (
@@ -57,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faultSpec := fs.String("faults", "", "fault plan spec replacing the default crash (kind:target@at[+dur][*mag],...)")
 	chaos := fs.Bool("chaos", false, "sweep randomized fault plans over the scenario")
 	workers := fs.Int("workers", 0, "chaos sweep worker pool size (0 = NumCPU)")
+	shards := cli.RegisterShardsFlagOn(fs)
 	every := fs.Duration("checkpoint-every", 500*time.Millisecond, "simulated time between periodic checkpoints")
 	res := cli.RegisterResumeFlagsOn(fs)
 	tel := cli.RegisterTelemetryFlagsOn(fs)
@@ -90,7 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ccfg := core.DefaultChaosConfig()
 		ccfg.Seed = *seed
 		ccfg.Base = cfg
-		ccfg.Workers = *workers
+		ccfg.Workers = cli.Workers(*workers, *shards)
 		cells, err := core.RunChaosSweepResumable(ccfg, ckptPath)
 		if err != nil {
 			fmt.Fprintf(stderr, "instaplcd: %v\n", err)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	reflectbench [-seed N] [-cycles N] [-cycle D] [-flows list]
-//	             [-workers N] [-jitter-only] [-delay-only]
+//	             [-workers N] [-shards N] [-jitter-only] [-delay-only]
 //	             [-checkpoint FILE] [-resume FILE]
 //	             [-trace FILE] [-stats] [-cpuprofile FILE]
 //	             [-int FILE] [-slo SPEC] [-flightrec FILE]
@@ -47,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	delayOnly := fs.Bool("delay-only", false, "run only the Fig. 4 (left) delay experiment")
 	jitterOnly := fs.Bool("jitter-only", false, "run only the Fig. 4 (right) jitter sweep")
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = NumCPU, 1 = serial)")
+	shards := cli.RegisterShardsFlagOn(fs)
 	res := cli.RegisterResumeFlagsOn(fs)
 	tel := cli.RegisterTelemetryFlagsOn(fs)
 	if err := fs.Parse(args); err != nil {
@@ -67,7 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Seed = *seed
 	cfg.Cycles = *cycles
 	cfg.Cycle = *cycle
-	cfg.Workers = *workers
+	cfg.Workers = cli.Workers(*workers, *shards)
 	cfg.Trace = tel.Tracer
 	cfg.Metrics = tel.Registry
 	cfg.INT = tel.Collector != nil

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	topobench [-seed N] [-clients list] [-horizon D] [-workers N]
+//	topobench [-seed N] [-clients list] [-horizon D] [-workers N] [-shards N]
+//	          [-campus] [-cells N] [-cell-switches N] [-cell-hosts N] [-spines N]
 //	          [-checkpoint FILE] [-resume FILE]
 //	          [-trace FILE] [-stats] [-cpuprofile FILE]
 //	          [-int FILE] [-slo SPEC] [-flightrec FILE]
@@ -21,6 +22,16 @@
 // serial under any of the three. -checkpoint persists each completed
 // grid cell; -resume restarts an interrupted grid from such a file,
 // skipping finished cells.
+//
+// -campus switches to the campus-scale sharded experiment: a
+// spine-plus-cells plant network partitioned one shard per cell and
+// executed on -shards worker goroutines under conservative
+// window-barrier sync. The partition is derived from the topology, so
+// the table (and -int/-slo exports) are byte-identical for every
+// -shards value. In campus mode -checkpoint saves a replay-anchored
+// checkpoint at the end of the run and -resume replays one to its
+// recorded instant before continuing; -int/-slo observe the cross-cell
+// flows (sinks strip the telemetry per cell, merged in shard order).
 package main
 
 import (
@@ -31,7 +42,10 @@ import (
 	"time"
 
 	"steelnet/internal/cli"
+	"steelnet/internal/core"
 	"steelnet/internal/mltopo"
+	"steelnet/internal/sim"
+	"steelnet/internal/topo"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -43,6 +57,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	clients := fs.String("clients", "32,64,128,256", "comma-separated client counts")
 	horizon := fs.Duration("horizon", 2*time.Second, "simulated time per cell")
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = NumCPU, 1 = serial)")
+	shards := cli.RegisterShardsFlagOn(fs)
+	campus := fs.Bool("campus", false, "run the campus-scale sharded experiment instead of the Fig. 6 grid")
+	cells := fs.Int("cells", 4, "campus: production cells (one shard each)")
+	cellSwitches := fs.Int("cell-switches", 8, "campus: switches per cell tree")
+	cellHosts := fs.Int("cell-hosts", 2, "campus: hosts per switch")
+	spines := fs.Int("spines", 2, "campus: backbone spine switches")
 	res := cli.RegisterResumeFlagsOn(fs)
 	tel := cli.RegisterTelemetryFlagsOn(fs)
 	if err := fs.Parse(args); err != nil {
@@ -59,14 +79,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *campus {
+		cfg := core.CampusConfig{
+			Seed: *seed,
+			Topo: topo.CampusConfig{
+				Cells:           *cells,
+				SwitchesPerCell: *cellSwitches,
+				HostsPerSwitch:  *cellHosts,
+				Spines:          *spines,
+			},
+			Horizon: sim.Duration(horizon.Nanoseconds()),
+			INT:     tel.Collector != nil,
+			SLO:     tel.SLOSpec,
+			Workers: cli.Workers(*workers, *shards),
+		}
+		return runCampus(cfg, res.ResumePath, ckptPath, tel, stdout, stderr)
+	}
+
 	counts, err := cli.ParseInts(*clients)
 	if err != nil {
 		fmt.Fprintf(stderr, "topobench: bad -clients: %v\n", err)
 		return 2
 	}
 	cfg := mltopo.Figure6Config{
-		Seed: *seed, ClientCounts: counts, Horizon: *horizon, Workers: *workers,
-		Trace: tel.Tracer, Metrics: tel.Registry,
+		Seed: *seed, ClientCounts: counts, Horizon: *horizon,
+		Workers: cli.Workers(*workers, *shards),
+		Trace:   tel.Tracer, Metrics: tel.Registry,
 		INT: tel.Collector != nil, Collector: tel.Collector,
 	}
 	results, err := mltopo.RunFigure6Resumable(cfg, ckptPath)
@@ -82,6 +120,63 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	fmt.Fprintf(stdout, "worst-case request loss across cells: %.3f\n", worst)
+	if err := tel.End(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	return 0
+}
+
+// runCampus executes the campus experiment: a fresh build, or a
+// deterministic replay-and-continue from a checkpoint. The worker count
+// is never encoded in checkpoints, so a run saved under -shards=1 may
+// resume under -shards=8 (and vice versa) with byte-identical output.
+func runCampus(cfg core.CampusConfig, resumePath, ckptPath string, tel *cli.Telemetry, stdout, stderr io.Writer) int {
+	var (
+		h   *core.CampusHarness
+		err error
+	)
+	if resumePath != "" {
+		f, oerr := os.Open(resumePath)
+		if oerr != nil {
+			fmt.Fprintf(stderr, "topobench: -resume: %v\n", oerr)
+			return 2
+		}
+		h, err = core.RestoreCampus(f, cfg.Workers)
+		f.Close()
+	} else {
+		h, err = core.NewCampusHarness(cfg)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "topobench: campus: %v\n", err)
+		return 1
+	}
+	h.Run()
+	result := h.Result()
+	fmt.Fprint(stdout, core.RenderCampus(result))
+	if ckptPath != "" {
+		werr := func() error {
+			f, err := os.Create(ckptPath)
+			if err != nil {
+				return err
+			}
+			if err := h.Save(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}()
+		if werr != nil {
+			fmt.Fprintf(stderr, "topobench: -checkpoint: %v\n", werr)
+			return 1
+		}
+	}
+	tel.AdoptCollector(h.MergedCollector())
+	if tel.Watchdog != nil {
+		if mw := h.MergedWatchdog(); mw != nil {
+			tel.Watchdog.Absorb(mw)
+		}
+	}
 	if err := tel.End(); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2

@@ -43,6 +43,63 @@ func TestRunCheckpointResume(t *testing.T) {
 	}
 }
 
+// tinyCampus keeps the campus experiment small enough for unit tests:
+// two 2-switch cells with one host each, a 2 ms horizon.
+func tinyCampus(extra ...string) []string {
+	return append([]string{
+		"-campus", "-cells", "2", "-cell-switches", "2", "-cell-hosts", "1",
+		"-spines", "1", "-horizon", "2ms",
+	}, extra...)
+}
+
+func TestRunCampusSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(tinyCampus("-shards", "1"), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"campus", "cell", "frames"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("campus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunCampusShardInvariant pins the CLI-level determinism contract:
+// the full stdout of a campus run is byte-identical for -shards=1 and
+// -shards=8.
+func TestRunCampusShardInvariant(t *testing.T) {
+	var serial, wide, stderr bytes.Buffer
+	if code := run(tinyCampus("-shards", "1"), &serial, &stderr); code != 0 {
+		t.Fatalf("-shards=1: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if code := run(tinyCampus("-shards", "8"), &wide, &stderr); code != 0 {
+		t.Fatalf("-shards=8: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if serial.String() != wide.String() {
+		t.Errorf("campus stdout differs across -shards:\n--- shards=1\n%s--- shards=8\n%s",
+			serial.String(), wide.String())
+	}
+}
+
+// TestRunCampusCheckpointResume saves the finished campus run, then
+// resumes the checkpoint under a different shard count: the replay must
+// reproduce the identical table.
+func TestRunCampusCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "campus.ckpt")
+	var first, second, stderr bytes.Buffer
+	if code := run(tinyCampus("-shards", "2", "-checkpoint", ckpt), &first, &stderr); code != 0 {
+		t.Fatalf("checkpoint run: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if code := run(tinyCampus("-shards", "8", "-resume", ckpt), &second, &stderr); code != 0 {
+		t.Fatalf("resume run: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if first.String() != second.String() {
+		t.Errorf("resumed campus output differs from original:\n--- first\n%s--- second\n%s",
+			first.String(), second.String())
+	}
+}
+
 func TestRunBadUsage(t *testing.T) {
 	cases := [][]string{
 		{"-no-such-flag"},

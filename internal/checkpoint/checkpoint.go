@@ -37,7 +37,14 @@ var magic = [8]byte{'S', 'T', 'E', 'E', 'L', 'C', 'K', 'P'}
 //	   INTObservations; state digests fold INT counters (per-port and
 //	   per-switch INTDrops, host INT sequence numbers), so v1 digests
 //	   no longer verify against replayed v2 state.
-const FormatVersion = 2
+//	3: sharded execution. Every engine's state digest now begins with a
+//	   shard-layout prefix (shard index, shard count, clock), shard
+//	   groups fold per-shard digests in fixed shard order plus any
+//	   messages held in window outboxes, and the campus experiment kind
+//	   was added. v2 digests no longer verify against replayed v3
+//	   state; there is no in-place migration — rerun the experiment and
+//	   checkpoint again under v3.
+const FormatVersion = 3
 
 // ErrVersion wraps version-mismatch failures for errors.Is.
 var ErrVersion = errors.New("checkpoint: format version mismatch")

@@ -17,11 +17,13 @@ package checkpoint_test
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -34,6 +36,7 @@ import (
 	"steelnet/internal/reflection"
 	"steelnet/internal/sim"
 	"steelnet/internal/telemetry"
+	"steelnet/internal/topo"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden checkpoint corpus")
@@ -59,6 +62,17 @@ func goldenCases() []goldenCase {
 	mlSc.Horizon = 200 * time.Millisecond
 	chaosCfg := core.DefaultChaosConfig()
 	chaosCfg.Base = smallInstaplcConfig()
+	campusCfg := core.CampusConfig{
+		Seed: 11,
+		Topo: topo.CampusConfig{
+			Cells: 3, SwitchesPerCell: 3, HostsPerSwitch: 2,
+			Spines: 2, Fanout: 2,
+		},
+		Horizon: 2 * sim.Millisecond,
+		Period:  50 * sim.Microsecond,
+		INT:     true,
+		SLO:     "latency:*<15µs",
+	}
 	return []goldenCase{
 		{
 			name:  "instaplc",
@@ -100,6 +114,46 @@ func goldenCases() []goldenCase {
 				return instaplc.Restore(r, tr, reg)
 			}),
 		},
+		{
+			name: "campus",
+			at:   sim.Time(700 * sim.Microsecond),
+			build: func() resumable {
+				h, err := core.NewCampusHarness(campusCfg)
+				if err != nil {
+					panic(err)
+				}
+				return h
+			},
+			restore: func(r io.Reader) (resumable, error) {
+				return core.RestoreCampus(r, 2)
+			},
+		},
+	}
+}
+
+// TestV2FixtureRejected pins the migration failure mode: a committed
+// format-v2 file (written before the sharded-execution digest change)
+// must be rejected with ErrVersion and actionable migration text, never
+// silently restored against v3 replay state.
+func TestV2FixtureRejected(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "v2-instaplc.ckpt"))
+	if err != nil {
+		t.Fatalf("missing v2 fixture (committed, never regenerated): %v", err)
+	}
+	f, err := checkpoint.Read(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatalf("v2 file read as version %d without error", f.Version)
+	}
+	if !errors.Is(err, checkpoint.ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+	for _, want := range []string{"Migration", "FormatVersion"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("version error lacks %q guidance:\n%v", want, err)
+		}
+	}
+	if _, err := instaplc.Restore(bytes.NewReader(raw), nil, nil); !errors.Is(err, checkpoint.ErrVersion) {
+		t.Fatalf("harness restore of v2 file: err = %v, want ErrVersion", err)
 	}
 }
 

@@ -40,6 +40,29 @@ func TestParseInts(t *testing.T) {
 	}
 }
 
+// -shards overrides -workers when set; otherwise the legacy value
+// passes through untouched (including the 0 = NumCPU convention).
+func TestWorkersResolution(t *testing.T) {
+	for _, tc := range []struct{ workers, shards, want int }{
+		{0, 0, 0},
+		{3, 0, 3},
+		{3, 8, 8},
+		{0, 1, 1},
+	} {
+		if got := Workers(tc.workers, tc.shards); got != tc.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", tc.workers, tc.shards, got, tc.want)
+		}
+	}
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	shards := RegisterShardsFlagOn(fs)
+	if err := fs.Parse([]string{"-shards", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if *shards != 4 {
+		t.Fatalf("-shards parsed to %d, want 4", *shards)
+	}
+}
+
 // The flag trio must land on the default flag set under the canonical
 // names every command shares.
 func TestRegisterTelemetryFlags(t *testing.T) {

@@ -1,0 +1,554 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"steelnet/internal/checkpoint"
+	"steelnet/internal/frame"
+	intnet "steelnet/internal/int"
+	"steelnet/internal/metrics"
+	"steelnet/internal/sim"
+	"steelnet/internal/simnet"
+	"steelnet/internal/topo"
+)
+
+// CampusCheckpointKind tags campus-experiment checkpoint files.
+const CampusCheckpointKind = "campus"
+
+// CampusConfig parameterizes the campus-scale sharded experiment: a
+// spine-plus-cells plant network (topo.Campus) partitioned one shard
+// per cell, with periodic intra-cell and cross-cell host traffic, and
+// optional in-band telemetry plus an SLO watchdog per shard.
+//
+// Everything except Workers is part of the scenario and is encoded into
+// checkpoints. Workers is an execution knob — how many goroutines
+// advance the shard group's windows — and never changes an output byte,
+// so it is excluded from the encoding and supplied fresh at restore.
+type CampusConfig struct {
+	Seed uint64
+	// Topo sizes the campus (zero values select topo.Campus defaults).
+	Topo topo.CampusConfig
+	// Horizon is the experiment length (default 5 ms).
+	Horizon sim.Duration
+	// Period is each host's send period (default 100 µs). Senders stop
+	// ten periods before the horizon so in-flight traffic drains.
+	Period sim.Duration
+	// CrossEvery makes every Nth host (in global host order) send to the
+	// next cell instead of its in-cell neighbor (default 4; cross-cell
+	// traffic is what exercises the backbone and the shard barriers).
+	CrossEvery int
+	// FrameBytes is the payload size (default 128).
+	FrameBytes int
+	// QueueDepth overrides the per-class switch queue depth (0 keeps the
+	// equipment default).
+	QueueDepth int
+	// INT attaches telemetry stacks to cross-cell traffic and collects
+	// them per shard.
+	INT bool
+	// SLO is an intnet objective plan evaluated per shard (requires INT;
+	// "" disables the watchdogs).
+	SLO string
+	// Workers is the goroutine count for window execution (default 1).
+	// Not part of the scenario; excluded from checkpoints.
+	Workers int
+}
+
+func normalizeCampusConfig(cfg CampusConfig) CampusConfig {
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 5 * sim.Millisecond
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 100 * sim.Microsecond
+	}
+	if cfg.CrossEvery <= 0 {
+		cfg.CrossEvery = 4
+	}
+	if cfg.FrameBytes <= 0 {
+		cfg.FrameBytes = 128
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	return cfg
+}
+
+// CampusHarness is a running campus experiment: the generated topology
+// instantiated across a shard group, traffic sources armed, and
+// per-shard telemetry attached. Per-shard frame pools, INT collectors
+// and SLO watchdogs keep every mutable structure single-writer during a
+// window; merged views (MergedCollector, Result) combine them in fixed
+// shard order, so they are deterministic for any worker count.
+type CampusHarness struct {
+	cfg CampusConfig
+	ct  *topo.CampusTopo
+	net *simnet.ShardedNetwork
+
+	pools    []*frame.Pool
+	intPools []*frame.INTPool
+	colls    []*intnet.Collector
+	dogs     []*intnet.Watchdog
+	plan     intnet.SLOPlan
+
+	// FellBack reports that the requested partition was unusable (a
+	// zero-propagation backbone makes conservative sync unsound) and the
+	// harness degraded to one shard, serial.
+	FellBack bool
+}
+
+// NewCampusHarness builds and arms the experiment. A campus whose
+// backbone has zero propagation delay cannot be sharded conservatively
+// (sim.ErrZeroLookahead); the harness then falls back to a single-shard
+// serial build of the same topology and sets FellBack.
+func NewCampusHarness(cfg CampusConfig) (*CampusHarness, error) {
+	cfg = normalizeCampusConfig(cfg)
+	plan, err := intnet.ParseSLOPlan(cfg.SLO)
+	if err != nil {
+		return nil, err
+	}
+	if len(plan) > 0 && !cfg.INT {
+		return nil, fmt.Errorf("core: campus SLO plan %q needs INT enabled", cfg.SLO)
+	}
+	ct := topo.Campus(cfg.Topo)
+	cfg.Topo = ct.Cfg // generator defaults become part of the scenario
+	part := ct.Partition()
+	fellBack := false
+	net, err := simnet.NewSharded(cfg.Seed, ct.Graph, part, simnet.DefaultSwitchConfig)
+	if errors.Is(err, sim.ErrZeroLookahead) {
+		fellBack = true
+		part = topo.Partition{Shards: 1, Of: make([]int, ct.Graph.NumNodes())}
+		net, err = simnet.NewSharded(cfg.Seed, ct.Graph, part, simnet.DefaultSwitchConfig)
+	}
+	if err != nil {
+		return nil, err
+	}
+	h := &CampusHarness{cfg: cfg, ct: ct, net: net, plan: plan, FellBack: fellBack}
+	if cfg.QueueDepth > 0 {
+		net.SetSwitchQueueDepth(cfg.QueueDepth)
+	}
+	shards := net.Group.Shards()
+	h.pools = make([]*frame.Pool, shards)
+	h.intPools = make([]*frame.INTPool, shards)
+	h.colls = make([]*intnet.Collector, shards)
+	h.dogs = make([]*intnet.Watchdog, shards)
+	for s := 0; s < shards; s++ {
+		h.pools[s] = &frame.Pool{}
+		if cfg.INT {
+			h.intPools[s] = &frame.INTPool{}
+			h.colls[s] = intnet.NewCollector()
+			if len(plan) > 0 {
+				h.dogs[s] = intnet.NewWatchdog(plan, 0, nil)
+				h.dogs[s].Attach(h.colls[s])
+			}
+		}
+	}
+	h.installRoutes()
+	h.armTraffic()
+	return h, nil
+}
+
+// edgeBetween maps an unordered node pair to its edge. Campus graphs
+// are simple (at most one edge per pair), so the lookup is unambiguous.
+func campusEdges(g *topo.Graph) map[[2]topo.NodeID]topo.EdgeID {
+	m := make(map[[2]topo.NodeID]topo.EdgeID, g.NumEdges())
+	for _, e := range g.Edges() {
+		a, b := e.A, e.B
+		if a > b {
+			a, b = b, a
+		}
+		m[[2]topo.NodeID{a, b}] = e.ID
+	}
+	return m
+}
+
+// installRoutes programs every FIB constructively — no shortest-path
+// solve, just the campus's known structure:
+//
+//   - each switch gets static entries for hosts in its own subtree
+//     (installed by walking each host's ancestor chain),
+//   - non-gateway switches default to their parent port, gateways
+//     default to one spine, so unknown MACs always climb out,
+//   - spines hold full per-cell host tables pointing at the gateways.
+//
+// The cost is O(hosts · tree depth + spines · hosts) entries, which
+// keeps a 10k-switch campus buildable in well under a second.
+func (h *CampusHarness) installRoutes() {
+	cfg := h.cfg.Topo
+	edges := campusEdges(h.ct.Graph)
+	edgeBetween := func(a, b topo.NodeID) topo.EdgeID {
+		if a > b {
+			a, b = b, a
+		}
+		eid, ok := edges[[2]topo.NodeID{a, b}]
+		if !ok {
+			panic(fmt.Sprintf("core: campus has no edge %d--%d", a, b))
+		}
+		return eid
+	}
+	portToward := func(at, next topo.NodeID) int {
+		return h.net.PortIndex(at, edgeBetween(at, next))
+	}
+	for c := range h.ct.CellSwitches {
+		sw := h.ct.CellSwitches[c]
+		// Defaults up the tree, gateway out to its home spine.
+		for i := 1; i < len(sw); i++ {
+			parent := sw[(i-1)/cfg.Fanout]
+			h.net.Switch(sw[i]).SetDefaultPort(portToward(sw[i], parent))
+		}
+		spine := h.ct.Spines[c%len(h.ct.Spines)]
+		h.net.Switch(sw[0]).SetDefaultPort(portToward(sw[0], spine))
+		// Host entries down the tree: every ancestor of host j's switch
+		// learns the port toward j.
+		for j, id := range h.ct.CellHosts[c] {
+			mac := h.net.Host(id).MAC()
+			i := j / cfg.HostsPerSwitch
+			h.net.Switch(sw[i]).AddStatic(mac, portToward(sw[i], id))
+			for i != 0 {
+				parent := (i - 1) / cfg.Fanout
+				h.net.Switch(sw[parent]).AddStatic(mac, portToward(sw[parent], sw[i]))
+				i = parent
+			}
+		}
+		// Spines: full host tables for this cell, out the gateway port.
+		for _, sp := range h.ct.Spines {
+			port := portToward(sp, sw[0])
+			for _, id := range h.ct.CellHosts[c] {
+				h.net.Switch(sp).AddStatic(h.net.Host(id).MAC(), port)
+			}
+		}
+	}
+}
+
+// armTraffic wires pools, telemetry roles, drop reclaim and the
+// periodic senders. Sends stop ten periods before the horizon so the
+// final state is fully drained (pools balance, CrossWire reaches zero).
+func (h *CampusHarness) armTraffic() {
+	cfg := h.cfg
+	part := h.net.Part
+	for s, ps := range h.portsByShard() {
+		pool := h.pools[s]
+		for _, p := range ps {
+			p.OnDrop = pool.Put
+		}
+	}
+	stopAt := cfg.Horizon - 10*cfg.Period
+	if stopAt <= 0 {
+		stopAt = cfg.Horizon / 2
+	}
+	hostsPerCell := len(h.ct.CellHosts[0])
+	totalHosts := hostsPerCell * len(h.ct.CellHosts)
+	gi := 0
+	for c := range h.ct.CellHosts {
+		for k, id := range h.ct.CellHosts[c] {
+			shard := part.Of[id]
+			src := h.net.Host(id)
+			src.OnReceive(h.pools[shard].Put)
+			if cfg.INT {
+				src.SetINTSink(h.colls[shard])
+				src.SetINTPool(h.intPools[shard])
+			}
+			cross := cfg.CrossEvery > 0 && gi%cfg.CrossEvery == 0 && len(h.ct.CellHosts) > 1
+			var dstID topo.NodeID
+			if cross {
+				dstID = h.ct.CellHosts[(c+1)%len(h.ct.CellHosts)][k]
+				if cfg.INT {
+					src.SetINTSource(uint32(gi), 8, false)
+				}
+			} else {
+				dstID = h.ct.CellHosts[c][(k+1)%hostsPerCell]
+			}
+			if dstID == id {
+				gi++
+				continue // single-host campus: nothing to talk to
+			}
+			dst := h.net.Host(dstID).MAC()
+			pool := h.pools[shard]
+			eng := src.Engine()
+			start := sim.Duration(1) + sim.Duration(gi)*cfg.Period/sim.Duration(totalHosts+1)
+			eng.Every(sim.Time(0).Add(start), cfg.Period, func() {
+				if eng.Now() > sim.Time(0).Add(stopAt) {
+					return
+				}
+				f := pool.Get(cfg.FrameBytes)
+				f.Dst = dst
+				if !src.Send(f) {
+					pool.Put(f)
+				}
+			})
+			gi++
+		}
+	}
+}
+
+// portsByShard groups every port of the network by its owner's shard.
+func (h *CampusHarness) portsByShard() map[int][]*simnet.Port {
+	byShard := make(map[int][]*simnet.Port, h.net.Group.Shards())
+	nameToShard := make(map[string]int, h.ct.Graph.NumNodes())
+	for _, n := range h.ct.Graph.Nodes() {
+		nameToShard[n.Name] = h.net.Part.Of[n.ID]
+	}
+	for _, p := range h.net.Ports() {
+		s := nameToShard[p.Owner.Name()]
+		byShard[s] = append(byShard[s], p)
+	}
+	return byShard
+}
+
+// Topo exposes the generated campus topology.
+func (h *CampusHarness) Topo() *topo.CampusTopo { return h.ct }
+
+// Network exposes the sharded network.
+func (h *CampusHarness) Network() *simnet.ShardedNetwork { return h.net }
+
+// Config returns the normalized configuration.
+func (h *CampusHarness) Config() CampusConfig { return h.cfg }
+
+// Now returns the group's barrier floor.
+func (h *CampusHarness) Now() sim.Time { return h.net.Group.Now() }
+
+// Horizon returns the configured end instant.
+func (h *CampusHarness) Horizon() sim.Time { return sim.Time(0).Add(h.cfg.Horizon) }
+
+// AdvanceTo runs the experiment to t using the configured worker count.
+// Advancing in several steps is byte-identical to one straight run: the
+// shard group's window grid is anchored to event content, never to the
+// caller's deadlines.
+func (h *CampusHarness) AdvanceTo(t sim.Time) {
+	h.net.Group.Run(t, h.cfg.Workers)
+}
+
+// Run advances to the configured horizon.
+func (h *CampusHarness) Run() { h.AdvanceTo(sim.Time(0).Add(h.cfg.Horizon)) }
+
+// MergedCollector combines the per-shard INT collectors in fixed shard
+// order (nil without INT). The merge is non-destructive and
+// deterministic for any worker count.
+func (h *CampusHarness) MergedCollector() *intnet.Collector {
+	if !h.cfg.INT {
+		return nil
+	}
+	m := intnet.NewCollector()
+	for _, c := range h.colls {
+		m.Absorb(c)
+	}
+	return m
+}
+
+// MergedWatchdog combines the per-shard SLO watchdogs in fixed shard
+// order (nil without a plan). Sinks are per-shard, so the states are
+// disjoint by construction.
+func (h *CampusHarness) MergedWatchdog() *intnet.Watchdog {
+	if len(h.plan) == 0 || !h.cfg.INT {
+		return nil
+	}
+	m := intnet.NewWatchdog(h.plan, 0, nil)
+	for _, w := range h.dogs {
+		if w != nil {
+			m.Absorb(w)
+		}
+	}
+	return m
+}
+
+// CampusCellStats is one cell's traffic summary.
+type CampusCellStats struct {
+	Cell            int
+	TxFrames        uint64
+	RxFrames        uint64
+	INTObservations uint64
+	Breaches        int
+}
+
+// CampusResult summarizes a campus run.
+type CampusResult struct {
+	Cells       int
+	Switches    int
+	Hosts       int
+	Shards      int
+	FellBack    bool
+	LookaheadNS int64
+	Group       sim.ShardGroupStats
+	PerCell     []CampusCellStats
+	Accounting  simnet.Accounting
+	// INTObservations and Breaches are whole-campus totals.
+	INTObservations uint64
+	Breaches        int
+}
+
+// Result summarizes the run so far. It is non-destructive: per-cell
+// rows come from host port counters and the per-shard telemetry, merged
+// in fixed shard order.
+func (h *CampusHarness) Result() CampusResult {
+	cfg := h.cfg.Topo
+	res := CampusResult{
+		Cells:       cfg.Cells,
+		Switches:    cfg.Cells*cfg.SwitchesPerCell + cfg.Spines,
+		Hosts:       cfg.Cells * cfg.SwitchesPerCell * cfg.HostsPerSwitch,
+		Shards:      h.net.Group.Shards(),
+		FellBack:    h.FellBack,
+		LookaheadNS: int64(h.net.Group.Lookahead()),
+		Group:       h.net.Group.Stats(),
+		Accounting:  h.net.Account(),
+	}
+	for c := range h.ct.CellHosts {
+		cs := CampusCellStats{Cell: c}
+		for _, id := range h.ct.CellHosts[c] {
+			p := h.net.Host(id).Port()
+			cs.TxFrames += p.TxFrames
+			cs.RxFrames += p.RxFrames
+		}
+		if !h.FellBack {
+			if coll := h.colls[c+1]; coll != nil {
+				cs.INTObservations = coll.Observations
+			}
+			if dog := h.dogs[c+1]; dog != nil {
+				cs.Breaches = len(dog.Breaches())
+			}
+		}
+		res.PerCell = append(res.PerCell, cs)
+	}
+	for _, coll := range h.colls {
+		if coll != nil {
+			res.INTObservations += coll.Observations
+		}
+	}
+	for _, dog := range h.dogs {
+		if dog != nil {
+			res.Breaches += len(dog.Breaches())
+		}
+	}
+	return res
+}
+
+// RenderCampus renders the result as the campus experiment table.
+func RenderCampus(res CampusResult) string {
+	t := metrics.NewTable(
+		fmt.Sprintf("campus: %d cells, %d switches, %d hosts on %d shards (lookahead %d ns)",
+			res.Cells, res.Switches, res.Hosts, res.Shards, res.LookaheadNS),
+		"cell", "tx frames", "rx frames", "int obs", "slo breaches")
+	for _, cs := range res.PerCell {
+		t.AddRowf("%d\t%d\t%d\t%d\t%d",
+			cs.Cell, cs.TxFrames, cs.RxFrames, cs.INTObservations, cs.Breaches)
+	}
+	s := t.String()
+	s += fmt.Sprintf("windows=%d skipped=%d cross-shard msgs=%d delivered=%d\n",
+		res.Group.Windows, res.Group.Skipped, res.Group.Messages, res.Accounting.Delivered)
+	if res.FellBack {
+		s += "NOTE: zero-lookahead partition; fell back to serial single-shard execution\n"
+	}
+	return s
+}
+
+// FoldState folds the full experiment state: the shard group (window
+// clock plus every engine), the equipment, and the per-shard telemetry
+// in fixed shard order.
+func (h *CampusHarness) FoldState(d *checkpoint.Digest) {
+	h.net.Group.FoldState(d)
+	h.net.FoldState(d)
+	d.Str(h.plan.String())
+	for s := 0; s < h.net.Group.Shards(); s++ {
+		hasColl := h.colls[s] != nil
+		d.Bool(hasColl)
+		if hasColl {
+			h.colls[s].FoldState(d)
+		}
+		hasDog := h.dogs[s] != nil
+		d.Bool(hasDog)
+		if hasDog {
+			h.dogs[s].FoldState(d)
+		}
+	}
+}
+
+// Digest returns the state digest at the current instant.
+func (h *CampusHarness) Digest() uint64 {
+	d := checkpoint.NewDigest()
+	h.FoldState(d)
+	return d.Sum()
+}
+
+// Save writes a replay-anchored checkpoint of the run to w. The worker
+// count is deliberately not encoded: it cannot change the replay.
+func (h *CampusHarness) Save(w io.Writer) error {
+	e := checkpoint.NewEncoder()
+	encodeCampusConfig(e, h.cfg)
+	return checkpoint.WriteHarness(w, CampusCheckpointKind, e.Data(), int64(h.Now()), h.Digest())
+}
+
+// RestoreCampus reads a campus checkpoint, rebuilds the scenario from
+// its recorded configuration, and replays deterministically to the
+// checkpointed instant with the given worker count. A digest mismatch
+// returns *checkpoint.DivergenceError.
+func RestoreCampus(r io.Reader, workers int) (*CampusHarness, error) {
+	cfgBytes, at, digest, err := checkpoint.ReadHarness(r, CampusCheckpointKind)
+	if err != nil {
+		return nil, err
+	}
+	d := checkpoint.NewDecoder(cfgBytes)
+	cfg := decodeCampusConfig(d)
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("core: bad campus checkpoint config: %w", err)
+	}
+	cfg.Workers = workers
+	h, err := NewCampusHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h.AdvanceTo(sim.Time(at))
+	if got := h.Digest(); got != digest {
+		return nil, &checkpoint.DivergenceError{Kind: CampusCheckpointKind, At: at, Recorded: digest, Replayed: got}
+	}
+	return h, nil
+}
+
+func encodeLinkSpec(e *checkpoint.Encoder, s topo.LinkSpec) {
+	e.F64(s.RateBps)
+	e.I64(s.PropNs)
+}
+
+func decodeLinkSpec(d *checkpoint.Decoder) topo.LinkSpec {
+	return topo.LinkSpec{RateBps: d.F64(), PropNs: d.I64()}
+}
+
+// encodeCampusConfig serializes the replayable configuration. Workers
+// is an execution knob, not scenario, and is omitted.
+func encodeCampusConfig(e *checkpoint.Encoder, cfg CampusConfig) {
+	e.U64(cfg.Seed)
+	e.Int(cfg.Topo.Cells)
+	e.Int(cfg.Topo.SwitchesPerCell)
+	e.Int(cfg.Topo.HostsPerSwitch)
+	e.Int(cfg.Topo.Spines)
+	e.Int(cfg.Topo.Fanout)
+	encodeLinkSpec(e, cfg.Topo.Access)
+	encodeLinkSpec(e, cfg.Topo.Trunk)
+	encodeLinkSpec(e, cfg.Topo.Backbone)
+	e.I64(int64(cfg.Horizon))
+	e.I64(int64(cfg.Period))
+	e.Int(cfg.CrossEvery)
+	e.Int(cfg.FrameBytes)
+	e.Int(cfg.QueueDepth)
+	e.Bool(cfg.INT)
+	e.Str(cfg.SLO)
+}
+
+func decodeCampusConfig(d *checkpoint.Decoder) CampusConfig {
+	var cfg CampusConfig
+	cfg.Seed = d.U64()
+	cfg.Topo.Cells = d.Int()
+	cfg.Topo.SwitchesPerCell = d.Int()
+	cfg.Topo.HostsPerSwitch = d.Int()
+	cfg.Topo.Spines = d.Int()
+	cfg.Topo.Fanout = d.Int()
+	cfg.Topo.Access = decodeLinkSpec(d)
+	cfg.Topo.Trunk = decodeLinkSpec(d)
+	cfg.Topo.Backbone = decodeLinkSpec(d)
+	cfg.Horizon = sim.Duration(d.I64())
+	cfg.Period = sim.Duration(d.I64())
+	cfg.CrossEvery = d.Int()
+	cfg.FrameBytes = d.Int()
+	cfg.QueueDepth = d.Int()
+	cfg.INT = d.Bool()
+	cfg.SLO = d.Str()
+	return cfg
+}

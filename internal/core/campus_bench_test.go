@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"steelnet/internal/sim"
+	"steelnet/internal/topo"
+)
+
+// bench7Config is the BENCH_7 scenario: a campus past the 10k-switch
+// mark (32 cells x 313 switches = 10,016 cell switches plus 4 spines,
+// one host per access switch), run for one millisecond of simulated
+// time with the default cross-cell traffic share. One op builds the
+// harness and runs it to the horizon, so the number covers
+// construction, routing installation, and the full event volume. The
+// generator goes much larger (10 hosts per switch passes the paper's
+// 100k-host bar) but one such op costs ~6 s serial — too slow for the
+// benchdiff sampling loop.
+//
+// BENCH_7.json records these at -shards=1 and -shards=8 on the same
+// machine; the committed baseline was measured on a single-core
+// container (GOMAXPROCS=1), where the shard workers time-slice one CPU
+// and the 8-shard number shows only coordinator overhead, not speedup.
+// Re-measure on a multi-core box to see the parallel scaling the
+// partition exists for.
+func bench7Config(workers int) CampusConfig {
+	return CampusConfig{
+		Seed: 7,
+		Topo: topo.CampusConfig{
+			Cells:           32,
+			SwitchesPerCell: 313,
+			HostsPerSwitch:  1,
+			Spines:          4,
+		},
+		Horizon: 1 * sim.Millisecond,
+		Period:  250 * sim.Microsecond,
+		Workers: workers,
+	}
+}
+
+func benchCampus(b *testing.B, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h, err := NewCampusHarness(bench7Config(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Run()
+		if h.Result().Accounting.Delivered == 0 {
+			b.Fatal("campus run delivered nothing")
+		}
+	}
+}
+
+func BenchmarkCampus10kShards1(b *testing.B) { benchCampus(b, 1) }
+func BenchmarkCampus10kShards8(b *testing.B) { benchCampus(b, 8) }

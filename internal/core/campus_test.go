@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"steelnet/internal/sim"
+	"steelnet/internal/topo"
+)
+
+// testCampusConfig is a small-but-real campus: 3 cells of 3 switches
+// (fanout 2, so the tree has depth) with 2 hosts per switch, 2 spines.
+// Cross-cell latency crosses the 15 µs SLO bound (≈5 switch hops plus
+// two 5 µs backbone legs); intra-cell traffic stays well under it.
+func testCampusConfig(workers int) CampusConfig {
+	return CampusConfig{
+		Seed: 11,
+		Topo: topo.CampusConfig{
+			Cells: 3, SwitchesPerCell: 3, HostsPerSwitch: 2,
+			Spines: 2, Fanout: 2,
+		},
+		Horizon: 2 * sim.Millisecond,
+		Period:  50 * sim.Microsecond,
+		INT:     true,
+		SLO:     "latency:*<15µs",
+		Workers: workers,
+	}
+}
+
+func runCampus(t *testing.T, workers int) (*CampusHarness, CampusResult) {
+	t.Helper()
+	h, err := NewCampusHarness(testCampusConfig(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Run()
+	return h, h.Result()
+}
+
+func TestCampusDeterministicAcrossWorkers(t *testing.T) {
+	ref, refRes := runCampus(t, 1)
+	refDigest := ref.Digest()
+	if refRes.FellBack {
+		t.Fatal("default campus fell back to serial; backbone lookahead lost")
+	}
+	if refRes.Shards != 4 {
+		t.Fatalf("shards = %d, want spine + 3 cells = 4", refRes.Shards)
+	}
+	if refRes.INTObservations == 0 {
+		t.Fatal("no INT observations; cross-cell sources are not stamping")
+	}
+	if refRes.Breaches == 0 {
+		t.Fatal("no SLO breaches; cross-cell latency never crossed the bound")
+	}
+	if refRes.Accounting.CrossWire != 0 {
+		t.Fatalf("drained run left %d frames on the cross-shard wire", refRes.Accounting.CrossWire)
+	}
+	if err := refRes.Accounting.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range refRes.PerCell {
+		if cs.TxFrames == 0 || cs.RxFrames == 0 {
+			t.Fatalf("cell %d saw no traffic: %+v", cs.Cell, cs)
+		}
+	}
+	for _, workers := range []int{2, 4, 8} {
+		h, res := runCampus(t, workers)
+		if got := h.Digest(); got != refDigest {
+			t.Fatalf("workers=%d digest %#x != serial %#x", workers, got, refDigest)
+		}
+		if res.Breaches != refRes.Breaches || res.INTObservations != refRes.INTObservations {
+			t.Fatalf("workers=%d telemetry (%d obs, %d breaches) != serial (%d, %d)",
+				workers, res.INTObservations, res.Breaches,
+				refRes.INTObservations, refRes.Breaches)
+		}
+	}
+	// The merged views must also be worker-independent; render them once
+	// so table assembly is covered.
+	if RenderCampus(refRes) == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// TestCampusPoolsDrain pins the cross-shard frame-pool contract: frames
+// are drawn from the sending shard's pool and released to the receiving
+// shard's, so individual pools go negative/positive but the sum of
+// Outstanding drains to zero.
+func TestCampusPoolsDrain(t *testing.T) {
+	h, _ := runCampus(t, 2)
+	var sum int64
+	for _, p := range h.pools {
+		sum += p.Outstanding()
+	}
+	if sum != 0 {
+		t.Fatalf("pooled frames leaked across shards: outstanding sum = %d", sum)
+	}
+}
+
+// TestCampusConservationAtCuts checks the accounting identity at
+// deadlines that slice shard windows mid-way, while traffic is on the
+// cross-shard wire.
+func TestCampusConservationAtCuts(t *testing.T) {
+	h, err := NewCampusHarness(testCampusConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCrossWire := false
+	horizon := sim.Time(0).Add(h.Config().Horizon)
+	for at := sim.Time(77_777); at < horizon; at += 77_777 {
+		h.AdvanceTo(at)
+		a := h.Network().Account()
+		if err := a.Check(); err != nil {
+			t.Fatalf("cut %v: %v", at, err)
+		}
+		if a.CrossWire > 0 {
+			sawCrossWire = true
+		}
+	}
+	if !sawCrossWire {
+		t.Fatal("no cut ever caught a frame on the cross-shard wire")
+	}
+}
+
+// TestCampusCheckpointResume pins checkpoint/resume equality under
+// sharding: a run checkpointed mid-window and resumed with a different
+// worker count ends byte-identical to the straight run.
+func TestCampusCheckpointResume(t *testing.T) {
+	straight, _ := runCampus(t, 2)
+	want := straight.Digest()
+
+	h, err := NewCampusHarness(testCampusConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 777_777 is no multiple of anything in the scenario: it lands
+	// mid-window, with messages held in outboxes.
+	h.AdvanceTo(777_777)
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreCampus(bytes.NewReader(buf.Bytes()), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Now() != 777_777 {
+		t.Fatalf("restored clock %v, want 777777", restored.Now())
+	}
+	restored.Run()
+	if got := restored.Digest(); got != want {
+		t.Fatalf("resumed digest %#x != straight run %#x", got, want)
+	}
+	res := restored.Result()
+	if res.Breaches == 0 || res.INTObservations == 0 {
+		t.Fatalf("resumed run lost telemetry: %+v", res)
+	}
+}
+
+// TestCampusSerialFallback: a zero-propagation backbone cannot be
+// sharded conservatively; the harness must degrade to one shard and say
+// so, not fail.
+func TestCampusSerialFallback(t *testing.T) {
+	cfg := testCampusConfig(4)
+	cfg.Topo.Backbone = topo.LinkSpec{RateBps: 100e9, PropNs: 0}
+	h, err := NewCampusHarness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.FellBack {
+		t.Fatal("zero-lookahead campus did not fall back")
+	}
+	if h.Network().Group.Shards() != 1 {
+		t.Fatalf("fallback built %d shards", h.Network().Group.Shards())
+	}
+	h.Run()
+	res := h.Result()
+	if !res.FellBack || res.Shards != 1 {
+		t.Fatalf("result does not report the fallback: %+v", res)
+	}
+	if res.Accounting.CrossWire != 0 {
+		t.Fatalf("serial build has cross-wire frames: %d", res.Accounting.CrossWire)
+	}
+	if err := res.Accounting.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"runtime"
 	"testing"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"steelnet/internal/instaplc"
 	"steelnet/internal/mltopo"
 	"steelnet/internal/reflection"
+	"steelnet/internal/sim"
 )
 
 // The figure sweeps run their cells on a worker pool. The determinism
@@ -151,6 +153,104 @@ func TestFigure5TableStableAcrossSeeds(t *testing.T) {
 		if want == "" {
 			t.Errorf("seed %d: Figure5 rendered empty", seed)
 		}
+	}
+}
+
+// campusArtifacts runs a campus scenario and returns every rendered
+// artifact a user can export: the result table, the merged INT path
+// digest export, and the merged SLO breach log. The cross-shard golden
+// contract is that all three are byte-identical for any worker count.
+func campusArtifacts(t *testing.T, seed uint64, workers int) (table, intJSONL, breachLog string) {
+	t.Helper()
+	cfg := testCampusConfig(workers)
+	cfg.Seed = seed
+	h, err := NewCampusHarness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Run()
+	table = RenderCampus(h.Result())
+	var buf bytes.Buffer
+	if err := h.MergedCollector().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	intJSONL = buf.String()
+	buf.Reset()
+	if err := h.MergedWatchdog().WriteBreachLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return table, intJSONL, buf.String()
+}
+
+// TestCampusArtifactsIdenticalAcrossWorkersAndSeeds is the golden
+// cross-shard determinism suite: for several seeds, the campus table,
+// the INT digest export and the SLO breach log must not change by one
+// byte when the shard group runs on 2 or 8 worker goroutines instead
+// of serially.
+func TestCampusArtifactsIdenticalAcrossWorkersAndSeeds(t *testing.T) {
+	for _, seed := range []uint64{1, 5, 23} {
+		wantTable, wantINT, wantBreach := campusArtifacts(t, seed, 1)
+		if wantINT == "" || wantBreach == "" {
+			t.Fatalf("seed %d: empty telemetry artifacts (int=%d breach=%d bytes)",
+				seed, len(wantINT), len(wantBreach))
+		}
+		for _, workers := range []int{2, 8} {
+			gotTable, gotINT, gotBreach := campusArtifacts(t, seed, workers)
+			if gotTable != wantTable {
+				t.Errorf("seed %d: campus table differs between workers=1 and workers=%d:\n--- serial ---\n%s--- parallel ---\n%s",
+					seed, workers, wantTable, gotTable)
+			}
+			if gotINT != wantINT {
+				t.Errorf("seed %d: INT export differs between workers=1 and workers=%d", seed, workers)
+			}
+			if gotBreach != wantBreach {
+				t.Errorf("seed %d: SLO breach log differs between workers=1 and workers=%d:\n--- serial ---\n%s--- parallel ---\n%s",
+					seed, workers, wantBreach, gotBreach)
+			}
+		}
+	}
+}
+
+// TestCampusResumedArtifactsIdentical extends the golden contract
+// through a checkpoint: save mid-run serially, restore on 8 workers,
+// and require the finished artifacts to match the straight run's.
+func TestCampusResumedArtifactsIdentical(t *testing.T) {
+	wantTable, wantINT, wantBreach := campusArtifacts(t, 9, 1)
+
+	cfg := testCampusConfig(1)
+	cfg.Seed = 9
+	h, err := NewCampusHarness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AdvanceTo(sim.Time(0).Add(cfg.Horizon / 3))
+	var ckpt bytes.Buffer
+	if err := h.Save(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreCampus(&ckpt, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.Run()
+	gotTable := RenderCampus(restored.Result())
+	var buf bytes.Buffer
+	if err := restored.MergedCollector().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	gotINT := buf.String()
+	buf.Reset()
+	if err := restored.MergedWatchdog().WriteBreachLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if gotTable != wantTable {
+		t.Errorf("resumed campus table differs:\n--- straight ---\n%s--- resumed ---\n%s", wantTable, gotTable)
+	}
+	if gotINT != wantINT {
+		t.Error("resumed INT export differs from straight run")
+	}
+	if got := buf.String(); got != wantBreach {
+		t.Errorf("resumed breach log differs:\n--- straight ---\n%s--- resumed ---\n%s", wantBreach, got)
 	}
 }
 

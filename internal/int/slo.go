@@ -283,6 +283,37 @@ func (w *Watchdog) step(st *objState, obj int, sink string, atNS, measured int64
 	}
 }
 
+// Absorb merges another watchdog's hysteresis states and breach log
+// into w, preserving other's first-seen state order and onset order.
+// Sharded runs keep one watchdog per shard (hysteresis state is
+// per-(objective, sink) and every sink host lives on exactly one
+// shard), then absorb them in fixed shard order — the combined log is
+// deterministic for any worker count, exactly like Collector.Absorb.
+// The two watchdogs must track disjoint sinks and share the same plan;
+// violating either makes the merged hysteresis meaningless, so Absorb
+// panics.
+func (w *Watchdog) Absorb(other *Watchdog) {
+	if other == nil {
+		return
+	}
+	if other.plan.String() != w.plan.String() || other.consecutive != w.consecutive {
+		panic("intnet: Absorb across different SLO plans")
+	}
+	offset := len(w.breaches)
+	for _, key := range other.skeys {
+		if _, dup := w.states[key]; dup {
+			panic(fmt.Sprintf("intnet: Absorb saw sink %q under objective %d in both watchdogs; shards must own disjoint sinks", key.sink, key.obj))
+		}
+		st := *other.states[key]
+		if st.openIdx >= 0 {
+			st.openIdx += offset
+		}
+		w.states[key] = &st
+		w.skeys = append(w.skeys, key)
+	}
+	w.breaches = append(w.breaches, other.breaches...)
+}
+
 // Breaches returns every recorded excursion in onset order (open ones
 // have ClearedAtNS == -1).
 func (w *Watchdog) Breaches() []Breach { return w.breaches }

@@ -224,3 +224,92 @@ func TestWatchdogFoldDeterministic(t *testing.T) {
 		t.Fatal("identical watchdog histories folded differently")
 	}
 }
+
+func TestWatchdogAbsorb(t *testing.T) {
+	plan, err := ParseSLOPlan("latency:*<1µs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := telemetry.NewTracer(nil)
+	// Two shard-local watchdogs over disjoint sinks: sinkA breaches and
+	// clears; sinkB breaches and stays open.
+	wa := NewWatchdog(plan, 2, tr)
+	for i := 0; i < 2; i++ {
+		wa.Observe(obs("sinkA", int64(100+i), 5000))
+	}
+	for i := 0; i < 2; i++ {
+		wa.Observe(obs("sinkA", int64(200+i), 100))
+	}
+	wb := NewWatchdog(plan, 2, tr)
+	for i := 0; i < 2; i++ {
+		wb.Observe(obs("sinkB", int64(150+i), 9000))
+	}
+
+	merged := NewWatchdog(plan, 2, tr)
+	merged.Absorb(wa)
+	merged.Absorb(wb)
+	bs := merged.Breaches()
+	if len(bs) != 2 {
+		t.Fatalf("merged %d breaches, want 2", len(bs))
+	}
+	if bs[0].Sink != "sinkA" || bs[0].ClearedAtNS == -1 {
+		t.Fatalf("breach 0 = %+v, want cleared sinkA", bs[0])
+	}
+	if bs[1].Sink != "sinkB" || bs[1].ClearedAtNS != -1 {
+		t.Fatalf("breach 1 = %+v, want open sinkB", bs[1])
+	}
+	if !merged.InBreach() {
+		t.Fatal("merged watchdog lost sinkB's open breach")
+	}
+	// The open breach's state index survived the offset: clearing it
+	// through the merged watchdog must close the right log entry.
+	for i := 0; i < 2; i++ {
+		merged.Observe(obs("sinkB", int64(300+i), 100))
+	}
+	if merged.InBreach() {
+		t.Fatal("absorbed open breach did not clear")
+	}
+	if merged.Breaches()[1].ClearedAtNS != 301 {
+		t.Fatalf("cleared at %d, want 301", merged.Breaches()[1].ClearedAtNS)
+	}
+	// Same shard-merge order, same digest: absorb is deterministic.
+	again := NewWatchdog(plan, 2, tr)
+	again.Absorb(wa)
+	again.Absorb(wb)
+	for i := 0; i < 2; i++ {
+		again.Observe(obs("sinkB", int64(300+i), 100))
+	}
+	d1, d2 := checkpoint.NewDigest(), checkpoint.NewDigest()
+	merged.FoldState(d1)
+	again.FoldState(d2)
+	if d1.Sum() != d2.Sum() {
+		t.Fatalf("absorb not deterministic: %#x != %#x", d1.Sum(), d2.Sum())
+	}
+}
+
+func TestWatchdogAbsorbRejectsOverlapAndPlanMismatch(t *testing.T) {
+	plan, _ := ParseSLOPlan("latency:*<1µs")
+	other, _ := ParseSLOPlan("jitter:*<1µs")
+	tr := telemetry.NewTracer(nil)
+	a := NewWatchdog(plan, 2, tr)
+	a.Observe(obs("s", 1, 10))
+	b := NewWatchdog(plan, 2, tr)
+	b.Observe(obs("s", 1, 10))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("overlapping sinks did not panic")
+			}
+		}()
+		a.Absorb(b)
+	}()
+	c := NewWatchdog(other, 2, tr)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("plan mismatch did not panic")
+			}
+		}()
+		a.Absorb(c)
+	}()
+}

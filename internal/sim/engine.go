@@ -118,6 +118,12 @@ type Engine struct {
 	free   *slot
 	peak   int     // heap high-water mark
 	batch  []*slot // reusable staging buffer for same-instant batches
+
+	// shard/shards identify the engine's place in a ShardGroup; a solo
+	// engine is shard 0 of 1 (shards == 0 means "never sharded", folded
+	// as 0 of 1 so solo digests are stable).
+	shard  int
+	shards int
 }
 
 // heapEntry carries the ordering key inline so sift comparisons read
@@ -338,7 +344,40 @@ func (e *Engine) Every(start Time, period Duration, fn func()) *Ticker {
 }
 
 // Halt stops the current Run/RunUntil after the in-flight event completes.
+// On an engine inside a ShardGroup this stops the shard at its current
+// instant; the group observes it at the window barrier and halts as a
+// whole, so the effect is deterministic for every worker count.
 func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether the last Run/RunUntil was stopped by Halt
+// (cleared when the next run starts).
+func (e *Engine) Halted() bool { return e.halted }
+
+// ShardIndex returns the engine's shard index within its ShardGroup
+// (0 for a solo engine).
+func (e *Engine) ShardIndex() int { return e.shard }
+
+// ShardCount returns the number of shards in the engine's ShardGroup
+// (1 for a solo engine).
+func (e *Engine) ShardCount() int {
+	if e.shards == 0 {
+		return 1
+	}
+	return e.shards
+}
+
+// nextEventAt peeks the earliest live event's timestamp, reaping
+// cancelled heap tops on the way (the same prologue stepBatch uses).
+func (e *Engine) nextEventAt() (Time, bool) {
+	for len(e.heap) > 0 && e.heap[0].s.state != statePending {
+		e.dead--
+		e.release(e.heapPop())
+	}
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
 
 // Step executes the next pending event, advancing time to it. It returns
 // false when the queue is empty. The firing event's slot is released
@@ -450,7 +489,9 @@ func (e *Engine) RunUntil(deadline Time) {
 	e.halted = false
 	for !e.halted && e.stepBatch(deadline, true) {
 	}
-	if e.now < deadline {
+	// A halted engine keeps its clock at the halt instant: events between
+	// there and the deadline are still pending and must fire on resume.
+	if !e.halted && e.now < deadline {
 		e.now = deadline
 	}
 }

@@ -19,6 +19,11 @@ func (r *RNG) State() uint64 { return r.state }
 // fold equal are at the same instant of the same run: every future
 // event fires at the same time in the same order with the same draws.
 func (e *Engine) FoldState(d *checkpoint.Digest) {
+	// Shard layout prefix (checkpoint format v3): a sharded engine's
+	// digest pins which shard of how many it is, so a checkpoint taken
+	// under one partition cannot silently verify against another.
+	d.Int(e.shard)
+	d.Int(e.ShardCount())
 	d.I64(int64(e.now))
 	d.U64(e.seq)
 	d.U64(e.fired)

@@ -174,7 +174,7 @@ func (p *Port) SetCorruptRate(rate float64) { p.corruptRate = rate }
 // bit-identical to ones where the stream was never created.
 func (p *Port) rng() *sim.RNG {
 	if p.faultRNG == nil {
-		p.faultRNG = p.link.engine.RNG(fmt.Sprintf("faults/port/%s/%d", p.Owner.Name(), p.Index))
+		p.faultRNG = p.link.engineFor(p.end).RNG(fmt.Sprintf("faults/port/%s/%d", p.Owner.Name(), p.Index))
 	}
 	return p.faultRNG
 }
@@ -265,8 +265,76 @@ type Link struct {
 	up      bool
 	extra   [2]sim.Duration // per-direction added delay (asymmetry)
 
+	// cross is non-nil when the link's two ends live on different shards
+	// of a sim.ShardGroup; the propagation leg then crosses the shard
+	// boundary as a timestamped group message instead of a local event.
+	cross *crossLink
+
 	// Delivered counts frames that completed traversal, per direction.
+	// On a cross-shard link each direction's counter is written only by
+	// the receiving shard's worker.
 	Delivered [2]uint64
+}
+
+// crossLink holds the shard-boundary state of a Link whose ends live on
+// different shards. Memory discipline: every word is written by exactly
+// one shard's worker — sent[end] by the sending end's shard,
+// l.Delivered[end] and the receiving port's counters by the receiving
+// end's shard — and read by others only at window barriers, which the
+// group's WaitGroup orders.
+type crossLink struct {
+	group *sim.ShardGroup
+	shard [2]int         // shard index of each end
+	eng   [2]*sim.Engine // engine of each end's shard
+	// sent counts frames handed to the group per sending end; the
+	// difference sent[e]-Delivered[e] is the cross-shard in-flight count
+	// the conservation identity needs (see Accounting.AddCrossLink).
+	sent [2]uint64
+}
+
+// engineFor returns the engine that owns the given end of the link: the
+// per-shard engine for cross-shard links, the link's single engine
+// otherwise.
+func (l *Link) engineFor(end int) *sim.Engine {
+	if l.cross != nil {
+		return l.cross.eng[end]
+	}
+	return l.engine
+}
+
+// Cross reports whether the link spans two shards.
+func (l *Link) Cross() bool { return l.cross != nil }
+
+// ConnectCross wires two ports with a link whose ends live on shards
+// shardA and shardB of group g. Serialization happens on the sending
+// shard; the propagation leg becomes a timestamped inter-shard message,
+// so the link's total propagation delay (Prop plus any asymmetry) must
+// be at least the group's lookahead — the group panics on violation at
+// the first send. When both ends land on the same shard this degrades
+// to a plain Connect on that shard's engine.
+func ConnectCross(g *sim.ShardGroup, name string, a, b *Port, shardA, shardB int, rateBps float64, prop sim.Duration) *Link {
+	if shardA == shardB {
+		return Connect(g.Shard(shardA), name, a, b, rateBps, prop)
+	}
+	if prop < g.Lookahead() {
+		panic(fmt.Sprintf("simnet: cross-shard link %q propagation %v below group lookahead %v", name, prop, g.Lookahead()))
+	}
+	if a.link != nil || b.link != nil {
+		panic(fmt.Sprintf("simnet: port already connected (link %q)", name))
+	}
+	if rateBps <= 0 {
+		panic("simnet: non-positive link rate")
+	}
+	l := &Link{Name: name, RateBps: rateBps, Prop: prop, up: true}
+	l.cross = &crossLink{
+		group: g,
+		shard: [2]int{shardA, shardB},
+		eng:   [2]*sim.Engine{g.Shard(shardA), g.Shard(shardB)},
+	}
+	l.ports[0], l.ports[1] = a, b
+	a.link, a.end = l, 0
+	b.link, b.end = l, 1
+	return l
 }
 
 // SetAsymmetry adds extra one-way delay to the direction leaving the
@@ -304,8 +372,15 @@ func Connect(engine *sim.Engine, name string, a, b *Port, rateBps float64, prop 
 func (l *Link) Up() bool { return l.up }
 
 // SetUp changes the link state. Taking a link down drops queued and
-// in-flight frames — the failure model for §2.2.
+// in-flight frames — the failure model for §2.2. Cross-shard links do
+// not support failure injection: flushing both ends would mutate two
+// shards' state from one callback, and frames on the cross-shard wire
+// have already been promised to the far shard's schedule. Partition
+// fault domains so that injected links stay within one shard.
 func (l *Link) SetUp(up bool) {
+	if l.cross != nil {
+		panic(fmt.Sprintf("simnet: SetUp on cross-shard link %q (failure injection is per-shard)", l.Name))
+	}
 	l.up = up
 	if !up {
 		for _, p := range l.ports {
@@ -370,7 +445,8 @@ func (p *Port) startNext() {
 	if l == nil || !l.up {
 		return
 	}
-	now := l.engine.Now()
+	eng := l.engineFor(p.end)
+	now := eng.Now()
 	f := p.queue.Peek()
 	if f == nil {
 		p.busy = false
@@ -397,7 +473,7 @@ func (p *Port) startNext() {
 		}
 		if start > now {
 			p.busy = true
-			p.pausedTx = l.engine.Schedule(start, func() {
+			p.pausedTx = eng.Schedule(start, func() {
 				p.pausedTx = sim.Event{}
 				p.busy = false
 				p.startNext()
@@ -420,7 +496,7 @@ func (p *Port) startNext() {
 	fl.f = f
 	fl.lost = lost
 	p.inFlight++
-	l.engine.After(ser, fl.serDone)
+	eng.After(ser, fl.serDone)
 }
 
 // serDone fires when a frame finishes serializing: the wire is free for
@@ -449,7 +525,11 @@ func (p *Port) serDone(fl *flight) {
 		}
 		p.reclaim(f)
 	default:
-		l.engine.After(l.Prop+l.extra[p.end], fl.propDone)
+		if l.cross != nil {
+			p.crossHandoff(fl)
+		} else {
+			l.engine.After(l.Prop+l.extra[p.end], fl.propDone)
+		}
 	}
 	p.busy = false
 	if p.queue.Len() > 0 {
@@ -490,6 +570,55 @@ func (p *Port) propDone(fl *flight) {
 		// injected straight into a port it is zero and the "latency"
 		// degenerates to the absolute delivery time.
 		dst.tr.Deliver(dst.Owner.Name(), dst.Index, f, int64(l.engine.Now())-f.Meta.CreatedAt)
+	}
+	dst.Owner.Receive(dst, f)
+}
+
+// crossHandoff replaces the propagation leg on a cross-shard link: the
+// frame leaves this shard's accounting (inFlight--, sent++) and is
+// promised to the far shard at now + propagation via the group outbox.
+// The corruption draw happens here, on the sending shard, so the fault
+// stream's draw order is a function of this shard's schedule alone —
+// identical for every worker count.
+func (p *Port) crossHandoff(fl *flight) {
+	l := p.link
+	c := l.cross
+	f := fl.f
+	p.putFlight(fl)
+	p.inFlight--
+	src := p.end
+	c.sent[src]++
+	corrupt := -1
+	if p.corruptRate > 0 && len(f.Payload) > 0 && p.rng().Bool(p.corruptRate) {
+		corrupt = p.rng().Intn(len(f.Payload))
+	}
+	at := c.eng[src].Now().Add(l.Prop + l.extra[src])
+	c.group.Send(c.shard[src], c.shard[1-src], at, func() {
+		l.crossDeliver(src, f, corrupt)
+	})
+}
+
+// crossDeliver completes a cross-shard traversal on the receiving
+// shard's schedule. It mirrors propDone's delivery half; every counter
+// it touches (including the sending port's CorruptedFrames and the
+// link's Delivered[src]) is written only by the receiving shard, and
+// tracing goes through the receiving port's tracer.
+func (l *Link) crossDeliver(src int, f *frame.Frame, corrupt int) {
+	c := l.cross
+	sender := l.ports[src]
+	dst := l.ports[1-src]
+	if corrupt >= 0 {
+		f.Payload[corrupt] ^= 0xff
+		sender.CorruptedFrames++
+		if dst.tr != nil {
+			dst.tr.Corrupt(sender.Owner.Name(), sender.Index, f)
+		}
+	}
+	l.Delivered[src]++
+	dst.RxFrames++
+	dst.RxBytes += uint64(f.WireLen())
+	if dst.tr != nil {
+		dst.tr.Deliver(dst.Owner.Name(), dst.Index, f, int64(c.eng[1-src].Now())-f.Meta.CreatedAt)
 	}
 	dst.Owner.Receive(dst, f)
 }

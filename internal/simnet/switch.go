@@ -21,10 +21,15 @@ type Switch struct {
 	fib     map[frame.MAC]int
 	static  map[frame.MAC]bool
 	blocked map[int]bool
-	latency sim.Duration
-	jitter  sim.Duration
-	rng     *sim.RNG
-	failed  bool
+	// defaultPort, when >= 0, is where unicast frames with no FIB entry
+	// go instead of flooding — the "default route up" of structured
+	// topologies, where flooding a 10k-switch campus for every unknown
+	// MAC would be both wrong and ruinously slow.
+	defaultPort int
+	latency     sim.Duration
+	jitter      sim.Duration
+	rng         *sim.RNG
+	failed      bool
 
 	// tr observes forwarding decisions; nil disables. fwdFree is the
 	// free list of pipeline-delay contexts, so the receive→forward hop
@@ -71,14 +76,15 @@ var DefaultSwitchConfig = SwitchConfig{Latency: 2 * sim.Microsecond, Jitter: 50 
 // NewSwitch creates a switch with nports ports.
 func NewSwitch(engine *sim.Engine, name string, nports int, cfg SwitchConfig) *Switch {
 	s := &Switch{
-		name:    name,
-		engine:  engine,
-		fib:     make(map[frame.MAC]int),
-		static:  make(map[frame.MAC]bool),
-		blocked: make(map[int]bool),
-		latency: cfg.Latency,
-		jitter:  cfg.Jitter,
-		rng:     engine.RNG("switch/" + name),
+		name:        name,
+		engine:      engine,
+		fib:         make(map[frame.MAC]int),
+		static:      make(map[frame.MAC]bool),
+		blocked:     make(map[int]bool),
+		defaultPort: -1,
+		latency:     cfg.Latency,
+		jitter:      cfg.Jitter,
+		rng:         engine.RNG("switch/" + name),
 	}
 	for i := 0; i < nports; i++ {
 		s.ports = append(s.ports, NewPort(s, i))
@@ -120,6 +126,19 @@ func (s *Switch) SetQueueDepth(perClassLimit int) {
 func (s *Switch) AddStatic(mac frame.MAC, port int) {
 	s.fib[mac] = port
 	s.static[mac] = true
+}
+
+// SetDefaultPort routes unicast frames with no FIB entry out of port
+// instead of flooding. Pass -1 to restore flooding. Broadcast and
+// multicast still flood.
+func (s *Switch) SetDefaultPort(port int) {
+	if port >= len(s.ports) {
+		panic(fmt.Sprintf("simnet: switch %s has no port %d", s.name, port))
+	}
+	if port < 0 {
+		port = -1
+	}
+	s.defaultPort = port
 }
 
 // LookupPort returns the FIB port for mac, or -1 when unknown.
@@ -309,8 +328,11 @@ func (s *Switch) forward(inPort int, f *frame.Frame, intIn int64) {
 	}
 	out, ok := s.fib[f.Dst]
 	if !ok {
-		s.flood(inPort, f, intIn)
-		return
+		if s.defaultPort < 0 {
+			s.flood(inPort, f, intIn)
+			return
+		}
+		out = s.defaultPort
 	}
 	if out == inPort || s.blocked[out] {
 		// Hairpin or blocked egress; drop like a real switch.

@@ -40,6 +40,16 @@ type Accounting struct {
 	// and the next port's Accepted. The counter is here so chaos
 	// assertions can still demand the deaths be enumerated.
 	INTDrops uint64
+
+	// CrossWire counts frames in flight on cross-shard links: handed to
+	// the shard group by the sending shard but not yet delivered by the
+	// receiving one. Port.InFlight cannot see them (the sending port
+	// decremented at hand-off; the receiving port never increments), so
+	// a sharded network's identity needs this term — each cross-shard
+	// frame appears here exactly once, via AddCrossLink on each link
+	// exactly once. Meaningful only at window barriers, where the
+	// senders' and receivers' counters are ordered.
+	CrossWire uint64
 }
 
 // Add accumulates one port's counters into the ledger.
@@ -58,14 +68,28 @@ func (a *Accounting) Add(p *Port) {
 	a.INTDrops += p.INTDrops
 }
 
+// AddCrossLink accumulates a cross-shard link's wire occupancy into the
+// ledger. Call it once per cross-shard link, at a window barrier. Links
+// that are not cross-shard contribute nothing (their in-flight frames
+// are already in Port.InFlight).
+func (a *Accounting) AddCrossLink(l *Link) {
+	if l.cross == nil {
+		return
+	}
+	for end := 0; end < 2; end++ {
+		a.CrossWire += l.cross.sent[end] - l.Delivered[end]
+	}
+}
+
 // Check returns an error unless delivered + destroyed + queued + in-flight
 // frames exactly equal the frames accepted — the forwarded+dropped==sent
-// identity the chaos suites assert per run.
+// identity the chaos suites assert per run. In-flight splits into
+// intra-shard wires (InFlight) and cross-shard wires (CrossWire).
 func (a Accounting) Check() error {
-	got := a.Delivered + a.Destroyed + a.Queued + a.InFlight
+	got := a.Delivered + a.Destroyed + a.Queued + a.InFlight + a.CrossWire
 	if got != a.Accepted {
-		return fmt.Errorf("simnet: frame conservation violated: accepted=%d but delivered=%d + destroyed=%d + queued=%d + in-flight=%d = %d",
-			a.Accepted, a.Delivered, a.Destroyed, a.Queued, a.InFlight, got)
+		return fmt.Errorf("simnet: frame conservation violated: accepted=%d but delivered=%d + destroyed=%d + queued=%d + in-flight=%d + cross-wire=%d = %d",
+			a.Accepted, a.Delivered, a.Destroyed, a.Queued, a.InFlight, a.CrossWire, got)
 	}
 	return nil
 }

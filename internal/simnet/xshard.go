@@ -1,0 +1,242 @@
+package simnet
+
+import (
+	"fmt"
+
+	"sort"
+
+	"steelnet/internal/checkpoint"
+	"steelnet/internal/frame"
+	"steelnet/internal/sim"
+	"steelnet/internal/telemetry"
+	"steelnet/internal/topo"
+)
+
+// ShardedNetwork instantiates a topo.Graph across the shards of a
+// sim.ShardGroup: every node lives on the engine of the shard its
+// partition assigns it to, intra-shard edges are ordinary links, and
+// edges cut by the partition become cross-shard links whose propagation
+// leg travels as a timestamped group message. The partition is part of
+// the scenario — it is derived from the topology (see topo.Partition)
+// and folded into digests — while the worker count passed to
+// Group.Run is free to vary without changing a single output byte.
+type ShardedNetwork struct {
+	Group *sim.ShardGroup
+	Graph *topo.Graph
+	Part  topo.Partition
+
+	switches map[topo.NodeID]*Switch
+	hosts    map[topo.NodeID]*Host
+	links    map[topo.EdgeID]*Link
+	byMAC    map[frame.MAC]topo.NodeID
+	portIdx  map[[2]int]int // {node, edge} -> port index
+}
+
+// noCutLookahead is the window bound used when the partition has no cut
+// edges at all: shards never interact, so any positive bound is sound;
+// a huge one makes each Run a single window per shard.
+const noCutLookahead = sim.Duration(1) << 56
+
+// NewSharded builds g's equipment across a new shard group seeded with
+// seed, one shard per partition class. The conservative lookahead is
+// the minimum propagation delay over the partition's cut edges; a cut
+// edge with zero propagation makes windowed sync unsound, so that
+// returns sim.ErrZeroLookahead (wrapped) — callers repartition, fix the
+// topology, or fall back to a single shard.
+func NewSharded(seed uint64, g *topo.Graph, p topo.Partition, cfg SwitchConfig) (*ShardedNetwork, error) {
+	if err := p.Validate(g); err != nil {
+		return nil, err
+	}
+	lookahead := noCutLookahead
+	if min, ok := p.MinCutPropNs(g); ok {
+		lookahead = sim.Duration(min)
+	}
+	group, err := sim.NewShardGroup(seed, p.Shards, lookahead)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: partition of %q unusable: %w", g.Name, err)
+	}
+	n := &ShardedNetwork{
+		Group:    group,
+		Graph:    g,
+		Part:     p,
+		switches: make(map[topo.NodeID]*Switch),
+		hosts:    make(map[topo.NodeID]*Host),
+		links:    make(map[topo.EdgeID]*Link),
+		byMAC:    make(map[frame.MAC]topo.NodeID),
+		portIdx:  make(map[[2]int]int),
+	}
+	for _, node := range g.Nodes() {
+		eng := group.Shard(p.Of[node.ID])
+		switch node.Kind {
+		case topo.KindSwitch:
+			inc := g.Incident(node.ID)
+			sw := NewSwitch(eng, node.Name, len(inc), cfg)
+			n.switches[node.ID] = sw
+			for i, eid := range inc {
+				n.portIdx[[2]int{int(node.ID), int(eid)}] = i
+			}
+		default:
+			mac := frame.NewMAC(uint32(node.ID))
+			h := NewHost(eng, node.Name, mac)
+			n.hosts[node.ID] = h
+			n.byMAC[mac] = node.ID
+			if deg := g.Degree(node.ID); deg > 1 {
+				panic(fmt.Sprintf("simnet: host %s has %d links; hosts are single-homed", node.Name, deg))
+			}
+			for _, eid := range g.Incident(node.ID) {
+				n.portIdx[[2]int{int(node.ID), int(eid)}] = 0
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		pa := n.portFor(e.A, e.ID)
+		pb := n.portFor(e.B, e.ID)
+		name := fmt.Sprintf("%s--%s", g.Node(e.A).Name, g.Node(e.B).Name)
+		n.links[e.ID] = ConnectCross(group, name, pa, pb, p.Of[e.A], p.Of[e.B], e.RateBps, sim.Duration(e.PropNs))
+	}
+	return n, nil
+}
+
+func (n *ShardedNetwork) portFor(node topo.NodeID, edge topo.EdgeID) *Port {
+	idx := n.portIdx[[2]int{int(node), int(edge)}]
+	if sw, ok := n.switches[node]; ok {
+		return sw.Port(idx)
+	}
+	return n.hosts[node].Port()
+}
+
+// PortIndex returns which port of node attaches to edge. Constructive
+// routing (static FIB entries plus default ports) is built from this.
+func (n *ShardedNetwork) PortIndex(node topo.NodeID, edge topo.EdgeID) int {
+	idx, ok := n.portIdx[[2]int{int(node), int(edge)}]
+	if !ok {
+		panic(fmt.Sprintf("simnet: node %d not on edge %d", node, edge))
+	}
+	return idx
+}
+
+// Switch returns the switch instantiated for graph node id; it panics
+// when id is not a switch.
+func (n *ShardedNetwork) Switch(id topo.NodeID) *Switch {
+	sw, ok := n.switches[id]
+	if !ok {
+		panic(fmt.Sprintf("simnet: node %d is not a switch", id))
+	}
+	return sw
+}
+
+// Host returns the host instantiated for graph node id; it panics when
+// id is not a host.
+func (n *ShardedNetwork) Host(id topo.NodeID) *Host {
+	h, ok := n.hosts[id]
+	if !ok {
+		panic(fmt.Sprintf("simnet: node %d is not a host", id))
+	}
+	return h
+}
+
+// Link returns the link instantiated for graph edge id.
+func (n *ShardedNetwork) Link(id topo.EdgeID) *Link {
+	l, ok := n.links[id]
+	if !ok {
+		panic(fmt.Sprintf("simnet: unknown edge %d", id))
+	}
+	return l
+}
+
+// Hosts returns all hosts keyed by graph node id.
+func (n *ShardedNetwork) Hosts() map[topo.NodeID]*Host { return n.hosts }
+
+// NodeByMAC returns the graph node owning mac, or -1.
+func (n *ShardedNetwork) NodeByMAC(mac frame.MAC) topo.NodeID {
+	if id, ok := n.byMAC[mac]; ok {
+		return id
+	}
+	return -1
+}
+
+// SetSwitchQueueDepth applies SetQueueDepth to every switch (hosts keep
+// their defaults).
+func (n *ShardedNetwork) SetSwitchQueueDepth(perClassLimit int) {
+	for _, sw := range n.switches {
+		sw.SetQueueDepth(perClassLimit)
+	}
+}
+
+// SetShardTracer attaches t to every switch and host living on shard s
+// and binds it to that shard's engine. Tracers are per-shard under
+// sharded execution — one tracer shared across shards would be written
+// by concurrent workers. Merge per-shard traces in shard order for a
+// deterministic combined stream.
+func (n *ShardedNetwork) SetShardTracer(s int, t *telemetry.Tracer) {
+	t.Bind(n.Group.Shard(s))
+	for id, sw := range n.switches {
+		if n.Part.Of[id] == s {
+			sw.SetTracer(t)
+		}
+	}
+	for id, h := range n.hosts {
+		if n.Part.Of[id] == s {
+			h.SetTracer(t)
+		}
+	}
+}
+
+// Ports returns all ports of the network's switches and hosts.
+func (n *ShardedNetwork) Ports() []*Port {
+	var out []*Port
+	for _, sw := range n.switches {
+		out = append(out, sw.ports...)
+	}
+	for _, h := range n.hosts {
+		out = append(out, h.port)
+	}
+	return out
+}
+
+// Account builds the whole-network conservation ledger, including the
+// cross-shard wire term. Call it at a window barrier (between Run
+// calls): that is when the senders' and receivers' counters are
+// ordered, and when every cross-shard in-flight frame is counted
+// exactly once — by its link's sent/Delivered difference and by
+// nothing else.
+func (n *ShardedNetwork) Account() Accounting {
+	a := Account(n.Ports()...)
+	for _, l := range n.links {
+		a.AddCrossLink(l)
+	}
+	return a
+}
+
+// FoldState folds every switch, host and link in sorted graph-ID order
+// — identical ordering to Network.FoldState, so a sharded and an
+// unsharded build of the same scenario fold the same equipment stream.
+func (n *ShardedNetwork) FoldState(d *checkpoint.Digest) {
+	swIDs := make([]int, 0, len(n.switches))
+	for id := range n.switches {
+		swIDs = append(swIDs, int(id))
+	}
+	sort.Ints(swIDs)
+	for _, id := range swIDs {
+		d.Int(id)
+		n.switches[topo.NodeID(id)].FoldState(d)
+	}
+	hostIDs := make([]int, 0, len(n.hosts))
+	for id := range n.hosts {
+		hostIDs = append(hostIDs, int(id))
+	}
+	sort.Ints(hostIDs)
+	for _, id := range hostIDs {
+		d.Int(id)
+		n.hosts[topo.NodeID(id)].FoldState(d)
+	}
+	linkIDs := make([]int, 0, len(n.links))
+	for id := range n.links {
+		linkIDs = append(linkIDs, int(id))
+	}
+	sort.Ints(linkIDs)
+	for _, id := range linkIDs {
+		d.Int(id)
+		n.links[topo.EdgeID(id)].FoldState(d)
+	}
+}

@@ -1,0 +1,271 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+
+	"steelnet/internal/checkpoint"
+	"steelnet/internal/frame"
+	"steelnet/internal/sim"
+	"steelnet/internal/topo"
+)
+
+// twoCellGraph builds the smallest interesting sharded topology: two
+// switches joined by one backbone edge with propagation prop, two hosts
+// on each. The partition puts each switch and its hosts on its own
+// shard, so the backbone is the only cut edge.
+func twoCellGraph(prop int64) (*topo.Graph, topo.Partition) {
+	g := topo.NewGraph("twocell")
+	swA := g.AddNode("swA", topo.KindSwitch)
+	swB := g.AddNode("swB", topo.KindSwitch)
+	g.AddNode("a0", topo.KindHost)
+	g.AddNode("a1", topo.KindHost)
+	g.AddNode("b0", topo.KindHost)
+	g.AddNode("b1", topo.KindHost)
+	g.AddEdge(swA, swB, 1e9, prop)
+	g.AddEdge(swA, 2, 1e9, 500)
+	g.AddEdge(swA, 3, 1e9, 500)
+	g.AddEdge(swB, 4, 1e9, 500)
+	g.AddEdge(swB, 5, 1e9, 500)
+	return g, topo.Partition{Shards: 2, Of: []int{0, 1, 0, 0, 1, 1}}
+}
+
+// installTwoCellRoutes programs both switches constructively: local
+// hosts by static entry, everything else out the backbone default port.
+func installTwoCellRoutes(sw *Switch, hostPorts map[frame.MAC]int, defPort int) {
+	for mac, port := range hostPorts {
+		sw.AddStatic(mac, port)
+	}
+	sw.SetDefaultPort(defPort)
+}
+
+// driveTwoCell wires periodic cross-shard traffic (a0->b0 and b1->a1)
+// on a built sharded network, runs it to the horizon in barrier-aligned
+// chunks checking conservation at each cut, and returns the combined
+// group+equipment digest. Frames are pooled per shard; cross-shard
+// frames migrate pools, so the sum of Outstanding over both pools must
+// drain to zero.
+func driveTwoCell(t *testing.T, workers int) uint64 {
+	t.Helper()
+	g, part := twoCellGraph(5000)
+	n, err := NewSharded(42, g, part, SwitchConfig{Latency: sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la := n.Group.Lookahead(); la != 5000 {
+		t.Fatalf("lookahead = %v, want backbone prop 5000", la)
+	}
+	var pools [2]frame.Pool
+	for id, h := range n.Hosts() {
+		shard := part.Of[id]
+		h.OnReceive(pools[shard].Put)
+	}
+	// OnDrop goes to the owning shard's pool, keyed by owner name (IDs
+	// 0..5 as built by twoCellGraph).
+	ownerShard := map[string]int{"swA": 0, "swB": 1, "a0": 0, "a1": 0, "b0": 1, "b1": 1}
+	for _, p := range n.Ports() {
+		s := ownerShard[p.Owner.Name()]
+		p.OnDrop = pools[s].Put
+	}
+	swA, swB := n.Switch(0), n.Switch(1)
+	installTwoCellRoutes(swA, map[frame.MAC]int{
+		n.Host(2).MAC(): n.PortIndex(0, 1),
+		n.Host(3).MAC(): n.PortIndex(0, 2),
+	}, n.PortIndex(0, 0))
+	installTwoCellRoutes(swB, map[frame.MAC]int{
+		n.Host(4).MAC(): n.PortIndex(1, 3),
+		n.Host(5).MAC(): n.PortIndex(1, 4),
+	}, n.PortIndex(1, 0))
+
+	a0, a1 := n.Host(2), n.Host(3)
+	b0, b1 := n.Host(4), n.Host(5)
+	const horizon = sim.Time(2_000_000)
+	send := func(src *Host, dst frame.MAC, pool *frame.Pool) func() {
+		return func() {
+			if src.Engine().Now() > horizon-100_000 {
+				return // stop sending; let the tail drain
+			}
+			f := pool.Get(128)
+			f.Dst = dst
+			if !src.Send(f) {
+				pool.Put(f)
+			}
+		}
+	}
+	a0.Engine().Every(1000, 2000, send(a0, b0.MAC(), &pools[0]))
+	b1.Engine().Every(1500, 3000, send(b1, a1.MAC(), &pools[1]))
+
+	sawCrossWire := false
+	for at := sim.Time(50_000); at <= horizon; at += 50_000 {
+		n.Group.Run(at, workers)
+		a := n.Account()
+		if err := a.Check(); err != nil {
+			t.Fatalf("barrier %v: %v", at, err)
+		}
+		if a.CrossWire > 0 {
+			sawCrossWire = true
+		}
+	}
+	if !sawCrossWire {
+		t.Fatal("no barrier ever caught a frame on the cross-shard wire; the CrossWire term is untested")
+	}
+	final := n.Account()
+	if final.CrossWire != 0 {
+		t.Fatalf("drained run still has %d cross-wire frames", final.CrossWire)
+	}
+	if final.Delivered == 0 {
+		t.Fatal("no frames delivered")
+	}
+	if out := pools[0].Outstanding() + pools[1].Outstanding(); out != 0 {
+		t.Fatalf("pooled frames leaked across shards: outstanding sum = %d", out)
+	}
+	if b0.RxCount == 0 || a1.RxCount == 0 {
+		t.Fatalf("cross-shard hosts got no traffic: b0=%d a1=%d", b0.RxCount, a1.RxCount)
+	}
+	d := checkpoint.NewDigest()
+	n.Group.FoldState(d)
+	n.FoldState(d)
+	return d.Sum()
+}
+
+func TestShardedNetworkCrossTrafficConservesAndIsDeterministic(t *testing.T) {
+	ref := driveTwoCell(t, 1)
+	for _, workers := range []int{2, 4} {
+		if got := driveTwoCell(t, workers); got != ref {
+			t.Fatalf("workers=%d digest %#x != serial %#x", workers, got, ref)
+		}
+	}
+}
+
+// TestShardedMatchesUnshardedEquipment pins the physics: the same
+// scenario built unsharded on one engine and sharded across two must
+// leave every switch, host and link counter byte-identical — the
+// equipment digest does not know how the simulation was executed.
+func TestShardedMatchesUnshardedEquipment(t *testing.T) {
+	run := func(sharded bool) uint64 {
+		g, part := twoCellGraph(5000)
+		const horizon = sim.Time(500_000)
+		var (
+			hostAt  func(id topo.NodeID) *Host
+			swAt    func(id topo.NodeID) *Switch
+			portIdx func(n topo.NodeID, e topo.EdgeID) int
+			advance func()
+			fold    func(d *checkpoint.Digest)
+		)
+		if sharded {
+			n, err := NewSharded(7, g, part, SwitchConfig{Latency: sim.Microsecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hostAt, swAt, portIdx = n.Host, n.Switch, n.PortIndex
+			advance = func() { n.Group.Run(horizon, 2) }
+			fold = n.FoldState
+		} else {
+			e := sim.NewEngine(7)
+			n := Build(e, g, SwitchConfig{Latency: sim.Microsecond})
+			hostAt, swAt = n.Host, n.Switch
+			portIdx = func(nd topo.NodeID, ed topo.EdgeID) int {
+				for i, eid := range g.Incident(nd) {
+					if eid == ed {
+						return i
+					}
+				}
+				t.Fatalf("node %d not on edge %d", nd, ed)
+				return -1
+			}
+			advance = func() { e.RunUntil(horizon) }
+			fold = n.FoldState
+		}
+		installTwoCellRoutes(swAt(0), map[frame.MAC]int{
+			hostAt(2).MAC(): portIdx(0, 1),
+			hostAt(3).MAC(): portIdx(0, 2),
+		}, portIdx(0, 0))
+		installTwoCellRoutes(swAt(1), map[frame.MAC]int{
+			hostAt(4).MAC(): portIdx(1, 3),
+			hostAt(5).MAC(): portIdx(1, 4),
+		}, portIdx(1, 0))
+		a0, b0 := hostAt(2), hostAt(4)
+		var pool [2]frame.Pool
+		a0.OnReceive(pool[0].Put)
+		b0.OnReceive(pool[1].Put)
+		a0.Engine().Every(1000, 2000, func() {
+			if a0.Engine().Now() > horizon-50_000 {
+				return
+			}
+			f := pool[0].Get(96)
+			f.Dst = b0.MAC()
+			if !a0.Send(f) {
+				pool[0].Put(f)
+			}
+		})
+		b0.Engine().Every(1700, 2600, func() {
+			if b0.Engine().Now() > horizon-50_000 {
+				return
+			}
+			f := pool[1].Get(96)
+			f.Dst = a0.MAC()
+			if !b0.Send(f) {
+				pool[1].Put(f)
+			}
+		})
+		advance()
+		d := checkpoint.NewDigest()
+		fold(d)
+		return d.Sum()
+	}
+	if sh, un := run(true), run(false); sh != un {
+		t.Fatalf("sharded equipment digest %#x != unsharded %#x", sh, un)
+	}
+}
+
+func TestShardedNetworkZeroLookaheadRejected(t *testing.T) {
+	g, part := twoCellGraph(0)
+	if _, err := NewSharded(1, g, part, DefaultSwitchConfig); !errors.Is(err, sim.ErrZeroLookahead) {
+		t.Fatalf("zero-prop cut edge: got %v, want ErrZeroLookahead", err)
+	}
+	// Serial fallback contract: the same graph on a one-shard partition
+	// builds fine — there is no cut, hence no lookahead constraint.
+	serial := topo.Partition{Shards: 1, Of: make([]int, g.NumNodes())}
+	n, err := NewSharded(1, g, serial, DefaultSwitchConfig)
+	if err != nil {
+		t.Fatalf("serial fallback rejected: %v", err)
+	}
+	if n.Group.Shards() != 1 {
+		t.Fatalf("fallback built %d shards", n.Group.Shards())
+	}
+	for _, l := range n.links {
+		if l.Cross() {
+			t.Fatalf("one-shard build produced cross link %q", l.Name)
+		}
+	}
+}
+
+func TestCrossLinkSetUpPanics(t *testing.T) {
+	g, part := twoCellGraph(5000)
+	n, err := NewSharded(1, g, part, DefaultSwitchConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backbone := n.Link(0)
+	if !backbone.Cross() {
+		t.Fatal("backbone edge did not become a cross link")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetUp on a cross-shard link did not panic")
+		}
+	}()
+	backbone.SetUp(false)
+}
+
+func TestAddCrossLinkIgnoresLocalLinks(t *testing.T) {
+	e := sim.NewEngine(1)
+	a := NewHost(e, "a", frame.NewMAC(1))
+	b := NewHost(e, "b", frame.NewMAC(2))
+	l := Connect(e, "l", a.Port(), b.Port(), 1e9, 100)
+	var acct Accounting
+	acct.AddCrossLink(l)
+	if acct.CrossWire != 0 {
+		t.Fatalf("local link contributed %d to CrossWire", acct.CrossWire)
+	}
+}

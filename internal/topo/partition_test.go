@@ -1,0 +1,115 @@
+package topo
+
+import "testing"
+
+func TestCampusShape(t *testing.T) {
+	cfg := CampusConfig{Cells: 3, SwitchesPerCell: 5, HostsPerSwitch: 2, Spines: 2}
+	ct := Campus(cfg)
+	g := ct.Graph
+	wantNodes := 2 + 3*(5+5*2)
+	if g.NumNodes() != wantNodes {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), wantNodes)
+	}
+	// Edges: per cell 4 trunk + 10 access + 2 backbone.
+	if want := 3 * (4 + 10 + 2); g.NumEdges() != want {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), want)
+	}
+	if !g.Connected() {
+		t.Fatal("campus graph is disconnected")
+	}
+	for c, sw := range ct.CellSwitches {
+		if len(sw) != 5 {
+			t.Fatalf("cell %d has %d switches", c, len(sw))
+		}
+		if len(ct.CellHosts[c]) != 10 {
+			t.Fatalf("cell %d has %d hosts", c, len(ct.CellHosts[c]))
+		}
+	}
+}
+
+func TestCampusPartitionCutIsBackbone(t *testing.T) {
+	ct := Campus(CampusConfig{Cells: 4, SwitchesPerCell: 6, HostsPerSwitch: 1, Spines: 3})
+	p := ct.Partition()
+	if err := p.Validate(ct.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards != 5 {
+		t.Fatalf("shards = %d, want 5", p.Shards)
+	}
+	cut := p.CutEdges(ct.Graph)
+	if want := 4 * 3; len(cut) != want {
+		t.Fatalf("cut has %d edges, want %d (gateways x spines)", len(cut), want)
+	}
+	for _, id := range cut {
+		e := ct.Graph.Edge(id)
+		if e.PropNs != ct.Cfg.Backbone.PropNs {
+			t.Fatalf("cut edge %d has prop %d, want backbone %d", id, e.PropNs, ct.Cfg.Backbone.PropNs)
+		}
+	}
+	min, ok := p.MinCutPropNs(ct.Graph)
+	if !ok || min != ct.Cfg.Backbone.PropNs {
+		t.Fatalf("min cut prop = %d,%v, want %d,true", min, ok, ct.Cfg.Backbone.PropNs)
+	}
+}
+
+func TestCampusDeterministic(t *testing.T) {
+	cfg := CampusConfig{Cells: 2, SwitchesPerCell: 4, HostsPerSwitch: 2, Spines: 2}
+	a, b := Campus(cfg), Campus(cfg)
+	if a.Graph.NumNodes() != b.Graph.NumNodes() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("same config produced different graph sizes")
+	}
+	for i, n := range a.Graph.Nodes() {
+		if m := b.Graph.Nodes()[i]; n != m {
+			t.Fatalf("node %d differs: %+v vs %+v", i, n, m)
+		}
+	}
+	for i, e := range a.Graph.Edges() {
+		if f := b.Graph.Edges()[i]; e != f {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, e, f)
+		}
+	}
+}
+
+func TestPartitionGreedy(t *testing.T) {
+	g := Ring(12, 1, LinkOT1G, LinkOT1G)
+	for _, k := range []int{1, 2, 3, 4} {
+		p := PartitionGreedy(g, k)
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		// Deterministic: same input, same partition.
+		q := PartitionGreedy(g, k)
+		for i := range p.Of {
+			if p.Of[i] != q.Of[i] {
+				t.Fatalf("k=%d not deterministic at node %d", k, i)
+			}
+		}
+	}
+	// More shards than nodes clamps.
+	tiny := NewGraph("tiny")
+	tiny.AddNode("a", KindSwitch)
+	tiny.AddNode("b", KindSwitch)
+	p := PartitionGreedy(tiny, 5)
+	if p.Shards != 2 {
+		t.Fatalf("clamped shards = %d, want 2", p.Shards)
+	}
+	if err := p.Validate(tiny); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionValidateRejects(t *testing.T) {
+	g := Star(3, LinkOT1G)
+	if err := (Partition{Shards: 2, Of: []int{0, 1}}).Validate(g); err == nil {
+		t.Fatal("short Of accepted")
+	}
+	bad := Partition{Shards: 2, Of: make([]int, g.NumNodes())}
+	bad.Of[0] = 7
+	if err := bad.Validate(g); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	empty := Partition{Shards: 3, Of: make([]int, g.NumNodes())}
+	if err := empty.Validate(g); err == nil {
+		t.Fatal("empty shard accepted")
+	}
+}

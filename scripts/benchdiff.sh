@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # benchdiff.sh — run the allocation-sensitive micro-benchmarks, emit a
 # machine-readable report, and diff it against the committed baseline
-# (BENCH_6.json) with a per-benchmark delta table.
+# (BENCH_7.json) with a per-benchmark delta table.
 #
 # Usage: scripts/benchdiff.sh [output.json] [--baseline FILE] [--check PCT]
 #
 #   output.json      where to write the fresh report (default BENCH_sim.json)
-#   --baseline FILE  committed baseline to diff against (default BENCH_6.json)
+#   --baseline FILE  committed baseline to diff against (default BENCH_7.json)
 #   --check PCT      fail when any benchmark's ns/op regresses more than
 #                    PCT percent against the baseline (CI passes 10)
 #
@@ -23,14 +23,26 @@
 #                                                 sink Puts to one free list)
 #   BenchmarkVMReflectorProgram     0 allocs/op  (compiled program reuses
 #                                                 its scratch context)
+#   BenchmarkEngineShardedLocalSteady
+#                                   0 allocs/op  (per-shard arenas: window
+#                                                 barriers run GC-free)
+#   BenchmarkEngineShardedCross     0 allocs/op  (outbox xmsg slots and the
+#                                                 barrier merge buffer are
+#                                                 reused across windows)
 # A regression on any of these silently re-introduces GC churn into
 # every figure sweep.
+#
+# The BenchmarkCampus10kShards* rows are macro numbers (a 10k-switch
+# campus built and run end to end); they carry no alloc guard and their
+# 1-vs-8-shard ratio is only meaningful on a multi-core machine — the
+# committed baseline was measured single-core (GOMAXPROCS=1), where the
+# shard workers time-slice one CPU.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 out="BENCH_sim.json"
-baseline="BENCH_6.json"
+baseline="BENCH_7.json"
 check_pct=""
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -55,8 +67,8 @@ done
 # occasional descheduled sample and the occasional lucky one — and the
 # worst-case allocs/op so alloc guards can never pass on a lucky sample.
 raw=$(go test -run '^$' -bench \
-  'BenchmarkEngineScheduleAndRun|BenchmarkEngineBatchDrain|BenchmarkTickerChain|BenchmarkPriorityQueue|BenchmarkSwitchForwarding|BenchmarkVMReflectorProgram' \
-  -benchmem -benchtime 50ms -count 7 ./internal/sim ./internal/simnet ./internal/ebpf)
+  'BenchmarkEngineScheduleAndRun|BenchmarkEngineBatchDrain|BenchmarkTickerChain|BenchmarkPriorityQueue|BenchmarkSwitchForwarding|BenchmarkVMReflectorProgram|BenchmarkEngineSharded|BenchmarkCampus10k' \
+  -benchmem -benchtime 50ms -count 7 ./internal/sim ./internal/simnet ./internal/ebpf ./internal/core)
 echo "$raw"
 
 echo "$raw" | awk '
@@ -106,6 +118,8 @@ guard_allocs BenchmarkEngineBatchDrain 0 "batched dequeue must reuse its staging
 guard_allocs BenchmarkSwitchForwarding 0 "telemetry disabled must be 0 allocs/op"
 guard_allocs BenchmarkSwitchForwardingINT 0 "pooled INT stacks must recycle, not allocate"
 guard_allocs BenchmarkVMReflectorProgram 0 "compiled eBPF must reuse its scratch context"
+guard_allocs BenchmarkEngineShardedLocalSteady 0 "sharded window barriers must run arena- and GC-free"
+guard_allocs BenchmarkEngineShardedCross 0 "cross-shard outboxes and the barrier merge must recycle, not allocate"
 
 # --- Baseline diff ----------------------------------------------------
 
