@@ -9,6 +9,7 @@
 //	         [-checkpoint FILE] [-resume FILE]
 //	         [-trace FILE] [-stats] [-cpuprofile FILE]
 //	         [-int FILE] [-slo SPEC] [-flightrec FILE]
+//	         [-obs-addr ADDR] [-obs-linger D]
 //
 // -checkpoint caches the mined Fig. 1 counts; -resume reprints from
 // the cache without re-mining the corpus (the mining is the command's
@@ -19,6 +20,10 @@
 // breach-log and flight-recorder files, while -cpuprofile profiles the
 // mining itself. -shards is likewise accepted for uniformity: the mining
 // is a single sweep cell, so any value leaves the output unchanged.
+// -obs-addr serves /metrics, /shards, /events, /healthz and
+// /debug/pprof/ over HTTP while the command runs (-obs-linger keeps the
+// server up afterwards); for gapminer only the pprof and liveness
+// endpoints carry signal.
 package main
 
 import (
@@ -50,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	tel.Out = stdout
+	tel.Err = stderr
 	if err := tel.Begin("gapminer"); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2

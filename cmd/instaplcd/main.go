@@ -9,6 +9,7 @@
 //	          [-checkpoint FILE] [-checkpoint-every D] [-resume FILE]
 //	          [-trace FILE] [-stats] [-cpuprofile FILE]
 //	          [-int FILE] [-slo SPEC] [-flightrec FILE]
+//	          [-obs-addr ADDR] [-obs-linger D]
 //
 // -faults replaces the default crash with a declarative fault plan,
 // e.g. "hoststall:vplc1@1.3s+400ms,loss:dp.2@0.5s+1s*0.2"; the run
@@ -28,7 +29,10 @@
 // per-cell buffers and stay parallel (resumable chaos sweeps remain
 // serial under any of the three). -shards is the shared parallelism
 // knob across the steelnet commands and, when set, overrides -workers;
-// either way the output is byte-identical for any value.
+// either way the output is byte-identical for any value. -obs-addr
+// serves live Prometheus metrics, SSE breach events and pprof over
+// HTTP during the run (-obs-linger keeps the server up afterwards);
+// the URL goes to stderr and stdout is unchanged.
 package main
 
 import (
@@ -67,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	tel.Out = stdout
+	tel.Err = stderr
 	if err := tel.Begin("instaplcd"); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2

@@ -9,6 +9,7 @@
 //	             [-checkpoint FILE] [-resume FILE]
 //	             [-trace FILE] [-stats] [-cpuprofile FILE]
 //	             [-int FILE] [-slo SPEC] [-flightrec FILE]
+//	             [-obs-addr ADDR] [-obs-linger D]
 //
 // -trace exports the probe frames' lifecycle as JSONL plus a
 // Chrome/Perfetto timeline; -stats prints the component metrics
@@ -21,7 +22,10 @@
 // serial under any of the three). -checkpoint persists each completed
 // sweep cell; -resume restarts an interrupted sweep from such a file,
 // skipping finished cells (the delay and jitter sweeps use FILE and
-// FILE.jitter respectively).
+// FILE.jitter respectively). -obs-addr serves live Prometheus metrics,
+// SSE events and pprof over HTTP during the run (-obs-linger keeps the
+// server up afterwards); the URL goes to stderr and stdout is
+// unchanged.
 package main
 
 import (
@@ -54,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	tel.Out = stdout
+	tel.Err = stderr
 	if err := tel.Begin("reflectbench"); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2

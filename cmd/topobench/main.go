@@ -10,6 +10,7 @@
 //	          [-checkpoint FILE] [-resume FILE]
 //	          [-trace FILE] [-stats] [-cpuprofile FILE]
 //	          [-int FILE] [-slo SPEC] [-flightrec FILE]
+//	          [-obs-addr ADDR] [-obs-linger D]
 //
 // -trace exports the frame lifecycle of every cell as JSONL plus a
 // Chrome/Perfetto timeline; -stats prints the component metrics
@@ -32,6 +33,16 @@
 // checkpoint at the end of the run and -resume replays one to its
 // recorded instant before continuing; -int/-slo observe the cross-cell
 // flows (sinks strip the telemetry per cell, merged in shard order).
+//
+// -obs-addr serves live observability over HTTP while the run is in
+// flight: Prometheus metrics on /metrics, the per-shard coordinator
+// profile as JSON on /shards, an SSE stream of metric deltas and SLO
+// breaches on /events, liveness on /healthz, and net/http/pprof under
+// /debug/pprof/. In campus mode the run publishes a snapshot after each
+// of 64 equal slices of the horizon; the endpoint's URL goes to stderr
+// and the run's stdout stays byte-identical to an unobserved run.
+// -obs-linger keeps the server up after the run ends so a scrape or a
+// human can catch the final snapshot.
 package main
 
 import (
@@ -69,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	tel.Out = stdout
+	tel.Err = stderr
 	if err := tel.Begin("topobench"); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
@@ -92,6 +104,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			INT:     tel.Collector != nil,
 			SLO:     tel.SLOSpec,
 			Workers: cli.Workers(*workers, *shards),
+			// Observational knobs, never encoded in checkpoints: the
+			// profiler rides -stats/-obs-addr, per-shard tracing rides
+			// -trace, and the registry collects whenever either asked.
+			Profile: tel.Registry != nil,
+			Trace:   tel.Tracer != nil,
+			Metrics: tel.Registry,
 		}
 		return runCampus(cfg, res.ResumePath, ckptPath, tel, stdout, stderr)
 	}
@@ -142,7 +160,13 @@ func runCampus(cfg core.CampusConfig, resumePath, ckptPath string, tel *cli.Tele
 			fmt.Fprintf(stderr, "topobench: -resume: %v\n", oerr)
 			return 2
 		}
-		h, err = core.RestoreCampus(f, cfg.Workers)
+		h, err = core.RestoreCampusWith(f, cfg.Workers, func(c *core.CampusConfig) {
+			// Checkpoints carry only the scenario; re-arm this run's
+			// observational knobs on the restored harness.
+			c.Profile = cfg.Profile
+			c.Trace = cfg.Trace
+			c.Metrics = cfg.Metrics
+		})
 		f.Close()
 	} else {
 		h, err = core.NewCampusHarness(cfg)
@@ -151,9 +175,32 @@ func runCampus(cfg core.CampusConfig, resumePath, ckptPath string, tel *cli.Tele
 		fmt.Fprintf(stderr, "topobench: campus: %v\n", err)
 		return 1
 	}
-	h.Run()
+	if tel.Obs != nil {
+		// Live publishing: advance the horizon in slices and publish a
+		// snapshot at each safe point. Slicing never changes output —
+		// the window grid is anchored to event content, not deadlines.
+		const slices = 64
+		start, end := int64(h.Now()), int64(h.Horizon())
+		for i := int64(1); i <= slices; i++ {
+			h.AdvanceTo(sim.Time(start + (end-start)*i/slices))
+			if mw := h.MergedWatchdog(); mw != nil {
+				tel.Obs.PublishBreaches(mw.Breaches())
+			}
+			tel.PublishObs(h.ShardProfile(), int64(h.Now()))
+		}
+	} else {
+		h.Run()
+	}
 	result := h.Result()
 	fmt.Fprint(stdout, core.RenderCampus(result))
+	if tel.Stats && h.Config().Profile {
+		fmt.Fprint(stdout, core.RenderShardProfile(h.ShardProfile()))
+	}
+	if tel.Tracer != nil {
+		// Hand the stitched cross-shard timeline to the session tracer
+		// so -trace exports one causal JSONL/Perfetto document.
+		tel.Tracer.AbsorbEvents(h.MergedTrace())
+	}
 	if ckptPath != "" {
 		werr := func() error {
 			f, err := os.Create(ckptPath)

@@ -2,9 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // tiny keeps the Fig. 6 grid to its smallest useful shape: one client
@@ -97,6 +102,108 @@ func TestRunCampusCheckpointResume(t *testing.T) {
 	if first.String() != second.String() {
 		t.Errorf("resumed campus output differs from original:\n--- first\n%s--- second\n%s",
 			first.String(), second.String())
+	}
+}
+
+// TestRunCampusStatsProfileTable: -stats on a sharded campus run prints
+// the per-shard profile table alongside the metrics snapshot.
+func TestRunCampusStatsProfileTable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(tinyCampus("-shards", "2", "-stats"), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"shard profile:", "ev/chunk", "outbox msgs", "metrics", "sim_shard_events_total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// freeAddr reserves an ephemeral localhost port and releases it for the
+// command under test to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestRunCampusObsEndpoint drives the live telemetry endpoint end to
+// end: a campus run serving -obs-addr must expose shard metrics and the
+// JSON shard profile over HTTP while (and shortly after) it runs, and
+// its stdout must stay byte-identical to a run nobody watched.
+func TestRunCampusObsEndpoint(t *testing.T) {
+	addr := freeAddr(t)
+	var stdout, stderr bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(tinyCampus("-shards", "2", "-obs-addr", addr, "-obs-linger", "2s"), &stdout, &stderr)
+	}()
+
+	base := "http://" + addr
+	get := func(path string) (int, string, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b), err
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if _, body, err := get("/metrics"); err == nil && strings.Contains(body, "sim_shard_events_total") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("obs endpoint never served shard metrics")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	code, body, err := get("/shards")
+	if err != nil || code != 200 {
+		t.Fatalf("/shards: %d %v", code, err)
+	}
+	var prof struct {
+		Shards   int              `json:"shards"`
+		PerShard []map[string]any `json:"per_shard"`
+	}
+	if err := json.Unmarshal([]byte(body), &prof); err != nil {
+		t.Fatalf("/shards not JSON: %v\n%s", err, body)
+	}
+	if prof.Shards != 3 || len(prof.PerShard) != 3 { // spine + 2 cells
+		t.Fatalf("/shards profile = %+v, want 3 shards with lanes", prof)
+	}
+	if code, body, err := get("/healthz"); err != nil || code != 200 || !strings.Contains(body, `"ok":true`) {
+		t.Fatalf("/healthz: %d %q %v", code, body, err)
+	}
+
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not finish")
+	}
+	if !strings.Contains(stderr.String(), "obs: serving on http://"+addr) {
+		t.Errorf("listen notice missing from stderr:\n%s", stderr.String())
+	}
+
+	// Watching must not alter the experiment's stdout.
+	var plain, plainErr bytes.Buffer
+	if code := run(tinyCampus("-shards", "2"), &plain, &plainErr); code != 0 {
+		t.Fatalf("plain run: exit %d, stderr:\n%s", code, plainErr.String())
+	}
+	if stdout.String() != plain.String() {
+		t.Errorf("-obs-addr changed stdout:\n--- observed\n%s--- plain\n%s", stdout.String(), plain.String())
 	}
 }
 

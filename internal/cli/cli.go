@@ -14,8 +14,10 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	intnet "steelnet/internal/int"
+	"steelnet/internal/obs"
 	"steelnet/internal/telemetry"
 )
 
@@ -40,6 +42,13 @@ type Telemetry struct {
 	// FlightRecPath receives -flightrec: keep a bounded flight recorder
 	// on the trace stream and dump it to this file after the run.
 	FlightRecPath string
+	// ObsAddr receives -obs-addr: serve live telemetry over HTTP on
+	// this address ("" disables). Implies a metrics Registry.
+	ObsAddr string
+	// ObsLinger receives -obs-linger: keep the endpoint up this long
+	// after the run finishes so external scrapers can read the final
+	// state (CI starts the run in the background and curls it).
+	ObsLinger time.Duration
 
 	// Tracer and Registry are allocated by Begin when the matching flag
 	// was set; pass them into experiment configs.
@@ -56,11 +65,20 @@ type Telemetry struct {
 	// Recorder is allocated by Begin when -flightrec was set and rides
 	// the Tracer's observer hook.
 	Recorder *intnet.Recorder
+	// Obs and ObsServer are allocated by Begin when -obs-addr was set:
+	// the broker is the publish seam commands feed at safe points (End
+	// always publishes a final snapshot), the server the HTTP frontend.
+	Obs       *obs.Broker
+	ObsServer *obs.Server
 
 	// Out receives the -stats snapshot and the -slo summary line
 	// (default os.Stdout); commands running in-process under test point
 	// it at their own writer.
 	Out io.Writer
+	// Err receives operational notices (the obs listen URL, the linger
+	// note). Default os.Stderr — never Out: several CI jobs byte-compare
+	// stdout across runs, and a kernel-assigned port must not differ it.
+	Err io.Writer
 
 	cmd     string
 	cpuFile *os.File
@@ -89,6 +107,10 @@ func RegisterTelemetryFlagsOn(fs *flag.FlagSet) *Telemetry {
 		"watch SLO `objectives` (comma-joined \"kind:target<bound\", e.g. latency:refl<250us,loss:refl<0.01); implies INT collection")
 	fs.StringVar(&t.FlightRecPath, "flightrec", "",
 		"keep a bounded flight recorder on the trace stream and dump it to this `file` as JSONL after the run")
+	fs.StringVar(&t.ObsAddr, "obs-addr", "",
+		"serve live telemetry on this `addr` (host:port, port 0 picks one): Prometheus /metrics, JSON /shards profile, SSE /events, /debug/pprof; implies metrics collection")
+	fs.DurationVar(&t.ObsLinger, "obs-linger", 0,
+		"keep the -obs-addr endpoint up this `duration` after the run so scrapers can read the final state")
 	return t
 }
 
@@ -182,6 +204,20 @@ func (t *Telemetry) Begin(cmd string) error {
 	if t.Stats {
 		t.Registry = telemetry.NewRegistry()
 	}
+	if t.ObsAddr != "" {
+		if t.Registry == nil {
+			// The endpoint is useless without metrics; -obs-addr implies
+			// collection even when -stats (printing) was not asked for.
+			t.Registry = telemetry.NewRegistry()
+		}
+		t.Obs = obs.NewBroker()
+		srv, err := obs.Listen(t.ObsAddr, t.Obs)
+		if err != nil {
+			return fmt.Errorf("%s: -obs-addr: %w", cmd, err)
+		}
+		t.ObsServer = srv
+		fmt.Fprintf(t.errw(), "obs: serving on http://%s (/metrics /shards /events /debug/pprof)\n", srv.Addr())
+	}
 	if t.CPUProfilePath != "" {
 		f, err := os.Create(t.CPUProfilePath)
 		if err != nil {
@@ -258,10 +294,53 @@ func (t *Telemetry) End() error {
 			return fmt.Errorf("%s: -flightrec: %w", t.cmd, err)
 		}
 	}
-	if t.Registry != nil {
+	if t.Stats && t.Registry != nil {
 		fmt.Fprint(w, t.Registry.Snapshot())
 	}
+	if t.Obs != nil {
+		// Final snapshot: whatever the command published (or didn't)
+		// during the run, the endpoint ends up serving the completed
+		// state. -1 marks "no clock here" — commands that publish
+		// in-run pass real sim times via PublishObs.
+		if t.Watchdog != nil {
+			t.Obs.PublishBreaches(t.Watchdog.Breaches())
+		}
+		if err := t.Obs.Publish(t.Registry, nil, -1); err != nil {
+			return fmt.Errorf("%s: -obs-addr: %w", t.cmd, err)
+		}
+	}
+	if t.ObsServer != nil {
+		if t.ObsLinger > 0 {
+			fmt.Fprintf(t.errw(), "obs: lingering %v for scrapes\n", t.ObsLinger)
+			time.Sleep(t.ObsLinger)
+		}
+		t.ObsServer.Close()
+		t.ObsServer = nil
+	}
 	return nil
+}
+
+// errw resolves the notice writer (default os.Stderr).
+func (t *Telemetry) errw() io.Writer {
+	if t.Err != nil {
+		return t.Err
+	}
+	return os.Stderr
+}
+
+// PublishObs publishes a live snapshot (metrics plus an optional shard
+// profile) at a simulation safe point. No-op without -obs-addr, so
+// commands call it unconditionally from their run loops.
+func (t *Telemetry) PublishObs(profile any, simNS int64) {
+	if t.Obs == nil {
+		return
+	}
+	if t.Watchdog != nil {
+		t.Obs.PublishBreaches(t.Watchdog.Breaches())
+	}
+	if err := t.Obs.Publish(t.Registry, profile, simNS); err != nil {
+		fmt.Fprintf(t.errw(), "obs: publish: %v\n", err)
+	}
 }
 
 // writeFile creates path and streams write into it.

@@ -1,8 +1,11 @@
 package cli
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -319,5 +322,54 @@ func TestEndReportsUnwritableINTArtifacts(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Fatalf("%s: End into missing dir: %v", tc.name, err)
 		}
+	}
+}
+
+// TestBeginEndObsEndpoint: -obs-addr implies a registry, serves the
+// endpoint for the run's lifetime (plus linger), announces the URL on
+// Err — never Out, whose bytes CI compares — and End publishes a final
+// snapshot before closing the listener.
+func TestBeginEndObsEndpoint(t *testing.T) {
+	var out, errw bytes.Buffer
+	tel := &Telemetry{ObsAddr: "127.0.0.1:0", Out: &out, Err: &errw}
+	if err := tel.Begin("test"); err != nil {
+		t.Fatal(err)
+	}
+	if tel.Registry == nil {
+		t.Fatal("-obs-addr did not imply a registry")
+	}
+	if tel.Obs == nil || tel.ObsServer == nil {
+		t.Fatal("Begin did not start the obs server")
+	}
+	addr := tel.ObsServer.Addr()
+	if !strings.Contains(errw.String(), "obs: serving on http://"+addr) {
+		t.Fatalf("listen notice not on Err: %q", errw.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("obs wrote to Out: %q", out.String())
+	}
+
+	n := uint64(7)
+	tel.Registry.Counter("cli_obs_total", nil, "", func() uint64 { return n })
+	tel.PublishObs(nil, 42)
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "cli_obs_total 7") {
+		t.Fatalf("metrics missing published counter:\n%s", body)
+	}
+
+	if err := tel.End(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("obs server still serving after End")
+	}
+	// Without -stats the registry snapshot must not leak into Out.
+	if strings.Contains(out.String(), "metrics") {
+		t.Fatalf("End printed the registry without -stats: %q", out.String())
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 
 	"steelnet/internal/checkpoint"
 	"steelnet/internal/frame"
@@ -11,6 +12,7 @@ import (
 	"steelnet/internal/metrics"
 	"steelnet/internal/sim"
 	"steelnet/internal/simnet"
+	"steelnet/internal/telemetry"
 	"steelnet/internal/topo"
 )
 
@@ -53,6 +55,21 @@ type CampusConfig struct {
 	// Workers is the goroutine count for window execution (default 1).
 	// Not part of the scenario; excluded from checkpoints.
 	Workers int
+
+	// Profile arms the shard group's coordinator profiler (barrier
+	// waits, window occupancy, outbox volume — see sim.ShardProfile).
+	// Observational: like Workers it never changes an output byte, so
+	// it is excluded from checkpoints and may differ across a
+	// save/resume boundary.
+	Profile bool
+	// Trace attaches one frame-lifecycle tracer per shard, each in its
+	// own disjoint id space, so MergedTrace can stitch cross-shard
+	// frame timelines. Observational; excluded from checkpoints.
+	Trace bool
+	// Metrics, when non-nil, receives the group's and the campus's
+	// metric families at build time. Observational; excluded from
+	// checkpoints.
+	Metrics *telemetry.Registry
 }
 
 func normalizeCampusConfig(cfg CampusConfig) CampusConfig {
@@ -89,6 +106,7 @@ type CampusHarness struct {
 	intPools []*frame.INTPool
 	colls    []*intnet.Collector
 	dogs     []*intnet.Watchdog
+	tracers  []*telemetry.Tracer
 	plan     intnet.SLOPlan
 
 	// FellBack reports that the requested partition was unusable (a
@@ -143,8 +161,21 @@ func NewCampusHarness(cfg CampusConfig) (*CampusHarness, error) {
 			}
 		}
 	}
+	if cfg.Profile {
+		net.Group.EnableProfiling()
+	}
+	if cfg.Trace {
+		h.tracers = make([]*telemetry.Tracer, shards)
+		for s := 0; s < shards; s++ {
+			tr := telemetry.NewTracer(nil)
+			tr.SetIDSpace(s)
+			net.SetShardTracer(s, tr)
+			h.tracers[s] = tr
+		}
+	}
 	h.installRoutes()
 	h.armTraffic()
+	h.registerMetrics(cfg.Metrics)
 	return h, nil
 }
 
@@ -351,6 +382,115 @@ func (h *CampusHarness) MergedWatchdog() *intnet.Watchdog {
 	return m
 }
 
+// registerMetrics exposes the group's coordinator/lane families plus
+// campus-level traffic and telemetry totals on r. Func-backed: reads
+// happen at snapshot time, which must be a simulation safe point (the
+// same discipline as every merged view).
+func (h *CampusHarness) registerMetrics(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	telemetry.RegisterShardGroupMetrics(r, h.net.Group)
+	for c := range h.ct.CellHosts {
+		lbl := telemetry.L("cell", strconv.Itoa(c))
+		hosts := h.ct.CellHosts[c]
+		r.Counter("campus_cell_tx_frames_total", lbl, "frames sent by the cell's hosts", func() uint64 {
+			var n uint64
+			for _, id := range hosts {
+				n += h.net.Host(id).Port().TxFrames
+			}
+			return n
+		})
+		r.Counter("campus_cell_rx_frames_total", lbl, "frames received by the cell's hosts", func() uint64 {
+			var n uint64
+			for _, id := range hosts {
+				n += h.net.Host(id).Port().RxFrames
+			}
+			return n
+		})
+	}
+	r.Counter("campus_int_observations_total", nil, "INT observations folded by the per-shard collectors", func() uint64 {
+		var n uint64
+		for _, coll := range h.colls {
+			if coll != nil {
+				n += coll.Observations
+			}
+		}
+		return n
+	})
+	r.Counter("campus_slo_breaches_total", nil, "SLO breaches recorded by the per-shard watchdogs", func() uint64 {
+		var n uint64
+		for _, dog := range h.dogs {
+			if dog != nil {
+				n += uint64(len(dog.Breaches()))
+			}
+		}
+		return n
+	})
+	r.Gauge("campus_crosswire_inflight", nil, "frames in flight across shard boundaries", func() float64 {
+		return float64(h.net.Account().CrossWire)
+	})
+}
+
+// ShardProfile returns the group's execution profile snapshot (lanes
+// populated only when CampusConfig.Profile was set).
+func (h *CampusHarness) ShardProfile() sim.ShardProfile { return h.net.Group.Profile() }
+
+// Tracers returns the per-shard tracers (nil without Trace).
+func (h *CampusHarness) Tracers() []*telemetry.Tracer { return h.tracers }
+
+// MergedTrace stitches the per-shard frame timelines — and, when
+// profiling, the window/barrier spans — into one causal event stream
+// ordered by (T, shard). Frame ids are preserved (disjoint per-shard id
+// spaces), so a cross-cell frame's HostTx, forwards, cross-shard hop and
+// delivery form one lifecycle under one id. Deterministic for any
+// worker count; nil without Trace.
+func (h *CampusHarness) MergedTrace() []telemetry.Event {
+	if h.tracers == nil {
+		return nil
+	}
+	streams := make([][]telemetry.Event, 0, len(h.tracers)+1)
+	for _, tr := range h.tracers {
+		streams = append(streams, tr.Events())
+	}
+	if h.net.Group.ProfilingEnabled() {
+		streams = append(streams, telemetry.ShardWindowEvents(h.net.Group.WindowLog()))
+	}
+	return telemetry.MergeShardEvents(streams...)
+}
+
+// RenderShardProfile renders the profile as the per-shard table the
+// campus CLI prints with -stats. Wall-clock columns (busy, barrier-wait)
+// are diagnostics and vary run to run; everything else is deterministic.
+func RenderShardProfile(p sim.ShardProfile) string {
+	t := metrics.NewTable(
+		fmt.Sprintf("shard profile: %d shards, %d windows (%d skipped), %d msgs, merge high-water %d, imbalance %.2f",
+			p.Shards, p.Windows, p.Skipped, p.Messages, p.MergeHighWater, p.Imbalance),
+		"shard", "events", "ev/chunk", "occupancy", "busy µs", "barrier-wait µs", "wait share", "outbox msgs")
+	for _, ln := range p.PerShard {
+		var evPerChunk, occ float64
+		if ln.ActiveChunks > 0 {
+			evPerChunk = float64(ln.Events) / float64(ln.ActiveChunks)
+			if p.LookaheadNS > 0 {
+				occ = float64(ln.OccupiedNS) / (float64(ln.ActiveChunks) * float64(p.LookaheadNS))
+			}
+		}
+		var waitShare float64
+		if tot := ln.BusyNS + ln.BarrierWaitNS; tot > 0 {
+			waitShare = float64(ln.BarrierWaitNS) / float64(tot)
+		}
+		t.AddRowf("%d\t%d\t%.1f\t%.0f%%\t%.0f\t%.0f\t%.0f%%\t%d",
+			ln.Shard, ln.Events, evPerChunk, occ*100,
+			float64(ln.BusyNS)/1e3, float64(ln.BarrierWaitNS)/1e3, waitShare*100,
+			ln.OutboxMsgs)
+	}
+	s := t.String()
+	if p.WindowsDropped > 0 {
+		s += fmt.Sprintf("NOTE: window log capped; %d windows not logged (lanes above remain exact)\n", p.WindowsDropped)
+	}
+	return s
+}
+
 // CampusCellStats is one cell's traffic summary.
 type CampusCellStats struct {
 	Cell            int
@@ -481,6 +621,15 @@ func (h *CampusHarness) Save(w io.Writer) error {
 // checkpointed instant with the given worker count. A digest mismatch
 // returns *checkpoint.DivergenceError.
 func RestoreCampus(r io.Reader, workers int) (*CampusHarness, error) {
+	return RestoreCampusWith(r, workers, nil)
+}
+
+// RestoreCampusWith is RestoreCampus with a hook to set the restored
+// configuration's observational knobs (Profile, Trace, Metrics) before
+// the rebuild — they are not encoded in checkpoints, so a resumed run
+// re-enables them here. mutate must not touch scenario fields: the
+// replay would diverge from the recorded digest and fail loudly.
+func RestoreCampusWith(r io.Reader, workers int, mutate func(*CampusConfig)) (*CampusHarness, error) {
 	cfgBytes, at, digest, err := checkpoint.ReadHarness(r, CampusCheckpointKind)
 	if err != nil {
 		return nil, err
@@ -491,6 +640,9 @@ func RestoreCampus(r io.Reader, workers int) (*CampusHarness, error) {
 		return nil, fmt.Errorf("core: bad campus checkpoint config: %w", err)
 	}
 	cfg.Workers = workers
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	h, err := NewCampusHarness(cfg)
 	if err != nil {
 		return nil, err
@@ -511,8 +663,11 @@ func decodeLinkSpec(d *checkpoint.Decoder) topo.LinkSpec {
 	return topo.LinkSpec{RateBps: d.F64(), PropNs: d.I64()}
 }
 
-// encodeCampusConfig serializes the replayable configuration. Workers
-// is an execution knob, not scenario, and is omitted.
+// encodeCampusConfig serializes the replayable configuration. Workers,
+// Profile, Trace and Metrics are execution/observation knobs, not
+// scenario, and are omitted — the byte layout below is frozen (format
+// v3's golden corpus pins it), so observational fields must never leak
+// into it.
 func encodeCampusConfig(e *checkpoint.Encoder, cfg CampusConfig) {
 	e.U64(cfg.Seed)
 	e.Int(cfg.Topo.Cells)

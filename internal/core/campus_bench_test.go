@@ -17,12 +17,12 @@ import (
 // 100k-host bar) but one such op costs ~6 s serial — too slow for the
 // benchdiff sampling loop.
 //
-// BENCH_7.json records these at -shards=1 and -shards=8 on the same
+// BENCH_8.json records these at -shards=1, 2, 4 and 8 on the same
 // machine; the committed baseline was measured on a single-core
 // container (GOMAXPROCS=1), where the shard workers time-slice one CPU
-// and the 8-shard number shows only coordinator overhead, not speedup.
-// Re-measure on a multi-core box to see the parallel scaling the
-// partition exists for.
+// and the multi-shard rungs show only coordinator overhead, not
+// speedup. Re-measure on a multi-core box to see the parallel scaling
+// the partition exists for.
 func bench7Config(workers int) CampusConfig {
 	return CampusConfig{
 		Seed: 7,
@@ -53,4 +53,6 @@ func benchCampus(b *testing.B, workers int) {
 }
 
 func BenchmarkCampus10kShards1(b *testing.B) { benchCampus(b, 1) }
+func BenchmarkCampus10kShards2(b *testing.B) { benchCampus(b, 2) }
+func BenchmarkCampus10kShards4(b *testing.B) { benchCampus(b, 4) }
 func BenchmarkCampus10kShards8(b *testing.B) { benchCampus(b, 8) }

@@ -1,0 +1,281 @@
+// Package obs serves the simulator's own runtime telemetry over HTTP: a
+// Prometheus /metrics endpoint backed by the telemetry.Registry, a JSON
+// shard-profile snapshot, net/http/pprof, and an SSE stream of metric
+// deltas and SLO breaches.
+//
+// The design problem is that the simulation is deterministic and
+// single-goroutine (per shard) while HTTP handlers run on arbitrary
+// goroutines. The seam is the Broker: the simulation goroutine calls
+// Publish at safe points (window barriers, run slices, end of run),
+// which renders an immutable Snapshot and swaps it in atomically; the
+// handlers only ever read the latest published snapshot. The registry's
+// func-backed metrics are therefore read exclusively on the simulation
+// goroutine, publishing never blocks on subscribers (slow SSE clients
+// drop payloads, counted), and the simulation's outputs stay
+// byte-identical whether or not anyone is watching. This in-process
+// broker is the fan-out seam the future steelnetd gateway will attach
+// its REST/WebSocket northbound to.
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+
+	intnet "steelnet/internal/int"
+	"steelnet/internal/telemetry"
+)
+
+// Snapshot is one published view of the run. Immutable after Publish.
+type Snapshot struct {
+	// Seq increments with every publish.
+	Seq uint64 `json:"seq"`
+	// SimNS is the simulated time at the publish point, -1 when the
+	// publisher has no clock (e.g. the CLI's final end-of-run publish).
+	SimNS int64 `json:"sim_ns"`
+	// Metrics is the registry rendered in Prometheus text format.
+	Metrics string `json:"-"`
+	// Profile is the JSON-marshaled shard profile, nil when the run is
+	// not sharded (or the harness did not publish one).
+	Profile json.RawMessage `json:"profile,omitempty"`
+}
+
+// Delta is one metric's change between consecutive publishes.
+type Delta struct {
+	Metric string  `json:"metric"`
+	Labels string  `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+	Prev   float64 `json:"prev"`
+}
+
+// subBuf bounds each SSE subscriber's pending payload queue. A
+// subscriber that falls further behind loses payloads (counted in
+// Dropped) rather than stalling the publisher.
+const subBuf = 64
+
+// Broker owns the latest snapshot and the SSE fan-out. Publish must be
+// called from the goroutine that owns the registry's components (the
+// simulation goroutine); everything else is safe for concurrent use.
+type Broker struct {
+	cur  atomic.Pointer[Snapshot]
+	prev map[string]float64 // last published metric values, publisher-only
+
+	mu            sync.Mutex
+	subs          map[chan []byte]struct{}
+	breachesTotal uint64
+	dropped       atomic.Uint64
+}
+
+// NewBroker returns an empty broker; until the first Publish the
+// endpoints serve an empty snapshot.
+func NewBroker() *Broker {
+	b := &Broker{prev: map[string]float64{}, subs: map[chan []byte]struct{}{}}
+	b.cur.Store(&Snapshot{SimNS: -1})
+	return b
+}
+
+// Publish renders reg and profile into a new immutable snapshot, swaps
+// it in, and streams the metric deltas since the previous publish to
+// SSE subscribers. profile is JSON-marshaled as given (the campus
+// harness passes its sim.ShardProfile); a nil profile carries the last
+// published one forward, so a publisher without a profile in hand (the
+// CLI's end-of-run publish) refreshes metrics without blanking /shards.
+// Call only from the simulation goroutine, at safe points.
+func (b *Broker) Publish(reg *telemetry.Registry, profile any, simNS int64) error {
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return err
+	}
+	prev := b.cur.Load()
+	snap := &Snapshot{Seq: prev.Seq + 1, SimNS: simNS, Metrics: buf.String(), Profile: prev.Profile}
+	if profile != nil {
+		pj, err := json.Marshal(profile)
+		if err != nil {
+			return fmt.Errorf("obs: marshal shard profile: %w", err)
+		}
+		snap.Profile = pj
+	}
+
+	var deltas []Delta
+	for _, v := range reg.Values() {
+		key := v.Name + v.Labels
+		if prev, ok := b.prev[key]; !ok || prev != v.Value {
+			deltas = append(deltas, Delta{Metric: v.Name, Labels: v.Labels, Value: v.Value, Prev: b.prev[key]})
+			b.prev[key] = v.Value
+		}
+	}
+	b.cur.Store(snap)
+	if len(deltas) > 0 {
+		payload := struct {
+			Seq    uint64  `json:"seq"`
+			SimNS  int64   `json:"sim_ns"`
+			Deltas []Delta `json:"deltas"`
+		}{snap.Seq, simNS, deltas}
+		b.broadcast("metrics", payload)
+	}
+	return nil
+}
+
+// PublishBreaches streams SLO breaches to subscribers. Callers pass the
+// watchdog's full breach log each time; the broker remembers how many it
+// has already sent, so re-publishing the growing log is idempotent.
+func (b *Broker) PublishBreaches(breaches []intnet.Breach) {
+	b.mu.Lock()
+	if uint64(len(breaches)) <= b.breachesTotal {
+		// Nothing new — including a shorter log (a publisher holding a
+		// subset view, e.g. a CLI watchdog not yet fed the merged
+		// per-shard logs). The high-water mark never rewinds, so a
+		// later full log cannot re-send what subscribers already saw.
+		b.mu.Unlock()
+		return
+	}
+	fresh := breaches[b.breachesTotal:]
+	b.breachesTotal = uint64(len(breaches))
+	b.mu.Unlock()
+	for _, br := range fresh {
+		b.broadcast("breach", br)
+	}
+}
+
+// Current returns the latest published snapshot. Never nil.
+func (b *Broker) Current() *Snapshot { return b.cur.Load() }
+
+// Dropped returns the number of SSE payloads discarded because a
+// subscriber's buffer was full.
+func (b *Broker) Dropped() uint64 { return b.dropped.Load() }
+
+// Subscribe registers an SSE payload channel; cancel unregisters it.
+// Payloads are fully formatted SSE frames ("event: …\ndata: …\n\n").
+func (b *Broker) Subscribe() (ch chan []byte, cancel func()) {
+	ch = make(chan []byte, subBuf)
+	b.mu.Lock()
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch, func() {
+		b.mu.Lock()
+		delete(b.subs, ch)
+		b.mu.Unlock()
+	}
+}
+
+// broadcast formats one SSE frame and offers it to every subscriber,
+// dropping (and counting) on full buffers so the publisher never blocks.
+func (b *Broker) broadcast(event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	frame := []byte(fmt.Sprintf("event: %s\ndata: %s\n\n", event, data))
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for ch := range b.subs {
+		select {
+		case ch <- frame:
+		default:
+			b.dropped.Add(1)
+		}
+	}
+}
+
+// Server is the live telemetry HTTP server.
+type Server struct {
+	b   *Broker
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewMux builds the endpoint's routes on a private mux (never the
+// DefaultServeMux — tests run several servers in one process):
+//
+//	/            index
+//	/healthz     liveness + latest seq/sim time
+//	/metrics     Prometheus text exposition of the latest snapshot
+//	/shards      JSON shard-profile snapshot (404 when not sharded)
+//	/events      SSE stream: metric deltas + SLO breaches
+//	/debug/pprof the standard net/http/pprof handlers
+func NewMux(b *Broker) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "steelnet obs endpoint\n\n/healthz\n/metrics\n/shards\n/events (SSE)\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s := b.Current()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"ok":true,"seq":%d,"sim_ns":%d,"sse_dropped":%d}`+"\n", s.Seq, s.SimNS, b.Dropped())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, b.Current().Metrics)
+	})
+	mux.HandleFunc("/shards", func(w http.ResponseWriter, r *http.Request) {
+		s := b.Current()
+		if s.Profile == nil {
+			http.Error(w, "no shard profile published (run not sharded, or profiling disabled)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(s.Profile)
+		fmt.Fprintln(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		h := w.Header()
+		h.Set("Content-Type", "text/event-stream")
+		h.Set("Cache-Control", "no-cache")
+		h.Set("Connection", "keep-alive")
+		ch, cancel := b.Subscribe()
+		defer cancel()
+		s := b.Current()
+		fmt.Fprintf(w, "event: hello\ndata: {\"seq\":%d,\"sim_ns\":%d}\n\n", s.Seq, s.SimNS)
+		fl.Flush()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case p := <-ch:
+				if _, err := w.Write(p); err != nil {
+					return
+				}
+				fl.Flush()
+			}
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Listen starts serving b on addr (host:port; port 0 picks a free one)
+// and returns immediately; the accept loop runs on its own goroutine.
+func Listen(addr string, b *Broker) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{b: b, ln: ln, srv: &http.Server{Handler: NewMux(b)}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and closes active connections (including SSE
+// streams, whose request contexts are cancelled).
+func (s *Server) Close() error { return s.srv.Close() }

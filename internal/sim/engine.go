@@ -124,6 +124,12 @@ type Engine struct {
 	// as 0 of 1 so solo digests are stable).
 	shard  int
 	shards int
+
+	// lastFired is the timestamp of the most recently fired event.
+	// RunUntil pads now to its deadline, so without this the profiler
+	// could not tell how deep into a window a shard actually had work.
+	// Observational only: never folded into checkpoint digests.
+	lastFired Time
 }
 
 // heapEntry carries the ordering key inline so sift comparisons read
@@ -405,6 +411,7 @@ func (e *Engine) Step() bool {
 // reschedule from inside the callback reuses the same allocation.
 func (e *Engine) fire(s *slot) {
 	e.fired++
+	e.lastFired = e.now
 	e.live--
 	fn := s.fn
 	s.state = stateFired

@@ -77,6 +77,10 @@ type ShardGroup struct {
 	windows  uint64
 	messages uint64
 	skipped  uint64 // windows avoided by idle fast-forward
+
+	// prof is the coordinator profiler; nil (the default) disables it.
+	// See shardprof.go. Observational only — never folded into digests.
+	prof *shardProf
 }
 
 // NewShardGroup builds a group of n engines sharing one scenario seed.
@@ -191,10 +195,18 @@ func (g *ShardGroup) nextEventAt() (Time, bool) {
 // one worker; shard state is untouched by any other goroutine until the
 // WaitGroup barrier publishes it back to the coordinator.
 func (g *ShardGroup) runWindow(wend Time, workers int) {
+	p := g.prof
 	if workers <= 1 {
-		for _, e := range g.shards {
-			e.RunUntil(wend)
+		if p == nil {
+			for _, e := range g.shards {
+				e.RunUntil(wend)
+			}
+			return
 		}
+		for i, e := range g.shards {
+			g.runShardProfiled(i, e, wend)
+		}
+		p.settleBarrier()
 		return
 	}
 	var next atomic.Int64
@@ -208,11 +220,18 @@ func (g *ShardGroup) runWindow(wend Time, workers int) {
 				if i >= len(g.shards) {
 					return
 				}
-				g.shards[i].RunUntil(wend)
+				if p != nil {
+					g.runShardProfiled(i, g.shards[i], wend)
+				} else {
+					g.shards[i].RunUntil(wend)
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if p != nil {
+		p.settleBarrier()
+	}
 }
 
 // flush schedules every outboxed message into its destination engine in
@@ -225,6 +244,7 @@ func (g *ShardGroup) runWindow(wend Time, workers int) {
 // are small and mostly time-sorted already, and it allocates nothing
 // once the buffer has grown.
 func (g *ShardGroup) flush() {
+	p := g.prof
 	m := g.merge[:0]
 	for src := range g.outbox {
 		msgs := g.outbox[src]
@@ -236,7 +256,16 @@ func (g *ShardGroup) flush() {
 			msgs[i].fn = nil
 		}
 		g.messages += uint64(len(msgs))
+		if p != nil {
+			p.lanes[src].OutboxMsgs += uint64(len(msgs))
+		}
 		g.outbox[src] = msgs[:0]
+	}
+	if p != nil {
+		if len(m) > p.mergeHW {
+			p.mergeHW = len(m)
+		}
+		p.logWindow(g, uint64(len(m)))
 	}
 	for i := range m {
 		g.shards[m[i].dst].Schedule(m[i].at, m[i].fn)
@@ -301,6 +330,9 @@ func (g *ShardGroup) Run(until Time, workers int) {
 			}
 			g.winOpen = true
 			g.windows++
+			if g.prof != nil {
+				g.prof.openWindow(g, start)
+			}
 		}
 		target := g.windowEnd
 		if until < target {

@@ -1,0 +1,251 @@
+package sim
+
+import "time"
+
+// maxWindowLog bounds the profiler's per-window log. Campus runs open a
+// window roughly every lookahead; at microsecond lookaheads a long run
+// could otherwise grow the log without bound. Past the cap the profiler
+// keeps counting (lanes stay exact) but stops logging windows and
+// reports the overflow in ShardProfile.WindowsDropped.
+const maxWindowLog = 1 << 15
+
+// ShardLaneStats is one shard's accumulated execution profile. Sim-time
+// quantities (OccupiedNS) are deterministic; wall-clock quantities
+// (BusyNS, BarrierWaitNS) are diagnostics and vary run to run.
+type ShardLaneStats struct {
+	Shard int `json:"shard"`
+	// Events counts events fired while profiling was enabled.
+	Events uint64 `json:"events"`
+	// ActiveChunks counts window chunks in which the shard fired at
+	// least one event. A window cut by a Run deadline contributes one
+	// chunk per resume; an undisturbed window is exactly one chunk.
+	ActiveChunks uint64 `json:"active_chunks"`
+	// BusyNS is wall-clock time spent executing the shard's events.
+	BusyNS int64 `json:"busy_ns"`
+	// BarrierWaitNS is wall-clock time between this shard finishing a
+	// chunk and the slowest shard finishing it — time the shard's state
+	// sat idle at the barrier. With one worker the shards run serially,
+	// so the value measures serial skew, not contention.
+	BarrierWaitNS int64 `json:"barrier_wait_ns"`
+	// OutboxMsgs counts cross-shard messages this shard produced.
+	OutboxMsgs uint64 `json:"outbox_msgs"`
+	// OccupiedNS sums, over active chunks, the sim-time span from chunk
+	// start to the shard's last fired event — how much of the granted
+	// lookahead the shard actually used (lookahead utilization is
+	// OccupiedNS / (ActiveChunks * lookahead)).
+	OccupiedNS int64 `json:"occupied_ns"`
+}
+
+// ShardProfile is a point-in-time snapshot of a profiled group. It is
+// JSON-marshalable as-is; the obs endpoint serves it verbatim.
+type ShardProfile struct {
+	Shards      int    `json:"shards"`
+	LookaheadNS int64  `json:"lookahead_ns"`
+	NowNS       int64  `json:"now_ns"`
+	Windows     uint64 `json:"windows"`
+	Skipped     uint64 `json:"skipped"`
+	Messages    uint64 `json:"messages"`
+	// MergeHighWater is the largest barrier merge batch seen — the
+	// high-water mark of the reused flush scratch buffer.
+	MergeHighWater int    `json:"merge_high_water"`
+	WindowsDropped uint64 `json:"window_log_dropped"`
+	// Imbalance is max(per-shard events) / mean(per-shard events):
+	// 1.0 is a perfectly balanced partition, Shards is one shard doing
+	// all the work. Zero when nothing fired (or profiling is off).
+	Imbalance float64          `json:"imbalance"`
+	PerShard  []ShardLaneStats `json:"per_shard,omitempty"`
+}
+
+// WindowRecord is one completed window from the profiler's log: its
+// sim-time span, the cross-shard messages flushed at its barrier and the
+// events each shard fired inside it. All fields are deterministic.
+type WindowRecord struct {
+	StartNS int64  `json:"start_ns"`
+	EndNS   int64  `json:"end_ns"`
+	Msgs    uint32 `json:"msgs"`
+	// Events[s] is the number of events shard s fired in the window.
+	Events []uint32 `json:"events"`
+}
+
+// shardProf holds the group's profiling state. nil means disabled: the
+// hooks in runWindow/flush/Run reduce to one pointer test per window —
+// nothing on the per-event hot path, and nothing allocated.
+type shardProf struct {
+	epoch time.Time // wall-clock origin for monotonic readings
+	lanes []ShardLaneStats
+	// finish[i] is shard i's wall finish time for the current chunk;
+	// written only by the worker executing shard i, read by the
+	// coordinator after the WaitGroup barrier.
+	finish []int64
+	// openFired[i] snapshots shard i's fired count at window open so
+	// the window log records per-window deltas even across chunk cuts.
+	openFired []uint64
+	winStart  Time
+	mergeHW   int
+
+	// Window log as parallel flat slices (logEvents is shards-strided)
+	// so appending a window is three appends, not a per-window struct.
+	logStart  []int64
+	logEnd    []int64
+	logMsgs   []uint32
+	logEvents []uint32
+	dropped   uint64
+}
+
+// EnableProfiling arms the coordinator profiler. Idempotent. Profiling
+// is observational: it never changes the window grid, the flush order or
+// any checkpoint digest, so profiled and unprofiled runs of the same
+// scenario produce byte-identical simulation output.
+func (g *ShardGroup) EnableProfiling() {
+	if g.prof != nil {
+		return
+	}
+	p := &shardProf{
+		epoch:     time.Now(),
+		lanes:     make([]ShardLaneStats, len(g.shards)),
+		finish:    make([]int64, len(g.shards)),
+		openFired: make([]uint64, len(g.shards)),
+	}
+	for i := range p.lanes {
+		p.lanes[i].Shard = i
+	}
+	// A window may already be open (enabling between Run calls that cut
+	// one): anchor the first record to the current barrier floor.
+	p.winStart = g.now
+	for i, e := range g.shards {
+		p.openFired[i] = e.fired
+	}
+	g.prof = p
+}
+
+// ProfilingEnabled reports whether EnableProfiling has been called.
+func (g *ShardGroup) ProfilingEnabled() bool { return g.prof != nil }
+
+// openWindow re-anchors the per-window bookkeeping when the coordinator
+// opens a new window starting at start.
+func (p *shardProf) openWindow(g *ShardGroup, start Time) {
+	p.winStart = start
+	for i, e := range g.shards {
+		p.openFired[i] = e.fired
+	}
+}
+
+// runShardProfiled is runWindow's per-shard body with timing: wall-clock
+// busy time, per-chunk finish time for barrier-wait attribution, and
+// sim-time occupancy. Writes only shard i's lane and finish slot, so the
+// parallel path stays single-writer per shard.
+func (g *ShardGroup) runShardProfiled(i int, e *Engine, wend Time) {
+	p := g.prof
+	startNow := e.now
+	fired0 := e.fired
+	t0 := int64(time.Since(p.epoch))
+	e.RunUntil(wend)
+	t1 := int64(time.Since(p.epoch))
+	ln := &p.lanes[i]
+	ln.BusyNS += t1 - t0
+	if d := e.fired - fired0; d > 0 {
+		ln.Events += d
+		ln.ActiveChunks++
+		if e.lastFired > startNow {
+			ln.OccupiedNS += int64(e.lastFired - startNow)
+		}
+	}
+	p.finish[i] = t1
+}
+
+// settleBarrier charges each shard the wall time between its chunk
+// finish and the slowest shard's. Runs on the coordinator after the
+// chunk's barrier.
+func (p *shardProf) settleBarrier() {
+	max := p.finish[0]
+	for _, f := range p.finish[1:] {
+		if f > max {
+			max = f
+		}
+	}
+	for i := range p.finish {
+		p.lanes[i].BarrierWaitNS += max - p.finish[i]
+	}
+}
+
+// logWindow appends the completed window to the log. Called from flush,
+// on the coordinator goroutine, after the barrier.
+func (p *shardProf) logWindow(g *ShardGroup, msgs uint64) {
+	if len(p.logStart) >= maxWindowLog {
+		p.dropped++
+		return
+	}
+	p.logStart = append(p.logStart, int64(p.winStart))
+	p.logEnd = append(p.logEnd, int64(g.windowEnd))
+	p.logMsgs = append(p.logMsgs, uint32(msgs))
+	for i, e := range g.shards {
+		p.logEvents = append(p.logEvents, uint32(e.fired-p.openFired[i]))
+	}
+}
+
+// Profile returns a snapshot of the group's execution profile. Group
+// counters (windows, messages, …) are filled even when profiling is
+// disabled; PerShard lanes, the merge high-water mark and the imbalance
+// coefficient require EnableProfiling. Must be called from the
+// coordinator's goroutine (between Run calls, or from code the engines
+// themselves execute) — the same discipline as every other accessor.
+func (g *ShardGroup) Profile() ShardProfile {
+	pr := ShardProfile{
+		Shards:      len(g.shards),
+		LookaheadNS: int64(g.lookahead),
+		NowNS:       int64(g.now),
+		Windows:     g.windows,
+		Skipped:     g.skipped,
+		Messages:    g.messages,
+	}
+	p := g.prof
+	if p == nil {
+		return pr
+	}
+	pr.MergeHighWater = p.mergeHW
+	pr.WindowsDropped = p.dropped
+	pr.PerShard = append([]ShardLaneStats(nil), p.lanes...)
+	var max, sum float64
+	for i := range p.lanes {
+		v := float64(p.lanes[i].Events)
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum > 0 {
+		pr.Imbalance = max * float64(len(p.lanes)) / sum
+	}
+	return pr
+}
+
+// LaneStats returns shard i's accumulated lane. Zero-valued when
+// profiling is disabled. Same goroutine discipline as Profile.
+func (g *ShardGroup) LaneStats(i int) ShardLaneStats {
+	if g.prof == nil {
+		return ShardLaneStats{Shard: i}
+	}
+	return g.prof.lanes[i]
+}
+
+// WindowLog materializes the profiler's window log. nil when profiling
+// is disabled. The records are deterministic (sim-time only), so two
+// runs of one scenario produce identical logs at any worker count.
+func (g *ShardGroup) WindowLog() []WindowRecord {
+	p := g.prof
+	if p == nil {
+		return nil
+	}
+	n := len(p.logStart)
+	s := len(g.shards)
+	out := make([]WindowRecord, n)
+	for i := range out {
+		out[i] = WindowRecord{
+			StartNS: p.logStart[i],
+			EndNS:   p.logEnd[i],
+			Msgs:    p.logMsgs[i],
+			Events:  append([]uint32(nil), p.logEvents[i*s:(i+1)*s]...),
+		}
+	}
+	return out
+}

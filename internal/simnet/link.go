@@ -588,6 +588,13 @@ func (p *Port) crossHandoff(fl *flight) {
 	p.inFlight--
 	src := p.end
 	c.sent[src]++
+	if p.tr != nil {
+		// The causal stitch point: the sending shard's tracer assigns
+		// the frame id (in its own id space) before the frame crosses,
+		// so the destination shard's events reuse it and the merged
+		// timeline reads as one lifecycle.
+		p.tr.CrossShard(p.Owner.Name(), p.Index, f, c.shard[src], c.shard[1-src])
+	}
 	corrupt := -1
 	if p.corruptRate > 0 && len(f.Payload) > 0 && p.rng().Bool(p.corruptRate) {
 		corrupt = p.rng().Intn(len(f.Payload))

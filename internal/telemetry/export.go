@@ -149,6 +149,17 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		Args: map[string]any{"name": "slo"},
 	})
 	seen := map[string]bool{}
+	lane := func(node string) int {
+		id := tid(node)
+		if !seen[node] {
+			seen[node] = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: id,
+				Args: map[string]any{"name": node},
+			})
+		}
+		return id
+	}
 	for i, e := range events {
 		ts := float64(e.T) / 1e3
 		switch e.Kind {
@@ -178,15 +189,32 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			// Represented by the matching inject/breach span end;
 			// unmatched clears (breach predates the trace) are elided.
 			continue
+		case KindShardWindow:
+			// Profiler output: each shard gets its own lane ("shard/N")
+			// of window-execution spans, so a sharded run reads as
+			// parallel activity bands punctuated by barriers.
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "window", Ph: "X", Ts: ts, Dur: float64(e.Aux) / 1e3,
+				Pid: 1, Tid: lane(e.Node), Cat: "shard",
+				Args: map[string]any{"events": e.Frame},
+			})
+		case KindBarrier:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "barrier", Ph: "i", S: "p", Ts: ts,
+				Pid: 1, Tid: lane(e.Node), Cat: "shard",
+				Args: map[string]any{"msgs": e.Aux},
+			})
+		case KindCrossShard:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "cross-shard", Ph: "i", S: "t", Ts: ts,
+				Pid: 1, Tid: lane(e.Node), Cat: "frame",
+				Args: map[string]any{
+					"frame": e.Frame, "port": e.Port, "prio": e.Prio,
+					"shards": FormatShardAux(e.Aux),
+				},
+			})
 		default:
-			id := tid(e.Node)
-			if !seen[e.Node] {
-				seen[e.Node] = true
-				out.TraceEvents = append(out.TraceEvents, chromeEvent{
-					Name: "thread_name", Ph: "M", Pid: 1, Tid: id,
-					Args: map[string]any{"name": e.Node},
-				})
-			}
+			id := lane(e.Node)
 			name := e.Kind.String()
 			if e.Cause != CauseNone {
 				name += ":" + e.Cause.String()

@@ -281,6 +281,39 @@ func (r *Registry) Snapshot() string {
 	return t.String()
 }
 
+// MetricValue is one metric's numeric value at read time, in the
+// registry's stable (name, labels) order. Histograms contribute their
+// _count and _sum rows.
+type MetricValue struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// Values reads every registered metric once, in snapshot order. This is
+// the numeric view behind the live endpoint's delta stream; like every
+// other read it must happen on the goroutine that owns the components
+// the func-backed entries read.
+func (r *Registry) Values() []MetricValue {
+	if r == nil {
+		return nil
+	}
+	out := make([]MetricValue, 0, len(r.entries))
+	for _, e := range r.sorted() {
+		labels := e.labels.String()
+		switch e.kind {
+		case kindCounter:
+			out = append(out, MetricValue{e.name, labels, float64(e.readU())})
+		case kindGauge:
+			out = append(out, MetricValue{e.name, labels, e.readF()})
+		case kindHistogram:
+			out = append(out, MetricValue{e.name + "_count", labels, float64(e.hist.count)})
+			out = append(out, MetricValue{e.name + "_sum", labels, e.hist.sum})
+		}
+	}
+	return out
+}
+
 // RegisterEngineMetrics exposes the engine's internals (events fired,
 // heap depth and high-water, live event handles, arena footprint) on r.
 func RegisterEngineMetrics(r *Registry, e *sim.Engine) {

@@ -39,13 +39,26 @@ const (
 	KindFaultRecover
 	KindSLOBreach
 	KindSLOClear
+	// KindCrossShard marks a frame leaving its shard over a cross-shard
+	// link: the causal stitch point between two shards' timelines. Aux
+	// packs the source shard in the high 32 bits and the destination
+	// shard in the low 32.
+	KindCrossShard
+	// KindShardWindow is one shard's execution span inside one
+	// synchronization window (profiler output): Node is the shard lane
+	// ("shard/N"), Aux the window duration in ns, Frame the number of
+	// events the shard fired in it.
+	KindShardWindow
+	// KindBarrier is a window barrier instant: Node is "barrier", Aux
+	// the number of cross-shard messages flushed there.
+	KindBarrier
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"host-tx", "enqueue", "tx-start", "forward", "flood", "packet-in",
 	"corrupt", "drop", "deliver", "fault-inject", "fault-recover",
-	"slo-breach", "slo-clear",
+	"slo-breach", "slo-clear", "cross-shard", "shard-window", "barrier",
 }
 
 // String returns the stable wire name of the kind (used in JSONL).
@@ -149,6 +162,9 @@ type Tracer struct {
 	engine *sim.Engine
 	events []Event
 	nextID uint64
+	// idBase offsets every assigned frame id — see SetIDSpace. Zero for
+	// ordinary tracers.
+	idBase uint64
 	// retain controls whether emitted events are appended to the
 	// in-memory log. NewTracer retains; a flight-recorder-only tracer
 	// sets retain false so long runs stay bounded while the observer
@@ -203,6 +219,13 @@ func (t *Tracer) emit(e Event) {
 // cell a private tracer and merge them back in deterministic cell order;
 // because ids are per-tracer and dense, the merged log is byte-identical
 // to what any fixed worker count produces. src is left untouched.
+//
+// MergeFrom is for sweep cells, whose frame populations are disjoint —
+// remapping is what keeps their ids unique. Per-shard tracers of one
+// ShardGroup must NOT be merged this way: a frame that crossed shards
+// appears in several tracers under one id, and remapping would sever the
+// causal stitch. Shard tracers use SetIDSpace + MergeShardEvents, which
+// preserve ids (see shard.go).
 func (t *Tracer) MergeFrom(src *Tracer) {
 	if t == nil || src == nil {
 		return
@@ -251,7 +274,7 @@ func (t *Tracer) FrameID(f *frame.Frame) uint64 {
 	}
 	if f.Meta.TraceID == 0 {
 		t.nextID++
-		f.Meta.TraceID = t.nextID
+		f.Meta.TraceID = t.idBase + t.nextID
 	}
 	return f.Meta.TraceID
 }
@@ -319,6 +342,15 @@ func (t *Tracer) Drop(node string, port int, f *frame.Frame, cause Cause) {
 // end-to-end latency (ns since the sender stamped CreatedAt).
 func (t *Tracer) Deliver(node string, port int, f *frame.Frame, latency int64) {
 	t.frameEvent(KindDeliver, CauseNone, node, port, f, latency)
+}
+
+// CrossShard records a frame departing shard src toward shard dst over a
+// cross-shard link — the stitch point where the frame's lifecycle leaves
+// this tracer's timeline and resumes on the destination shard's. Called
+// by the sending shard's tracer, so the frame id is assigned (in the
+// sender's id space) before the frame crosses.
+func (t *Tracer) CrossShard(node string, port int, f *frame.Frame, src, dst int) {
+	t.frameEvent(KindCrossShard, CauseNone, node, port, f, int64(src)<<32|int64(dst))
 }
 
 // FaultInject records a fault phase firing on target; spec is the

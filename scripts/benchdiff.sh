@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # benchdiff.sh — run the allocation-sensitive micro-benchmarks, emit a
 # machine-readable report, and diff it against the committed baseline
-# (BENCH_7.json) with a per-benchmark delta table.
+# (BENCH_8.json) with a per-benchmark delta table.
 #
 # Usage: scripts/benchdiff.sh [output.json] [--baseline FILE] [--check PCT]
 #
 #   output.json      where to write the fresh report (default BENCH_sim.json)
-#   --baseline FILE  committed baseline to diff against (default BENCH_7.json)
+#   --baseline FILE  committed baseline to diff against (default BENCH_8.json)
 #   --check PCT      fail when any benchmark's ns/op regresses more than
 #                    PCT percent against the baseline (CI passes 10)
 #
@@ -28,21 +28,27 @@
 #                                                 barriers run GC-free)
 #   BenchmarkEngineShardedCross     0 allocs/op  (outbox xmsg slots and the
 #                                                 barrier merge buffer are
-#                                                 reused across windows)
+#                                                 reused across windows;
+#                                                 with the shard profiler
+#                                                 disabled the coordinator
+#                                                 adds one pointer test per
+#                                                 window, nothing per event)
 # A regression on any of these silently re-introduces GC churn into
 # every figure sweep.
 #
-# The BenchmarkCampus10kShards* rows are macro numbers (a 10k-switch
-# campus built and run end to end); they carry no alloc guard and their
-# 1-vs-8-shard ratio is only meaningful on a multi-core machine — the
-# committed baseline was measured single-core (GOMAXPROCS=1), where the
-# shard workers time-slice one CPU.
+# The BenchmarkCampus10kShards{1,2,4,8} rows are macro numbers (a
+# 10k-switch campus built and run end to end at each shard worker
+# count); they carry no alloc guard and their cross-shard-count ratios
+# are only meaningful on a multi-core machine — the committed baseline
+# was measured single-core (GOMAXPROCS=1), where the shard workers
+# time-slice one CPU and the ladder mostly measures coordinator
+# overhead. Re-record on multi-core hardware before quoting a speedup.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 out="BENCH_sim.json"
-baseline="BENCH_7.json"
+baseline="BENCH_8.json"
 check_pct=""
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -106,11 +112,24 @@ echo "wrote $out"
 guard_allocs() { # name budget message
     # The name must be followed by the -GOMAXPROCS suffix or whitespace,
     # so e.g. SwitchForwarding never also matches SwitchForwardingINT.
-    # Every -count sample must satisfy the budget.
-    if echo "$raw" | awk -v b="$2" "/^$1(-[0-9]+)?[[:space:]]/ { if (\$7 > b) bad = 1 } END { exit bad ? 0 : 1 }"; then
+    # Every -count sample must satisfy the budget. A guard whose
+    # benchmark no longer appears in the run is a hard failure, not a
+    # silent pass: a renamed or deleted benchmark would otherwise retire
+    # its own alloc guard without anyone noticing.
+    local rc=0
+    echo "$raw" | awk -v b="$2" \
+        "/^$1(-[0-9]+)?[[:space:]]/ { seen = 1; if (\$7 > b) bad = 1 } END { if (!seen) exit 2; exit bad ? 1 : 0 }" || rc=$?
+    case "$rc" in
+    0) ;;
+    2)
+        echo "FAIL: $1 not found in the benchmark run; its $2 allocs/op guard protects nothing (renamed? update this script)" >&2
+        exit 1
+        ;;
+    *)
         echo "FAIL: $1 exceeds its $2 allocs/op budget ($3)" >&2
         exit 1
-    fi
+        ;;
+    esac
 }
 
 guard_allocs BenchmarkEngineScheduleAndRun 0 "pooled event arena must stay allocation-free"
@@ -153,9 +172,13 @@ for name, nr in new.items():
             failures.append(f"{name}: ns/op regressed {delta:+.1f}% (> {check}%)")
         if nr["allocs_per_op"] > br["allocs_per_op"]:
             failures.append(f'{name}: allocs/op grew {br["allocs_per_op"]} -> {nr["allocs_per_op"]}')
-for name in base:
-    if name not in new:
-        failures.append(f"{name}: present in baseline but not in fresh run")
+# A baseline benchmark missing from the fresh run fails even without
+# --check: it usually means a rename silently dropped the benchmark from
+# the bench regex, and every delta below it would be comparing nothing.
+missing = [name for name in base if name not in new]
+for name in missing:
+    print(f"FAIL: {name}: in baseline {baseline_path} but missing from the fresh run "
+          "(renamed or deleted? fix the bench regex or re-record the baseline)", file=sys.stderr)
 
 hdr = ("benchmark", "base ns/op", "new ns/op", "delta", "base allocs", "new allocs")
 widths = [max(len(r[i]) for r in rows + [hdr]) for i in range(6)]
@@ -170,6 +193,7 @@ if failures:
     print()
     for f in failures:
         print(f"FAIL: {f}", file=sys.stderr)
+if failures or missing:
     sys.exit(1)
 EOF
 then
