@@ -265,7 +265,7 @@ func (t *Telemetry) End() error {
 		}
 	}
 	if t.INTPath != "" && t.Collector != nil {
-		if err := writeFile(t.INTPath, t.Collector.WriteJSONL); err != nil {
+		if err := WriteFile(t.INTPath, t.Collector.WriteJSONL); err != nil {
 			return fmt.Errorf("%s: -int: %w", t.cmd, err)
 		}
 	}
@@ -275,7 +275,7 @@ func (t *Telemetry) End() error {
 	}
 	if t.Watchdog != nil {
 		if t.INTPath != "" {
-			if err := writeFile(t.INTPath+".slo.jsonl", t.Watchdog.WriteBreachLog); err != nil {
+			if err := WriteFile(t.INTPath+".slo.jsonl", t.Watchdog.WriteBreachLog); err != nil {
 				return fmt.Errorf("%s: -slo: %w", t.cmd, err)
 			}
 		}
@@ -343,8 +343,9 @@ func (t *Telemetry) PublishObs(profile any, simNS int64) {
 	}
 }
 
-// writeFile creates path and streams write into it.
-func writeFile(path string, write func(io.Writer) error) error {
+// WriteFile creates path and streams write into it. Exported so the
+// steelnetd command reuses the same dump idiom for its publish logs.
+func WriteFile(path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

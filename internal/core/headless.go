@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"steelnet/internal/faults"
+	"steelnet/internal/instaplc"
+	intnet "steelnet/internal/int"
+	"steelnet/internal/sim"
+	"steelnet/internal/telemetry"
+)
+
+// Headless is the gateway-facing run driver: one Fig. 5-class scenario
+// advanced in fixed slices of simulated time, with a deterministic
+// Sample taken at every slice boundary. Where the figure harnesses run
+// to a horizon and render a table once, a Headless run is a stream —
+// steelnetd steps it, samples it, and republishes the changes — so the
+// driver owns exactly the state a long-running server needs: the
+// harness, its telemetry registry, the INT collector, the SLO watchdog
+// and a per-sink loss aggregate, all attached before the first event
+// fires so a restored run replays into identical attachments.
+type Headless struct {
+	cfg  HeadlessConfig
+	h    *instaplc.Harness
+	reg  *telemetry.Registry
+	coll *intnet.Collector
+	wd   *intnet.Watchdog
+
+	loss      map[string]*sinkLoss
+	lossOrder []string
+	seq       uint64
+	next      time.Duration
+	done      bool
+}
+
+// sinkLoss accumulates received/lost counts at one INT sink.
+type sinkLoss struct {
+	received, lost uint64
+}
+
+// HeadlessConfig declares one run. It is the wire-level run spec the
+// gateway accepts, so every field must be derivable from a JSON body.
+type HeadlessConfig struct {
+	// Seed drives the whole run; identical configs replay byte-identically.
+	Seed uint64 `json:"seed"`
+	// Horizon ends the run; Slice is the publish interval (both
+	// simulated time). Slice must divide the run into at least one step.
+	Horizon time.Duration `json:"horizon"`
+	Slice   time.Duration `json:"slice"`
+	// Cycle is the IO cycle time (zero: the Fig. 5 default).
+	Cycle time.Duration `json:"cycle,omitempty"`
+	// FailAt is when the primary vPLC crashes (zero: the Fig. 5
+	// default, scaled into the horizon when the horizon is shorter).
+	FailAt time.Duration `json:"fail_at,omitempty"`
+	// Faults optionally replaces the default crash with a declarative
+	// plan in the internal/faults spec grammar.
+	Faults string `json:"faults,omitempty"`
+	// SLO optionally watches objectives in the intnet spec grammar;
+	// breaches appear in every Sample.
+	SLO string `json:"slo,omitempty"`
+	// Baseline disables InstaPLC (plain L2) — the failing comparison run.
+	Baseline bool `json:"baseline,omitempty"`
+}
+
+// normalize fills defaults and scales the stock Fig. 5 timeline into a
+// shortened horizon so a 200 ms gateway run still contains a failover.
+func (cfg HeadlessConfig) normalize() (HeadlessConfig, instaplc.ExperimentConfig, error) {
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 3 * time.Second
+	}
+	if cfg.Slice <= 0 {
+		cfg.Slice = 50 * time.Millisecond
+	}
+	if cfg.Slice > cfg.Horizon {
+		return cfg, instaplc.ExperimentConfig{}, fmt.Errorf("core: slice %v exceeds horizon %v", cfg.Slice, cfg.Horizon)
+	}
+	ecfg := instaplc.DefaultExperimentConfig()
+	ecfg.Seed = cfg.Seed
+	ecfg.Horizon = cfg.Horizon
+	if cfg.Cycle > 0 {
+		ecfg.Cycle = cfg.Cycle
+	}
+	if cfg.FailAt > 0 {
+		ecfg.FailAt = cfg.FailAt
+	} else if ecfg.FailAt >= cfg.Horizon {
+		// Keep the default crash inside a shortened run: secondary joins
+		// at 1/8 of the horizon, the primary dies at 3/8.
+		ecfg.SecondaryJoinAt = cfg.Horizon / 8
+		ecfg.FailAt = 3 * cfg.Horizon / 8
+	}
+	ecfg.DisableInstaPLC = cfg.Baseline
+	ecfg.INT = !cfg.Baseline
+	if cfg.Faults != "" {
+		plan, err := faults.ParsePlan(cfg.Faults)
+		if err != nil {
+			return cfg, ecfg, err
+		}
+		ecfg.Faults = &plan
+	}
+	return cfg, ecfg, nil
+}
+
+// NewHeadless builds the run at t=0. The returned driver has taken no
+// steps; the first Step advances to the first slice boundary.
+func NewHeadless(cfg HeadlessConfig) (*Headless, error) {
+	cfg, ecfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	d, err := newHeadlessAttachments(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ecfg.Metrics = d.reg
+	ecfg.Collector = d.coll
+	d.h = instaplc.NewHarness(ecfg)
+	return d, nil
+}
+
+// newHeadlessAttachments builds the registry, collector, loss aggregate
+// and watchdog — everything that must exist before the first simulated
+// event, whether that event comes from a fresh run or a restore replay.
+func newHeadlessAttachments(cfg HeadlessConfig) (*Headless, error) {
+	d := &Headless{
+		cfg:  cfg,
+		reg:  telemetry.NewRegistry(),
+		coll: intnet.NewCollector(),
+		loss: map[string]*sinkLoss{},
+		next: cfg.Slice,
+	}
+	d.coll.OnSink = func(obs intnet.Observation) {
+		sl := d.loss[obs.Sink]
+		if sl == nil {
+			sl = &sinkLoss{}
+			d.loss[obs.Sink] = sl
+			d.lossOrder = append(d.lossOrder, obs.Sink)
+		}
+		sl.received++
+		sl.lost += obs.NewlyLost
+	}
+	if cfg.SLO != "" {
+		plan, err := intnet.ParseSLOPlan(cfg.SLO)
+		if err != nil {
+			return nil, err
+		}
+		d.wd = intnet.NewWatchdog(plan, 0, nil)
+		d.wd.Attach(d.coll) // chains after the loss aggregate
+	}
+	return d, nil
+}
+
+// Config returns the normalized run spec the driver was built from.
+func (d *Headless) Config() HeadlessConfig { return d.cfg }
+
+// Registry returns the run's metrics registry. Read it only from the
+// goroutine stepping the run.
+func (d *Headless) Registry() *telemetry.Registry { return d.reg }
+
+// Breaches returns the SLO breach log (nil without an SLO plan).
+func (d *Headless) Breaches() []intnet.Breach {
+	if d.wd == nil {
+		return nil
+	}
+	return d.wd.Breaches()
+}
+
+// Now returns the run's current simulated time in nanoseconds.
+func (d *Headless) Now() int64 { return int64(d.h.Engine().Now()) }
+
+// Done reports whether the run has reached its horizon.
+func (d *Headless) Done() bool { return d.done }
+
+// Step advances one slice of simulated time (the final slice clamps to
+// the horizon) and reports whether the run is finished. Stepping a
+// finished run is a no-op that keeps reporting done.
+func (d *Headless) Step() (done bool) {
+	if d.done {
+		return true
+	}
+	t := d.next
+	if t >= d.cfg.Horizon {
+		t = d.cfg.Horizon
+		d.done = true
+	}
+	d.h.AdvanceTo(sim.Time(t))
+	d.next += d.cfg.Slice
+	d.seq++
+	return d.done
+}
+
+// Result renders the finished run's Fig. 5 result.
+func (d *Headless) Result() instaplc.ExperimentResult { return d.h.Result() }
+
+// Tag is one sampled value in the gateway's flat tag space — the
+// steelnet analogue of a PLC tag: metric families, INT path aggregates,
+// per-sink loss fractions and SLO breach counts all flatten into
+// (name, value) pairs so change detection and the rule engine work on
+// one namespace.
+type Tag struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// SinkLoss is one sink's cumulative loss aggregate.
+type SinkLoss struct {
+	Sink           string
+	Received, Lost uint64
+}
+
+// Fraction is lost/(lost+received), 0 before any arrival.
+func (s SinkLoss) Fraction() float64 {
+	if s.Received+s.Lost == 0 {
+		return 0
+	}
+	return float64(s.Lost) / float64(s.Lost+s.Received)
+}
+
+// Sample is one deterministic view of the run at a slice boundary.
+// Slices of the same run spec sample identically on every replay; the
+// gateway's publish stream is a pure function of the spec.
+type Sample struct {
+	// Seq counts slice boundaries from 1.
+	Seq uint64
+	// SimNS is the simulated time of the boundary.
+	SimNS int64
+	// Tags is the flattened tag space in deterministic order.
+	Tags []Tag
+	// Digests are the collector's INT path aggregates (first-seen order).
+	Digests []*intnet.PathDigest
+	// Breaches is the full SLO breach log so far (onset order).
+	Breaches []intnet.Breach
+	// Loss lists per-sink loss aggregates in first-seen order.
+	Loss []SinkLoss
+}
+
+// Sample reads the run's state at the current instant. Call between
+// Steps, on the stepping goroutine.
+func (d *Headless) Sample() Sample {
+	s := Sample{
+		Seq:      d.seq,
+		SimNS:    d.Now(),
+		Digests:  d.coll.Digests(),
+		Breaches: d.Breaches(),
+	}
+	for _, v := range d.reg.Values() {
+		s.Tags = append(s.Tags, Tag{Name: v.Name + v.Labels, Value: v.Value})
+	}
+	for _, p := range s.Digests {
+		prefix := "int/" + p.Sink + "/" + p.Source + "/" + strconv.FormatUint(uint64(p.Flow), 10)
+		s.Tags = append(s.Tags,
+			Tag{Name: prefix + "/count", Value: float64(p.Count)},
+			Tag{Name: prefix + "/mean_ns", Value: p.MeanNS()},
+			Tag{Name: prefix + "/max_ns", Value: float64(p.MaxNS)},
+			Tag{Name: prefix + "/jitter_ns", Value: p.MeanJitterNS()},
+		)
+	}
+	for _, sink := range d.lossOrder {
+		sl := d.loss[sink]
+		agg := SinkLoss{Sink: sink, Received: sl.received, Lost: sl.lost}
+		s.Loss = append(s.Loss, agg)
+		s.Tags = append(s.Tags, Tag{Name: "loss/" + sink, Value: agg.Fraction()})
+	}
+	open := 0
+	for _, b := range s.Breaches {
+		if b.ClearedAtNS < 0 {
+			open++
+		}
+	}
+	if d.wd != nil {
+		s.Tags = append(s.Tags,
+			Tag{Name: "slo/breaches", Value: float64(len(s.Breaches))},
+			Tag{Name: "slo/open", Value: float64(open)},
+		)
+	}
+	return s
+}
+
+// Save checkpoints the run. Call only at slice boundaries: the saved
+// state must correspond to a Sample point or the resumed publish stream
+// would cut mid-slice.
+func (d *Headless) Save(w io.Writer) error { return d.h.Save(w) }
+
+// RestoreHeadless rebuilds a driver from a checkpoint written by Save.
+// The checkpoint carries the harness configuration; cfg must be the
+// same spec the run was started from (it supplies what the harness does
+// not record: the slice grid and the SLO plan). The restore replays
+// 0→T into fresh attachments, so the collector, watchdog state and
+// loss aggregates match a straight run's at T exactly; the next Step
+// continues on the same slice grid.
+func RestoreHeadless(r io.Reader, cfg HeadlessConfig) (*Headless, error) {
+	cfg, _, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	d, err := newHeadlessAttachments(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h, err := instaplc.RestoreWithCollector(r, nil, d.reg, d.coll)
+	if err != nil {
+		return nil, err
+	}
+	d.h = h
+	// Re-derive the slice cursor from the restored instant. Saves happen
+	// only at slice boundaries, so Now is k*Slice exactly (or the
+	// horizon, for a run checkpointed at its final boundary).
+	now := time.Duration(d.Now())
+	d.seq = uint64(now / cfg.Slice)
+	d.next = now + cfg.Slice
+	d.done = now >= cfg.Horizon
+	if d.done && now%cfg.Slice != 0 {
+		d.seq++ // the clamped final boundary is off the k*Slice grid
+	}
+	return d, nil
+}

@@ -58,25 +58,58 @@ type Delta struct {
 // Dropped) rather than stalling the publisher.
 const subBuf = 64
 
+// defaultEvictAfter is how many consecutive drops a subscriber survives
+// before the broker evicts it. A full buffer plus this many missed
+// payloads means the client is not reading at all (a stalled curl, a
+// dead TCP peer the kernel has not noticed); holding its slot would
+// cost every future broadcast a failed offer. Eviction closes the
+// subscriber's channel, which ends its SSE handler.
+const defaultEvictAfter = 256
+
+// subscriber is one SSE fan-out slot.
+type subscriber struct {
+	ch    chan []byte
+	drops int // consecutive drops; reset on every delivered payload
+}
+
 // Broker owns the latest snapshot and the SSE fan-out. Publish must be
 // called from the goroutine that owns the registry's components (the
 // simulation goroutine); everything else is safe for concurrent use.
+// A steelnetd gateway holds one Broker per hosted run and mounts the
+// Serve* handlers under its own routes.
 type Broker struct {
 	cur  atomic.Pointer[Snapshot]
 	prev map[string]float64 // last published metric values, publisher-only
 
 	mu            sync.Mutex
-	subs          map[chan []byte]struct{}
+	subs          map[*subscriber]struct{}
+	evictAfter    int
 	breachesTotal uint64
 	dropped       atomic.Uint64
+	evicted       atomic.Uint64
 }
 
 // NewBroker returns an empty broker; until the first Publish the
 // endpoints serve an empty snapshot.
 func NewBroker() *Broker {
-	b := &Broker{prev: map[string]float64{}, subs: map[chan []byte]struct{}{}}
+	b := &Broker{
+		prev:       map[string]float64{},
+		subs:       map[*subscriber]struct{}{},
+		evictAfter: defaultEvictAfter,
+	}
 	b.cur.Store(&Snapshot{SimNS: -1})
 	return b
+}
+
+// SetEvictAfter overrides the consecutive-drop eviction threshold
+// (<= 0 restores the default). Call before subscribers attach.
+func (b *Broker) SetEvictAfter(n int) {
+	if n <= 0 {
+		n = defaultEvictAfter
+	}
+	b.mu.Lock()
+	b.evictAfter = n
+	b.mu.Unlock()
 }
 
 // Publish renders reg and profile into a new immutable snapshot, swaps
@@ -149,22 +182,38 @@ func (b *Broker) Current() *Snapshot { return b.cur.Load() }
 // subscriber's buffer was full.
 func (b *Broker) Dropped() uint64 { return b.dropped.Load() }
 
+// Evicted returns the number of subscribers the broker disconnected for
+// not draining their buffers.
+func (b *Broker) Evicted() uint64 { return b.evicted.Load() }
+
+// Subscribers returns the current fan-out width.
+func (b *Broker) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
 // Subscribe registers an SSE payload channel; cancel unregisters it.
 // Payloads are fully formatted SSE frames ("event: …\ndata: …\n\n").
+// The broker closes ch when it evicts the subscriber; receivers must
+// treat a closed channel as the end of the stream. cancel is safe to
+// call after an eviction (it is then a no-op).
 func (b *Broker) Subscribe() (ch chan []byte, cancel func()) {
-	ch = make(chan []byte, subBuf)
+	sub := &subscriber{ch: make(chan []byte, subBuf)}
 	b.mu.Lock()
-	b.subs[ch] = struct{}{}
+	b.subs[sub] = struct{}{}
 	b.mu.Unlock()
-	return ch, func() {
+	return sub.ch, func() {
 		b.mu.Lock()
-		delete(b.subs, ch)
+		delete(b.subs, sub)
 		b.mu.Unlock()
 	}
 }
 
 // broadcast formats one SSE frame and offers it to every subscriber,
-// dropping (and counting) on full buffers so the publisher never blocks.
+// dropping (and counting) on full buffers so the publisher never
+// blocks. A subscriber that accumulates evictAfter consecutive drops
+// is evicted: unregistered and its channel closed.
 func (b *Broker) broadcast(event string, v any) {
 	data, err := json.Marshal(v)
 	if err != nil {
@@ -173,11 +222,78 @@ func (b *Broker) broadcast(event string, v any) {
 	frame := []byte(fmt.Sprintf("event: %s\ndata: %s\n\n", event, data))
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for ch := range b.subs {
+	for sub := range b.subs {
 		select {
-		case ch <- frame:
+		case sub.ch <- frame:
+			sub.drops = 0
 		default:
 			b.dropped.Add(1)
+			sub.drops++
+			if sub.drops >= b.evictAfter {
+				delete(b.subs, sub)
+				close(sub.ch)
+				b.evicted.Add(1)
+			}
+		}
+	}
+}
+
+// ServeHealthz reports liveness plus the latest seq/sim time and the
+// fan-out drop counter.
+func (b *Broker) ServeHealthz(w http.ResponseWriter, r *http.Request) {
+	s := b.Current()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"ok":true,"seq":%d,"sim_ns":%d,"sse_dropped":%d}`+"\n", s.Seq, s.SimNS, b.Dropped())
+}
+
+// ServeMetrics writes the latest snapshot's Prometheus text exposition.
+func (b *Broker) ServeMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.Current().Metrics)
+}
+
+// ServeShards writes the latest JSON shard profile (404 when the run is
+// not sharded or profiling is disabled).
+func (b *Broker) ServeShards(w http.ResponseWriter, r *http.Request) {
+	s := b.Current()
+	if s.Profile == nil {
+		http.Error(w, "no shard profile published (run not sharded, or profiling disabled)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.Profile)
+	fmt.Fprintln(w)
+}
+
+// ServeEvents streams SSE frames (metric deltas, SLO breaches) until the
+// client disconnects or the broker evicts the subscription.
+func (b *Broker) ServeEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	ch, cancel := b.Subscribe()
+	defer cancel()
+	s := b.Current()
+	fmt.Fprintf(w, "event: hello\ndata: {\"seq\":%d,\"sim_ns\":%d}\n\n", s.Seq, s.SimNS)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case p, ok := <-ch:
+			if !ok {
+				return // evicted by the broker
+			}
+			if _, err := w.Write(p); err != nil {
+				return
+			}
+			fl.Flush()
 		}
 	}
 }
@@ -207,52 +323,10 @@ func NewMux(b *Broker) *http.ServeMux {
 		}
 		fmt.Fprint(w, "steelnet obs endpoint\n\n/healthz\n/metrics\n/shards\n/events (SSE)\n/debug/pprof/\n")
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		s := b.Current()
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"ok":true,"seq":%d,"sim_ns":%d,"sse_dropped":%d}`+"\n", s.Seq, s.SimNS, b.Dropped())
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		fmt.Fprint(w, b.Current().Metrics)
-	})
-	mux.HandleFunc("/shards", func(w http.ResponseWriter, r *http.Request) {
-		s := b.Current()
-		if s.Profile == nil {
-			http.Error(w, "no shard profile published (run not sharded, or profiling disabled)", http.StatusNotFound)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(s.Profile)
-		fmt.Fprintln(w)
-	})
-	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
-		fl, ok := w.(http.Flusher)
-		if !ok {
-			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
-			return
-		}
-		h := w.Header()
-		h.Set("Content-Type", "text/event-stream")
-		h.Set("Cache-Control", "no-cache")
-		h.Set("Connection", "keep-alive")
-		ch, cancel := b.Subscribe()
-		defer cancel()
-		s := b.Current()
-		fmt.Fprintf(w, "event: hello\ndata: {\"seq\":%d,\"sim_ns\":%d}\n\n", s.Seq, s.SimNS)
-		fl.Flush()
-		for {
-			select {
-			case <-r.Context().Done():
-				return
-			case p := <-ch:
-				if _, err := w.Write(p); err != nil {
-					return
-				}
-				fl.Flush()
-			}
-		}
-	})
+	mux.HandleFunc("/healthz", b.ServeHealthz)
+	mux.HandleFunc("/metrics", b.ServeMetrics)
+	mux.HandleFunc("/shards", b.ServeShards)
+	mux.HandleFunc("/events", b.ServeEvents)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

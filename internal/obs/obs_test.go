@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -230,6 +232,99 @@ func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
 	}
 	if b.Dropped() != 10 {
 		t.Fatalf("dropped = %d, want 10", b.Dropped())
+	}
+}
+
+// TestSlowSubscriberEviction pins the eviction contract: a subscriber
+// that drops evictAfter frames in a row is unsubscribed and its channel
+// closed after the buffered frames; a delivery in between re-arms it.
+func TestSlowSubscriberEviction(t *testing.T) {
+	b := NewBroker()
+	b.SetEvictAfter(3)
+	ch, cancel := b.Subscribe()
+	defer cancel()
+	reg := telemetry.NewRegistry()
+	n := uint64(0)
+	reg.Counter("x_total", nil, "", func() uint64 { return n })
+	pub := func() {
+		t.Helper()
+		n++
+		if err := b.Publish(reg, nil, int64(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < subBuf; i++ {
+		pub()
+	}
+	// Two consecutive drops, then a delivery: the drop streak resets.
+	pub()
+	pub()
+	<-ch
+	pub()
+	if b.Evicted() != 0 {
+		t.Fatalf("evicted after a non-consecutive drop streak (dropped=%d)", b.Dropped())
+	}
+	// Three consecutive drops evict.
+	pub()
+	pub()
+	pub()
+	if b.Evicted() != 1 || b.Subscribers() != 0 {
+		t.Fatalf("evicted=%d subscribers=%d, want 1, 0", b.Evicted(), b.Subscribers())
+	}
+	if b.Dropped() != 5 {
+		t.Fatalf("dropped = %d, want 2 before the delivery + 3 after", b.Dropped())
+	}
+	// The buffered frames drain, then the channel reports closed.
+	drained := 0
+	for range ch {
+		drained++
+	}
+	if drained != subBuf {
+		t.Fatalf("drained %d buffered frames, want %d", drained, subBuf)
+	}
+	cancel() // idempotent after eviction
+}
+
+// TestBrokerSubscribeChurnRace hammers subscribe/unsubscribe against a
+// publisher; under -race it pins the broker's locking on the shared
+// subscriber table.
+func TestBrokerSubscribeChurnRace(t *testing.T) {
+	b := NewBroker()
+	b.SetEvictAfter(2)
+	reg := telemetry.NewRegistry()
+	var n atomic.Uint64
+	reg.Counter("x_total", nil, "", func() uint64 { return n.Load() })
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ch, cancel := b.Subscribe()
+				select {
+				case <-ch:
+				default:
+				}
+				cancel()
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		n.Add(1)
+		if err := b.Publish(reg, nil, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if b.Current().Seq != 2000 {
+		t.Fatalf("seq = %d after 2000 publishes", b.Current().Seq)
 	}
 }
 

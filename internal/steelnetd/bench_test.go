@@ -1,0 +1,80 @@
+package steelnetd
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkGatewayFanout is ISSUE 9's headline load shape: M=8 sims
+// fanning out through one hub to N=1000 SSE-equivalent subscribers. One
+// iteration is a whole fleet run; the reported extras are delivered
+// messages per second and the hub's per-publish fan-out latency
+// quantiles.
+func BenchmarkGatewayFanout(b *testing.B) {
+	cfg := LoadConfig{
+		Sims:        8,
+		Subscribers: 1000,
+		Run:         testRun(1),
+		Rules:       testRules,
+	}
+	var last LoadResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := RunLoad(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Dropped != 0 || res.Delivered != res.Frames*uint64(res.Subscribers) {
+			b.Fatalf("lossy fan-out: %+v", res)
+		}
+		last = res
+	}
+	b.ReportMetric(last.MsgPerSec, "msg/s")
+	b.ReportMetric(last.FanoutP50NS, "p50-ns")
+	b.ReportMetric(last.FanoutP99NS, "p99-ns")
+}
+
+// BenchmarkHubPublish pins the per-publish cost of the hub hot path at a
+// realistic subscriber count; its allocs/op figure is the alloc budget
+// benchdiff guards.
+func BenchmarkHubPublish(b *testing.B) {
+	for _, subs := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			h := NewHub()
+			h.SetLimits(b.N+subs, 0)
+			for i := 0; i < subs; i++ {
+				ch, cancel := h.Subscribe("")
+				defer cancel()
+				go func() {
+					for range ch {
+					}
+				}()
+			}
+			f := Frame{Run: "bench", Data: []byte(`event: tags` + "\n" + `data: {"run":"bench","seq":1}` + "\n\n")}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Publish(f)
+			}
+		})
+	}
+}
+
+// BenchmarkAppendTagsPayload measures the frame-assembly path that runs
+// once per slice per run, independent of subscriber count.
+func BenchmarkAppendTagsPayload(b *testing.B) {
+	changes := []TagChange{
+		{Name: `steelnet_host_rx_total{node="io"}`, Value: 250},
+		{Name: "int/instaplc-switch.out0/press/1/mean_ns", Value: 3000},
+		{Name: "loss/instaplc-switch.out1", Value: 0.55},
+		{Name: "slo/breaches", Value: 3},
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = appendTagsPayload(buf[:0], "run-1", uint64(i), int64(i)*int64(50*time.Millisecond), changes)
+	}
+}

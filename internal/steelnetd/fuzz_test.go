@@ -1,0 +1,80 @@
+package steelnetd
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fuzzSeedSpecs are accepted rule specs spanning every condition kind,
+// both ops, both threshold syntaxes and multi-rule sets; the mutator
+// explores the grammar's boundary from both sides.
+func fuzzSeedSpecs() []string {
+	return []string{
+		"latency:press-sink>250µs->kafka:alerts",
+		"jitter:*<1ms->mqtt:plant/jitter",
+		"loss:*>0.01->mqtt:plant/loss",
+		"breach:instaplc-switch.out2>0->log:slo",
+		`tag:steelnet_host_rx_total{node="io"}>100->kafka:tags`,
+		"tag:x>1e-9->kafka:t",
+		"loss:*>0.01->kafka:alerts;breach:*>0->log:slo",
+		" loss : * > 0.5 -> kafka: alerts ",
+		"",
+		"loss:*>",
+		"x",
+		"latency:*>abc->k:t",
+		"loss:*>1->:t",
+	}
+}
+
+// FuzzParseRule pins the grammar's contract: the parser never panics;
+// every rejection is a *ParseError whose position lands inside (or
+// just past) the spec; and every accepted set round-trips exactly —
+// String() is a parse fixed point that reproduces the same rules.
+func FuzzParseRule(f *testing.F) {
+	for _, s := range fuzzSeedSpecs() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		rs, err := ParseRuleSet(spec)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("rejection is %T, not *ParseError: %v", err, err)
+			}
+			if pe.Pos < 0 || pe.Pos > len(spec) {
+				t.Fatalf("error position %d outside spec of length %d", pe.Pos, len(spec))
+			}
+			if pe.Spec != spec {
+				t.Fatalf("ParseError.Spec = %q, want the input spec", pe.Spec)
+			}
+			return
+		}
+		if err := rs.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid set: %v", err)
+		}
+		canon := rs.String()
+		rs2, err := ParseRuleSet(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", canon, err)
+		}
+		if got := rs2.String(); got != canon {
+			t.Fatalf("String is not a parse fixed point: %q -> %q", canon, got)
+		}
+		if len(rs2.Rules) != len(rs.Rules) {
+			t.Fatalf("round trip changed rule count: %d -> %d", len(rs.Rules), len(rs2.Rules))
+		}
+		for i := range rs.Rules {
+			if rs2.Rules[i] != rs.Rules[i] {
+				t.Fatalf("rule %d changed across round trip:\n  %+v\n  %+v", i, rs.Rules[i], rs2.Rules[i])
+			}
+		}
+		// Rendering individual rules agrees with rendering the set.
+		if len(rs.Rules) == 1 && !strings.Contains(canon, ";") {
+			r, err := ParseRule(canon)
+			if err != nil || r != rs.Rules[0] {
+				t.Fatalf("ParseRule and ParseRuleSet disagree on %q: %+v vs %+v (%v)", canon, r, rs.Rules[0], err)
+			}
+		}
+	})
+}

@@ -1,0 +1,448 @@
+package steelnetd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"steelnet/internal/core"
+	"steelnet/internal/obs"
+)
+
+// RunSpec declares one hosted run: the core run spec plus the rule set
+// evaluated over its sample stream. It is the gateway's POST /runs wire
+// format.
+type RunSpec struct {
+	// ID names the run; empty picks "run-<n>". IDs key the northbound
+	// partition logs, so two gateways hosting the same specs under the
+	// same IDs produce identical logs.
+	ID string `json:"id,omitempty"`
+	// Run is the simulation spec (see core.HeadlessConfig).
+	Run core.HeadlessConfig `json:"run"`
+	// Rules is a rule-set spec (see ParseRuleSet); empty disables the
+	// engine for this run.
+	Rules string `json:"rules,omitempty"`
+	// StopAfter pauses the run after that many slices (0 = run to the
+	// horizon). A paused run can be checkpointed with Gateway.Save and
+	// continued on another gateway with Resume.
+	StopAfter uint64 `json:"stop_after,omitempty"`
+}
+
+// RunState is a hosted run's lifecycle phase.
+type RunState string
+
+// Run states. Runs move running → done | paused | stopped | failed.
+const (
+	StateRunning RunState = "running"
+	StateDone    RunState = "done"    // reached the horizon
+	StatePaused  RunState = "paused"  // hit StopAfter; checkpointable
+	StateStopped RunState = "stopped" // cancelled via Stop
+	StateFailed  RunState = "failed"
+)
+
+// RunStatus is one run's listing entry.
+type RunStatus struct {
+	ID      string   `json:"id"`
+	State   RunState `json:"state"`
+	Seq     uint64   `json:"seq"`
+	SimNS   int64    `json:"sim_ns"`
+	Rules   string   `json:"rules,omitempty"`
+	Firings uint64   `json:"firings"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// run is one hosted simulation and its gateway-side state.
+type run struct {
+	id     string
+	spec   RunSpec
+	rules  RuleSet
+	broker *obs.Broker
+	drv    *core.Headless
+	resume bool
+
+	cancel chan struct{}
+	stop   sync.Once
+	done   chan struct{}
+
+	mu      sync.Mutex
+	state   RunState
+	seq     uint64
+	simNS   int64
+	firings uint64
+	err     error
+}
+
+func (r *run) status() RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RunStatus{ID: r.id, State: r.state, Seq: r.seq, SimNS: r.simNS, Rules: r.rules.Name, Firings: r.firings}
+	if r.err != nil {
+		st.Error = r.err.Error()
+	}
+	return st
+}
+
+// GatewayConfig configures a Gateway.
+type GatewayConfig struct {
+	// Backends routes rule actions; nil installs DefaultBackends with
+	// the log backend discarded.
+	Backends Backends
+	// MaxConcurrent bounds how many runs step at once (0 = unlimited).
+	// Queued runs wait in start order. Because northbound logs are
+	// keyed per run, the dumps are identical at any setting — the
+	// golden tests pin that.
+	MaxConcurrent int
+}
+
+// Gateway hosts many concurrent simulation runs behind one surface:
+// each run steps a core.Headless driver on its own goroutine,
+// publishes its telemetry through a per-run obs.Broker, fans changed
+// tags and rule firings out through the shared Hub, and routes rule
+// firings to the northbound backends.
+type Gateway struct {
+	hub      *Hub
+	backends Backends
+	sem      chan struct{}
+
+	mu     sync.Mutex
+	runs   map[string]*run
+	order  []string
+	nextID int
+
+	started atomic.Uint64
+	active  atomic.Int64
+}
+
+// NewGateway builds an idle gateway.
+func NewGateway(cfg GatewayConfig) *Gateway {
+	g := &Gateway{
+		hub:      NewHub(),
+		backends: cfg.Backends,
+		runs:     map[string]*run{},
+	}
+	if g.backends == nil {
+		g.backends = DefaultBackends(io.Discard)
+	}
+	if cfg.MaxConcurrent > 0 {
+		g.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	g.hub.Registry().Counter("steelnetd_runs_started_total", nil,
+		"Runs accepted by the gateway.", g.started.Load)
+	g.hub.Registry().Gauge("steelnetd_runs_active", nil,
+		"Runs currently stepping.", func() float64 { return float64(g.active.Load()) })
+	return g
+}
+
+// Hub returns the fleet-wide fan-out hub.
+func (g *Gateway) Hub() *Hub { return g.hub }
+
+// Backend returns a named northbound backend.
+func (g *Gateway) Backend(name string) (Publisher, bool) {
+	p, ok := g.backends[name]
+	return p, ok
+}
+
+// Start validates spec, registers the run and begins stepping it on its
+// own goroutine. It returns the run ID immediately.
+func (g *Gateway) Start(spec RunSpec) (string, error) {
+	return g.launch(spec, nil)
+}
+
+// Resume is Start for a checkpointed run: cp is a stream written by
+// Save, spec must be the spec the run was started from. The restored
+// driver replays to the checkpoint instant, the change detector and
+// rule engine prime on the restore-point sample without publishing, and
+// the continued northbound stream is byte-identical to an unpaused
+// run's from that point on.
+func (g *Gateway) Resume(spec RunSpec, cp io.Reader) (string, error) {
+	if cp == nil {
+		return "", fmt.Errorf("steelnetd: resume without a checkpoint")
+	}
+	return g.launch(spec, cp)
+}
+
+func (g *Gateway) launch(spec RunSpec, cp io.Reader) (string, error) {
+	rules, err := ParseRuleSet(spec.Rules)
+	if err != nil {
+		return "", err
+	}
+	if err := g.backends.Resolve(rules); err != nil {
+		return "", err
+	}
+	var drv *core.Headless
+	if cp != nil {
+		drv, err = core.RestoreHeadless(cp, spec.Run)
+	} else {
+		drv, err = core.NewHeadless(spec.Run)
+	}
+	if err != nil {
+		return "", err
+	}
+	spec.Run = drv.Config()
+
+	g.mu.Lock()
+	if spec.ID == "" {
+		g.nextID++
+		spec.ID = "run-" + strconv.Itoa(g.nextID)
+	}
+	if _, dup := g.runs[spec.ID]; dup {
+		g.mu.Unlock()
+		return "", fmt.Errorf("steelnetd: run %q already exists", spec.ID)
+	}
+	r := &run{
+		id: spec.ID, spec: spec, rules: rules, drv: drv, resume: cp != nil,
+		broker: obs.NewBroker(),
+		cancel: make(chan struct{}), done: make(chan struct{}),
+		state: StateRunning, seq: drv.Sample().Seq, simNS: drv.Now(),
+	}
+	g.runs[spec.ID] = r
+	g.order = append(g.order, spec.ID)
+	g.mu.Unlock()
+	g.started.Add(1)
+	go g.drive(r)
+	return spec.ID, nil
+}
+
+// drive is the run goroutine: acquire a concurrency slot, step slice by
+// slice, publish, evaluate rules, until the horizon / StopAfter / Stop.
+func (g *Gateway) drive(r *run) {
+	defer close(r.done)
+	if g.sem != nil {
+		select {
+		case g.sem <- struct{}{}:
+			defer func() { <-g.sem }()
+		case <-r.cancel:
+			r.setState(StateStopped, nil)
+			return
+		}
+	}
+	g.active.Add(1)
+	defer g.active.Add(-1)
+
+	engine := NewEngine(r.rules)
+	prev := map[string]float64{}
+	if r.resume {
+		// Prime the change detector and the engine's edge state on the
+		// restore-point sample so the continued publish stream picks up
+		// exactly where the straight run's would.
+		s := r.drv.Sample()
+		for _, t := range s.Tags {
+			prev[t.Name] = t.Value
+		}
+		engine.Prime(&s)
+	}
+
+	var steps uint64
+	var payload, frame []byte
+	var batch []TagChange
+	for !r.drv.Done() {
+		select {
+		case <-r.cancel:
+			r.setState(StateStopped, nil)
+			return
+		default:
+		}
+		if r.spec.StopAfter > 0 && steps >= r.spec.StopAfter {
+			r.setState(StatePaused, nil)
+			return
+		}
+		r.drv.Step()
+		steps++
+		s := r.drv.Sample()
+		r.mu.Lock()
+		r.seq, r.simNS = s.Seq, s.SimNS
+		r.mu.Unlock()
+
+		if err := r.broker.Publish(r.drv.Registry(), nil, s.SimNS); err != nil {
+			r.setState(StateFailed, err)
+			return
+		}
+		r.broker.PublishBreaches(s.Breaches)
+
+		// Change-detection filtering: republish only tags whose value
+		// moved since the last slice.
+		batch = batch[:0]
+		for _, t := range s.Tags {
+			if v, seen := prev[t.Name]; !seen || v != t.Value {
+				prev[t.Name] = t.Value
+				batch = append(batch, TagChange{Name: t.Name, Value: t.Value})
+			}
+		}
+		if len(batch) > 0 {
+			payload = appendTagsPayload(payload[:0], r.id, s.Seq, s.SimNS, batch)
+			frame = sseFrame("tags", payload)
+			g.hub.Publish(Frame{Run: r.id, Data: frame})
+		}
+
+		for _, f := range engine.Eval(&s) {
+			fp := appendFiringPayload(nil, r.id, f)
+			if p, ok := g.backends[f.Backend]; ok {
+				if err := p.Publish(f.Topic, r.id, fp); err != nil {
+					r.setState(StateFailed, err)
+					return
+				}
+			}
+			g.hub.Publish(Frame{Run: r.id, Data: sseFrame("firing", fp)})
+			r.mu.Lock()
+			r.firings++
+			r.mu.Unlock()
+		}
+	}
+	r.setState(StateDone, nil)
+}
+
+func (r *run) setState(s RunState, err error) {
+	r.mu.Lock()
+	r.state, r.err = s, err
+	r.mu.Unlock()
+}
+
+// appendFiringPayload renders one firing as JSON, keyed by run:
+//
+//	{"run":"r1","rule":"loss:*>0.01->kafka:alerts","seq":3,"sim_ns":…,"value":0.02}
+func appendFiringPayload(b []byte, run string, f Firing) []byte {
+	b = append(b, `{"run":`...)
+	b = strconv.AppendQuote(b, run)
+	b = append(b, `,"rule":`...)
+	b = strconv.AppendQuote(b, f.Rule)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendUint(b, f.Seq, 10)
+	b = append(b, `,"sim_ns":`...)
+	b = strconv.AppendInt(b, f.SimNS, 10)
+	b = append(b, `,"value":`...)
+	b = appendJSONFloat(b, f.Value)
+	b = append(b, '}')
+	return b
+}
+
+// Stop cancels a run. Idempotent; stopping a finished run is a no-op.
+func (g *Gateway) Stop(id string) error {
+	r, ok := g.get(id)
+	if !ok {
+		return fmt.Errorf("steelnetd: no run %q", id)
+	}
+	r.stop.Do(func() { close(r.cancel) })
+	return nil
+}
+
+// Wait blocks until the run's goroutine has exited (done, paused,
+// stopped or failed) and returns its terminal error, if any.
+func (g *Gateway) Wait(id string) error {
+	r, ok := g.get(id)
+	if !ok {
+		return fmt.Errorf("steelnetd: no run %q", id)
+	}
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Save checkpoints a run that is no longer stepping (paused or done);
+// saving a live run would race its goroutine. The stream restores with
+// Resume under the same spec.
+func (g *Gateway) Save(id string, w io.Writer) error {
+	r, ok := g.get(id)
+	if !ok {
+		return fmt.Errorf("steelnetd: no run %q", id)
+	}
+	select {
+	case <-r.done:
+	default:
+		return fmt.Errorf("steelnetd: run %q is still stepping; Stop or StopAfter first", id)
+	}
+	return r.drv.Save(w)
+}
+
+// Remove forgets a finished run (its broker and status). The northbound
+// logs keep its records.
+func (g *Gateway) Remove(id string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.runs[id]
+	if !ok {
+		return fmt.Errorf("steelnetd: no run %q", id)
+	}
+	select {
+	case <-r.done:
+	default:
+		return fmt.Errorf("steelnetd: run %q is still stepping; Stop it first", id)
+	}
+	delete(g.runs, id)
+	for i, oid := range g.order {
+		if oid == id {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Status returns one run's listing entry.
+func (g *Gateway) Status(id string) (RunStatus, bool) {
+	r, ok := g.get(id)
+	if !ok {
+		return RunStatus{}, false
+	}
+	return r.status(), true
+}
+
+// Broker returns a run's obs.Broker for mounting its HTTP endpoints.
+func (g *Gateway) Broker(id string) (*obs.Broker, bool) {
+	r, ok := g.get(id)
+	if !ok {
+		return nil, false
+	}
+	return r.broker, true
+}
+
+// List returns every hosted run's status in start order.
+func (g *Gateway) List() []RunStatus {
+	g.mu.Lock()
+	rs := make([]*run, 0, len(g.runs))
+	for _, id := range g.order {
+		rs = append(rs, g.runs[id])
+	}
+	g.mu.Unlock()
+	sts := make([]RunStatus, len(rs))
+	for i, r := range rs {
+		sts[i] = r.status()
+	}
+	return sts
+}
+
+// BackendNames lists the installed northbound backends, sorted.
+func (g *Gateway) BackendNames() []string {
+	names := make([]string, 0, len(g.backends))
+	for n := range g.backends {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close stops every run and waits for their goroutines.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	rs := make([]*run, 0, len(g.runs))
+	for _, r := range g.runs {
+		rs = append(rs, r)
+	}
+	g.mu.Unlock()
+	for _, r := range rs {
+		r.stop.Do(func() { close(r.cancel) })
+	}
+	for _, r := range rs {
+		<-r.done
+	}
+}
+
+func (g *Gateway) get(id string) (*run, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.runs[id]
+	return r, ok
+}

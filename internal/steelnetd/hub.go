@@ -1,0 +1,211 @@
+package steelnetd
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"steelnet/internal/telemetry"
+)
+
+// hubSubBuf bounds each hub subscriber's pending frame queue, and
+// hubEvictAfter is the consecutive-drop eviction threshold — the same
+// discipline as obs.Broker's SSE fan-out, at fleet scale.
+const (
+	hubSubBuf     = 64
+	hubEvictAfter = 256
+)
+
+// Frame is one fan-out message: a fully formatted SSE frame plus the
+// run it came from, so subscribers can filter per run without parsing.
+type Frame struct {
+	Run  string
+	Data []byte // "event: …\ndata: …\n\n"
+}
+
+// hubSub is one subscriber slot.
+type hubSub struct {
+	ch    chan Frame
+	run   string // "" = the whole fleet
+	drops int
+}
+
+// Hub is the fleet-wide fan-out: every hosted run publishes its changed
+// tags, rule firings and SLO breaches here, and every gateway SSE
+// client receives them through a bounded queue. Publishing never
+// blocks: a full subscriber drops the frame (counted), and a subscriber
+// that keeps dropping is evicted (its channel closed). The hot path
+// does no allocation beyond the frame the caller already built — the
+// Frame struct is sent by value and the payload bytes are shared.
+type Hub struct {
+	mu         sync.Mutex
+	subs       map[*hubSub]struct{}
+	evictAfter int
+	buf        int
+
+	published atomic.Uint64
+	dropped   atomic.Uint64
+	evicted   atomic.Uint64
+	fanoutNS  *telemetry.AtomicHistogram
+	reg       *telemetry.Registry
+}
+
+// NewHub builds a hub and registers its metric families (subscriber
+// count, frames published/dropped, evictions, fan-out latency
+// histogram) on its own registry, rendered by the gateway's /metrics.
+func NewHub() *Hub {
+	h := &Hub{
+		subs:       map[*hubSub]struct{}{},
+		evictAfter: hubEvictAfter,
+		buf:        hubSubBuf,
+		reg:        telemetry.NewRegistry(),
+	}
+	h.reg.Gauge("steelnetd_hub_subscribers", nil, "Current hub fan-out width.",
+		func() float64 { return float64(h.Subscribers()) })
+	h.reg.Counter("steelnetd_hub_frames_published_total", nil, "Frames offered to the hub.",
+		h.published.Load)
+	h.reg.Counter("steelnetd_hub_frames_dropped_total", nil, "Frames dropped on full subscriber queues.",
+		h.dropped.Load)
+	h.reg.Counter("steelnetd_hub_evicted_total", nil, "Subscribers evicted for not draining.",
+		h.evicted.Load)
+	h.fanoutNS = h.reg.NewAtomicHistogram("steelnetd_hub_fanout_ns", nil,
+		"Wall time to offer one frame to every subscriber, nanoseconds.",
+		[]float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8})
+	return h
+}
+
+// Registry returns the hub's metric registry. All its values are
+// atomic-backed, so rendering concurrently with publishes is safe.
+func (h *Hub) Registry() *telemetry.Registry { return h.reg }
+
+// SetLimits overrides the subscriber queue depth and eviction threshold
+// (n <= 0 keeps the current value). Call before subscribers attach.
+func (h *Hub) SetLimits(buf, evictAfter int) {
+	h.mu.Lock()
+	if buf > 0 {
+		h.buf = buf
+	}
+	if evictAfter > 0 {
+		h.evictAfter = evictAfter
+	}
+	h.mu.Unlock()
+}
+
+// Subscribe registers a fan-out slot. run filters to one run's frames
+// ("" = the whole fleet). The hub closes ch on eviction; cancel is
+// idempotent and safe after eviction.
+func (h *Hub) Subscribe(run string) (ch <-chan Frame, cancel func()) {
+	h.mu.Lock()
+	sub := &hubSub{ch: make(chan Frame, h.buf), run: run}
+	h.subs[sub] = struct{}{}
+	h.mu.Unlock()
+	return sub.ch, func() {
+		h.mu.Lock()
+		delete(h.subs, sub)
+		h.mu.Unlock()
+	}
+}
+
+// Subscribers returns the current fan-out width.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Published, Dropped and Evicted expose the hub counters.
+func (h *Hub) Published() uint64 { return h.published.Load() }
+func (h *Hub) Dropped() uint64   { return h.dropped.Load() }
+func (h *Hub) Evicted() uint64   { return h.evicted.Load() }
+
+// FanoutQuantile returns the q quantile of per-publish fan-out wall
+// time in nanoseconds (bucket upper-bound estimate).
+func (h *Hub) FanoutQuantile(q float64) float64 { return h.fanoutNS.Quantile(q) }
+
+// Publish offers one frame to every matching subscriber without
+// blocking. Full queues drop the frame; hubEvictAfter consecutive drops
+// evict the subscriber.
+func (h *Hub) Publish(f Frame) {
+	start := time.Now()
+	h.published.Add(1)
+	h.mu.Lock()
+	for sub := range h.subs {
+		if sub.run != "" && sub.run != f.Run {
+			continue
+		}
+		select {
+		case sub.ch <- f:
+			sub.drops = 0
+		default:
+			h.dropped.Add(1)
+			sub.drops++
+			if sub.drops >= h.evictAfter {
+				delete(h.subs, sub)
+				close(sub.ch)
+				h.evicted.Add(1)
+			}
+		}
+	}
+	h.mu.Unlock()
+	h.fanoutNS.Observe(time.Since(start).Nanoseconds())
+}
+
+// sseFrame formats one SSE frame: "event: <event>\ndata: <data>\n\n".
+// The payload is built once per publish and shared by every subscriber.
+func sseFrame(event string, data []byte) []byte {
+	b := make([]byte, 0, len(event)+len(data)+18)
+	b = append(b, "event: "...)
+	b = append(b, event...)
+	b = append(b, "\ndata: "...)
+	b = append(b, data...)
+	b = append(b, "\n\n"...)
+	return b
+}
+
+// appendTagsPayload renders a changed-tag batch as JSON:
+//
+//	{"run":"r1","seq":3,"sim_ns":150000000,"tags":[{"name":"…","value":1}, …]}
+//
+// Hand-rolled (strconv appends into one buffer) because this runs once
+// per slice per run — the gateway's hottest serialization — and
+// encoding/json would allocate per tag.
+func appendTagsPayload(b []byte, run string, seq uint64, simNS int64, tags []TagChange) []byte {
+	b = append(b, `{"run":`...)
+	b = strconv.AppendQuote(b, run)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendUint(b, seq, 10)
+	b = append(b, `,"sim_ns":`...)
+	b = strconv.AppendInt(b, simNS, 10)
+	b = append(b, `,"tags":[`...)
+	for i, t := range tags {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"name":`...)
+		b = strconv.AppendQuote(b, t.Name)
+		b = append(b, `,"value":`...)
+		b = appendJSONFloat(b, t.Value)
+		b = append(b, '}')
+	}
+	b = append(b, "]}"...)
+	return b
+}
+
+// appendJSONFloat formats v the way the rest of the gateway does
+// (strconv 'g', shortest), with non-finite values clamped to null —
+// JSON has no Inf/NaN.
+func appendJSONFloat(b []byte, v float64) []byte {
+	if v != v || v > maxJSONFloat || v < -maxJSONFloat {
+		return append(b, "null"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+const maxJSONFloat = 1.7976931348623157e308
+
+// TagChange is one changed tag in a republish batch.
+type TagChange struct {
+	Name  string
+	Value float64
+}

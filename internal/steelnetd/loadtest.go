@@ -1,0 +1,156 @@
+package steelnetd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"steelnet/internal/core"
+)
+
+// LoadConfig declares a fan-out load test: M concurrent sims publishing
+// through one hub to N subscribers, with change-detection filtering on.
+type LoadConfig struct {
+	// Sims (M) and Subscribers (N) set the fan-out shape.
+	Sims        int
+	Subscribers int
+	// Run is the per-sim spec template; sim i runs it with
+	// Seed = Run.Seed + i under ID "load-<i>".
+	Run core.HeadlessConfig
+	// Rules is the rule set installed on every sim.
+	Rules string
+	// MaxConcurrent caps how many sims step at once (0 = all).
+	MaxConcurrent int
+}
+
+// LoadResult reports one load run. The message counts are pure
+// functions of the config (the determinism the load tests pin); the
+// timing numbers are measurements.
+type LoadResult struct {
+	Sims        int `json:"sims"`
+	Subscribers int `json:"subscribers"`
+	// Frames is how many frames the hub published; Delivered is the
+	// total received across all subscribers (= Frames × Subscribers
+	// when nothing drops); Dropped/Evicted count fan-out losses.
+	Frames    uint64 `json:"frames"`
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+	Evicted   uint64 `json:"evicted"`
+	// Firings is the total northbound messages across fake backends.
+	Firings uint64 `json:"firings"`
+	// Bytes is the total payload bytes delivered to subscribers.
+	Bytes uint64 `json:"bytes"`
+	// Wall-clock measurements: total elapsed, delivered messages per
+	// second, and the hub's per-publish fan-out latency quantiles.
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	MsgPerSec   float64       `json:"msg_per_sec"`
+	FanoutP50NS float64       `json:"fanout_p50_ns"`
+	FanoutP99NS float64       `json:"fanout_p99_ns"`
+}
+
+// RunLoad drives one fan-out load test and returns its result plus the
+// fake backends (for golden comparison of the northbound logs).
+// Subscriber queues are sized to hold the whole run, so counts are
+// deterministic: no frame ever drops because a reader was slow.
+func RunLoad(cfg LoadConfig) (LoadResult, Backends, error) {
+	if cfg.Sims <= 0 || cfg.Subscribers < 0 {
+		return LoadResult{}, nil, fmt.Errorf("steelnetd: load config needs sims > 0")
+	}
+	backends := Backends{}
+	for _, f := range []*FakeBackend{NewFakeKafka(), NewFakeMQTT()} {
+		backends[f.Name()] = f
+	}
+	g := NewGateway(GatewayConfig{Backends: backends, MaxConcurrent: cfg.MaxConcurrent})
+	defer g.Close()
+
+	// Size subscriber queues for the worst case: every slice of every
+	// sim publishes a tag batch plus every rule firing.
+	norm, err := core.NewHeadless(cfg.Run)
+	if err != nil {
+		return LoadResult{}, nil, err
+	}
+	run := norm.Config()
+	slices := int(run.Horizon/run.Slice) + 2
+	rules, err := ParseRuleSet(cfg.Rules)
+	if err != nil {
+		return LoadResult{}, nil, err
+	}
+	worst := cfg.Sims * slices * (1 + len(rules.Rules))
+	g.Hub().SetLimits(worst, 0)
+
+	var delivered, bytes atomic.Uint64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Subscribers; i++ {
+		ch, cancel := g.Hub().Subscribe("")
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer cancel()
+			for {
+				select {
+				case f, ok := <-ch:
+					if !ok {
+						return
+					}
+					delivered.Add(1)
+					bytes.Add(uint64(len(f.Data)))
+				case <-done:
+					// Publishing has stopped; drain what is queued.
+					for {
+						select {
+						case f := <-ch:
+							delivered.Add(1)
+							bytes.Add(uint64(len(f.Data)))
+						default:
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	ids := make([]string, cfg.Sims)
+	for i := range ids {
+		spec := RunSpec{ID: fmt.Sprintf("load-%d", i), Run: run, Rules: cfg.Rules}
+		spec.Run.Seed = run.Seed + uint64(i)
+		id, err := g.Start(spec)
+		if err != nil {
+			close(done)
+			wg.Wait()
+			return LoadResult{}, nil, err
+		}
+		ids[i] = id
+	}
+	var firings uint64
+	for _, id := range ids {
+		if err := g.Wait(id); err != nil {
+			close(done)
+			wg.Wait()
+			return LoadResult{}, nil, err
+		}
+		st, _ := g.Status(id)
+		firings += st.Firings
+	}
+	close(done)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	h := g.Hub()
+	res := LoadResult{
+		Sims: cfg.Sims, Subscribers: cfg.Subscribers,
+		Frames: h.Published(), Delivered: delivered.Load(),
+		Dropped: h.Dropped(), Evicted: h.Evicted(),
+		Firings: firings, Bytes: bytes.Load(),
+		Elapsed:     elapsed,
+		FanoutP50NS: h.FanoutQuantile(0.50),
+		FanoutP99NS: h.FanoutQuantile(0.99),
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		res.MsgPerSec = float64(res.Delivered) / s
+	}
+	return res, backends, nil
+}

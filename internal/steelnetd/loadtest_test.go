@@ -1,0 +1,134 @@
+package steelnetd
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func loadConfig(sims, subs int) LoadConfig {
+	return LoadConfig{
+		Sims:        sims,
+		Subscribers: subs,
+		Run:         testRun(100),
+		Rules:       testRules,
+	}
+}
+
+func TestRunLoadDeterministicCounts(t *testing.T) {
+	res, backends, err := RunLoad(loadConfig(3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sims != 3 || res.Subscribers != 7 {
+		t.Fatalf("shape %d×%d", res.Sims, res.Subscribers)
+	}
+	if res.Frames == 0 {
+		t.Fatal("no frames published")
+	}
+	if res.Dropped != 0 || res.Evicted != 0 {
+		t.Fatalf("dropped=%d evicted=%d with worst-case queues", res.Dropped, res.Evicted)
+	}
+	if res.Delivered != res.Frames*uint64(res.Subscribers) {
+		t.Fatalf("delivered %d, want frames(%d) × subscribers(%d)", res.Delivered, res.Frames, res.Subscribers)
+	}
+	if res.Firings == 0 {
+		t.Error("no rule firings under loss, breach and tag rules")
+	}
+	if res.Bytes == 0 {
+		t.Error("no payload bytes counted")
+	}
+	if res.MsgPerSec <= 0 || res.Elapsed <= 0 {
+		t.Errorf("timing not measured: %g msg/s over %v", res.MsgPerSec, res.Elapsed)
+	}
+	var total uint64
+	for _, name := range []string{"kafka", "mqtt"} {
+		f, ok := backends[name].(*FakeBackend)
+		if !ok {
+			t.Fatalf("backend %q is not a FakeBackend", name)
+		}
+		total += f.Total()
+	}
+	if total != res.Firings {
+		t.Errorf("backend records %d != firings %d", total, res.Firings)
+	}
+}
+
+// TestRunLoadRerunIdentical reruns the same load config and requires the
+// message counts and northbound logs to match exactly — the fan-out path
+// must not leak scheduling noise into what subscribers or backends see.
+func TestRunLoadRerunIdentical(t *testing.T) {
+	dump := func() (LoadResult, map[string]string) {
+		t.Helper()
+		res, backends, err := RunLoad(loadConfig(4, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs := map[string]string{}
+		for name, p := range backends {
+			f := p.(*FakeBackend)
+			var buf bytes.Buffer
+			if err := f.WriteLog(&buf); err != nil {
+				t.Fatal(err)
+			}
+			logs[name] = buf.String()
+		}
+		return res, logs
+	}
+	resA, logsA := dump()
+	resB, logsB := dump()
+	if resA.Frames != resB.Frames || resA.Delivered != resB.Delivered || resA.Firings != resB.Firings || resA.Bytes != resB.Bytes {
+		t.Errorf("rerun counts diverged: %+v vs %+v", resA, resB)
+	}
+	for name := range logsA {
+		if logsA[name] != logsB[name] {
+			t.Errorf("rerun changed the %s log", name)
+		}
+	}
+}
+
+// TestRunLoadConcurrencyInvariant pins the counts against the
+// MaxConcurrent knob: stepping sims one at a time or all at once must
+// publish the same frames and firings.
+func TestRunLoadConcurrencyInvariant(t *testing.T) {
+	cfg := loadConfig(4, 3)
+	cfg.MaxConcurrent = 1
+	serial, _, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxConcurrent = 0
+	parallel, _, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Frames != parallel.Frames || serial.Firings != parallel.Firings || serial.Delivered != parallel.Delivered {
+		t.Errorf("serial %+v vs parallel %+v", serial, parallel)
+	}
+}
+
+func TestRunLoadZeroSubscribers(t *testing.T) {
+	res, _, err := RunLoad(loadConfig(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 0 || res.Frames == 0 {
+		t.Fatalf("delivered=%d frames=%d with no subscribers", res.Delivered, res.Frames)
+	}
+}
+
+func TestRunLoadErrors(t *testing.T) {
+	if _, _, err := RunLoad(LoadConfig{Sims: 0}); err == nil {
+		t.Error("accepted zero sims")
+	}
+	bad := loadConfig(1, 1)
+	bad.Rules = "bogus:*>1->kafka:t"
+	if _, _, err := RunLoad(bad); err == nil {
+		t.Error("accepted a bad rule set")
+	}
+	badRun := loadConfig(1, 1)
+	badRun.Run.Slice = time.Hour // exceeds horizon
+	if _, _, err := RunLoad(badRun); err == nil {
+		t.Error("accepted a bad run template")
+	}
+}

@@ -1,0 +1,186 @@
+package steelnetd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+
+	"steelnet/internal/obs"
+)
+
+// NewServeMux builds the gateway's HTTP surface on a private mux:
+//
+//	/                       index
+//	/healthz                liveness + fleet counters
+//	/metrics                Prometheus exposition of the hub registry
+//	/runs                   GET list, POST start (RunSpec JSON body)
+//	/runs/{id}              GET status, DELETE stop
+//	/runs/{id}/metrics      the run's Prometheus exposition
+//	/runs/{id}/shards       the run's shard profile (404: not sharded)
+//	/runs/{id}/events       the run's SSE stream (deltas + breaches)
+//	/events                 fleet-wide SSE fan-out (?run= filters)
+//	/backends               installed northbound backends
+//	/backends/{name}/log    a fake backend's JSONL publish log
+func NewServeMux(g *Gateway) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/{$}", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "steelnetd gateway\n\n/healthz\n/metrics\n/runs\n/runs/{id}\n/runs/{id}/{metrics,shards,events}\n/events (SSE)\n/backends\n/backends/{name}/log\n")
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := g.Hub()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"ok":true,"runs":%d,"subscribers":%d,"published":%d,"dropped":%d,"evicted":%d}`+"\n",
+			len(g.List()), h.Subscribers(), h.Published(), h.Dropped(), h.Evicted())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		g.Hub().Registry().WritePrometheus(w) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, g.List())
+	})
+	mux.HandleFunc("POST /runs", func(w http.ResponseWriter, r *http.Request) {
+		var spec RunSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			http.Error(w, "bad run spec: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		id, err := g.Start(spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		writeJSON(w, map[string]string{"id": id})
+	})
+	mux.HandleFunc("GET /runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := g.Status(r.PathValue("id"))
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("DELETE /runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := g.Stop(id); err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		g.Wait(id) //nolint:errcheck // terminal state reported by status
+		st, _ := g.Status(id)
+		writeJSON(w, st)
+	})
+	// Per-run telemetry: mount the run's obs.Broker handlers.
+	brokerRoute := func(pattern string, serve func(b *obs.Broker, w http.ResponseWriter, r *http.Request)) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			b, ok := g.Broker(r.PathValue("id"))
+			if !ok {
+				http.NotFound(w, r)
+				return
+			}
+			serve(b, w, r)
+		})
+	}
+	brokerRoute("GET /runs/{id}/metrics", (*obs.Broker).ServeMetrics)
+	brokerRoute("GET /runs/{id}/shards", (*obs.Broker).ServeShards)
+	brokerRoute("GET /runs/{id}/events", (*obs.Broker).ServeEvents)
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		serveHubEvents(g.Hub(), w, r)
+	})
+	mux.HandleFunc("GET /backends", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, g.BackendNames())
+	})
+	mux.HandleFunc("GET /backends/{name}/log", func(w http.ResponseWriter, r *http.Request) {
+		p, ok := g.Backend(r.PathValue("name"))
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		f, ok := p.(*FakeBackend)
+		if !ok {
+			http.Error(w, "backend keeps no log", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		f.WriteLog(w) //nolint:errcheck // client went away
+	})
+	return mux
+}
+
+// serveHubEvents streams the fleet-wide fan-out over SSE until the
+// client disconnects or the hub evicts the subscription.
+func serveHubEvents(h *Hub, w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	hd := w.Header()
+	hd.Set("Content-Type", "text/event-stream")
+	hd.Set("Cache-Control", "no-cache")
+	hd.Set("Connection", "keep-alive")
+	ch, cancel := h.Subscribe(r.URL.Query().Get("run"))
+	defer cancel()
+	fmt.Fprintf(w, "event: hello\ndata: {\"subscribers\":%d}\n\n", h.Subscribers())
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case f, ok := <-ch:
+			if !ok {
+				return // evicted by the hub
+			}
+			if _, err := w.Write(f.Data); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+// Server is the gateway's HTTP server.
+type Server struct {
+	g    *Gateway
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Listen starts serving g on addr (host:port; port 0 picks a free one)
+// and returns immediately; the accept loop runs on its own goroutine.
+func Listen(addr string, g *Gateway) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{g: g, ln: ln, srv: &http.Server{Handler: NewServeMux(g)}, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	}()
+	return s, nil
+}
+
+// Done is closed when the accept loop exits (after Close, or a listener
+// failure). The daemon selects on it next to its signal channel.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the HTTP server (SSE streams see their contexts
+// cancelled) and then the gateway's runs.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	s.g.Close()
+	return err
+}

@@ -1,0 +1,283 @@
+package steelnetd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T) (*Gateway, *httptest.Server) {
+	t.Helper()
+	g := NewGateway(GatewayConfig{})
+	srv := httptest.NewServer(NewServeMux(g))
+	t.Cleanup(func() { srv.Close(); g.Close() })
+	return g, srv
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func postRun(t *testing.T, base string, spec RunSpec) string {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /runs: %d: %s", resp.StatusCode, b)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out["id"]
+}
+
+func TestServerRunsEndToEnd(t *testing.T) {
+	g, srv := testServer(t)
+
+	id := postRun(t, srv.URL, RunSpec{ID: "http-run", Run: testRun(1), Rules: testRules})
+	if id != "http-run" {
+		t.Fatalf("id = %q", id)
+	}
+	if err := g.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := getBody(t, srv.URL+"/runs")
+	if code != 200 || !strings.Contains(body, `"http-run"`) {
+		t.Fatalf("GET /runs: %d %s", code, body)
+	}
+	code, body = getBody(t, srv.URL+"/runs/http-run")
+	if code != 200 {
+		t.Fatalf("GET /runs/{id}: %d", code)
+	}
+	var st RunStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Firings == 0 {
+		t.Fatalf("status %+v", st)
+	}
+
+	code, body = getBody(t, srv.URL+"/runs/http-run/metrics")
+	if code != 200 || !strings.Contains(body, "steelnet_host_rx_total") {
+		t.Fatalf("run metrics: %d, body %d bytes", code, len(body))
+	}
+	code, _ = getBody(t, srv.URL+"/runs/http-run/shards")
+	if code != http.StatusNotFound {
+		t.Fatalf("shards on an unsharded run: %d, want 404", code)
+	}
+
+	code, body = getBody(t, srv.URL+"/backends")
+	if code != 200 || !strings.Contains(body, `"kafka"`) {
+		t.Fatalf("GET /backends: %d %s", code, body)
+	}
+	code, body = getBody(t, srv.URL+"/backends/kafka/log")
+	if code != 200 || !strings.Contains(body, `"rule":"loss:`) {
+		t.Fatalf("GET /backends/kafka/log: %d %s", code, body)
+	}
+	code, _ = getBody(t, srv.URL+"/backends/log/log")
+	if code != http.StatusNotFound {
+		t.Fatalf("log backend has no log dump: %d, want 404", code)
+	}
+	code, _ = getBody(t, srv.URL+"/backends/nats/log")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown backend: %d, want 404", code)
+	}
+
+	code, body = getBody(t, srv.URL+"/metrics")
+	if code != 200 || !strings.Contains(body, "steelnetd_hub_frames_published_total") {
+		t.Fatalf("GET /metrics: %d %s", code, body)
+	}
+	code, body = getBody(t, srv.URL+"/healthz")
+	if code != 200 || !strings.Contains(body, `"ok":true`) {
+		t.Fatalf("GET /healthz: %d %s", code, body)
+	}
+	code, body = getBody(t, srv.URL+"/")
+	if code != 200 || !strings.Contains(body, "steelnetd") {
+		t.Fatalf("GET /: %d %s", code, body)
+	}
+	code, _ = getBody(t, srv.URL+"/nosuch")
+	if code != http.StatusNotFound {
+		t.Fatalf("GET /nosuch: %d", code)
+	}
+	code, _ = getBody(t, srv.URL+"/runs/nosuch")
+	if code != http.StatusNotFound {
+		t.Fatalf("GET /runs/nosuch: %d", code)
+	}
+	code, _ = getBody(t, srv.URL+"/runs/nosuch/metrics")
+	if code != http.StatusNotFound {
+		t.Fatalf("GET /runs/nosuch/metrics: %d", code)
+	}
+}
+
+func TestServerPostRunRejectsBadSpecs(t *testing.T) {
+	_, srv := testServer(t)
+	for _, body := range []string{
+		"{not json",
+		`{"run":{"horizon":1,"slice":50000000}}`,          // slice > horizon
+		`{"run":{"seed":1},"rules":"bogus:*>1->kafka:t"}`, // bad rule
+		`{"run":{"seed":1},"rules":"loss:*>0.1->nats:t"}`, // unknown backend
+	} {
+		resp, err := http.Post(srv.URL+"/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %q: %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestServerDeleteStopsRun(t *testing.T) {
+	_, srv := testServer(t)
+	long := testRun(1)
+	long.Horizon = 30 * time.Second
+	postRun(t, srv.URL, RunSpec{ID: "victim", Run: long})
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/runs/victim", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st RunStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateStopped {
+		t.Fatalf("DELETE returned state %s, want stopped", st.State)
+	}
+
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/runs/nosuch", nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE /runs/nosuch: %d", resp2.StatusCode)
+	}
+}
+
+// readSSE reads SSE frames off resp until an event of the wanted type
+// arrives (returning its data line) or the stream ends.
+func readSSE(t *testing.T, body io.Reader, wantEvent string) (string, bool) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if event == wantEvent {
+				return strings.TrimPrefix(line, "data: "), true
+			}
+		}
+	}
+	return "", false
+}
+
+func TestServerFleetSSE(t *testing.T) {
+	g, srv := testServer(t)
+	// Subscribe to the fleet stream first, then start a run; its tag
+	// batches and firings must arrive over HTTP.
+	resp, err := http.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	id := postRun(t, srv.URL, RunSpec{ID: "sse-run", Run: testRun(1), Rules: testRules})
+	if err := g.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := readSSE(t, resp.Body, "firing")
+	if !ok {
+		t.Fatal("no firing event on the fleet stream")
+	}
+	var f struct {
+		Run  string `json:"run"`
+		Rule string `json:"rule"`
+	}
+	if err := json.Unmarshal([]byte(data), &f); err != nil {
+		t.Fatalf("firing data %q: %v", data, err)
+	}
+	if f.Run != "sse-run" || f.Rule == "" {
+		t.Fatalf("firing %+v", f)
+	}
+}
+
+func TestServerPerRunSSE(t *testing.T) {
+	g, srv := testServer(t)
+	long := testRun(1)
+	long.Horizon = 2 * time.Second // keep publishing while we attach
+	id := postRun(t, srv.URL, RunSpec{ID: "stream", Run: long})
+	resp, err := http.Get(fmt.Sprintf("%s/runs/%s/events", srv.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, ok := readSSE(t, resp.Body, "hello"); !ok {
+		t.Fatal("no hello event on the per-run stream")
+	}
+	g.Stop(id) //nolint:errcheck
+	g.Wait(id) //nolint:errcheck
+}
+
+func TestListenAndClose(t *testing.T) {
+	g := NewGateway(GatewayConfig{})
+	s, err := Listen("127.0.0.1:0", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := getBody(t, "http://"+s.Addr()+"/healthz")
+	if code != 200 || !strings.Contains(body, `"ok":true`) {
+		t.Fatalf("healthz over Listen: %d %s", code, body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-s.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Done() not closed after Close")
+	}
+	if _, err := Listen("256.0.0.1:0", g); err == nil {
+		t.Error("Listen on an invalid address succeeded")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"steelnet/internal/metrics"
 	"steelnet/internal/sim"
@@ -116,6 +117,18 @@ type entry struct {
 	readU  func() uint64  // counters
 	readF  func() float64 // gauges
 	hist   *Histogram
+	ahist  *AtomicHistogram
+}
+
+// histView reads a histogram entry's state uniformly, whichever backing
+// store it has. Atomic histograms are read with atomic loads, so the
+// view is safe while writers keep observing (it is a consistent-enough
+// snapshot for exposition: each bucket is exact at its own read).
+func (e *entry) histView() (bounds []float64, counts []uint64, sum float64, count uint64) {
+	if e.ahist != nil {
+		return e.ahist.view()
+	}
+	return e.hist.bounds, e.hist.counts, e.hist.sum, e.hist.count
 }
 
 // Registry holds the run's metrics. Output ordering is by (name, labels)
@@ -186,6 +199,88 @@ func (h *Histogram) Count() uint64 { return h.count }
 // Sum returns the sum of observed samples.
 func (h *Histogram) Sum() float64 { return h.sum }
 
+// AtomicHistogram is a fixed-bucket distribution safe for concurrent
+// Observe from many goroutines. The engine-affine Histogram serves the
+// simulation's single-goroutine discipline; this variant serves the
+// gateway side of the house, where fan-out workers and HTTP handlers
+// record latencies concurrently while Prometheus scrapes render the
+// buckets. Values are int64 (nanoseconds, bytes, counts) so the sum
+// can be a plain atomic.
+type AtomicHistogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, implicit +Inf last
+	sum    atomic.Int64
+	count  atomic.Uint64
+}
+
+// NewAtomicHistogram registers a concurrency-safe histogram with the
+// given ascending upper bucket bounds. A nil registry still returns a
+// working histogram, mirroring NewHistogram.
+func (r *Registry) NewAtomicHistogram(name string, labels Labels, help string, bounds []float64) *AtomicHistogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds not ascending")
+		}
+	}
+	h := &AtomicHistogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	if r != nil {
+		r.entries = append(r.entries, entry{name: name, help: help, kind: kindHistogram, labels: labels, ahist: h})
+	}
+	return h
+}
+
+// Observe records one sample. Safe for concurrent use.
+func (h *AtomicHistogram) Observe(v int64) {
+	i := sort.SearchFloat64s(h.bounds, float64(v))
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observed samples.
+func (h *AtomicHistogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed samples.
+func (h *AtomicHistogram) Sum() int64 { return h.sum.Load() }
+
+// view snapshots the buckets with atomic loads.
+func (h *AtomicHistogram) view() (bounds []float64, counts []uint64, sum float64, count uint64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.bounds, counts, float64(h.sum.Load()), h.count.Load()
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket containing it — a conservative estimate: the true value is
+// at most the returned one. Returns the largest finite bound when the
+// quantile lands in the +Inf bucket, and 0 when nothing was observed.
+func (h *AtomicHistogram) Quantile(q float64) float64 {
+	_, counts, _, count := h.view()
+	if count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(count)))
+	if target == 0 {
+		target = 1
+	}
+	cum := uint64(0)
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // sorted returns the entries ordered by (name, labels).
 func (r *Registry) sorted() []entry {
 	es := make([]entry, len(r.entries))
@@ -229,19 +324,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case kindGauge:
 			fmt.Fprintf(&b, "%s%s %g\n", e.name, e.labels.String(), e.readF())
 		case kindHistogram:
-			h := e.hist
+			bounds, counts, sum, count := e.histView()
 			cum := uint64(0)
-			for i := range h.counts {
-				cum += h.counts[i]
+			for i := range counts {
+				cum += counts[i]
 				bound := math.Inf(1)
-				if i < len(h.bounds) {
-					bound = h.bounds[i]
+				if i < len(bounds) {
+					bound = bounds[i]
 				}
 				le := append(append(Labels{}, e.labels...), Label{K: "le", V: fmtBound(bound)})
 				fmt.Fprintf(&b, "%s_bucket%s %d\n", e.name, le.String(), cum)
 			}
-			fmt.Fprintf(&b, "%s_sum%s %g\n", e.name, e.labels.String(), h.sum)
-			fmt.Fprintf(&b, "%s_count%s %d\n", e.name, e.labels.String(), h.count)
+			fmt.Fprintf(&b, "%s_sum%s %g\n", e.name, e.labels.String(), sum)
+			fmt.Fprintf(&b, "%s_count%s %d\n", e.name, e.labels.String(), count)
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -264,18 +359,18 @@ func (r *Registry) Snapshot() string {
 		case kindGauge:
 			t.AddRow(e.name, labels, fmt.Sprintf("%g", e.readF()))
 		case kindHistogram:
-			h := e.hist
+			bounds, counts, sum, count := e.histView()
 			cum := uint64(0)
-			for i := range h.counts {
-				cum += h.counts[i]
+			for i := range counts {
+				cum += counts[i]
 				bound := math.Inf(1)
-				if i < len(h.bounds) {
-					bound = h.bounds[i]
+				if i < len(bounds) {
+					bound = bounds[i]
 				}
 				t.AddRow(e.name+"_le_"+fmtBound(bound), labels, fmt.Sprintf("%d", cum))
 			}
-			t.AddRow(e.name+"_count", labels, fmt.Sprintf("%d", h.count))
-			t.AddRow(e.name+"_sum", labels, fmt.Sprintf("%g", h.sum))
+			t.AddRow(e.name+"_count", labels, fmt.Sprintf("%d", count))
+			t.AddRow(e.name+"_sum", labels, fmt.Sprintf("%g", sum))
 		}
 	}
 	return t.String()
@@ -307,8 +402,9 @@ func (r *Registry) Values() []MetricValue {
 		case kindGauge:
 			out = append(out, MetricValue{e.name, labels, e.readF()})
 		case kindHistogram:
-			out = append(out, MetricValue{e.name + "_count", labels, float64(e.hist.count)})
-			out = append(out, MetricValue{e.name + "_sum", labels, e.hist.sum})
+			_, _, sum, count := e.histView()
+			out = append(out, MetricValue{e.name + "_count", labels, float64(count)})
+			out = append(out, MetricValue{e.name + "_sum", labels, sum})
 		}
 	}
 	return out

@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # benchdiff.sh — run the allocation-sensitive micro-benchmarks, emit a
 # machine-readable report, and diff it against the committed baseline
-# (BENCH_8.json) with a per-benchmark delta table.
+# (BENCH_9.json) with a per-benchmark delta table.
 #
 # Usage: scripts/benchdiff.sh [output.json] [--baseline FILE] [--check PCT]
 #
 #   output.json      where to write the fresh report (default BENCH_sim.json)
-#   --baseline FILE  committed baseline to diff against (default BENCH_8.json)
+#   --baseline FILE  committed baseline to diff against (default BENCH_9.json)
 #   --check PCT      fail when any benchmark's ns/op regresses more than
 #                    PCT percent against the baseline (CI passes 10)
 #
@@ -33,8 +33,20 @@
 #                                                 disabled the coordinator
 #                                                 adds one pointer test per
 #                                                 window, nothing per event)
+#   BenchmarkHubPublish/subs=*      0 allocs/op  (steelnetd fan-out hub: one
+#                                                 non-blocking channel send
+#                                                 per subscriber, the Frame
+#                                                 passed by value and the
+#                                                 payload bytes shared)
+#   BenchmarkAppendTagsPayload      0 allocs/op  (frame assembly appends
+#                                                 into a reused buffer)
 # A regression on any of these silently re-introduces GC churn into
 # every figure sweep.
+#
+# BenchmarkGatewayFanout (M=8 sims × N=1000 subscribers through one hub)
+# is the ISSUE 9 macro number: whole fleets per iteration, so its
+# allocs/op is scheduling-dependent and carries no exact guard — the
+# baseline diff allows it the slack described below.
 #
 # The BenchmarkCampus10kShards{1,2,4,8} rows are macro numbers (a
 # 10k-switch campus built and run end to end at each shard worker
@@ -48,7 +60,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="BENCH_sim.json"
-baseline="BENCH_8.json"
+baseline="BENCH_9.json"
 check_pct=""
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -73,14 +85,22 @@ done
 # occasional descheduled sample and the occasional lucky one — and the
 # worst-case allocs/op so alloc guards can never pass on a lucky sample.
 raw=$(go test -run '^$' -bench \
-  'BenchmarkEngineScheduleAndRun|BenchmarkEngineBatchDrain|BenchmarkTickerChain|BenchmarkPriorityQueue|BenchmarkSwitchForwarding|BenchmarkVMReflectorProgram|BenchmarkEngineSharded|BenchmarkCampus10k' \
-  -benchmem -benchtime 50ms -count 7 ./internal/sim ./internal/simnet ./internal/ebpf ./internal/core)
+  'BenchmarkEngineScheduleAndRun|BenchmarkEngineBatchDrain|BenchmarkTickerChain|BenchmarkPriorityQueue|BenchmarkSwitchForwarding|BenchmarkVMReflectorProgram|BenchmarkEngineSharded|BenchmarkCampus10k|BenchmarkGatewayFanout|BenchmarkHubPublish|BenchmarkAppendTagsPayload' \
+  -benchmem -benchtime 50ms -count 7 ./internal/sim ./internal/simnet ./internal/ebpf ./internal/core ./internal/steelnetd)
 echo "$raw"
 
+# Columns are found by their unit suffix, not position: benchmarks that
+# b.ReportMetric extra columns (msg/s, p50-ns) would otherwise shift
+# B/op and allocs/op out of the fixed fields.
 echo "$raw" | awk '
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = $3 + 0; bytes = $5 + 0; allocs = $7 + 0
+    ns = 0; bytes = 0; allocs = 0
+    for (f = 2; f <= NF; f++) {
+        if ($f == "ns/op") ns = $(f - 1) + 0
+        else if ($f == "B/op") bytes = $(f - 1) + 0
+        else if ($f == "allocs/op") allocs = $(f - 1) + 0
+    }
     cnt[name]++
     samples[name, cnt[name]] = ns
     if (bytes > maxB[name]) maxB[name] = bytes
@@ -139,6 +159,10 @@ guard_allocs BenchmarkSwitchForwardingINT 0 "pooled INT stacks must recycle, not
 guard_allocs BenchmarkVMReflectorProgram 0 "compiled eBPF must reuse its scratch context"
 guard_allocs BenchmarkEngineShardedLocalSteady 0 "sharded window barriers must run arena- and GC-free"
 guard_allocs BenchmarkEngineShardedCross 0 "cross-shard outboxes and the barrier merge must recycle, not allocate"
+guard_allocs 'BenchmarkHubPublish\/subs=1' 0 "hub publish must be one channel send, no per-frame allocation"
+guard_allocs 'BenchmarkHubPublish\/subs=64' 0 "hub fan-out must not allocate per subscriber"
+guard_allocs 'BenchmarkHubPublish\/subs=1024' 0 "hub fan-out must stay allocation-free at SSE-fleet scale"
+guard_allocs BenchmarkAppendTagsPayload 0 "tag-frame assembly must append into its reused buffer"
 
 # --- Baseline diff ----------------------------------------------------
 
@@ -170,7 +194,12 @@ for name, nr in new.items():
     if check:
         if delta > float(check):
             failures.append(f"{name}: ns/op regressed {delta:+.1f}% (> {check}%)")
-        if nr["allocs_per_op"] > br["allocs_per_op"]:
+        # Alloc budget: tiny slack (max of +10% and +4 absolute) so macro
+        # benchmarks whose counts wobble with goroutine scheduling (the
+        # gateway fan-out runs whole fleets per iteration) do not flap,
+        # while the zero-alloc micro set is still pinned exactly by the
+        # guard_allocs checks above.
+        if nr["allocs_per_op"] > max(br["allocs_per_op"] * 1.10, br["allocs_per_op"] + 4):
             failures.append(f'{name}: allocs/op grew {br["allocs_per_op"]} -> {nr["allocs_per_op"]}')
 # A baseline benchmark missing from the fresh run fails even without
 # --check: it usually means a rename silently dropped the benchmark from
