@@ -6,15 +6,18 @@
 // Usage:
 //
 //	steelnetd -listen :8080 [-max-concurrent N] [-publish-log PREFIX]
-//	          [-run SPEC.json]... [-wait]
+//	          [-journal-log FILE] [-trace FILE] [-run SPEC.json]... [-wait]
 //
 // Runs start via POST /runs with a JSON run spec, or at boot with -run
 // (repeatable; inline JSON or an @file path). Each run's telemetry is
-// served under /runs/{id}/{metrics,shards,events}; the fleet-wide SSE
-// fan-out is /events; fake-backend publish logs are browsable under
-// /backends/{name}/log and, with -publish-log, dumped to
-// PREFIX.<backend>.jsonl on shutdown. -wait exits when the boot runs
-// finish instead of serving until SIGINT/SIGTERM.
+// served under /runs/{id}/{metrics,shards,history,events}; the
+// fleet-wide SSE fan-out is /events; the lifecycle audit journal is
+// /journal (and, with -journal-log, dumped to FILE on shutdown);
+// fake-backend publish logs are browsable under /backends/{name}/log
+// and, with -publish-log, dumped to PREFIX.<backend>.jsonl on shutdown.
+// -trace enables gateway tracing and writes the stitched Chrome/
+// Perfetto fleet trace to FILE on shutdown. -wait exits when the boot
+// runs finish instead of serving until SIGINT/SIGTERM.
 //
 // A quick rule example — page when any sink's loss crosses 1%:
 //
@@ -48,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *steelnetd.Server
 	listen := fs.String("listen", ":8080", "gateway listen address (empty: no HTTP, -run/-wait only)")
 	maxConc := fs.Int("max-concurrent", 0, "max runs stepping at once (0 = unlimited)")
 	logPrefix := fs.String("publish-log", "", "dump fake-backend publish logs to PREFIX.<backend>.jsonl on shutdown")
+	journalLog := fs.String("journal-log", "", "dump the run-lifecycle journal (JSONL) to FILE on shutdown")
+	traceFile := fs.String("trace", "", "enable gateway tracing and write the Chrome/Perfetto fleet trace to FILE on shutdown")
 	wait := fs.Bool("wait", false, "exit when the -run specs finish instead of serving until a signal")
 	var specs []string
 	fs.Func("run", "run spec to start at boot: inline JSON or @file (repeatable)", func(v string) error {
@@ -63,7 +68,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *steelnetd.Server
 	}
 
 	backends := steelnetd.DefaultBackends(stdout)
-	g := steelnetd.NewGateway(steelnetd.GatewayConfig{Backends: backends, MaxConcurrent: *maxConc})
+	g := steelnetd.NewGateway(steelnetd.GatewayConfig{Backends: backends, MaxConcurrent: *maxConc, Trace: *traceFile != ""})
 	defer g.Close()
 
 	var srv *steelnetd.Server
@@ -124,6 +129,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *steelnetd.Server
 		}
 	}
 
+	// Stop the fleet before dumping: WriteTrace only reads finished
+	// runs' tracers, and a settled journal dump includes every run's
+	// terminal record. Close is idempotent — the deferred one is a no-op.
+	g.Close()
 	if *logPrefix != "" {
 		for _, name := range g.BackendNames() {
 			p, _ := g.Backend(name)
@@ -138,6 +147,20 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *steelnetd.Server
 			}
 			fmt.Fprintf(stderr, "steelnetd: wrote %s\n", path)
 		}
+	}
+	if *journalLog != "" {
+		if err := cli.WriteFile(*journalLog, g.Journal().WriteLog); err != nil {
+			fmt.Fprintf(stderr, "steelnetd: -journal-log: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "steelnetd: wrote %s\n", *journalLog)
+	}
+	if *traceFile != "" {
+		if err := cli.WriteFile(*traceFile, g.WriteTrace); err != nil {
+			fmt.Fprintf(stderr, "steelnetd: -trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "steelnetd: wrote %s\n", *traceFile)
 	}
 	return 0
 }

@@ -109,6 +109,63 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunJournalAndTraceDumps(t *testing.T) {
+	dir := t.TempDir()
+	dump := func(tag string) (journal, trace string) {
+		t.Helper()
+		jp := filepath.Join(dir, tag+".journal.jsonl")
+		tp := filepath.Join(dir, tag+".trace.json")
+		var out, errOut strings.Builder
+		code := run([]string{
+			"-listen", "", "-wait",
+			"-journal-log", jp,
+			"-trace", tp,
+			"-run", bootSpec,
+		}, &out, &errOut, nil)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+		}
+		jb, err := os.ReadFile(jp)
+		if err != nil {
+			t.Fatalf("journal not written: %v", err)
+		}
+		tb, err := os.ReadFile(tp)
+		if err != nil {
+			t.Fatalf("trace not written: %v", err)
+		}
+		return string(jb), string(tb)
+	}
+	j1, tr := dump("a")
+	for _, want := range []string{`"event":"created"`, `"event":"started"`, `"event":"done"`, `"seq":1`} {
+		if !strings.Contains(j1, want) {
+			t.Errorf("journal lacks %s:\n%s", want, j1)
+		}
+	}
+	for _, want := range []string{`"steelnetd"`, `"run/boot"`, `"name":"slice"`} {
+		if !strings.Contains(tr, want) {
+			t.Errorf("trace lacks %s", want)
+		}
+	}
+	// The lifecycle journal is a pure function of the boot specs: a rerun
+	// dumps byte-identical JSONL.
+	j2, _ := dump("b")
+	if j1 != j2 {
+		t.Errorf("journal differs across reruns:\n--- a\n%s\n--- b\n%s", j1, j2)
+	}
+}
+
+func TestRunJournalLogFailure(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-listen", "", "-wait",
+		"-journal-log", "/nosuch/dir/journal.jsonl",
+		"-run", bootSpec,
+	}, &out, &errOut, nil)
+	if code != 1 {
+		t.Fatalf("exit %d with an unwritable journal-log path", code)
+	}
+}
+
 func TestRunPublishLogFailure(t *testing.T) {
 	var out, errOut strings.Builder
 	code := run([]string{

@@ -19,6 +19,7 @@ import (
 	intnet "steelnet/internal/int"
 	"steelnet/internal/obs"
 	"steelnet/internal/telemetry"
+	"steelnet/internal/tshist"
 )
 
 // Telemetry is the observability flag set. When no flag is given the
@@ -211,12 +212,14 @@ func (t *Telemetry) Begin(cmd string) error {
 			t.Registry = telemetry.NewRegistry()
 		}
 		t.Obs = obs.NewBroker()
+		t.Obs.SetState("running")
+		t.Obs.SetRecorder(tshist.NewRecorder(0, 0, 0))
 		srv, err := obs.Listen(t.ObsAddr, t.Obs)
 		if err != nil {
 			return fmt.Errorf("%s: -obs-addr: %w", cmd, err)
 		}
 		t.ObsServer = srv
-		fmt.Fprintf(t.errw(), "obs: serving on http://%s (/metrics /shards /events /debug/pprof)\n", srv.Addr())
+		fmt.Fprintf(t.errw(), "obs: serving on http://%s (/metrics /shards /history /events /debug/pprof)\n", srv.Addr())
 	}
 	if t.CPUProfilePath != "" {
 		f, err := os.Create(t.CPUProfilePath)
@@ -308,6 +311,7 @@ func (t *Telemetry) End() error {
 		if err := t.Obs.Publish(t.Registry, nil, -1); err != nil {
 			return fmt.Errorf("%s: -obs-addr: %w", t.cmd, err)
 		}
+		t.Obs.SetState("done")
 	}
 	if t.ObsServer != nil {
 		if t.ObsLinger > 0 {

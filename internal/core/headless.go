@@ -23,11 +23,12 @@ import (
 // and a per-sink loss aggregate, all attached before the first event
 // fires so a restored run replays into identical attachments.
 type Headless struct {
-	cfg  HeadlessConfig
-	h    *instaplc.Harness
-	reg  *telemetry.Registry
-	coll *intnet.Collector
-	wd   *intnet.Watchdog
+	cfg    HeadlessConfig
+	h      *instaplc.Harness
+	reg    *telemetry.Registry
+	coll   *intnet.Collector
+	wd     *intnet.Watchdog
+	tracer *telemetry.Tracer
 
 	loss      map[string]*sinkLoss
 	lossOrder []string
@@ -63,6 +64,10 @@ type HeadlessConfig struct {
 	SLO string `json:"slo,omitempty"`
 	// Baseline disables InstaPLC (plain L2) — the failing comparison run.
 	Baseline bool `json:"baseline,omitempty"`
+	// Trace records the run's event-level telemetry trace for the
+	// gateway's Chrome/Perfetto export. A restore replays 0→T into the
+	// fresh tracer, so a resumed run's trace equals a straight run's.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // normalize fills defaults and scales the stock Fig. 5 timeline into a
@@ -116,6 +121,7 @@ func NewHeadless(cfg HeadlessConfig) (*Headless, error) {
 	}
 	ecfg.Metrics = d.reg
 	ecfg.Collector = d.coll
+	ecfg.Trace = d.tracer
 	d.h = instaplc.NewHarness(ecfg)
 	return d, nil
 }
@@ -130,6 +136,9 @@ func newHeadlessAttachments(cfg HeadlessConfig) (*Headless, error) {
 		coll: intnet.NewCollector(),
 		loss: map[string]*sinkLoss{},
 		next: cfg.Slice,
+	}
+	if cfg.Trace {
+		d.tracer = telemetry.NewTracer(nil) // harness binds the engine
 	}
 	d.coll.OnSink = func(obs intnet.Observation) {
 		sl := d.loss[obs.Sink]
@@ -158,6 +167,15 @@ func (d *Headless) Config() HeadlessConfig { return d.cfg }
 // Registry returns the run's metrics registry. Read it only from the
 // goroutine stepping the run.
 func (d *Headless) Registry() *telemetry.Registry { return d.reg }
+
+// TraceEvents returns the run's recorded telemetry events (nil unless
+// the spec set Trace). Read only from the goroutine stepping the run.
+func (d *Headless) TraceEvents() []telemetry.Event {
+	if d.tracer == nil {
+		return nil
+	}
+	return d.tracer.Events()
+}
 
 // Breaches returns the SLO breach log (nil without an SLO plan).
 func (d *Headless) Breaches() []intnet.Breach {
@@ -299,7 +317,7 @@ func RestoreHeadless(r io.Reader, cfg HeadlessConfig) (*Headless, error) {
 	if err != nil {
 		return nil, err
 	}
-	h, err := instaplc.RestoreWithCollector(r, nil, d.reg, d.coll)
+	h, err := instaplc.RestoreWithCollector(r, d.tracer, d.reg, d.coll)
 	if err != nil {
 		return nil, err
 	}

@@ -277,3 +277,56 @@ func TestSinkLossFraction(t *testing.T) {
 		t.Errorf("25/100 fraction %g", f)
 	}
 }
+
+// TestHeadlessTraceResumeEqualsStraight pins the trace-stitching
+// contract the gateway's /trace export depends on: a traced run resumed
+// from a checkpoint re-records the replayed prefix, so its full event
+// log equals a straight traced run's exactly.
+func TestHeadlessTraceResumeEqualsStraight(t *testing.T) {
+	cfg := HeadlessConfig{Seed: 7, Horizon: 220 * time.Millisecond, Slice: 50 * time.Millisecond, Trace: true}
+	straight, err := NewHeadless(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !straight.Step() {
+	}
+	want := straight.TraceEvents()
+	if len(want) == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+
+	d, err := NewHeadless(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Step()
+	d.Step()
+	var cp bytes.Buffer
+	if err := d.Save(&cp); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreHeadless(&cp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !r.Step() {
+	}
+	got := r.TraceEvents()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed trace diverged: %d events vs %d", len(got), len(want))
+	}
+}
+
+// TestHeadlessTraceOffByDefault pins that untraced runs carry no
+// tracer: TraceEvents is nil and the run costs nothing extra.
+func TestHeadlessTraceOffByDefault(t *testing.T) {
+	d, err := NewHeadless(HeadlessConfig{Seed: 1, Horizon: 100 * time.Millisecond, Slice: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !d.Step() {
+	}
+	if d.TraceEvents() != nil {
+		t.Error("untraced run recorded events")
+	}
+}

@@ -1,0 +1,57 @@
+// Package enc holds the zero-allocation wire encoders shared by the
+// observability plane: SSE framing and the JSON number/string appends
+// that the obs broker, the steelnetd hub, the lifecycle journal and the
+// time-series history endpoint all render with. Every function appends
+// into a caller-owned buffer and returns the extended slice, so hot
+// paths that reuse their buffers stay 0 allocs/op steady state.
+//
+// The encoders exist in one place because they define a wire dialect:
+// floats render shortest-'g' with non-finite values clamped to null
+// (JSON has no Inf/NaN), strings render with strconv's quoting, and SSE
+// frames are "event: <e>\ndata: <d>\n\n" exactly. Two hand-rolled
+// copies of that dialect drifted once (obs vs hub); this package is the
+// single definition plus the tests that pin it against encoding/json.
+package enc
+
+import "strconv"
+
+// maxJSONFloat is the largest finite float64; anything beyond it (or
+// NaN) is not representable in JSON and clamps to null.
+const maxJSONFloat = 1.7976931348623157e308
+
+// AppendSSE appends one server-sent-events frame:
+//
+//	event: <event>\ndata: <data>\n\n
+//
+// The payload bytes are copied, so the frame is self-contained and can
+// be shared across subscriber queues after the caller reuses data.
+func AppendSSE(b []byte, event string, data []byte) []byte {
+	b = append(b, "event: "...)
+	b = append(b, event...)
+	b = append(b, "\ndata: "...)
+	b = append(b, data...)
+	b = append(b, "\n\n"...)
+	return b
+}
+
+// AppendFloat appends v as a JSON number: strconv 'g', shortest form,
+// with NaN and ±Inf clamped to null.
+func AppendFloat(b []byte, v float64) []byte {
+	if v != v || v > maxJSONFloat || v < -maxJSONFloat {
+		return append(b, "null"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// AppendString appends s as a JSON string (quoted and escaped).
+func AppendString(b []byte, s string) []byte {
+	return strconv.AppendQuote(b, s)
+}
+
+// AppendUint and AppendInt append base-10 integers; they exist so
+// callers of this package never mix dialects by importing strconv
+// alongside it.
+func AppendUint(b []byte, v uint64) []byte { return strconv.AppendUint(b, v, 10) }
+
+// AppendInt appends v in base 10.
+func AppendInt(b []byte, v int64) []byte { return strconv.AppendInt(b, v, 10) }

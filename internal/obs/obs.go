@@ -26,9 +26,12 @@ import (
 	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"steelnet/internal/enc"
 	intnet "steelnet/internal/int"
 	"steelnet/internal/telemetry"
+	"steelnet/internal/tshist"
 )
 
 // Snapshot is one published view of the run. Immutable after Publish.
@@ -81,6 +84,18 @@ type Broker struct {
 	cur  atomic.Pointer[Snapshot]
 	prev map[string]float64 // last published metric values, publisher-only
 
+	// state is a free-form lifecycle label ("running", "done", …) the
+	// run's owner sets; healthz reports it so probes can tell a healthy
+	// idle endpoint from a stalled one. lastPubWall is the wall-clock
+	// nanosecond of the latest Publish (0 = never), the other half of
+	// that distinction: state says what the run claims, publish age says
+	// when it last proved it.
+	state       atomic.Pointer[string]
+	lastPubWall atomic.Int64
+	// rec, when set, records every published metric value into a bounded
+	// time-series history served at /history.
+	rec atomic.Pointer[tshist.Recorder]
+
 	mu            sync.Mutex
 	subs          map[*subscriber]struct{}
 	evictAfter    int
@@ -99,6 +114,36 @@ func NewBroker() *Broker {
 	}
 	b.cur.Store(&Snapshot{SimNS: -1})
 	return b
+}
+
+// SetState records the run's lifecycle phase for healthz ("running",
+// "done", "paused", …). Safe from any goroutine.
+func (b *Broker) SetState(s string) { b.state.Store(&s) }
+
+// State returns the lifecycle phase set by SetState ("" before any).
+func (b *Broker) State() string {
+	if p := b.state.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// SetRecorder attaches a time-series recorder: every subsequent Publish
+// appends each metric's value to it, and /history serves it. Attach
+// before publishing begins; nil detaches.
+func (b *Broker) SetRecorder(rec *tshist.Recorder) { b.rec.Store(rec) }
+
+// Recorder returns the attached history recorder (nil when none).
+func (b *Broker) Recorder() *tshist.Recorder { return b.rec.Load() }
+
+// LastPublishAge returns the wall-clock time since the latest Publish,
+// and false if nothing was ever published.
+func (b *Broker) LastPublishAge() (time.Duration, bool) {
+	t := b.lastPubWall.Load()
+	if t == 0 {
+		return 0, false
+	}
+	return time.Duration(time.Now().UnixNano() - t), true
 }
 
 // SetEvictAfter overrides the consecutive-drop eviction threshold
@@ -134,15 +179,25 @@ func (b *Broker) Publish(reg *telemetry.Registry, profile any, simNS int64) erro
 		snap.Profile = pj
 	}
 
+	// Clockless publishes (simNS < 0: the CLI's end-of-run refresh) skip
+	// history — a point needs a simulated timestamp to live on the axis.
+	rec := b.rec.Load()
+	if simNS < 0 {
+		rec = nil
+	}
 	var deltas []Delta
 	for _, v := range reg.Values() {
 		key := v.Name + v.Labels
+		if rec != nil {
+			rec.Append(key, simNS, v.Value)
+		}
 		if prev, ok := b.prev[key]; !ok || prev != v.Value {
 			deltas = append(deltas, Delta{Metric: v.Name, Labels: v.Labels, Value: v.Value, Prev: b.prev[key]})
 			b.prev[key] = v.Value
 		}
 	}
 	b.cur.Store(snap)
+	b.lastPubWall.Store(time.Now().UnixNano())
 	if len(deltas) > 0 {
 		payload := struct {
 			Seq    uint64  `json:"seq"`
@@ -219,7 +274,7 @@ func (b *Broker) broadcast(event string, v any) {
 	if err != nil {
 		return
 	}
-	frame := []byte(fmt.Sprintf("event: %s\ndata: %s\n\n", event, data))
+	frame := enc.AppendSSE(make([]byte, 0, len(event)+len(data)+18), event, data)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for sub := range b.subs {
@@ -238,12 +293,26 @@ func (b *Broker) broadcast(event string, v any) {
 	}
 }
 
-// ServeHealthz reports liveness plus the latest seq/sim time and the
-// fan-out drop counter.
+// ServeHealthz reports liveness plus the latest seq/sim time, the run's
+// lifecycle state, the wall-clock age of the latest publish (-1: never
+// published — distinguishing "idle because done" from "stalled"), and
+// the fan-out drop counter.
 func (b *Broker) ServeHealthz(w http.ResponseWriter, r *http.Request) {
 	s := b.Current()
+	ageMS := int64(-1)
+	if age, ok := b.LastPublishAge(); ok {
+		ageMS = age.Milliseconds()
+	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"ok":true,"seq":%d,"sim_ns":%d,"sse_dropped":%d}`+"\n", s.Seq, s.SimNS, b.Dropped())
+	fmt.Fprintf(w, `{"ok":true,"state":%q,"seq":%d,"sim_ns":%d,"last_publish_age_ms":%d,"sse_dropped":%d}`+"\n",
+		b.State(), s.Seq, s.SimNS, ageMS, b.Dropped())
+}
+
+// ServeHistory serves the attached recorder's time-series history (404
+// when no recorder is attached) — see tshist.ServeQuery for the query
+// grammar.
+func (b *Broker) ServeHistory(w http.ResponseWriter, r *http.Request) {
+	tshist.ServeQuery(w, r, b.Recorder(), "sim")
 }
 
 // ServeMetrics writes the latest snapshot's Prometheus text exposition.
@@ -309,9 +378,10 @@ type Server struct {
 // DefaultServeMux — tests run several servers in one process):
 //
 //	/            index
-//	/healthz     liveness + latest seq/sim time
+//	/healthz     liveness + run state + latest seq/sim time + publish age
 //	/metrics     Prometheus text exposition of the latest snapshot
 //	/shards      JSON shard-profile snapshot (404 when not sharded)
+//	/history     bounded time-series history (404 without a recorder)
 //	/events      SSE stream: metric deltas + SLO breaches
 //	/debug/pprof the standard net/http/pprof handlers
 func NewMux(b *Broker) *http.ServeMux {
@@ -321,11 +391,12 @@ func NewMux(b *Broker) *http.ServeMux {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "steelnet obs endpoint\n\n/healthz\n/metrics\n/shards\n/events (SSE)\n/debug/pprof/\n")
+		fmt.Fprint(w, "steelnet obs endpoint\n\n/healthz\n/metrics\n/shards\n/history\n/events (SSE)\n/debug/pprof/\n")
 	})
 	mux.HandleFunc("/healthz", b.ServeHealthz)
 	mux.HandleFunc("/metrics", b.ServeMetrics)
 	mux.HandleFunc("/shards", b.ServeShards)
+	mux.HandleFunc("/history", b.ServeHistory)
 	mux.HandleFunc("/events", b.ServeEvents)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

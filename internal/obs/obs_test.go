@@ -14,6 +14,7 @@ import (
 
 	intnet "steelnet/internal/int"
 	"steelnet/internal/telemetry"
+	"steelnet/internal/tshist"
 )
 
 func get(t *testing.T, url string) (int, string, http.Header) {
@@ -343,5 +344,56 @@ func TestListenServesAndCloses(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + s.Addr() + "/healthz"); err == nil {
 		t.Fatal("server still serving after Close")
+	}
+}
+
+// TestHealthzStateAndHistory covers the PR 10 additions to the obs
+// surface: run state and publish age on /healthz, and the optional
+// time-series history at /history.
+func TestHealthzStateAndHistory(t *testing.T) {
+	b := NewBroker()
+	srv := httptest.NewServer(NewMux(b))
+	defer srv.Close()
+
+	// Before any publish: no state set, never published, no recorder.
+	code, body, _ := get(t, srv.URL+"/healthz")
+	if code != 200 || !strings.Contains(body, `"state":""`) || !strings.Contains(body, `"last_publish_age_ms":-1`) {
+		t.Fatalf("healthz before publish: %d %q", code, body)
+	}
+	if code, body, _ = get(t, srv.URL+"/history"); code != 404 || !strings.Contains(body, "no history") {
+		t.Fatalf("history without a recorder: %d %q", code, body)
+	}
+
+	b.SetState("running")
+	b.SetRecorder(tshist.NewRecorder(0, 0, 0))
+	v := uint64(7)
+	reg := telemetry.NewRegistry()
+	reg.Counter("test_events_total", nil, "events", func() uint64 { return v })
+	if err := b.Publish(reg, nil, 50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	v = 9
+	if err := b.Publish(reg, nil, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// A clockless end-of-run publish must not pollute the time axis.
+	if err := b.Publish(reg, nil, -1); err != nil {
+		t.Fatal(err)
+	}
+	b.SetState("done")
+
+	code, body, _ = get(t, srv.URL+"/healthz")
+	if code != 200 || !strings.Contains(body, `"state":"done"`) || strings.Contains(body, `"last_publish_age_ms":-1`) {
+		t.Fatalf("healthz after publish: %d %q", code, body)
+	}
+	if code, body, _ = get(t, srv.URL+"/history"); code != 200 || !strings.Contains(body, `"test_events_total"`) {
+		t.Fatalf("history listing: %d %q", code, body)
+	}
+	code, body, _ = get(t, srv.URL+"/history?metric=test_events_total")
+	if code != 200 || !strings.Contains(body, `"points":[[50000000,7],[100000000,9]]`) {
+		t.Fatalf("history series: %d %q", code, body)
+	}
+	if age, ok := b.LastPublishAge(); !ok || age < 0 {
+		t.Fatalf("LastPublishAge = %v, %v after publishing", age, ok)
 	}
 }

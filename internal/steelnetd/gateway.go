@@ -9,7 +9,10 @@ import (
 	"sync/atomic"
 
 	"steelnet/internal/core"
+	"steelnet/internal/enc"
 	"steelnet/internal/obs"
+	"steelnet/internal/telemetry"
+	"steelnet/internal/tshist"
 )
 
 // RunSpec declares one hosted run: the core run spec plus the rule set
@@ -61,6 +64,7 @@ type run struct {
 	rules  RuleSet
 	broker *obs.Broker
 	drv    *core.Headless
+	hist   *tshist.Recorder
 	resume bool
 
 	cancel chan struct{}
@@ -95,6 +99,11 @@ type GatewayConfig struct {
 	// keyed per run, the dumps are identical at any setting — the
 	// golden tests pin that.
 	MaxConcurrent int
+	// Trace records the gateway plane's own trace events (run windows,
+	// rule firings, HTTP request spans) for WriteTrace's stitched
+	// Chrome/Perfetto export. Per-run simulation lanes additionally
+	// require Trace in the run spec.
+	Trace bool
 }
 
 // Gateway hosts many concurrent simulation runs behind one surface:
@@ -106,6 +115,8 @@ type Gateway struct {
 	hub      *Hub
 	backends Backends
 	sem      chan struct{}
+	journal  *Journal
+	trace    *TraceLog // nil unless GatewayConfig.Trace
 
 	mu     sync.Mutex
 	runs   map[string]*run
@@ -114,14 +125,22 @@ type Gateway struct {
 
 	started atomic.Uint64
 	active  atomic.Int64
+	// transitions counts every run state entered, per state — the
+	// steelnetd_run_transitions_total{state=…} family.
+	transitions map[RunState]*atomic.Uint64
+	// latestSimNS is the newest simulated instant any run has published
+	// — the anchor WriteTrace stitches wall-clock HTTP spans to.
+	latestSimNS atomic.Int64
 }
 
 // NewGateway builds an idle gateway.
 func NewGateway(cfg GatewayConfig) *Gateway {
 	g := &Gateway{
-		hub:      NewHub(),
-		backends: cfg.Backends,
-		runs:     map[string]*run{},
+		hub:         NewHub(),
+		backends:    cfg.Backends,
+		runs:        map[string]*run{},
+		journal:     NewJournal(),
+		transitions: map[RunState]*atomic.Uint64{},
 	}
 	if g.backends == nil {
 		g.backends = DefaultBackends(io.Discard)
@@ -129,11 +148,50 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 	if cfg.MaxConcurrent > 0 {
 		g.sem = make(chan struct{}, cfg.MaxConcurrent)
 	}
-	g.hub.Registry().Counter("steelnetd_runs_started_total", nil,
+	if cfg.Trace {
+		g.trace = &TraceLog{}
+	}
+	reg := g.hub.Registry()
+	reg.Counter("steelnetd_runs_started_total", nil,
 		"Runs accepted by the gateway.", g.started.Load)
-	g.hub.Registry().Gauge("steelnetd_runs_active", nil,
+	reg.Gauge("steelnetd_runs_active", nil,
 		"Runs currently stepping.", func() float64 { return float64(g.active.Load()) })
+	reg.Counter("steelnetd_journal_records_total", nil,
+		"Lifecycle journal records appended.", g.journal.Total)
+	for _, st := range []RunState{StateRunning, StateDone, StatePaused, StateStopped, StateFailed} {
+		c := &atomic.Uint64{}
+		g.transitions[st] = c
+		reg.Counter("steelnetd_run_transitions_total", telemetry.L("state", string(st)),
+			"Run state transitions, by state entered.", c.Load)
+	}
+	// Backends that keep a count (the fakes) expose it per backend.
+	names := make([]string, 0, len(g.backends))
+	for name := range g.backends {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if t, ok := g.backends[name].(interface{ Total() uint64 }); ok {
+			reg.Counter("steelnetd_backend_published_total", telemetry.L("backend", name),
+				"Messages published northbound, by backend.", t.Total)
+		}
+	}
 	return g
+}
+
+// Journal returns the gateway's run-lifecycle audit journal.
+func (g *Gateway) Journal() *Journal { return g.journal }
+
+// Trace returns the gateway-plane trace log (nil unless enabled).
+func (g *Gateway) Trace() *TraceLog { return g.trace }
+
+// History returns a run's time-series history recorder.
+func (g *Gateway) History(id string) (*tshist.Recorder, bool) {
+	r, ok := g.get(id)
+	if !ok {
+		return nil, false
+	}
+	return r.hist, true
 }
 
 // Hub returns the fleet-wide fan-out hub.
@@ -195,6 +253,7 @@ func (g *Gateway) launch(spec RunSpec, cp io.Reader) (string, error) {
 	r := &run{
 		id: spec.ID, spec: spec, rules: rules, drv: drv, resume: cp != nil,
 		broker: obs.NewBroker(),
+		hist:   tshist.NewRecorder(0, 0, 0),
 		cancel: make(chan struct{}), done: make(chan struct{}),
 		state: StateRunning, seq: drv.Sample().Seq, simNS: drv.Now(),
 	}
@@ -202,6 +261,12 @@ func (g *Gateway) launch(spec RunSpec, cp io.Reader) (string, error) {
 	g.order = append(g.order, spec.ID)
 	g.mu.Unlock()
 	g.started.Add(1)
+	r.broker.SetState(string(StateRunning))
+	if cp != nil {
+		g.journal.Record(r.id, JournalResumed, drv.Now())
+	} else {
+		g.journal.Record(r.id, JournalCreated, drv.Now())
+	}
 	go g.drive(r)
 	return spec.ID, nil
 }
@@ -215,12 +280,14 @@ func (g *Gateway) drive(r *run) {
 		case g.sem <- struct{}{}:
 			defer func() { <-g.sem }()
 		case <-r.cancel:
-			r.setState(StateStopped, nil)
+			g.finish(r, StateStopped, nil)
 			return
 		}
 	}
 	g.active.Add(1)
 	defer g.active.Add(-1)
+	g.journal.Record(r.id, JournalStarted, r.drv.Now())
+	g.transitions[StateRunning].Add(1)
 
 	engine := NewEngine(r.rules)
 	prev := map[string]float64{}
@@ -238,15 +305,16 @@ func (g *Gateway) drive(r *run) {
 	var steps uint64
 	var payload, frame []byte
 	var batch []TagChange
+	prevSim := r.drv.Now()
 	for !r.drv.Done() {
 		select {
 		case <-r.cancel:
-			r.setState(StateStopped, nil)
+			g.finish(r, StateStopped, nil)
 			return
 		default:
 		}
 		if r.spec.StopAfter > 0 && steps >= r.spec.StopAfter {
-			r.setState(StatePaused, nil)
+			g.finish(r, StatePaused, nil)
 			return
 		}
 		r.drv.Step()
@@ -257,10 +325,25 @@ func (g *Gateway) drive(r *run) {
 		r.mu.Unlock()
 
 		if err := r.broker.Publish(r.drv.Registry(), nil, s.SimNS); err != nil {
-			r.setState(StateFailed, err)
+			g.finish(r, StateFailed, err)
 			return
 		}
 		r.broker.PublishBreaches(s.Breaches)
+
+		// History: every sampled tag, every slice — the recorder's
+		// bounded rings make this O(1) memory per metric, and its
+		// determinism makes /history a pure function of the run spec.
+		for _, t := range s.Tags {
+			r.hist.Append(t.Name, s.SimNS, t.Value)
+		}
+		if s.SimNS > g.latestSimNS.Load() {
+			g.latestSimNS.Store(s.SimNS) // racy max across runs is fine
+		}
+		if g.trace != nil {
+			g.trace.Add(telemetry.Event{T: prevSim, Kind: telemetry.KindRunWindow,
+				Node: "run/" + r.id, Frame: s.Seq, Aux: s.SimNS - prevSim})
+		}
+		prevSim = s.SimNS
 
 		// Change-detection filtering: republish only tags whose value
 		// moved since the last slice.
@@ -281,23 +364,38 @@ func (g *Gateway) drive(r *run) {
 			fp := appendFiringPayload(nil, r.id, f)
 			if p, ok := g.backends[f.Backend]; ok {
 				if err := p.Publish(f.Topic, r.id, fp); err != nil {
-					r.setState(StateFailed, err)
+					g.finish(r, StateFailed, err)
 					return
 				}
 			}
 			g.hub.Publish(Frame{Run: r.id, Data: sseFrame("firing", fp)})
+			g.journal.RecordDetail(r.id, JournalFiring, f.SimNS, f.Rule)
+			if g.trace != nil {
+				g.trace.Add(telemetry.Event{T: f.SimNS, Kind: telemetry.KindRuleFiring,
+					Node: "run/" + r.id, Detail: f.Rule, Aux: int64(f.Seq)})
+			}
 			r.mu.Lock()
 			r.firings++
 			r.mu.Unlock()
 		}
 	}
-	r.setState(StateDone, nil)
+	g.finish(r, StateDone, nil)
 }
 
-func (r *run) setState(s RunState, err error) {
+// finish moves a run into a terminal (or paused) state: the status
+// struct, the per-run broker's healthz state, the transition counter
+// and the journal all see the same transition.
+func (g *Gateway) finish(r *run, s RunState, err error) {
 	r.mu.Lock()
 	r.state, r.err = s, err
 	r.mu.Unlock()
+	r.broker.SetState(string(s))
+	g.transitions[s].Add(1)
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	g.journal.RecordDetail(r.id, string(s), r.drv.Now(), detail)
 }
 
 // appendFiringPayload renders one firing as JSON, keyed by run:
@@ -305,15 +403,15 @@ func (r *run) setState(s RunState, err error) {
 //	{"run":"r1","rule":"loss:*>0.01->kafka:alerts","seq":3,"sim_ns":…,"value":0.02}
 func appendFiringPayload(b []byte, run string, f Firing) []byte {
 	b = append(b, `{"run":`...)
-	b = strconv.AppendQuote(b, run)
+	b = enc.AppendString(b, run)
 	b = append(b, `,"rule":`...)
-	b = strconv.AppendQuote(b, f.Rule)
+	b = enc.AppendString(b, f.Rule)
 	b = append(b, `,"seq":`...)
-	b = strconv.AppendUint(b, f.Seq, 10)
+	b = enc.AppendUint(b, f.Seq)
 	b = append(b, `,"sim_ns":`...)
-	b = strconv.AppendInt(b, f.SimNS, 10)
+	b = enc.AppendInt(b, f.SimNS)
 	b = append(b, `,"value":`...)
-	b = appendJSONFloat(b, f.Value)
+	b = enc.AppendFloat(b, f.Value)
 	b = append(b, '}')
 	return b
 }
@@ -354,7 +452,11 @@ func (g *Gateway) Save(id string, w io.Writer) error {
 	default:
 		return fmt.Errorf("steelnetd: run %q is still stepping; Stop or StopAfter first", id)
 	}
-	return r.drv.Save(w)
+	if err := r.drv.Save(w); err != nil {
+		return err
+	}
+	g.journal.Record(id, JournalSaved, r.drv.Now())
+	return nil
 }
 
 // Remove forgets a finished run (its broker and status). The northbound

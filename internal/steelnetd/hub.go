@@ -1,11 +1,11 @@
 package steelnetd
 
 import (
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"steelnet/internal/enc"
 	"steelnet/internal/telemetry"
 )
 
@@ -47,8 +47,12 @@ type Hub struct {
 	published atomic.Uint64
 	dropped   atomic.Uint64
 	evicted   atomic.Uint64
-	fanoutNS  *telemetry.AtomicHistogram
-	reg       *telemetry.Registry
+	// queueHW is the deepest any subscriber queue has ever been — the
+	// early-warning gauge: it climbs toward the buffer size long before
+	// drops start.
+	queueHW  atomic.Int64
+	fanoutNS *telemetry.AtomicHistogram
+	reg      *telemetry.Registry
 }
 
 // NewHub builds a hub and registers its metric families (subscriber
@@ -69,6 +73,10 @@ func NewHub() *Hub {
 		h.dropped.Load)
 	h.reg.Counter("steelnetd_hub_evicted_total", nil, "Subscribers evicted for not draining.",
 		h.evicted.Load)
+	h.reg.Gauge("steelnetd_hub_queue_high_water", nil, "Deepest subscriber queue ever seen.",
+		func() float64 { return float64(h.queueHW.Load()) })
+	h.reg.Gauge("steelnetd_hub_max_lag", nil, "Deepest subscriber queue right now.",
+		func() float64 { return float64(h.MaxLag()) })
 	h.fanoutNS = h.reg.NewAtomicHistogram("steelnetd_hub_fanout_ns", nil,
 		"Wall time to offer one frame to every subscriber, nanoseconds.",
 		[]float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8})
@@ -119,6 +127,23 @@ func (h *Hub) Published() uint64 { return h.published.Load() }
 func (h *Hub) Dropped() uint64   { return h.dropped.Load() }
 func (h *Hub) Evicted() uint64   { return h.evicted.Load() }
 
+// QueueHighWater returns the deepest any subscriber queue has been.
+func (h *Hub) QueueHighWater() int { return int(h.queueHW.Load()) }
+
+// MaxLag returns the deepest current subscriber queue — how far the
+// slowest attached consumer is behind, in pending frames.
+func (h *Hub) MaxLag() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	max := 0
+	for sub := range h.subs {
+		if d := len(sub.ch); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
 // FanoutQuantile returns the q quantile of per-publish fan-out wall
 // time in nanoseconds (bucket upper-bound estimate).
 func (h *Hub) FanoutQuantile(q float64) float64 { return h.fanoutNS.Quantile(q) }
@@ -137,6 +162,9 @@ func (h *Hub) Publish(f Frame) {
 		select {
 		case sub.ch <- f:
 			sub.drops = 0
+			if d := int64(len(sub.ch)); d > h.queueHW.Load() {
+				h.queueHW.Store(d) // racy max is fine: writers hold h.mu
+			}
 		default:
 			h.dropped.Add(1)
 			sub.drops++
@@ -154,13 +182,7 @@ func (h *Hub) Publish(f Frame) {
 // sseFrame formats one SSE frame: "event: <event>\ndata: <data>\n\n".
 // The payload is built once per publish and shared by every subscriber.
 func sseFrame(event string, data []byte) []byte {
-	b := make([]byte, 0, len(event)+len(data)+18)
-	b = append(b, "event: "...)
-	b = append(b, event...)
-	b = append(b, "\ndata: "...)
-	b = append(b, data...)
-	b = append(b, "\n\n"...)
-	return b
+	return enc.AppendSSE(make([]byte, 0, len(event)+len(data)+18), event, data)
 }
 
 // appendTagsPayload renders a changed-tag batch as JSON:
@@ -172,37 +194,25 @@ func sseFrame(event string, data []byte) []byte {
 // encoding/json would allocate per tag.
 func appendTagsPayload(b []byte, run string, seq uint64, simNS int64, tags []TagChange) []byte {
 	b = append(b, `{"run":`...)
-	b = strconv.AppendQuote(b, run)
+	b = enc.AppendString(b, run)
 	b = append(b, `,"seq":`...)
-	b = strconv.AppendUint(b, seq, 10)
+	b = enc.AppendUint(b, seq)
 	b = append(b, `,"sim_ns":`...)
-	b = strconv.AppendInt(b, simNS, 10)
+	b = enc.AppendInt(b, simNS)
 	b = append(b, `,"tags":[`...)
 	for i, t := range tags {
 		if i > 0 {
 			b = append(b, ',')
 		}
 		b = append(b, `{"name":`...)
-		b = strconv.AppendQuote(b, t.Name)
+		b = enc.AppendString(b, t.Name)
 		b = append(b, `,"value":`...)
-		b = appendJSONFloat(b, t.Value)
+		b = enc.AppendFloat(b, t.Value)
 		b = append(b, '}')
 	}
 	b = append(b, "]}"...)
 	return b
 }
-
-// appendJSONFloat formats v the way the rest of the gateway does
-// (strconv 'g', shortest), with non-finite values clamped to null —
-// JSON has no Inf/NaN.
-func appendJSONFloat(b []byte, v float64) []byte {
-	if v != v || v > maxJSONFloat || v < -maxJSONFloat {
-		return append(b, "null"...)
-	}
-	return strconv.AppendFloat(b, v, 'g', -1, 64)
-}
-
-const maxJSONFloat = 1.7976931348623157e308
 
 // TagChange is one changed tag in a republish batch.
 type TagChange struct {

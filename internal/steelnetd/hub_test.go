@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"steelnet/internal/enc"
 )
 
 func TestHubFanoutAndFilter(t *testing.T) {
@@ -204,8 +206,8 @@ func TestAppendJSONFloatNonFinite(t *testing.T) {
 		}
 	}
 	// A plain float stays a number.
-	if got := string(appendJSONFloat(nil, 0.25)); got != "0.25" {
-		t.Errorf("appendJSONFloat(0.25) = %q", got)
+	if got := string(enc.AppendFloat(nil, 0.25)); got != "0.25" {
+		t.Errorf("enc.AppendFloat(0.25) = %q", got)
 	}
 }
 

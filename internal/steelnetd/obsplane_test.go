@@ -1,0 +1,283 @@
+package steelnetd
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// dumpObsPlane runs the specs on a fresh gateway at the given
+// concurrency and returns the lifecycle journal dump plus a canonical
+// rendering of every run's time-series history.
+func dumpObsPlane(t *testing.T, maxConcurrent int, specs []RunSpec) (journal, history string) {
+	t.Helper()
+	g := NewGateway(GatewayConfig{MaxConcurrent: maxConcurrent})
+	defer g.Close()
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		id, err := g.Start(spec)
+		if err != nil {
+			t.Fatalf("start %q: %v", spec.ID, err)
+		}
+		ids[i] = id
+	}
+	for _, id := range ids {
+		if err := g.Wait(id); err != nil {
+			t.Fatalf("wait %q: %v", id, err)
+		}
+	}
+	var jb bytes.Buffer
+	if err := g.Journal().WriteLog(&jb); err != nil {
+		t.Fatal(err)
+	}
+	return jb.String(), dumpHistory(t, g, ids)
+}
+
+// dumpHistory renders every run's full-resolution history in a fixed
+// text form: one line per (run, metric) with every retained point.
+func dumpHistory(t *testing.T, g *Gateway, ids []string) string {
+	t.Helper()
+	var b strings.Builder
+	for _, id := range ids {
+		rec, ok := g.History(id)
+		if !ok {
+			t.Fatalf("no history for %q", id)
+		}
+		for _, name := range rec.Names() {
+			pts, fold, ok := rec.Query(name, 0, 0)
+			if !ok {
+				t.Fatalf("%s: metric %q vanished", id, name)
+			}
+			fmt.Fprintf(&b, "%s %s fold=%d", id, name, fold)
+			for _, p := range pts {
+				fmt.Fprintf(&b, " %d:%g", p.TNS, p.V)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// TestJournalAndHistoryGoldenAcrossConcurrency extends the PR 9 golden
+// suite to the observability plane: the lifecycle journal and every
+// run's /history are pure functions of the hosted run specs —
+// byte-identical at any -max-concurrent setting and across reruns.
+func TestJournalAndHistoryGoldenAcrossConcurrency(t *testing.T) {
+	specs := goldenSpecs()
+	baseJournal, baseHistory := dumpObsPlane(t, 1, specs)
+	if baseJournal == "" || baseHistory == "" {
+		t.Fatalf("golden fleet recorded nothing: journal=%d bytes, history=%d bytes",
+			len(baseJournal), len(baseHistory))
+	}
+	if !strings.Contains(baseJournal, `"event":"firing"`) {
+		t.Fatalf("journal recorded no firings:\n%s", baseJournal)
+	}
+	for conc := 0; conc <= 4; conc += 2 {
+		j, h := dumpObsPlane(t, conc, specs)
+		if j != baseJournal {
+			t.Errorf("-max-concurrent=%d changed the journal:\n--- conc=1\n%s\n--- conc=%d\n%s", conc, baseJournal, conc, j)
+		}
+		if h != baseHistory {
+			t.Errorf("-max-concurrent=%d changed the history", conc)
+		}
+	}
+	// Rerun at the same setting: byte-identical again.
+	j, h := dumpObsPlane(t, 1, specs)
+	if j != baseJournal || h != baseHistory {
+		t.Error("rerun changed the journal or history")
+	}
+}
+
+// TestHistoryStraightVsResume pins the recorder's pause/resume
+// contract: a straight run's retained points equal the pre-pause
+// recorder's followed by the resumed recorder's, per metric.
+func TestHistoryStraightVsResume(t *testing.T) {
+	spec := RunSpec{ID: "hist-cut", Run: testRun(42), Rules: testRules}
+
+	g := NewGateway(GatewayConfig{})
+	id, err := g.Start(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	straight, _ := g.History(id)
+	g.Close()
+	if len(straight.Names()) == 0 {
+		t.Fatal("straight run recorded no history")
+	}
+
+	for cut := uint64(1); cut <= 7; cut += 3 {
+		paused := spec
+		paused.StopAfter = cut
+		g1 := NewGateway(GatewayConfig{})
+		id1, err := g1.Start(paused)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g1.Wait(id1); err != nil {
+			t.Fatal(err)
+		}
+		var cp bytes.Buffer
+		if err := g1.Save(id1, &cp); err != nil {
+			t.Fatal(err)
+		}
+		part1, _ := g1.History(id1)
+		g1.Close()
+
+		g2 := NewGateway(GatewayConfig{})
+		id2, err := g2.Resume(spec, &cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g2.Wait(id2); err != nil {
+			t.Fatal(err)
+		}
+		part2, _ := g2.History(id2)
+		g2.Close()
+
+		for _, name := range straight.Names() {
+			want, _, _ := straight.Query(name, 0, 0)
+			p1, _, ok1 := part1.Query(name, 0, 0)
+			p2, _, ok2 := part2.Query(name, 0, 0)
+			if !ok1 && !ok2 {
+				t.Errorf("cut=%d: metric %q missing from both partitions", cut, name)
+				continue
+			}
+			joined := append(p1[:len(p1):len(p1)], p2...)
+			if len(joined) != len(want) {
+				t.Errorf("cut=%d: metric %q has %d points, want %d", cut, name, len(joined), len(want))
+				continue
+			}
+			for i := range want {
+				if joined[i] != want[i] {
+					t.Errorf("cut=%d: metric %q point %d = %+v, want %+v", cut, name, i, joined[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestJournalLifecycle pins the journal's record sequence for the
+// paused → saved → resumed lifecycle, including per-run sequencing and
+// firing details.
+func TestJournalLifecycle(t *testing.T) {
+	spec := RunSpec{ID: "jl", Run: testRun(42), Rules: testRules, StopAfter: 2}
+	g := NewGateway(GatewayConfig{})
+	id, err := g.Start(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	var cp bytes.Buffer
+	if err := g.Save(id, &cp); err != nil {
+		t.Fatal(err)
+	}
+	var jb bytes.Buffer
+	if err := g.Journal().WriteLog(&jb); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	lines := strings.Split(strings.TrimSpace(jb.String()), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("journal has %d records, want >= 4:\n%s", len(lines), jb.String())
+	}
+	wantPrefix := []string{`"event":"created"`, `"event":"started"`}
+	for i, want := range wantPrefix {
+		if !strings.Contains(lines[i], want) {
+			t.Errorf("record %d = %s, want %s", i, lines[i], want)
+		}
+		if !strings.Contains(lines[i], fmt.Sprintf(`"seq":%d`, i+1)) {
+			t.Errorf("record %d lacks seq %d: %s", i, i+1, lines[i])
+		}
+	}
+	last, prev := lines[len(lines)-1], lines[len(lines)-2]
+	if !strings.Contains(prev, `"event":"paused"`) || !strings.Contains(last, `"event":"saved"`) {
+		t.Errorf("journal tail = %s / %s, want paused then saved", prev, last)
+	}
+
+	// Resume on a second gateway: resumed, started, …, done.
+	g2 := NewGateway(GatewayConfig{})
+	id2, err := g2.Resume(RunSpec{ID: "jl", Run: testRun(42), Rules: testRules}, &cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Wait(id2); err != nil {
+		t.Fatal(err)
+	}
+	jb.Reset()
+	if err := g2.Journal().WriteLog(&jb); err != nil {
+		t.Fatal(err)
+	}
+	g2.Close()
+	lines = strings.Split(strings.TrimSpace(jb.String()), "\n")
+	if !strings.Contains(lines[0], `"event":"resumed"`) || !strings.Contains(lines[1], `"event":"started"`) {
+		t.Errorf("resumed journal head:\n%s\n%s", lines[0], lines[1])
+	}
+	if !strings.Contains(lines[len(lines)-1], `"event":"done"`) {
+		t.Errorf("resumed journal tail: %s", lines[len(lines)-1])
+	}
+	if g2.Journal().Seq("jl") != uint64(len(lines)) {
+		t.Errorf("Seq = %d, lines = %d", g2.Journal().Seq("jl"), len(lines))
+	}
+}
+
+// TestJournalStopAndFail pins the stopped and transition-counter paths.
+func TestJournalStopAndFail(t *testing.T) {
+	g := NewGateway(GatewayConfig{})
+	long := testRun(1)
+	long.Horizon = 30_000_000_000 // 30s: will not finish on its own
+	id, err := g.Start(RunSpec{ID: "victim", Run: long})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Stop(id); err != nil {
+		t.Fatal(err)
+	}
+	g.Wait(id) //nolint:errcheck
+	var jb bytes.Buffer
+	if err := g.Journal().WriteLog(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jb.String(), `"event":"stopped"`) {
+		t.Errorf("journal lacks stopped record:\n%s", jb.String())
+	}
+	g.Close()
+}
+
+// TestGatewayTraceStitching pins the cross-layer trace: a traced run on
+// a traced gateway exports one Chrome file holding the sim lanes
+// (prefixed by run id), the gateway's run windows and rule firings.
+func TestGatewayTraceStitching(t *testing.T) {
+	g := NewGateway(GatewayConfig{Trace: true})
+	spec := RunSpec{ID: "tr", Run: testRun(42), Rules: testRules}
+	spec.Run.Trace = true
+	id, err := g.Start(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	out := buf.String()
+	for _, want := range []string{
+		`"steelnetd"`,  // gateway process metadata
+		`"run/tr"`,     // run-window lane
+		`"tr/`,         // sim lanes prefixed by run id
+		`"cat":"rule"`, // rule-firing instants
+		`"name":"slice"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace lacks %s", want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"steelnet/internal/obs"
+	"steelnet/internal/tshist"
 )
 
 // NewServeMux builds the gateway's HTTP surface on a private mux:
@@ -14,33 +15,54 @@ import (
 //	/                       index
 //	/healthz                liveness + fleet counters
 //	/metrics                Prometheus exposition of the hub registry
+//	/journal                run-lifecycle audit journal (JSONL)
+//	/trace                  stitched fleet Chrome/Perfetto trace
 //	/runs                   GET list, POST start (RunSpec JSON body)
 //	/runs/{id}              GET status, DELETE stop
 //	/runs/{id}/metrics      the run's Prometheus exposition
 //	/runs/{id}/shards       the run's shard profile (404: not sharded)
+//	/runs/{id}/history      the run's time-series history (tshist)
 //	/runs/{id}/events       the run's SSE stream (deltas + breaches)
 //	/events                 fleet-wide SSE fan-out (?run= filters)
 //	/backends               installed northbound backends
 //	/backends/{name}/log    a fake backend's JSONL publish log
+//
+// Every route is wrapped in the RED middleware: request counts by
+// status class, latency histograms and (with tracing on) request spans
+// all land on the daemon /metrics and /trace, labeled by the route
+// pattern. Build the mux once per gateway — registration appends to
+// the hub registry.
 func NewServeMux(g *Gateway) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/{$}", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprint(w, "steelnetd gateway\n\n/healthz\n/metrics\n/runs\n/runs/{id}\n/runs/{id}/{metrics,shards,events}\n/events (SSE)\n/backends\n/backends/{name}/log\n")
+	m := newHTTPMetrics(g)
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, m.wrap(route, h))
+	}
+	handle("/{$}", "/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "steelnetd gateway\n\n/healthz\n/metrics\n/journal\n/trace\n/runs\n/runs/{id}\n/runs/{id}/{metrics,shards,history,events}\n/events (SSE)\n/backends\n/backends/{name}/log\n")
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /healthz", "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		h := g.Hub()
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"ok":true,"runs":%d,"subscribers":%d,"published":%d,"dropped":%d,"evicted":%d}`+"\n",
-			len(g.List()), h.Subscribers(), h.Published(), h.Dropped(), h.Evicted())
+		fmt.Fprintf(w, `{"ok":true,"runs":%d,"subscribers":%d,"published":%d,"dropped":%d,"evicted":%d,"queue_high_water":%d,"journal_records":%d}`+"\n",
+			len(g.List()), h.Subscribers(), h.Published(), h.Dropped(), h.Evicted(), h.QueueHighWater(), g.Journal().Total())
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /metrics", "/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		g.Hub().Registry().WritePrometheus(w) //nolint:errcheck // client went away
 	})
-	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /journal", "/journal", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		g.Journal().WriteLog(w) //nolint:errcheck // client went away
+	})
+	handle("GET /trace", "/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		g.WriteTrace(w) //nolint:errcheck // client went away
+	})
+	handle("GET /runs", "/runs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, g.List())
 	})
-	mux.HandleFunc("POST /runs", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /runs", "/runs", func(w http.ResponseWriter, r *http.Request) {
 		var spec RunSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 			http.Error(w, "bad run spec: "+err.Error(), http.StatusBadRequest)
@@ -54,7 +76,7 @@ func NewServeMux(g *Gateway) *http.ServeMux {
 		w.WriteHeader(http.StatusCreated)
 		writeJSON(w, map[string]string{"id": id})
 	})
-	mux.HandleFunc("GET /runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /runs/{id}", "/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, ok := g.Status(r.PathValue("id"))
 		if !ok {
 			http.NotFound(w, r)
@@ -62,7 +84,7 @@ func NewServeMux(g *Gateway) *http.ServeMux {
 		}
 		writeJSON(w, st)
 	})
-	mux.HandleFunc("DELETE /runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE /runs/{id}", "/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		if err := g.Stop(id); err != nil {
 			http.NotFound(w, r)
@@ -73,8 +95,8 @@ func NewServeMux(g *Gateway) *http.ServeMux {
 		writeJSON(w, st)
 	})
 	// Per-run telemetry: mount the run's obs.Broker handlers.
-	brokerRoute := func(pattern string, serve func(b *obs.Broker, w http.ResponseWriter, r *http.Request)) {
-		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+	brokerRoute := func(pattern, route string, serve func(b *obs.Broker, w http.ResponseWriter, r *http.Request)) {
+		handle(pattern, route, func(w http.ResponseWriter, r *http.Request) {
 			b, ok := g.Broker(r.PathValue("id"))
 			if !ok {
 				http.NotFound(w, r)
@@ -83,16 +105,25 @@ func NewServeMux(g *Gateway) *http.ServeMux {
 			serve(b, w, r)
 		})
 	}
-	brokerRoute("GET /runs/{id}/metrics", (*obs.Broker).ServeMetrics)
-	brokerRoute("GET /runs/{id}/shards", (*obs.Broker).ServeShards)
-	brokerRoute("GET /runs/{id}/events", (*obs.Broker).ServeEvents)
-	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+	brokerRoute("GET /runs/{id}/metrics", "/runs/{id}/metrics", (*obs.Broker).ServeMetrics)
+	brokerRoute("GET /runs/{id}/shards", "/runs/{id}/shards", (*obs.Broker).ServeShards)
+	brokerRoute("GET /runs/{id}/events", "/runs/{id}/events", (*obs.Broker).ServeEvents)
+	handle("GET /runs/{id}/history", "/runs/{id}/history", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		rec, ok := g.History(id)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		tshist.ServeQuery(w, r, rec, id)
+	})
+	handle("GET /events", "/events", func(w http.ResponseWriter, r *http.Request) {
 		serveHubEvents(g.Hub(), w, r)
 	})
-	mux.HandleFunc("GET /backends", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /backends", "/backends", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, g.BackendNames())
 	})
-	mux.HandleFunc("GET /backends/{name}/log", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /backends/{name}/log", "/backends/{name}/log", func(w http.ResponseWriter, r *http.Request) {
 		p, ok := g.Backend(r.PathValue("name"))
 		if !ok {
 			http.NotFound(w, r)

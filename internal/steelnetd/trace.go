@@ -1,0 +1,77 @@
+package steelnetd
+
+import (
+	"io"
+	"sort"
+	"sync"
+
+	"steelnet/internal/telemetry"
+)
+
+// TraceLog collects the gateway's own trace events — run windows, rule
+// firings, HTTP requests — in the same telemetry.Event currency the
+// simulation uses, so one Chrome/Perfetto export stitches the gateway
+// plane above the sim lanes. Safe for concurrent use: run goroutines
+// record windows and firings while HTTP handlers record requests.
+type TraceLog struct {
+	mu     sync.Mutex
+	events []telemetry.Event
+}
+
+// Add records one event.
+func (t *TraceLog) Add(e telemetry.Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events.
+func (t *TraceLog) Events() []telemetry.Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]telemetry.Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// WriteTrace exports the stitched fleet trace in Chrome trace-event
+// format: every finished run's simulation-level events (lanes prefixed
+// "<run id>/" so runs never collide), plus the gateway plane's run
+// windows, rule firings and HTTP request spans in their own "steelnetd"
+// process. Runs still stepping are skipped — their tracers are owned by
+// live goroutines — so call after the runs of interest finished (the
+// daemon dumps at shutdown). Events merge in stable simulated-time
+// order; HTTP spans are anchored at the fleet's latest published sim
+// instant at request time, putting wall-clock traffic in causal context
+// with the simulation activity it observed.
+func (g *Gateway) WriteTrace(w io.Writer) error {
+	g.mu.Lock()
+	rs := make([]*run, 0, len(g.runs))
+	for _, id := range g.order {
+		rs = append(rs, g.runs[id])
+	}
+	g.mu.Unlock()
+	sort.Slice(rs, func(i, j int) bool { return rs[i].id < rs[j].id })
+
+	var events []telemetry.Event
+	for _, r := range rs {
+		select {
+		case <-r.done:
+		default:
+			continue // still stepping; its tracer is not ours to read
+		}
+		for _, e := range r.drv.TraceEvents() {
+			e.Node = r.id + "/" + e.Node
+			events = append(events, e)
+		}
+	}
+	events = append(events, g.trace.Events()...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].T < events[j].T })
+	return telemetry.WriteChromeTrace(w, events)
+}

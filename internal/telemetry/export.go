@@ -94,6 +94,10 @@ const (
 	sloTid   = 1
 )
 
+// gatewayPid is the Chrome-trace process id for steelnetd's own lanes
+// (HTTP requests, run windows, rule firings); pid 1 is the simulation.
+const gatewayPid = 2
+
 // WriteChromeTrace renders the events as a Chrome trace-event JSON
 // document: one timeline lane per node (in order of first appearance),
 // plus a dedicated "faults" lane where inject/recover pairs become
@@ -160,6 +164,30 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		}
 		return id
 	}
+	// Gateway-plane lanes live in their own process (pid 2,
+	// "steelnetd"), above the sim lanes, with their own tid space. The
+	// process metadata is emitted lazily so sim-only traces keep their
+	// exact historical form.
+	gwTids := map[string]int{}
+	gwLane := func(node string) int {
+		id, ok := gwTids[node]
+		if ok {
+			return id
+		}
+		if len(gwTids) == 0 {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: gatewayPid,
+				Args: map[string]any{"name": "steelnetd"},
+			})
+		}
+		id = len(gwTids)
+		gwTids[node] = id
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: gatewayPid, Tid: id,
+			Args: map[string]any{"name": node},
+		})
+		return id
+	}
 	for i, e := range events {
 		ts := float64(e.T) / 1e3
 		switch e.Kind {
@@ -203,6 +231,27 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 				Name: "barrier", Ph: "i", S: "p", Ts: ts,
 				Pid: 1, Tid: lane(e.Node), Cat: "shard",
 				Args: map[string]any{"msgs": e.Aux},
+			})
+		case KindRunWindow:
+			// One hosted run's publish slice: a duration span on the
+			// run's gateway lane, so the fleet reads as stacked bands of
+			// slice activity above the sim lanes.
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "slice", Ph: "X", Ts: ts, Dur: float64(e.Aux) / 1e3,
+				Pid: gatewayPid, Tid: gwLane(e.Node), Cat: "gateway",
+				Args: map[string]any{"seq": e.Frame},
+			})
+		case KindRuleFiring:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.Detail, Ph: "i", S: "t", Ts: ts,
+				Pid: gatewayPid, Tid: gwLane(e.Node), Cat: "rule",
+				Args: map[string]any{"seq": e.Aux},
+			})
+		case KindHTTPRequest:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.Detail, Ph: "X", Ts: ts, Dur: float64(e.Aux) / 1e3,
+				Pid: gatewayPid, Tid: gwLane(e.Node), Cat: "http",
+				Args: map[string]any{"status": e.Frame},
 			})
 		case KindCrossShard:
 			out.TraceEvents = append(out.TraceEvents, chromeEvent{

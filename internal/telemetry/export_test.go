@@ -229,3 +229,69 @@ func TestLatencyByClass(t *testing.T) {
 		t.Fatalf("prio 0: %+v", by[0])
 	}
 }
+
+// TestChromeTraceGatewayLanes pins the fleet-observability rendering:
+// gateway-plane kinds live in their own "steelnetd" process (pid 2)
+// whose metadata only appears when such events exist, run windows are
+// duration spans, rule firings instants, and HTTP requests spans on
+// the "http" lane — all stitched above the sim lanes in one file.
+func TestChromeTraceGatewayLanes(t *testing.T) {
+	events := append(sampleEvents(),
+		Event{T: 0, Kind: KindRunWindow, Node: "run/mill", Frame: 1, Aux: 50_000_000},
+		Event{T: 50_000_000, Kind: KindRunWindow, Node: "run/mill", Frame: 2, Aux: 50_000_000},
+		Event{T: 50_000_000, Kind: KindRuleFiring, Node: "run/mill", Detail: "loss:*>0.1->kafka:alerts", Aux: 2},
+		Event{T: 50_000_000, Kind: KindHTTPRequest, Node: "http", Detail: "/runs/{id}/events", Frame: 200, Aux: 1_200_000},
+	)
+	tes := decodeChrome(t, events)
+	var procMeta, runSpans, firingInstants, httpSpans int
+	laneNames := map[string]bool{}
+	for _, te := range tes {
+		pid, _ := te["pid"].(float64)
+		switch {
+		case te["ph"] == "M" && te["name"] == "process_name" && pid == 2:
+			procMeta++
+			if args := te["args"].(map[string]any); args["name"] != "steelnetd" {
+				t.Fatalf("gateway process name = %v", args["name"])
+			}
+		case te["ph"] == "M" && te["name"] == "thread_name" && pid == 2:
+			laneNames[te["args"].(map[string]any)["name"].(string)] = true
+		case te["cat"] == "gateway":
+			runSpans++
+			if te["ph"] != "X" || pid != 2 {
+				t.Fatalf("run window = %+v, want X span in pid 2", te)
+			}
+			if te["dur"].(float64) != 50_000 { // 50ms = 5e4 µs
+				t.Fatalf("run window dur = %v µs", te["dur"])
+			}
+		case te["cat"] == "rule":
+			firingInstants++
+			if te["ph"] != "i" || te["name"] != "loss:*>0.1->kafka:alerts" {
+				t.Fatalf("rule firing = %+v", te)
+			}
+		case te["cat"] == "http":
+			httpSpans++
+			if te["ph"] != "X" || te["name"] != "/runs/{id}/events" {
+				t.Fatalf("http request = %+v", te)
+			}
+			if te["args"].(map[string]any)["status"].(float64) != 200 {
+				t.Fatalf("http status = %+v", te["args"])
+			}
+		}
+	}
+	if procMeta != 1 || runSpans != 2 || firingInstants != 1 || httpSpans != 1 {
+		t.Fatalf("proc=%d windows=%d firings=%d http=%d", procMeta, runSpans, firingInstants, httpSpans)
+	}
+	if !laneNames["run/mill"] || !laneNames["http"] {
+		t.Fatalf("gateway lanes = %v, want run/mill and http", laneNames)
+	}
+}
+
+// TestChromeTraceNoGatewayProcessWithoutGatewayEvents pins the lazy
+// metadata: sim-only traces keep their exact historical shape.
+func TestChromeTraceNoGatewayProcessWithoutGatewayEvents(t *testing.T) {
+	for _, te := range decodeChrome(t, sampleEvents()) {
+		if pid, _ := te["pid"].(float64); pid == 2 {
+			t.Fatalf("sim-only trace grew a pid-2 event: %+v", te)
+		}
+	}
+}

@@ -52,6 +52,23 @@ const (
 	// KindBarrier is a window barrier instant: Node is "barrier", Aux
 	// the number of cross-shard messages flushed there.
 	KindBarrier
+	// Gateway-plane kinds (steelnetd). They render as a separate
+	// "steelnetd" process in the Chrome exporter, in lanes above the
+	// shard lanes, so one trace file follows a subscriber-facing
+	// request down into sim windows and barriers.
+	//
+	// KindRunWindow is one hosted run's publish slice: Node is the run
+	// lane ("run/<id>"), T the slice's start instant, Aux its duration
+	// in simulated ns, Frame the sample seq at the slice boundary.
+	KindRunWindow
+	// KindRuleFiring is one rule-engine firing: Node is the run lane,
+	// Detail the rule spec, Aux the sample seq it fired on.
+	KindRuleFiring
+	// KindHTTPRequest is one gateway HTTP request: Node is "http",
+	// Detail the route pattern, Aux the wall-clock handling duration in
+	// ns, Frame the response status code, anchored at the touched run's
+	// latest published sim instant (T).
+	KindHTTPRequest
 	numKinds
 )
 
@@ -59,6 +76,7 @@ var kindNames = [numKinds]string{
 	"host-tx", "enqueue", "tx-start", "forward", "flood", "packet-in",
 	"corrupt", "drop", "deliver", "fault-inject", "fault-recover",
 	"slo-breach", "slo-clear", "cross-shard", "shard-window", "barrier",
+	"run-window", "rule-firing", "http-request",
 }
 
 // String returns the stable wire name of the kind (used in JSONL).

@@ -1,0 +1,34 @@
+package tshist
+
+import "testing"
+
+// BenchmarkHistoryAppend is the safe-point publish path's history cost:
+// one sample appended to an existing series, folds included. benchdiff
+// guards it at 0 allocs/op — history recording must not re-introduce
+// GC churn into the gateway's per-slice loop.
+func BenchmarkHistoryAppend(b *testing.B) {
+	r := NewRecorder(0, 0, 0)
+	r.Append("steelnet_host_rx_total", 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Append("steelnet_host_rx_total", int64(i)*50_000_000, float64(i))
+	}
+}
+
+// BenchmarkHistoryQuery measures a /history read of a warm series: a
+// full-resolution window query over a populated ring.
+func BenchmarkHistoryQuery(b *testing.B) {
+	r := NewRecorder(0, 0, 0)
+	for i := 0; i < 4096; i++ {
+		r.Append("m", int64(i)*50_000_000, float64(i%97))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, _, ok := r.Query("m", 3800*50_000_000, 0)
+		if !ok || len(pts) == 0 {
+			b.Fatal("empty query")
+		}
+	}
+}

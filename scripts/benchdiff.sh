@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # benchdiff.sh — run the allocation-sensitive micro-benchmarks, emit a
 # machine-readable report, and diff it against the committed baseline
-# (BENCH_9.json) with a per-benchmark delta table.
+# (BENCH_10.json) with a per-benchmark delta table.
 #
 # Usage: scripts/benchdiff.sh [output.json] [--baseline FILE] [--check PCT]
 #
 #   output.json      where to write the fresh report (default BENCH_sim.json)
-#   --baseline FILE  committed baseline to diff against (default BENCH_9.json)
+#   --baseline FILE  committed baseline to diff against (default BENCH_10.json)
 #   --check PCT      fail when any benchmark's ns/op regresses more than
 #                    PCT percent against the baseline (CI passes 10)
 #
@@ -40,6 +40,15 @@
 #                                                 payload bytes shared)
 #   BenchmarkAppendTagsPayload      0 allocs/op  (frame assembly appends
 #                                                 into a reused buffer)
+#   BenchmarkHistoryAppend          0 allocs/op  (tshist ring writes: the
+#                                                 safe-point publish path
+#                                                 records history GC-free)
+#   BenchmarkJournalAppend          0 allocs/op  (lifecycle records append
+#                                                 into the per-run buffer;
+#                                                 growth amortizes to zero)
+#   BenchmarkJournaledPublish       0 allocs/op  (the whole observable
+#                                                 slice: history + journal
+#                                                 + 1024-subscriber fan-out)
 # A regression on any of these silently re-introduces GC churn into
 # every figure sweep.
 #
@@ -60,7 +69,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="BENCH_sim.json"
-baseline="BENCH_9.json"
+baseline="BENCH_10.json"
 check_pct=""
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -85,8 +94,8 @@ done
 # occasional descheduled sample and the occasional lucky one — and the
 # worst-case allocs/op so alloc guards can never pass on a lucky sample.
 raw=$(go test -run '^$' -bench \
-  'BenchmarkEngineScheduleAndRun|BenchmarkEngineBatchDrain|BenchmarkTickerChain|BenchmarkPriorityQueue|BenchmarkSwitchForwarding|BenchmarkVMReflectorProgram|BenchmarkEngineSharded|BenchmarkCampus10k|BenchmarkGatewayFanout|BenchmarkHubPublish|BenchmarkAppendTagsPayload' \
-  -benchmem -benchtime 50ms -count 7 ./internal/sim ./internal/simnet ./internal/ebpf ./internal/core ./internal/steelnetd)
+  'BenchmarkEngineScheduleAndRun|BenchmarkEngineBatchDrain|BenchmarkTickerChain|BenchmarkPriorityQueue|BenchmarkSwitchForwarding|BenchmarkVMReflectorProgram|BenchmarkEngineSharded|BenchmarkCampus10k|BenchmarkGatewayFanout|BenchmarkHubPublish|BenchmarkAppendTagsPayload|BenchmarkHistoryAppend|BenchmarkHistoryQuery|BenchmarkJournalAppend|BenchmarkJournaledPublish' \
+  -benchmem -benchtime 50ms -count 7 ./internal/sim ./internal/simnet ./internal/ebpf ./internal/core ./internal/steelnetd ./internal/tshist)
 echo "$raw"
 
 # Columns are found by their unit suffix, not position: benchmarks that
@@ -163,6 +172,9 @@ guard_allocs 'BenchmarkHubPublish\/subs=1' 0 "hub publish must be one channel se
 guard_allocs 'BenchmarkHubPublish\/subs=64' 0 "hub fan-out must not allocate per subscriber"
 guard_allocs 'BenchmarkHubPublish\/subs=1024' 0 "hub fan-out must stay allocation-free at SSE-fleet scale"
 guard_allocs BenchmarkAppendTagsPayload 0 "tag-frame assembly must append into its reused buffer"
+guard_allocs BenchmarkHistoryAppend 0 "history recording on the publish path must not allocate"
+guard_allocs BenchmarkJournalAppend 0 "journal records must amortize into the per-run buffer"
+guard_allocs BenchmarkJournaledPublish 0 "the observable slice (history + journal + fan-out) must stay GC-free"
 
 # --- Baseline diff ----------------------------------------------------
 
